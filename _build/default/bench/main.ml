@@ -1,0 +1,135 @@
+(* Benchmark harness.
+
+   Part 1 (Bechamel): one [Test.make] per paper table/figure — each runs the
+   experiment's real code path on a reduced-scale context — plus
+   micro-benchmarks of the simulator's hot paths (cache access, engine
+   execution).  Reported as ns/run OLS estimates.
+
+   Part 2: regenerates every table and figure at the default reproduction
+   scale and prints them (this is the output recorded in EXPERIMENTS.md). *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks of simulator hot paths.                            *)
+
+let bench_cache_access =
+  let cache =
+    Ace_mem.Cache.create { Ace_mem.Cache.size_bytes = 65536; assoc = 2; line_bytes = 64 }
+  in
+  let rng = Ace_util.Rng.create ~seed:7 in
+  Test.make ~name:"micro: L1 cache access"
+    (Staged.stage @@ fun () ->
+    ignore (Ace_mem.Cache.access cache (Ace_util.Rng.int rng 1_000_000) ~write:false))
+
+let bench_cache_resize =
+  let cache =
+    Ace_mem.Cache.create { Ace_mem.Cache.size_bytes = 65536; assoc = 2; line_bytes = 64 }
+  in
+  let size = ref 65536 in
+  Test.make ~name:"micro: L1 cache resize (flush)"
+    (Staged.stage @@ fun () ->
+    size := (if !size = 65536 then 32768 else 65536);
+    ignore (Ace_mem.Cache.resize cache ~size_bytes:!size))
+
+let bench_engine_1m =
+  let program =
+    Ace_workloads.Synthetic.build
+      { Ace_workloads.Synthetic.default with phase_repeats = 1 }
+      ~seed:3
+  in
+  Test.make ~name:"micro: engine run (~1M instrs)"
+    (Staged.stage @@ fun () ->
+    let engine = Ace_vm.Engine.create program in
+    Ace_vm.Engine.run engine)
+
+(* ------------------------------------------------------------------ *)
+(* One Test.make per table/figure: the experiment's real code path on a
+   reduced-scale context (fresh context per run so memoization does not
+   short-circuit the measurement).                                     *)
+
+let bench_scale = 0.05
+
+let mini_workloads =
+  [ Ace_workloads.Compress.workload; Ace_workloads.Mtrt.workload ]
+
+let experiment_test name f =
+  Test.make ~name:("exp: " ^ name)
+    (Staged.stage @@ fun () ->
+    let ctx =
+      Ace_harness.Experiments.create ~scale:bench_scale ~workloads:mini_workloads ()
+    in
+    ignore (f ctx))
+
+let experiment_tests =
+  [
+    experiment_test "table1" Ace_harness.Experiments.table1;
+    experiment_test "table2" (fun _ -> Ace_harness.Experiments.table2 ());
+    experiment_test "table3" (fun _ -> Ace_harness.Experiments.table3 ());
+    experiment_test "fig1" Ace_harness.Experiments.fig1;
+    experiment_test "table4" Ace_harness.Experiments.table4;
+    experiment_test "table5" Ace_harness.Experiments.table5;
+    experiment_test "table6" Ace_harness.Experiments.table6;
+    experiment_test "fig3" Ace_harness.Experiments.fig3;
+    experiment_test "fig4" Ace_harness.Experiments.fig4;
+    experiment_test "ablation-decoupling" Ace_harness.Experiments.ablation_decoupling;
+    experiment_test "ablation-thresholds" Ace_harness.Experiments.ablation_thresholds;
+    experiment_test "ext-issue-queue" Ace_harness.Experiments.extension_issue_queue;
+    experiment_test "ext-prediction" Ace_harness.Experiments.extension_prediction;
+    experiment_test "ext-bbv-predictor" Ace_harness.Experiments.extension_bbv_predictor;
+    experiment_test "stability" Ace_harness.Experiments.stability;
+  ]
+
+let run_bechamel () =
+  let tests =
+    Test.make_grouped ~name:"ace"
+      ([ bench_cache_access; bench_cache_resize; bench_engine_1m ]
+      @ experiment_tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Bechamel estimates (monotonic clock, ns/run):";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let cell =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.sprintf "%12.0f ns/run" est
+        | Some ests ->
+            String.concat ", " (List.map (Printf.sprintf "%.0f") ests)
+        | None -> "(no estimate)"
+      in
+      rows := (name, cell) :: !rows)
+    results;
+  List.iter
+    (fun (name, cell) -> Printf.printf "  %-36s %s\n" name cell)
+    (List.sort compare !rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Full-scale reproduction of every table and figure.                  *)
+
+let run_reproduction () =
+  print_endline "==============================================================";
+  print_endline " Full reproduction (scale 1.0, seed 1) - paper tables/figures";
+  print_endline "==============================================================";
+  let ctx = Ace_harness.Experiments.create ~scale:1.0 ~seed:1 () in
+  List.iter
+    (fun (name, tbl) ->
+      Printf.printf "== %s ==\n" name;
+      Ace_util.Table.print tbl;
+      print_newline ())
+    (Ace_harness.Experiments.all ctx)
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  run_bechamel ();
+  if not quick then run_reproduction ()

@@ -1,0 +1,194 @@
+(* ace_sim: command-line driver for the CGO 2005 ACE-management
+   reproduction.
+
+   Subcommands:
+     run <benchmark> [-s scheme] [--scale x] [--seed n]   one run, summary
+     exp <id|all> [--scale x] [--seed n]                  regenerate a table/figure
+     list                                                 benchmarks and experiments
+*)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Workload scale factor (1.0 = default reproduction scale)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"X" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for workload construction and simulation." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let workload_conv =
+  let parse s =
+    match Ace_workloads.Specjvm.find s with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (expected one of: %s)" s
+               (String.concat ", " Ace_workloads.Specjvm.names)))
+  in
+  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt w.Ace_workloads.Workload.name)
+
+let scheme_conv =
+  let parse s =
+    match Ace_harness.Scheme.of_string s with
+    | Some x -> Ok x
+    | None -> Error (`Msg "expected one of: baseline, hotspot, bbv")
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Ace_harness.Scheme.name s))
+
+let print_summary (r : Ace_harness.Run.result) =
+  let open Ace_harness.Run in
+  Printf.printf "benchmark        : %s\n" r.workload;
+  Printf.printf "scheme           : %s\n" (Ace_harness.Scheme.name r.scheme);
+  Printf.printf "instructions     : %s\n" (Ace_util.Table.cell_int r.instrs);
+  Printf.printf "cycles           : %s\n"
+    (Ace_util.Table.cell_int (int_of_float r.cycles));
+  Printf.printf "IPC              : %.3f\n" r.ipc;
+  Printf.printf "overhead instrs  : %s\n" (Ace_util.Table.cell_int r.overhead_instrs);
+  Printf.printf "L1D energy       : %.4g mJ (avg size %.0f KB, miss rate %.2f%%)\n"
+    (r.l1d_energy_nj /. 1e6)
+    (r.l1d_avg_bytes /. 1024.0)
+    (r.l1d_miss_rate *. 100.0);
+  Printf.printf "L2 energy        : %.4g mJ (avg size %.0f KB, miss rate %.2f%%)\n"
+    (r.l2_energy_nj /. 1e6)
+    (r.l2_avg_bytes /. 1024.0)
+    (r.l2_miss_rate *. 100.0);
+  Printf.printf "hotspots         : %d (avg size %s, avg invocations %s)\n"
+    r.do_stats.hotspot_count
+    (Ace_util.Table.cell_int (int_of_float r.do_stats.mean_hotspot_size))
+    (Ace_util.Table.cell_int (int_of_float r.do_stats.mean_invocations));
+  (match r.hotspot with
+  | Some h ->
+      Array.iter
+        (fun (c : Ace_core.Framework.cu_report) ->
+          Printf.printf
+            "CU %-4s          : %d hotspots, %d tuned, %d tunings, %d reconfigs, \
+             coverage %.1f%%\n"
+            c.cu_name c.class_hotspots c.tuned_hotspots c.tunings c.reconfigs
+            (c.coverage *. 100.0))
+        h.reports
+  | None -> ());
+  match r.bbv with
+  | Some b ->
+      Printf.printf
+        "BBV              : %d phases, %d tuned, %.1f%% intervals in tuned phases, \
+         %.1f%% stable\n"
+        b.phases b.tuned_phases
+        (b.intervals_in_tuned_frac *. 100.0)
+        (b.stable_frac *. 100.0)
+  | None -> ()
+
+let run_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some workload_conv) None
+      & info [] ~docv:"BENCHMARK" ~doc:"SPECjvm98 benchmark name.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv Ace_harness.Scheme.Hotspot
+      & info [ "s"; "scheme" ] ~docv:"SCHEME"
+          ~doc:"Resource-management scheme: baseline, hotspot or bbv.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-hotspot selections.")
+  in
+  let action workload scheme scale seed verbose =
+    let r = Ace_harness.Run.run ~scale ~seed workload scheme in
+    print_summary r;
+    if verbose then
+      match r.Ace_harness.Run.hotspot with
+      | Some h ->
+          List.iter
+            (fun (v : Ace_core.Framework.hotspot_view) ->
+              Printf.printf "  %-24s %-12s %s\n" v.meth_name
+                (String.concat "+" v.managed_cus)
+                (if v.configured then
+                   String.concat ", "
+                     (List.map (fun (c, s) -> c ^ "=" ^ s) v.selection)
+                 else "still tuning"))
+            h.Ace_harness.Run.views
+      | None -> ()
+  in
+  let info =
+    Cmd.info "run" ~doc:"Run one benchmark under one scheme and print a summary."
+  in
+  Cmd.v info Term.(const action $ workload $ scheme $ scale_arg $ seed_arg $ verbose)
+
+let exp_cmd =
+  let ids =
+    [
+      "table1"; "table2"; "table3"; "fig1"; "table4"; "table5"; "table6";
+      "fig3"; "fig4"; "ablation-decoupling"; "ablation-thresholds";
+      "ext-issue-queue"; "ext-prediction"; "ext-bbv-predictor"; "stability"; "all";
+    ]
+  in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun s -> (s, s)) ids))) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "Experiment id: table1-6, fig1, fig3, fig4, ablation-decoupling, \
+             ablation-thresholds, ext-issue-queue, or all.")
+  in
+  let action id scale seed =
+    let ctx = Ace_harness.Experiments.create ~scale ~seed () in
+    let print (name, tbl) =
+      Printf.printf "== %s ==\n" name;
+      Ace_util.Table.print tbl;
+      print_newline ()
+    in
+    if id = "all" then List.iter print (Ace_harness.Experiments.all ctx)
+    else
+      let tbl =
+        match id with
+        | "table1" -> Ace_harness.Experiments.table1 ctx
+        | "table2" -> Ace_harness.Experiments.table2 ()
+        | "table3" -> Ace_harness.Experiments.table3 ()
+        | "fig1" -> Ace_harness.Experiments.fig1 ctx
+        | "table4" -> Ace_harness.Experiments.table4 ctx
+        | "table5" -> Ace_harness.Experiments.table5 ctx
+        | "table6" -> Ace_harness.Experiments.table6 ctx
+        | "fig3" -> Ace_harness.Experiments.fig3 ctx
+        | "fig4" -> Ace_harness.Experiments.fig4 ctx
+        | "ablation-decoupling" -> Ace_harness.Experiments.ablation_decoupling ctx
+        | "ablation-thresholds" -> Ace_harness.Experiments.ablation_thresholds ctx
+        | "ext-issue-queue" -> Ace_harness.Experiments.extension_issue_queue ctx
+        | "ext-prediction" -> Ace_harness.Experiments.extension_prediction ctx
+        | "ext-bbv-predictor" -> Ace_harness.Experiments.extension_bbv_predictor ctx
+        | "stability" -> Ace_harness.Experiments.stability ctx
+        | _ -> assert false
+      in
+      print (id, tbl)
+  in
+  let info = Cmd.info "exp" ~doc:"Regenerate one of the paper's tables or figures." in
+  Cmd.v info Term.(const action $ id $ scale_arg $ seed_arg)
+
+let list_cmd =
+  let action () =
+    print_endline "Benchmarks:";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-10s %s\n" w.Ace_workloads.Workload.name
+          w.Ace_workloads.Workload.description)
+      Ace_workloads.Specjvm.all;
+    print_endline "";
+    print_endline "Experiments: table1 table2 table3 fig1 table4 table5 table6 fig3";
+    print_endline "             fig4 ablation-decoupling ablation-thresholds";
+    print_endline "             ext-issue-queue ext-prediction ext-bbv-predictor";
+    print_endline "             stability all"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments.") Term.(const action $ const ())
+
+let () =
+  let info =
+    Cmd.info "ace_sim" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Effective Adaptive Computing Environment Management \
+         via Dynamic Optimization' (CGO 2005)."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; list_cmd ]))

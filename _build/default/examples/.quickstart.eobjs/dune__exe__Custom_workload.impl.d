@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Ace_core Ace_isa Ace_util Ace_vm Ace_workloads Array Format List Printf String

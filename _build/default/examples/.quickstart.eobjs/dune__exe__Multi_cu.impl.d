@@ -1,0 +1,1 @@
+examples/multi_cu.ml: Ace_core Ace_util Ace_vm Ace_workloads Array Printf

@@ -1,0 +1,1 @@
+examples/phase_explorer.ml: Ace_bbv Ace_util Ace_vm Ace_workloads Array Buffer Char Printf String Sys

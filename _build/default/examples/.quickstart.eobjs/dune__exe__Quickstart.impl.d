@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ace_harness Ace_util Ace_workloads List Printf

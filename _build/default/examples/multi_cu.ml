@@ -1,0 +1,59 @@
+(* Multi-CU management: the §4.1 extension.  Four configurable units with
+   reconfiguration intervals spanning more than two orders of magnitude
+   (reorder buffer 5 K, issue queue 10 K, L1D 100 K, L2 1 M instructions)
+   are managed simultaneously; CU decoupling assigns each to hotspots of
+   the matching size class.
+
+     dune exec examples/multi_cu.exe
+
+   Also demonstrates the ablation: with decoupling disabled, every managed
+   hotspot must explore the full 4^4 = 256-configuration space. *)
+
+let run ~decoupling =
+  let workload = Ace_workloads.Mpeg.workload in
+  let program = workload.Ace_workloads.Workload.build ~scale:0.5 ~seed:5 in
+  let config = { Ace_vm.Engine.default_config with hot_threshold = 2 } in
+  let engine = Ace_vm.Engine.create ~config program in
+  let cus =
+    [|
+      Ace_core.Cu.l1d engine;
+      Ace_core.Cu.l2 engine;
+      Ace_core.Cu.issue_queue engine;
+      Ace_core.Cu.reorder_buffer engine;
+    |]
+  in
+  let framework =
+    Ace_core.Framework.attach
+      ~config:{ Ace_core.Framework.default_config with decoupling }
+      engine ~cus
+  in
+  Ace_vm.Engine.run engine;
+  Ace_core.Framework.finalize framework;
+  (engine, framework)
+
+let describe label (engine, framework) =
+  Printf.printf "--- %s ---\n" label;
+  Printf.printf "cycles: %s\n"
+    (Ace_util.Table.cell_int (int_of_float (Ace_vm.Engine.cycles engine)));
+  Array.iter
+    (fun (r : Ace_core.Framework.cu_report) ->
+      Printf.printf
+        "  %-4s interval-matched hotspots=%d tuned=%d tunings=%d reconfigs=%d \
+         coverage=%.1f%%\n"
+        r.cu_name r.class_hotspots r.tuned_hotspots r.tunings r.reconfigs
+        (r.coverage *. 100.0))
+    (Ace_core.Framework.report framework);
+  print_newline ()
+
+let () =
+  print_endline "Four-CU adaptive computing environment on mpeg:";
+  print_newline ();
+  describe "CU decoupling ON (each hotspot tunes its size-matched CU)"
+    (run ~decoupling:true);
+  describe "CU decoupling OFF (joint 256-configuration tuning)"
+    (run ~decoupling:false);
+  print_endline
+    "With decoupling, each class tunes at its own granularity and finishes";
+  print_endline
+    "quickly; without it, tuning rarely completes and coverage collapses —";
+  print_endline "the scalability argument of §3.2 and §5.2.1."

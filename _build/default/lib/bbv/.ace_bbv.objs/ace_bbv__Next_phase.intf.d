@@ -1,0 +1,1 @@
+lib/bbv/next_phase.mli:

@@ -1,0 +1,1 @@
+lib/bbv/scheme.ml: Ace_core Ace_mem Ace_power Ace_util Ace_vm Array Float Fun List Next_phase Tracker Vector

@@ -1,0 +1,1 @@
+lib/bbv/scheme.mli: Ace_core Ace_power Ace_vm Tracker

@@ -1,0 +1,1 @@
+lib/bbv/tracker.ml: Ace_util Array

@@ -1,0 +1,1 @@
+lib/bbv/tracker.mli:

@@ -1,0 +1,1 @@
+lib/bbv/vector.mli:

@@ -1,0 +1,64 @@
+type t = {
+  min_count : int;
+  min_confidence : float;
+  transitions : (int, (int, int ref) Hashtbl.t) Hashtbl.t;
+  mutable n_predictions : int;
+  mutable n_correct : int;
+}
+
+let create ?(min_count = 2) ?(min_confidence = 0.6) () =
+  {
+    min_count;
+    min_confidence;
+    transitions = Hashtbl.create 32;
+    n_predictions = 0;
+    n_correct = 0;
+  }
+
+let successors t prev =
+  match Hashtbl.find_opt t.transitions prev with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.add t.transitions prev tbl;
+      tbl
+
+let observe t ~prev ~next =
+  let tbl = successors t prev in
+  match Hashtbl.find_opt tbl next with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl next (ref 1)
+
+let predict t ~current =
+  match Hashtbl.find_opt t.transitions current with
+  | None -> None
+  | Some tbl ->
+      let total = ref 0 and best = ref (-1) and best_count = ref 0 in
+      Hashtbl.iter
+        (fun next count ->
+          total := !total + !count;
+          if !count > !best_count then begin
+            best_count := !count;
+            best := next
+          end)
+        tbl;
+      if
+        !best >= 0 && !best_count >= t.min_count
+        && float_of_int !best_count
+           >= t.min_confidence *. float_of_int !total
+      then Some !best
+      else None
+
+let record_outcome t ~predicted ~actual =
+  match predicted with
+  | None -> ()
+  | Some p ->
+      t.n_predictions <- t.n_predictions + 1;
+      if p = actual then t.n_correct <- t.n_correct + 1
+
+let predictions t = t.n_predictions
+let correct t = t.n_correct
+
+let accuracy t =
+  if t.n_predictions = 0 then 0.0
+  else float_of_int t.n_correct /. float_of_int t.n_predictions

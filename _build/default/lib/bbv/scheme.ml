@@ -1,0 +1,358 @@
+module Engine = Ace_vm.Engine
+module Profile = Ace_vm.Profile
+module Cu = Ace_core.Cu
+module Hw = Ace_core.Hw
+module Accounting = Ace_power.Accounting
+module Hierarchy = Ace_mem.Hierarchy
+module Cache = Ace_mem.Cache
+
+type config = {
+  buckets : int;
+  match_threshold : float;
+  performance_threshold : float;
+  next_phase_prediction : bool;
+}
+
+let default_config =
+  {
+    buckets = 32;
+    match_threshold = 0.15;
+    performance_threshold = 0.02;
+    next_phase_prediction = false;
+  }
+
+type measurement = { config : int array; energy : float; ipc : float }
+
+type phase_state = {
+  mutable next : int;
+  mutable measurements : measurement list;
+  mutable best : int array option;
+  ipc_stats : Ace_util.Stats.Running.t;
+}
+
+type t = {
+  engine : Engine.t;
+  cus : Cu.t array;
+  cfg : config;
+  vector : Vector.t;
+  tracker : Tracker.t;
+  configs : int array array;  (* full cartesian space over all CUs *)
+  mutable phases : phase_state array;
+  mutable n_phases : int;
+  accts : Accounting.t option array;
+  (* Pending configuration test: (phase id, config index, stage).  A test
+     whose installation actually changed hardware first runs one warm
+     interval so the flush/refill transient stays out of the measurement
+     (the same treatment the hotspot tuner applies). *)
+  mutable pending : (int * int * [ `Warm | `Measure ]) option;
+  (* snapshot of counters at the last interval boundary *)
+  mutable instrs0 : int;
+  mutable cycles0 : float;
+  mutable l1a0 : int;
+  mutable l1m0 : int;
+  mutable l2a0 : int;
+  mutable l2m0 : int;
+  (* next-phase prediction (optional) *)
+  predictor : Next_phase.t;
+  mutable prev_phase : int;
+  mutable pending_prediction : int option;
+  (* metrics *)
+  mutable n_tunings : int;
+  reconfigs : int array;
+  mutable finalized : bool;
+}
+
+let fresh_phase () =
+  {
+    next = 0;
+    measurements = [];
+    best = None;
+    ipc_stats = Ace_util.Stats.Running.create ();
+  }
+
+let phase_state t id =
+  while t.n_phases <= id do
+    if t.n_phases >= Array.length t.phases then begin
+      let bigger = Array.make (max 16 (2 * Array.length t.phases)) (fresh_phase ()) in
+      Array.blit t.phases 0 bigger 0 t.n_phases;
+      t.phases <- bigger
+    end;
+    t.phases.(t.n_phases) <- fresh_phase ();
+    t.n_phases <- t.n_phases + 1
+  done;
+  t.phases.(id)
+
+let interval_profile t =
+  let hier = Engine.hierarchy t.engine in
+  let l1d = Hierarchy.l1d hier and l2 = Hierarchy.l2 hier in
+  let p =
+    {
+      Profile.instrs = Engine.instrs t.engine - t.instrs0;
+      cycles = Engine.cycles t.engine -. t.cycles0;
+      l1d_accesses = Cache.Stats.accesses l1d - t.l1a0;
+      l1d_misses = Cache.Stats.misses l1d - t.l1m0;
+      l2_accesses = Cache.Stats.accesses l2 - t.l2a0;
+      l2_misses = Cache.Stats.misses l2 - t.l2m0;
+    }
+  in
+  t.instrs0 <- Engine.instrs t.engine;
+  t.cycles0 <- Engine.cycles t.engine;
+  t.l1a0 <- Cache.Stats.accesses l1d;
+  t.l1m0 <- Cache.Stats.misses l1d;
+  t.l2a0 <- Cache.Stats.accesses l2;
+  t.l2m0 <- Cache.Stats.misses l2;
+  p
+
+let energy_proxy t (profile : Profile.t) config =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i cu ->
+      acc := !acc +. cu.Cu.energy_proxy profile ~setting:config.(i))
+    t.cus;
+  !acc
+
+let handle_applied t cu_idx flushed_lines =
+  let cu = t.cus.(cu_idx) in
+  let lat = Hierarchy.latencies (Engine.hierarchy t.engine) in
+  Engine.add_stall_cycles t.engine
+    (float_of_int (flushed_lines * lat.Hierarchy.writeback_cycles_per_line));
+  match t.accts.(cu_idx) with
+  | None -> ()
+  | Some acct ->
+      Accounting.on_reconfig acct ~new_size:(Cu.current_size cu)
+        ~accesses_now:(cu.Cu.accesses_now ())
+        ~cycles_now:(Engine.cycles t.engine) ~flushed_lines
+
+(* Request a full configuration; returns (applied, needs_warm): [applied] =
+   no CU denied it; [needs_warm] = a coarse-grained CU (reconfiguration
+   interval at least as long as the sampling interval, i.e. the L2) actually
+   switched, so its flush/refill transient spans a good part of the next
+   interval and that interval must not be measured.  Fine-grained CU
+   transients (L1D refill, a few thousand cycles) are amortized by the 1 M
+   interval and measured immediately.  [count_reconfigs] marks applications
+   of a tuned phase's best config. *)
+let apply_config t config ~count_reconfigs =
+  let ok = ref true in
+  let needs_warm = ref false in
+  let interval =
+    match (Engine.config t.engine).Engine.interval_instrs with
+    | Some n -> n
+    | None -> assert false (* checked at attach *)
+  in
+  let now_instrs = Engine.instrs t.engine in
+  Array.iteri
+    (fun i _cu ->
+      match Hw.request t.cus.(i) ~setting:config.(i) ~now_instrs with
+      | Hw.Unchanged -> ()
+      | Hw.Denied -> ok := false
+      | Hw.Applied { flushed_lines } ->
+          if t.cus.(i).Cu.reconfig_interval >= interval then needs_warm := true;
+          handle_applied t i flushed_lines;
+          if count_reconfigs then t.reconfigs.(i) <- t.reconfigs.(i) + 1)
+    config;
+  (!ok, !needs_warm)
+
+let select t measurements =
+  let best_ipc =
+    List.fold_left (fun acc m -> Float.max acc m.ipc) 0.0 measurements
+  in
+  let floor_ipc = best_ipc *. (1.0 -. t.cfg.performance_threshold) in
+  let eligible = List.filter (fun m -> m.ipc >= floor_ipc) measurements in
+  let pool = match eligible with [] -> measurements | _ :: _ -> eligible in
+  match pool with
+  | [] -> assert false
+  | m0 :: rest ->
+      List.fold_left (fun acc m -> if m.energy < acc.energy then m else acc) m0 rest
+
+let max_config t = Array.make (Array.length t.cus) 0
+
+let on_interval t =
+  let profile = interval_profile t in
+  if Vector.is_empty t.vector then ()
+  else begin
+    let vec = Vector.snapshot t.vector in
+    Vector.clear t.vector;
+    let phase = Tracker.classify t.tracker vec in
+    let st = phase_state t phase in
+    Ace_util.Stats.Running.add st.ipc_stats (Profile.ipc profile);
+    if t.cfg.next_phase_prediction then begin
+      Next_phase.record_outcome t.predictor ~predicted:t.pending_prediction
+        ~actual:phase;
+      if t.prev_phase >= 0 then
+        Next_phase.observe t.predictor ~prev:t.prev_phase ~next:phase
+    end;
+    t.prev_phase <- phase;
+    (* Resolve a pending configuration test. *)
+    (match t.pending with
+    | Some (p, idx, `Measure) when p = phase ->
+        let config = t.configs.(idx) in
+        st.measurements <-
+          { config; energy = energy_proxy t profile config; ipc = Profile.ipc profile }
+          :: st.measurements;
+        st.next <- idx + 1;
+        if st.next >= Array.length t.configs then
+          st.best <- Some (select t st.measurements).config
+    | Some _ | None -> ());
+    t.pending <- None;
+    (* Choose the next interval's configuration.  With next-phase prediction
+       on, a confident prediction of a tuned phase takes precedence: its
+       configuration is applied pre-emptively, covering intervals (including
+       transitional ones) the plain baseline would run at maximum size.  A
+       misprediction means the next interval runs under the wrong phase's
+       configuration — the rollback cost the paper warns about. *)
+    let predicted_best =
+      if not t.cfg.next_phase_prediction then None
+      else begin
+        let prediction = Next_phase.predict t.predictor ~current:phase in
+        t.pending_prediction <- prediction;
+        match prediction with
+        | Some q when q < t.n_phases -> t.phases.(q).best
+        | Some _ | None -> None
+      end
+    in
+    match predicted_best with
+    | Some best -> ignore (apply_config t best ~count_reconfigs:true)
+    | None ->
+    if Tracker.current_run t.tracker >= 2 then begin
+      match st.best with
+      | Some best -> ignore (apply_config t best ~count_reconfigs:true)
+      | None ->
+          if st.next < Array.length t.configs then begin
+            let idx = st.next in
+            let applied, _changed =
+              apply_config t t.configs.(idx) ~count_reconfigs:false
+            in
+            (* One configuration per sampling interval, measured immediately
+               (the 1 M-instruction interval amortizes the install
+               transient), exactly as the paper's BBV baseline. *)
+            if applied then begin
+              t.pending <- Some (phase, idx, `Measure);
+              t.n_tunings <- t.n_tunings + 1
+            end
+          end
+    end
+    else
+      (* Transitional interval: resources are adapted only at stable phases;
+         fall back to the maximum (baseline) configuration. *)
+      ignore (apply_config t (max_config t) ~count_reconfigs:false)
+  end
+
+let attach ?(config = default_config) engine ~cus =
+  (match (Engine.config engine).Engine.interval_instrs with
+  | Some _ -> ()
+  | None ->
+      invalid_arg "Bbv.Scheme.attach: engine has no sampling interval configured");
+  let t =
+    {
+      engine;
+      cus;
+      cfg = config;
+      vector = Vector.create ~buckets:config.buckets ();
+      tracker = Tracker.create ~threshold:config.match_threshold ();
+      configs =
+        Ace_core.Decoupling.configurations ~cus
+          ~managed:(List.init (Array.length cus) Fun.id);
+      phases = Array.make 16 (fresh_phase ());
+      n_phases = 0;
+      accts =
+        Array.map
+          (fun (cu : Cu.t) ->
+            match cu.Cu.family with
+            | Some family ->
+                Some (Accounting.create family ~initial_size:(Cu.current_size cu))
+            | None -> None)
+          cus;
+      pending = None;
+      predictor = Next_phase.create ();
+      prev_phase = -1;
+      pending_prediction = None;
+      instrs0 = 0;
+      cycles0 = 0.0;
+      l1a0 = 0;
+      l1m0 = 0;
+      l2a0 = 0;
+      l2m0 = 0;
+      n_tunings = 0;
+      reconfigs = Array.make (Array.length cus) 0;
+      finalized = false;
+    }
+  in
+  let hooks = Engine.hooks engine in
+  hooks.Engine.on_block <-
+    (fun ~pc ~instrs ~count -> Vector.add t.vector ~pc ~instrs:(instrs * count));
+  hooks.Engine.on_interval <- (fun ~total_instrs:_ -> on_interval t);
+  t
+
+let finalize t =
+  if t.finalized then invalid_arg "Bbv.Scheme.finalize: already finalized";
+  t.finalized <- true;
+  Array.iteri
+    (fun k acct ->
+      match acct with
+      | None -> ()
+      | Some a ->
+          Accounting.finish a
+            ~accesses_now:(t.cus.(k).Cu.accesses_now ())
+            ~cycles_now:(Engine.cycles t.engine))
+    t.accts
+
+let tracker t = t.tracker
+let phase_count t = Tracker.phase_count t.tracker
+
+let tuned_phases t =
+  List.filter (fun i -> t.phases.(i).best <> None) (List.init t.n_phases Fun.id)
+
+let tuned_phase_count t = List.length (tuned_phases t)
+
+let intervals_in_tuned_phases t =
+  let total = Tracker.intervals t.tracker in
+  if total = 0 then 0.0
+  else
+    let tuned =
+      List.fold_left
+        (fun acc i -> acc + Tracker.phase_intervals t.tracker i)
+        0 (tuned_phases t)
+    in
+    float_of_int tuned /. float_of_int total
+
+let stable_fraction t =
+  let total = Tracker.intervals t.tracker in
+  if total = 0 then 0.0
+  else float_of_int (Tracker.stable_intervals t.tracker) /. float_of_int total
+
+let tunings t = t.n_tunings
+let reconfigs_per_cu t = Array.copy t.reconfigs
+
+let mean_per_phase_ipc_cov t =
+  let covs =
+    List.filter_map
+      (fun i ->
+        let s = t.phases.(i).ipc_stats in
+        if Ace_util.Stats.Running.count s > 1 then
+          Some (Ace_util.Stats.Running.cov s)
+        else None)
+      (List.init t.n_phases Fun.id)
+  in
+  Ace_util.Stats.mean (Array.of_list covs)
+
+let inter_phase_ipc_cov t =
+  let means =
+    List.filter_map
+      (fun i ->
+        let s = t.phases.(i).ipc_stats in
+        if Ace_util.Stats.Running.count s > 0 then
+          Some (Ace_util.Stats.Running.mean s)
+        else None)
+      (List.init t.n_phases Fun.id)
+  in
+  Ace_util.Stats.cov (Array.of_list means)
+
+let accounting t k = t.accts.(k)
+
+let predictor_stats t =
+  if t.cfg.next_phase_prediction then
+    Some
+      ( Next_phase.predictions t.predictor,
+        Next_phase.correct t.predictor,
+        Next_phase.accuracy t.predictor )
+  else None

@@ -1,0 +1,1 @@
+lib/core/cu.ml: Ace_mem Ace_power Ace_vm Array

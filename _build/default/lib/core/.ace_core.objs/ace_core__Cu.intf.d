@@ -1,0 +1,1 @@
+lib/core/cu.mli: Ace_power Ace_vm

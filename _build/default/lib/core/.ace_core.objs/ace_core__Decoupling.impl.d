@@ -1,0 +1,1 @@
+lib/core/decoupling.ml: Array Cu Fun List

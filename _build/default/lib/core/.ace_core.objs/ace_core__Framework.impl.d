@@ -1,0 +1,1 @@
+lib/core/framework.ml: Ace_isa Ace_mem Ace_power Ace_vm Array Cu Decoupling Hw List Option Predictor Tuner

@@ -1,0 +1,1 @@
+lib/core/framework.mli: Ace_power Ace_vm Cu Tuner

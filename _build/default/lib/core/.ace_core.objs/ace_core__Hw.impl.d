@@ -1,0 +1,1 @@
+lib/core/hw.ml: Cu Printf

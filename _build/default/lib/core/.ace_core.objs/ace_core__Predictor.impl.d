@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Ace_isa Ace_power Array Cu Hashtbl Lazy List Option

@@ -1,0 +1,1 @@
+lib/core/predictor.mli: Ace_isa Cu

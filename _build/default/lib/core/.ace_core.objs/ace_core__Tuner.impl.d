@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Array Float List

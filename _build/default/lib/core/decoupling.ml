@@ -1,0 +1,43 @@
+let class_bounds_with ~largest (cu : Cu.t) =
+  let lo = cu.Cu.reconfig_interval / 2 in
+  let hi = if largest then max_int else cu.Cu.reconfig_interval * 5 in
+  (lo, hi)
+
+let largest_interval cus =
+  Array.fold_left (fun acc (c : Cu.t) -> max acc c.Cu.reconfig_interval) 0 cus
+
+let class_bounds cu =
+  (* A CU presented alone is its system's largest. *)
+  class_bounds_with ~largest:true cu
+
+let assign ~cus ~size ~decoupling =
+  let max_interval = largest_interval cus in
+  if decoupling then
+    List.filter
+      (fun i ->
+        let cu = cus.(i) in
+        let lo, hi =
+          class_bounds_with ~largest:(cu.Cu.reconfig_interval = max_interval) cu
+        in
+        size >= lo && size < hi)
+      (List.init (Array.length cus) Fun.id)
+  else
+    let min_lo =
+      Array.fold_left
+        (fun acc (c : Cu.t) -> min acc (c.Cu.reconfig_interval / 2))
+        max_int cus
+    in
+    if size >= min_lo then List.init (Array.length cus) Fun.id else []
+
+let configurations ~cus ~managed =
+  let dims = List.map (fun i -> Cu.n_settings cus.(i)) managed in
+  let rec product = function
+    | [] -> [ [] ]
+    | n :: rest ->
+        let tails = product rest in
+        List.concat_map (fun s -> List.map (fun tl -> s :: tl) tails) (List.init n Fun.id)
+  in
+  let configs = List.map Array.of_list (product dims) in
+  let weight c = Array.fold_left ( + ) 0 c in
+  let sorted = List.sort (fun a b -> compare (weight a, a) (weight b, b)) configs in
+  Array.of_list sorted

@@ -1,0 +1,28 @@
+(** CU decoupling (§3.2.1): match each hotspot with the subset of CUs whose
+    reconfiguration intervals are in the same range as the hotspot's dynamic
+    size.
+
+    A CU with interval [I] is matched by hotspots of size [I/2, 5*I); the CU
+    with the largest interval additionally takes every hotspot at or above
+    its lower bound (the paper's L2 hotspots are simply "longer than 500 K
+    instructions").  With the paper's L1D (100 K) and L2 (1 M) this yields
+    exactly the published classes: L1D hotspots in 50 K–500 K, L2 hotspots
+    >= 500 K.
+
+    With decoupling disabled (the ablation), any hotspot large enough for the
+    *smallest* CU manages all CUs jointly and must explore the combinatorial
+    configuration space — the straightforward strategy of §2.3. *)
+
+val class_bounds : Cu.t -> int * int
+(** [(lo, hi)] instruction-size bounds of the hotspot class served by the
+    CU ([hi = max_int] for the largest-interval CU). *)
+
+val assign : cus:Cu.t array -> size:int -> decoupling:bool -> int list
+(** Indices (into [cus]) of the units a hotspot of the given dynamic size
+    should tune.  Empty when the hotspot is too small for any CU. *)
+
+val configurations : cus:Cu.t array -> managed:int list -> int array array
+(** The configuration list for a hotspot managing the given CUs: the
+    cartesian product of their setting indices, ordered from largest
+    (safest) to smallest total capacity — [c.(k).(i)] is the setting of
+    [cus.(List.nth managed i)] in the [k]-th configuration. *)

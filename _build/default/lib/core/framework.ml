@@ -1,0 +1,355 @@
+module Engine = Ace_vm.Engine
+module Db = Ace_vm.Do_database
+module Profile = Ace_vm.Profile
+module Accounting = Ace_power.Accounting
+module Hierarchy = Ace_mem.Hierarchy
+
+type config = {
+  tuner : Tuner.params;
+  coarse_invocations_per_config : int;
+  decoupling : bool;
+  prediction : bool;
+  jit_patch_instrs : int;
+}
+
+let default_config =
+  {
+    tuner = Tuner.default_params;
+    coarse_invocations_per_config = 2;
+    decoupling = true;
+    prediction = false;
+    jit_patch_instrs = 2000;
+  }
+
+type hotspot_state = {
+  tuner : Tuner.t;
+  managed : int array;  (* indices into the CU array *)
+  mutable ever_configured : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  cus : Cu.t array;
+  cfg : config;
+  states : hotspot_state option array;
+  accts : Accounting.t option array;
+  (* Per-CU-class coverage: instructions executed while inside at least one
+     configured hotspot of that class. *)
+  class_depth : int array;
+  class_start : int array;
+  covered : int array;
+  (* Per-CU metric counters. *)
+  tunings : int array;
+  reconfigs : int array;
+  class_hotspots : int array;
+  tuned_hotspots : int array;
+  retunes : int array;
+  predicted : int array;
+  mutable frame_masks : int list;  (* per-frame coverage contributions *)
+  mutable unmanaged : int;
+  mutable finalized : bool;
+}
+
+let handle_applied t cu_idx flushed_lines =
+  let cu = t.cus.(cu_idx) in
+  let lat = Hierarchy.latencies (Engine.hierarchy t.engine) in
+  Engine.add_stall_cycles t.engine
+    (float_of_int (flushed_lines * lat.Hierarchy.writeback_cycles_per_line));
+  match t.accts.(cu_idx) with
+  | None -> ()
+  | Some acct ->
+      Accounting.on_reconfig acct ~new_size:(Cu.current_size cu)
+        ~accesses_now:(cu.Cu.accesses_now ())
+        ~cycles_now:(Engine.cycles t.engine) ~flushed_lines
+
+let on_promoted t ~meth_id =
+  let db = Engine.db t.engine in
+  let e = Db.entry db meth_id in
+  let size = Db.estimated_size e in
+  match Decoupling.assign ~cus:t.cus ~size ~decoupling:t.cfg.decoupling with
+  | [] ->
+      t.unmanaged <- t.unmanaged + 1;
+      Db.set_instrument db meth_id Ace_vm.Instrument.Plain
+  | managed ->
+      let configs = Decoupling.configurations ~cus:t.cus ~managed in
+      let coarse =
+        List.exists
+          (fun k -> t.cus.(k).Cu.reconfig_interval >= 500_000)
+          managed
+      in
+      let params =
+        if coarse then
+          {
+            t.cfg.tuner with
+            Tuner.invocations_per_config = t.cfg.coarse_invocations_per_config;
+          }
+        else t.cfg.tuner
+      in
+      let predicted =
+        if t.cfg.prediction then
+          Predictor.predict (Engine.program t.engine) ~cus:t.cus ~managed
+            ~meth_id
+        else None
+      in
+      (match predicted with
+      | Some best ->
+          (* The JIT's code analysis configures the hotspot directly: no
+             tuning code is ever planted (paper §6). *)
+          t.states.(meth_id) <-
+            Some
+              {
+                tuner = Tuner.create_configured params ~configs ~best;
+                managed = Array.of_list managed;
+                ever_configured = true;
+              };
+          List.iter
+            (fun k ->
+              t.predicted.(k) <- t.predicted.(k) + 1;
+              t.tuned_hotspots.(k) <- t.tuned_hotspots.(k) + 1)
+            managed;
+          Db.set_instrument db meth_id Ace_vm.Instrument.Configured_sampling
+      | None ->
+          t.states.(meth_id) <-
+            Some
+              {
+                tuner = Tuner.create params ~configs;
+                managed = Array.of_list managed;
+                ever_configured = false;
+              };
+          Db.set_instrument db meth_id Ace_vm.Instrument.Tuning);
+      List.iter
+        (fun k -> t.class_hotspots.(k) <- t.class_hotspots.(k) + 1)
+        managed;
+      Engine.charge_software_instrs t.engine t.cfg.jit_patch_instrs
+
+let on_entry t ~meth_id =
+  let mask =
+    match t.states.(meth_id) with
+    | None -> 0
+    | Some st ->
+        (match Tuner.on_entry st.tuner with
+        | Tuner.Nothing -> ()
+        | Tuner.Set cfg ->
+            let applied_all = ref true in
+            let changed_any = ref false in
+            let now_instrs = Engine.instrs t.engine in
+            Array.iteri
+              (fun i cu_idx ->
+                match Hw.request t.cus.(cu_idx) ~setting:cfg.(i) ~now_instrs with
+                | Hw.Unchanged -> ()
+                | Hw.Denied -> applied_all := false
+                | Hw.Applied { flushed_lines } ->
+                    changed_any := true;
+                    handle_applied t cu_idx flushed_lines;
+                    if Tuner.is_configured st.tuner then
+                      t.reconfigs.(cu_idx) <- t.reconfigs.(cu_idx) + 1)
+              st.managed;
+            Tuner.entry_outcome st.tuner ~applied:!applied_all
+              ~changed:!changed_any;
+            if
+              (not (Tuner.is_configured st.tuner))
+              && !applied_all && not !changed_any
+            then
+              Array.iter
+                (fun k -> t.tunings.(k) <- t.tunings.(k) + 1)
+                st.managed);
+        if Tuner.is_configured st.tuner then
+          Array.fold_left (fun m k -> m lor (1 lsl k)) 0 st.managed
+        else 0
+  in
+  t.frame_masks <- mask :: t.frame_masks;
+  if mask <> 0 then
+    for k = 0 to Array.length t.cus - 1 do
+      if mask land (1 lsl k) <> 0 then begin
+        if t.class_depth.(k) = 0 then t.class_start.(k) <- Engine.instrs t.engine;
+        t.class_depth.(k) <- t.class_depth.(k) + 1
+      end
+    done
+
+let pop_coverage t =
+  match t.frame_masks with
+  | [] -> ()
+  | mask :: rest ->
+      t.frame_masks <- rest;
+      if mask <> 0 then
+        for k = 0 to Array.length t.cus - 1 do
+          if mask land (1 lsl k) <> 0 then begin
+            t.class_depth.(k) <- t.class_depth.(k) - 1;
+            if t.class_depth.(k) = 0 then
+              t.covered.(k) <-
+                t.covered.(k) + (Engine.instrs t.engine - t.class_start.(k))
+          end
+        done
+
+let on_exit t ~meth_id (profile : Profile.t) =
+  pop_coverage t;
+  match t.states.(meth_id) with
+  | None -> ()
+  | Some st ->
+      (* Energy is only inspected by the tuner on measuring exits; avoid the
+         computation otherwise. *)
+      let energy =
+        if Tuner.measuring st.tuner then
+          Array.fold_left
+            (fun acc cu_idx ->
+              let cu = t.cus.(cu_idx) in
+              acc +. cu.Cu.energy_proxy profile ~setting:cu.Cu.current)
+            0.0 st.managed
+        else 0.0
+      in
+      let db = Engine.db t.engine in
+      (match Tuner.on_exit st.tuner ~energy ~ipc:(Profile.ipc profile) with
+      | Tuner.Continue -> ()
+      | Tuner.Finished _best ->
+          if not st.ever_configured then begin
+            st.ever_configured <- true;
+            Array.iter
+              (fun k -> t.tuned_hotspots.(k) <- t.tuned_hotspots.(k) + 1)
+              st.managed
+          end;
+          Db.set_instrument db meth_id Ace_vm.Instrument.Configured_sampling;
+          Engine.charge_software_instrs t.engine t.cfg.jit_patch_instrs
+      | Tuner.Retuning ->
+          Array.iter (fun k -> t.retunes.(k) <- t.retunes.(k) + 1) st.managed;
+          Db.set_instrument db meth_id Ace_vm.Instrument.Tuning;
+          Engine.charge_software_instrs t.engine t.cfg.jit_patch_instrs)
+
+let attach ?(config = default_config) engine ~cus =
+  let n_methods = Ace_isa.Program.method_count (Engine.program engine) in
+  let n_cus = Array.length cus in
+  if n_cus > 62 then invalid_arg "Framework.attach: too many CUs";
+  let t =
+    {
+      engine;
+      cus;
+      cfg = config;
+      states = Array.make n_methods None;
+      accts =
+        Array.map
+          (fun (cu : Cu.t) ->
+            match cu.Cu.family with
+            | Some family ->
+                Some (Accounting.create family ~initial_size:(Cu.current_size cu))
+            | None -> None)
+          cus;
+      class_depth = Array.make n_cus 0;
+      class_start = Array.make n_cus 0;
+      covered = Array.make n_cus 0;
+      tunings = Array.make n_cus 0;
+      reconfigs = Array.make n_cus 0;
+      class_hotspots = Array.make n_cus 0;
+      tuned_hotspots = Array.make n_cus 0;
+      retunes = Array.make n_cus 0;
+      predicted = Array.make n_cus 0;
+      frame_masks = [];
+      unmanaged = 0;
+      finalized = false;
+    }
+  in
+  let hooks = Engine.hooks engine in
+  hooks.Engine.on_hotspot_promoted <- (fun ~meth_id -> on_promoted t ~meth_id);
+  hooks.Engine.on_method_entry <- (fun ~meth_id -> on_entry t ~meth_id);
+  hooks.Engine.on_method_exit <- (fun ~meth_id profile -> on_exit t ~meth_id profile);
+  t
+
+let finalize t =
+  if t.finalized then invalid_arg "Framework.finalize: already finalized";
+  t.finalized <- true;
+  let now = Engine.instrs t.engine in
+  for k = 0 to Array.length t.cus - 1 do
+    if t.class_depth.(k) > 0 then begin
+      t.covered.(k) <- t.covered.(k) + (now - t.class_start.(k));
+      t.class_depth.(k) <- 0
+    end
+  done;
+  Array.iteri
+    (fun k acct ->
+      match acct with
+      | None -> ()
+      | Some a ->
+          Accounting.finish a
+            ~accesses_now:(t.cus.(k).Cu.accesses_now ())
+            ~cycles_now:(Engine.cycles t.engine))
+    t.accts
+
+type cu_report = {
+  cu_name : string;
+  class_hotspots : int;
+  tuned_hotspots : int;
+  tunings : int;
+  reconfigs : int;
+  denied : int;
+  retunes : int;
+  predicted_hotspots : int;
+  coverage : float;
+  energy_nj : float option;
+  avg_size_bytes : float option;
+}
+
+let report t =
+  if not t.finalized then invalid_arg "Framework.report: call finalize first";
+  let total = Engine.instrs t.engine in
+  Array.mapi
+    (fun k (cu : Cu.t) ->
+      {
+        cu_name = cu.Cu.name;
+        class_hotspots = t.class_hotspots.(k);
+        tuned_hotspots = t.tuned_hotspots.(k);
+        tunings = t.tunings.(k);
+        reconfigs = t.reconfigs.(k);
+        denied = cu.Cu.denied_count;
+        retunes = t.retunes.(k);
+        predicted_hotspots = t.predicted.(k);
+        coverage =
+          (if total = 0 then 0.0
+           else float_of_int t.covered.(k) /. float_of_int total);
+        energy_nj = Option.map Accounting.total_nj t.accts.(k);
+        avg_size_bytes = Option.map Accounting.time_weighted_avg_bytes t.accts.(k);
+      })
+    t.cus
+
+let accounting t k = t.accts.(k)
+
+let unmanaged_hotspots t = t.unmanaged
+
+type hotspot_view = {
+  meth_id : int;
+  meth_name : string;
+  managed_cus : string list;
+  configured : bool;
+  selection : (string * string) list;
+  tested : int;
+  tuning_rounds : int;
+}
+
+let hotspot_views t =
+  let program = Engine.program t.engine in
+  let views = ref [] in
+  Array.iteri
+    (fun meth_id state ->
+      match state with
+      | None -> ()
+      | Some st ->
+          let cu_of i = t.cus.(st.managed.(i)) in
+          let selection =
+            match Tuner.selected st.tuner with
+            | None -> []
+            | Some cfg ->
+                List.init (Array.length cfg) (fun i ->
+                    let cu = cu_of i in
+                    (cu.Cu.name, cu.Cu.setting_labels.(cfg.(i))))
+          in
+          views :=
+            {
+              meth_id;
+              meth_name = program.Ace_isa.Program.methods.(meth_id).Ace_isa.Program.name;
+              managed_cus =
+                Array.to_list (Array.map (fun k -> t.cus.(k).Cu.name) st.managed);
+              configured = Tuner.is_configured st.tuner;
+              selection;
+              tested = Tuner.tested_count st.tuner;
+              tuning_rounds = Tuner.rounds st.tuner;
+            }
+            :: !views)
+    t.states;
+  List.rev !views

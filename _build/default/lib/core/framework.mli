@@ -1,0 +1,94 @@
+(** The DO-based ACE management framework (§3, Figure 2 of the paper).
+
+    [attach] hooks the framework into an engine's DO system.  From then on:
+
+    - when the DO system promotes a method to hotspot, the framework
+      classifies the hotspot's dynamic size, assigns it the matching CU
+      subset ({!Decoupling}), builds its configuration list, and has the JIT
+      insert tuning/profiling code at its boundaries;
+    - each hotspot invocation drives the hotspot's {!Tuner}: tuning
+      invocations test configurations (through the {!Hw} guard), configured
+      invocations re-apply the selected configuration and occasionally sample
+      for behaviour drift;
+    - reconfiguration side effects are charged: flush stall cycles to the
+      engine clock, flush energy and per-epoch dynamic/leakage energy to each
+      cache CU's {!Ace_power.Accounting}.
+
+    Call {!finalize} once after [Engine.run]; then read {!report}. *)
+
+type config = {
+  tuner : Tuner.params;
+  coarse_invocations_per_config : int;
+      (** Overrides [tuner.invocations_per_config] for hotspots managing a
+          coarse-grained CU (reconfiguration interval >= 500 K instructions):
+          such hotspots are invoked far less often, so their tuning must
+          finish in fewer invocations even at slightly higher measurement
+          noise. *)
+  decoupling : bool;  (** [false] = ablation: joint combinatorial tuning. *)
+  prediction : bool;
+      (** [true] = the JIT statically predicts each hotspot's configuration
+          ({!Predictor}) and skips the tuning phase entirely — the paper's
+          §6 future-work feature.  Exit sampling still catches
+          mispredictions and falls back to measurement-based tuning. *)
+  jit_patch_instrs : int;
+      (** JIT cost of rewriting a hotspot's boundary stubs (tuning code
+          insertion, tuning -> configuration code replacement). *)
+}
+
+val default_config : config
+(** Decoupling on, default tuner parameters (2 invocations per configuration
+    for coarse hotspots), 2000-instruction JIT patches. *)
+
+type t
+
+val attach : ?config:config -> Ace_vm.Engine.t -> cus:Cu.t array -> t
+(** Install the framework on the engine.  The engine's hotspot/entry/exit
+    hooks are taken over (previously installed hooks are replaced). *)
+
+val finalize : t -> unit
+(** Close coverage windows and energy-accounting epochs at the engine's
+    final counters.  Must be called exactly once, after the run. *)
+
+(** Per-CU outcome of a run (rows of Tables 5 and 6). *)
+type cu_report = {
+  cu_name : string;
+  class_hotspots : int;  (** Hotspots assigned to this CU. *)
+  tuned_hotspots : int;  (** Of those, how many completed tuning. *)
+  tunings : int;  (** Configuration trials (tuning attempts). *)
+  reconfigs : int;
+      (** Times the selected most-energy-efficient configuration was applied
+          (actual setting changes in the configured phase). *)
+  denied : int;  (** Requests dropped by the hardware guard. *)
+  retunes : int;  (** Re-tuning rounds triggered by exit sampling. *)
+  predicted_hotspots : int;
+      (** Hotspots configured by static prediction (no tuning ran). *)
+  coverage : float;
+      (** Fraction of program instructions executed inside configured
+          hotspots of this CU's class. *)
+  energy_nj : float option;  (** Total energy (cache CUs only). *)
+  avg_size_bytes : float option;  (** Time-weighted average configured size. *)
+}
+
+val report : t -> cu_report array
+(** One entry per CU, in [cus] order.  Only valid after {!finalize}. *)
+
+val accounting : t -> int -> Ace_power.Accounting.t option
+(** Energy accountant of the i-th CU (cache CUs only). *)
+
+val unmanaged_hotspots : t -> int
+(** Hotspots too small for any CU class. *)
+
+(** Per-hotspot diagnostic snapshot (examples and debugging). *)
+type hotspot_view = {
+  meth_id : int;
+  meth_name : string;
+  managed_cus : string list;
+  configured : bool;
+  selection : (string * string) list;
+      (** (CU name, chosen setting label) once configured. *)
+  tested : int;  (** Configurations measured in the current/last round. *)
+  tuning_rounds : int;
+}
+
+val hotspot_views : t -> hotspot_view list
+(** All managed hotspots, in method-id order. *)

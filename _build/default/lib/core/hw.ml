@@ -1,0 +1,25 @@
+type outcome = Unchanged | Denied | Applied of { flushed_lines : int }
+
+let do_apply (cu : Cu.t) ~setting ~now_instrs =
+  let flushed_lines = cu.Cu.apply setting in
+  cu.Cu.current <- setting;
+  cu.Cu.last_reconfig_instr <- now_instrs;
+  cu.Cu.applied_count <- cu.Cu.applied_count + 1;
+  Applied { flushed_lines }
+
+let check_range (cu : Cu.t) setting =
+  if setting < 0 || setting >= Cu.n_settings cu then
+    invalid_arg (Printf.sprintf "Hw.request: setting %d out of range for %s" setting cu.Cu.name)
+
+let request cu ~setting ~now_instrs =
+  check_range cu setting;
+  if setting = cu.Cu.current then Unchanged
+  else if now_instrs - cu.Cu.last_reconfig_instr < cu.Cu.reconfig_interval then begin
+    cu.Cu.denied_count <- cu.Cu.denied_count + 1;
+    Denied
+  end
+  else do_apply cu ~setting ~now_instrs
+
+let force cu ~setting ~now_instrs =
+  check_range cu setting;
+  if setting = cu.Cu.current then Unchanged else do_apply cu ~setting ~now_instrs

@@ -1,0 +1,22 @@
+(** Hardware support for software-controlled adaptation (§3.4 of the paper).
+
+    Each CU has a control register and a hardware counter holding its most
+    recent reconfiguration time.  A write request arriving before the CU's
+    reconfiguration interval has elapsed is silently ignored, freeing the
+    software framework from tracking minimum residencies itself. *)
+
+type outcome =
+  | Unchanged  (** Requested setting is already current — no register write. *)
+  | Denied  (** Guard counter dropped the request (interval not elapsed). *)
+  | Applied of { flushed_lines : int }
+      (** Setting changed; [flushed_lines] dirty lines were written back. *)
+
+val request : Cu.t -> setting:int -> now_instrs:int -> outcome
+(** Attempt to switch [cu] to [setting] at global instruction count
+    [now_instrs].  Updates the CU's guard counter and applied/denied
+    statistics.
+    @raise Invalid_argument if [setting] is out of range. *)
+
+val force : Cu.t -> setting:int -> now_instrs:int -> outcome
+(** Like {!request} but bypasses the guard (used to restore the maximum
+    configuration at scheme start; never available to tuning code). *)

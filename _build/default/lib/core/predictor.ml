@@ -1,0 +1,105 @@
+module Program = Ace_isa.Program
+module Block = Ace_isa.Block
+module Pattern = Ace_isa.Pattern
+
+type working_sets = { l1_bytes : int; l2_bytes : int }
+
+(* Regions larger than this stream through any L1D setting; their lines do
+   not stay resident long enough to count toward the working set. *)
+let l1_residency_cap = 96 * 1024
+
+(* Distinct data regions touched by one invocation of [meth_id], inclusive
+   of callees.  Region identity is (base, extent); overlapping sub-windows
+   of one allocation are merged by interval union. *)
+let regions program ~meth_id =
+  let visited = Hashtbl.create 16 in
+  let intervals = ref [] in
+  let code_bytes = ref 0 in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      let m = program.Program.methods.(id) in
+      code_bytes := !code_bytes + m.Program.code_bytes;
+      List.iter
+        (function
+          | Program.Exec (b, _) ->
+              let p = b.Block.pattern in
+              if Block.memory_ops b > 0 then
+                intervals :=
+                  (Pattern.base p, Pattern.base p + Pattern.footprint p, p)
+                  :: !intervals
+          | Program.Call (callee, _) -> visit callee)
+        m.Program.body
+    end
+  in
+  visit meth_id;
+  (!intervals, !code_bytes)
+
+(* Union length of a set of [lo, hi) intervals. *)
+let union_bytes intervals =
+  let sorted = List.sort compare intervals in
+  let rec go acc cur_lo cur_hi = function
+    | [] -> acc + (cur_hi - cur_lo)
+    | (lo, hi) :: rest ->
+        if lo <= cur_hi then go acc cur_lo (max cur_hi hi) rest
+        else go (acc + (cur_hi - cur_lo)) lo hi rest
+  in
+  match sorted with [] -> 0 | (lo, hi) :: rest -> go 0 lo hi rest
+
+let is_streaming = function
+  | Pattern.Sequential _ -> true
+  | Pattern.Random_in _ | Pattern.Pointer_chase _ -> false
+
+let analyze program ~meth_id =
+  let intervals, code_bytes = regions program ~meth_id in
+  let resident =
+    List.filter_map
+      (fun (lo, hi, p) ->
+        if is_streaming p || hi - lo > l1_residency_cap then None
+        else Some (lo, hi))
+      intervals
+  in
+  let all = List.map (fun (lo, hi, _) -> (lo, hi)) intervals in
+  {
+    l1_bytes = union_bytes resident;
+    l2_bytes = union_bytes all + code_bytes;
+  }
+
+(* Set-conflict slack: a working set only fits comfortably in a
+   low-associativity cache with some headroom. *)
+let slack = 1.30
+
+let pick_setting (cu : Cu.t) ~working_set =
+  let sizes = cu.Cu.setting_sizes in
+  let n = Array.length sizes in
+  let largest = sizes.(0) in
+  let needed = int_of_float (slack *. float_of_int working_set) in
+  if needed > 4 * largest then n - 1 (* pure streaming: take the cheapest *)
+  else if needed > largest then 0 (* partial residency: keep the largest *)
+  else begin
+    (* Smallest setting that still covers the working set (sizes are
+       descending, so that is the largest qualifying index). *)
+    let best = ref 0 in
+    for i = 0 to n - 1 do
+      if sizes.(i) >= needed then best := i
+    done;
+    !best
+  end
+
+let predict program ~cus ~managed ~meth_id =
+  let ws = lazy (analyze program ~meth_id) in
+  let settings =
+    List.map
+      (fun k ->
+        let cu = cus.(k) in
+        match cu.Cu.family with
+        | Some Ace_power.Energy_model.L1d ->
+            Some (pick_setting cu ~working_set:(Lazy.force ws).l1_bytes)
+        | Some Ace_power.Energy_model.L2 ->
+            Some (pick_setting cu ~working_set:(Lazy.force ws).l2_bytes)
+        | Some Ace_power.Energy_model.L1i | None -> None)
+      managed
+  in
+  if List.for_all Option.is_some settings then
+    Some (Array.of_list (List.map Option.get settings))
+  else None

@@ -1,0 +1,44 @@
+(** Static configuration prediction — the paper's §6 future-work feature.
+
+    "One could use the JIT compiler in the DO system to provide a good
+    estimate for the resource configuration required for this hotspot
+    through appropriate code analysis.  Such a feature could potentially
+    completely eliminate the tuning latency and overhead."
+
+    The JIT sees the hotspot's code, so it can analyze the data regions the
+    hotspot (and its callees) touch per invocation:
+
+    - {e streaming} accesses (sequential walks) miss a cache of any size and
+      are excluded from the L1D working set;
+    - random/dependent regions far larger than the largest setting also miss
+      at every size and are likewise excluded;
+    - what remains is the resident working set: the predictor picks the
+      smallest setting that holds it with a set-conflict slack factor.
+
+    The L2 working set additionally includes streamed regions (they are
+    L2-resident across invocations) and the hotspot's code footprint.
+
+    Prediction is used by {!Framework} when [prediction = true]: predicted
+    hotspots skip the tuning phase entirely and go straight to configured
+    (exit sampling still guards against mispredictions by falling back to
+    measurement-based re-tuning). *)
+
+type working_sets = {
+  l1_bytes : int;  (** Resident (non-streaming, cacheable) data per invocation. *)
+  l2_bytes : int;  (** Data + code footprint relevant to the L2. *)
+}
+
+val analyze : Ace_isa.Program.t -> meth_id:int -> working_sets
+(** Static working-set analysis of a method, inclusive of callees. *)
+
+val pick_setting : Cu.t -> working_set:int -> int
+(** Smallest setting index whose size covers [working_set] with slack; the
+    smallest setting when the working set exceeds every setting by a wide
+    margin (pure streaming — misses are unavoidable, so energy wins), the
+    largest when it only just exceeds the largest (partial residency still
+    pays). *)
+
+val predict : Ace_isa.Program.t -> cus:Cu.t array -> managed:int list -> meth_id:int -> int array option
+(** Predicted configuration for a hotspot managing the given CUs, in
+    {!Decoupling.configurations} component order.  [None] when any managed
+    CU is not a cache (no static model). *)

@@ -1,0 +1,203 @@
+type params = {
+  performance_threshold : float;
+  retune_threshold : float;
+  sample_every : int;
+  invocations_per_config : int;
+  warmup_invocations : int;
+}
+
+let default_params =
+  {
+    performance_threshold = 0.02;
+    retune_threshold = 0.20;
+    sample_every = 24;
+    invocations_per_config = 3;
+    warmup_invocations = 2;
+  }
+
+type measurement = { config : int array; energy : float; ipc : float }
+
+type phase =
+  | Tuning of {
+      mutable next : int;  (* index of the configuration to test *)
+      mutable pending : bool;  (* config applied at entry, awaiting its exit *)
+      mutable measurements : measurement list;  (* reversed *)
+      (* Accumulators averaging the current configuration over
+         [invocations_per_config] invocations to suppress per-invocation
+         noise (hotspot IPC CoVs run 5-10%, Table 5). *)
+      mutable acc_energy : float;
+      mutable acc_ipc : float;
+      mutable acc_n : int;
+      (* Invocations to let pass before measuring: right after promotion the
+         JIT is still recompiling callees, so early invocations run with
+         drifting code quality and would bias the measurements. *)
+      mutable warmup_left : int;
+    }
+  | Configured of {
+      best : int array;
+      mutable ref_ipc : float;  (* IPC at the previous sample *)
+      mutable exits : int;  (* exits since the last sample *)
+      mutable sampling : bool;  (* this invocation's exit gathers stats *)
+    }
+
+type t = {
+  params : params;
+  configs : int array array;
+  mutable phase : phase;
+  mutable rounds : int;
+  mutable tested_last_round : int;
+}
+
+let fresh_tuning ~warmup =
+  Tuning
+    {
+      next = 0;
+      pending = false;
+      measurements = [];
+      acc_energy = 0.0;
+      acc_ipc = 0.0;
+      acc_n = 0;
+      warmup_left = warmup;
+    }
+
+let create params ~configs =
+  if Array.length configs = 0 then invalid_arg "Tuner.create: empty configuration list";
+  {
+    params;
+    configs;
+    phase = fresh_tuning ~warmup:params.warmup_invocations;
+    rounds = 1;
+    tested_last_round = 0;
+  }
+
+let create_configured params ~configs ~best =
+  if Array.length configs = 0 then
+    invalid_arg "Tuner.create_configured: empty configuration list";
+  {
+    params;
+    configs;
+    (* ref_ipc 0 means the first sampling exit only records a reference
+       (drift from 0 is defined as 0 in [on_exit]). *)
+    phase = Configured { best; ref_ipc = 0.0; exits = 0; sampling = false };
+    rounds = 0;
+    tested_last_round = 0;
+  }
+
+type action = Set of int array | Nothing
+
+let on_entry t =
+  match t.phase with
+  | Tuning ts ->
+      if ts.warmup_left > 0 then Nothing
+      else
+        (* [next] is always in range: exhaustion is handled at exit time. *)
+        Set t.configs.(ts.next)
+  | Configured cs ->
+      cs.sampling <- (cs.exits + 1) mod t.params.sample_every = 0;
+      Set cs.best
+
+let entry_outcome t ~applied ~changed =
+  match t.phase with
+  | Tuning ts -> ts.pending <- applied && not changed
+  | Configured _ -> ()
+
+let measuring t =
+  match t.phase with
+  | Tuning ts -> ts.pending
+  | Configured cs -> cs.sampling
+
+type transition = Continue | Finished of int array | Retuning
+
+(* Select the most energy-efficient measured configuration whose IPC is
+   within the performance threshold of the best measured IPC. *)
+let select t measurements =
+  let best_ipc =
+    List.fold_left (fun acc m -> Float.max acc m.ipc) 0.0 measurements
+  in
+  let floor_ipc = best_ipc *. (1.0 -. t.params.performance_threshold) in
+  let eligible = List.filter (fun m -> m.ipc >= floor_ipc) measurements in
+  let pool = match eligible with [] -> measurements | _ :: _ -> eligible in
+  match pool with
+  | [] -> assert false (* caller guarantees at least one measurement *)
+  | m0 :: rest ->
+      List.fold_left (fun acc m -> if m.energy < acc.energy then m else acc) m0 rest
+
+let finish t measurements =
+  let best = select t measurements in
+  t.tested_last_round <- List.length measurements;
+  t.phase <-
+    Configured
+      { best = best.config; ref_ipc = best.ipc; exits = 0; sampling = false };
+  Finished best.config
+
+let on_exit t ~energy ~ipc =
+  match t.phase with
+  | Tuning ts ->
+      if ts.warmup_left > 0 then begin
+        ts.warmup_left <- ts.warmup_left - 1;
+        Continue
+      end
+      else if not ts.pending then Continue
+      else begin
+        ts.pending <- false;
+        ts.acc_energy <- ts.acc_energy +. energy;
+        ts.acc_ipc <- ts.acc_ipc +. ipc;
+        ts.acc_n <- ts.acc_n + 1;
+        if ts.acc_n < t.params.invocations_per_config then Continue
+        else begin
+          let n = float_of_int ts.acc_n in
+          let m =
+            {
+              config = t.configs.(ts.next);
+              energy = ts.acc_energy /. n;
+              ipc = ts.acc_ipc /. n;
+            }
+          in
+          ts.acc_energy <- 0.0;
+          ts.acc_ipc <- 0.0;
+          ts.acc_n <- 0;
+          ts.measurements <- m :: ts.measurements;
+          ts.next <- ts.next + 1;
+          let best_ipc =
+            List.fold_left (fun acc x -> Float.max acc x.ipc) 0.0 ts.measurements
+          in
+          let degraded =
+            List.length ts.measurements > 1
+            && m.ipc < best_ipc *. (1.0 -. t.params.performance_threshold)
+          in
+          if ts.next >= Array.length t.configs || degraded then
+            finish t ts.measurements
+          else Continue
+        end
+      end
+  | Configured cs ->
+      cs.exits <- cs.exits + 1;
+      if not cs.sampling then Continue
+      else begin
+        cs.sampling <- false;
+        let drift =
+          if cs.ref_ipc <= 0.0 then 0.0
+          else Float.abs (ipc -. cs.ref_ipc) /. cs.ref_ipc
+        in
+        if drift > t.params.retune_threshold then begin
+          t.phase <- fresh_tuning ~warmup:0;
+          t.rounds <- t.rounds + 1;
+          Retuning
+        end
+        else begin
+          cs.ref_ipc <- ipc;
+          Continue
+        end
+      end
+
+let is_configured t = match t.phase with Configured _ -> true | Tuning _ -> false
+
+let selected t =
+  match t.phase with Configured cs -> Some cs.best | Tuning _ -> None
+
+let tested_count t =
+  match t.phase with
+  | Tuning ts -> List.length ts.measurements
+  | Configured _ -> t.tested_last_round
+
+let rounds t = t.rounds

@@ -1,0 +1,90 @@
+(** Per-hotspot tuning state machine (§3.2.2 and §3.3 of the paper).
+
+    After a hotspot is detected and JIT-optimized it enters the {e tuning}
+    phase: successive invocations test the configurations of its managed CUs
+    one by one (largest first), until the list is exhausted or performance
+    falls past [performance_threshold].  The most energy-efficient
+    configuration among those within the performance threshold is then
+    selected and the hotspot enters the {e configured} phase: every entry
+    re-applies the chosen configuration (zero identification latency for
+    recurring phases), and occasional exit sampling compares current IPC with
+    the previous sample — a large change triggers re-tuning.
+
+    The tuner is a pure decision kernel: the framework feeds it entries,
+    hardware outcomes and exit measurements, and executes the actions it
+    returns.  This keeps the tuning policy unit-testable without a VM. *)
+
+type params = {
+  performance_threshold : float;
+      (** Max tolerated IPC degradation vs the best measured configuration
+          (paper example: 2%). *)
+  retune_threshold : float;
+      (** Relative IPC change between samples that triggers re-tuning. *)
+  sample_every : int;
+      (** In the configured phase, gather statistics every n-th exit. *)
+  invocations_per_config : int;
+      (** Invocations averaged per configuration during tuning.  Hotspot IPC
+          varies 5-10% between invocations (Table 5's per-hotspot CoVs);
+          averaging keeps that noise from tripping the 2% performance
+          threshold. *)
+  warmup_invocations : int;
+      (** Invocations skipped between promotion and the first measurement,
+          letting the JIT finish recompiling the hotspot's callees so code
+          quality is stable when tuning begins. *)
+}
+
+val default_params : params
+(** 2% performance threshold, 20% retune threshold, sample every 24 exits,
+    3 invocations per configuration, 2 warm-up invocations. *)
+
+type t
+
+val create : params -> configs:int array array -> t
+(** [configs] is the hotspot's configuration list (from
+    {!Decoupling.configurations}); must be non-empty. *)
+
+val create_configured : params -> configs:int array array -> best:int array -> t
+(** A tuner born in the configured phase with a statically predicted
+    configuration ({!Predictor}) — zero tuning latency.  Exit sampling still
+    runs, so a misprediction triggers ordinary measurement-based re-tuning.
+    The first sample establishes the reference IPC. *)
+
+type action =
+  | Set of int array  (** Request these CU settings at this entry. *)
+  | Nothing
+
+val on_entry : t -> action
+
+val entry_outcome : t -> applied:bool -> changed:bool -> unit
+(** Report the hardware's response to the entry's configuration request:
+    [applied] = no CU denied it; [changed] = at least one CU actually
+    switched setting (flushing its contents).  During tuning, a denied
+    request leaves the configuration untested and it is retried next
+    invocation; a changed request makes this invocation a cache-warming one —
+    its measurement is discarded and measuring starts on the next invocation,
+    keeping the reconfiguration's cold-start transient out of the
+    configuration's quality estimate. *)
+
+val measuring : t -> bool
+(** True when this invocation's exit measurement will be consumed (tuning
+    with an applied configuration, or a sampling exit). *)
+
+type transition =
+  | Continue
+  | Finished of int array
+      (** Tuning just completed; the argument is the selected most
+          energy-efficient configuration. *)
+  | Retuning  (** Sampled behaviour change; tuning restarts. *)
+
+val on_exit : t -> energy:float -> ipc:float -> transition
+(** Feed the invocation's measured energy proxy and IPC. *)
+
+val is_configured : t -> bool
+val selected : t -> int array option
+(** Chosen configuration once configured. *)
+
+val tested_count : t -> int
+(** Configurations measured in the current tuning round. *)
+
+val rounds : t -> int
+(** Tuning rounds started (1 + re-tunes). *)

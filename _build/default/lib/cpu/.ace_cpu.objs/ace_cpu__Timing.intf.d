@@ -1,0 +1,1 @@
+lib/cpu/timing.mli: Machine

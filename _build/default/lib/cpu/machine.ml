@@ -1,0 +1,41 @@
+type t = {
+  issue_width : int;
+  mispredict_penalty : int;
+  frequency_hz : float;
+  voltage : float;
+  memory_overlap : float;
+}
+
+let default =
+  {
+    issue_width = 4;
+    mispredict_penalty = 3;
+    frequency_hz = 1.0e9;
+    voltage = 2.0;
+    memory_overlap = 0.6;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>%d-wide,@ %d-cycle mispredict,@ %.0f MHz @@ %.1f V@]"
+    t.issue_width t.mispredict_penalty (t.frequency_hz /. 1.0e6) t.voltage
+
+let rows t =
+  [
+    ("Instruction window", "64-IFQ, 64-RUU, 32-LSQ (first-order model)");
+    ("Functional units", "4 intALU, 2 intMul/Div, 4 fpALU, 2 fpMul/Div");
+    ( "Branch predictor",
+      Printf.sprintf "2K-entry combined, %d-cycle misprediction penalty"
+        t.mispredict_penalty );
+    ( "Issue/Commit width",
+      Printf.sprintf "%d instructions per cycle" t.issue_width );
+    ( "CPU clock",
+      Printf.sprintf "%.0f MHz at %.1f V" (t.frequency_hz /. 1.0e6) t.voltage );
+    ("L1 I-cache", "64KB, 64B blocks, 2-way, LRU, 1-cycle hit");
+    ( "L1 D-cache",
+      "64KB (64/32/16/8KB, 100K-instruction reconfiguration interval), 64B \
+       blocks, 2-way, LRU, 1-cycle hit" );
+    ( "L2 unified cache",
+      "1MB (1MB/512KB/256KB/128KB, 1M-instruction reconfiguration interval), \
+       128B blocks, 4-way, LRU, 10-cycle hit" );
+    ("DTLB/ITLB", "128 entries, fully set-associative");
+  ]

@@ -1,0 +1,21 @@
+(** Machine parameters from Table 2 of the paper (1 GHz, 2 V, 4-wide core). *)
+
+type t = {
+  issue_width : int;  (** Instructions issued/committed per cycle. *)
+  mispredict_penalty : int;  (** Cycles per mispredicted branch. *)
+  frequency_hz : float;
+  voltage : float;
+  memory_overlap : float;
+      (** Fraction of a miss latency that the out-of-order window cannot
+          hide; 1.0 = fully exposed, 0.0 = fully overlapped.  A first-order
+          stand-in for the paper's detailed OoO pipeline (64-RUU, 32-LSQ). *)
+}
+
+val default : t
+(** 4-wide, 3-cycle mispredict penalty, 1 GHz at 2 V, 0.6 exposed-miss
+    fraction. *)
+
+val pp : Format.formatter -> t -> unit
+
+val rows : t -> (string * string) list
+(** Parameter/value rows used to print Table 2. *)

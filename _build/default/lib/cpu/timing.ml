@@ -1,0 +1,20 @@
+type t = { machine : Machine.t }
+
+let create machine = { machine }
+
+let machine t = t.machine
+
+let block_cycles t ~instrs ~ilp ~quality ~exposed_mem_cycles ~mispredict_rate =
+  let m = t.machine in
+  let eff_ipc = Float.min (ilp *. quality) (float_of_int m.Machine.issue_width) in
+  let eff_ipc = Float.max eff_ipc 0.1 in
+  let issue = float_of_int instrs /. eff_ipc in
+  let mem = float_of_int exposed_mem_cycles *. m.Machine.memory_overlap in
+  let ctrl =
+    float_of_int instrs *. mispredict_rate
+    *. float_of_int m.Machine.mispredict_penalty
+  in
+  issue +. mem +. ctrl
+
+let overhead_cycles t ~instrs =
+  float_of_int instrs /. (float_of_int t.machine.Machine.issue_width /. 2.0)

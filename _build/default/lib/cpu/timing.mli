@@ -1,0 +1,38 @@
+(** First-order out-of-order timing model.
+
+    The engine executes one basic block at a time.  The block's cycles are:
+
+    {v
+      cycles = instrs / min(ilp * quality, width)          -- issue-bound core
+             + exposed_mem_penalty * memory_overlap        -- miss stalls
+             + mispredicted_branches * mispredict_penalty  -- control stalls
+    v}
+
+    where [exposed_mem_penalty] is the sum over the block's memory accesses
+    of (latency - L1 hit latency), supplied by the caller from the hierarchy,
+    and [quality] is the JIT code-quality multiplier.  This reproduces the
+    cache-configuration sensitivity that drives the paper's tuning decisions:
+    a configuration's relative IPC across program regions comes entirely from
+    its miss behaviour there. *)
+
+type t
+
+val create : Machine.t -> t
+
+val machine : t -> Machine.t
+
+val block_cycles :
+  t ->
+  instrs:int ->
+  ilp:float ->
+  quality:float ->
+  exposed_mem_cycles:int ->
+  mispredict_rate:float ->
+  float
+(** Cycles consumed by one execution of a block.  Fractional cycles are
+    returned so short blocks accumulate without systematic rounding bias;
+    the engine keeps the global cycle count as a float. *)
+
+val overhead_cycles : t -> instrs:int -> float
+(** Cycles for instrumentation stubs (tuning/profiling/configuration code):
+    straight-line, cache-resident code executed at [width / 2] IPC. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Ace_core Ace_cpu Ace_util Ace_workloads Array Float Hashtbl List Printf Run Scheme

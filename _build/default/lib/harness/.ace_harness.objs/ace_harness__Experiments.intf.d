@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Ace_util Ace_workloads Run Scheme

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Ace_bbv Ace_core Ace_mem Ace_power Ace_vm Ace_workloads Scheme

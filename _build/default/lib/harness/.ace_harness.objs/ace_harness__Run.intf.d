@@ -1,0 +1,1 @@
+lib/harness/run.mli: Ace_core Ace_workloads Scheme

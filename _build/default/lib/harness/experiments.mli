@@ -1,0 +1,93 @@
+(** Reproduction drivers: one entry point per table and figure in the paper,
+    each rendering an ASCII table with measured values (and the paper's
+    reported values where it reports them).
+
+    A context memoizes one run per (workload, variant), so printing all
+    experiments costs at most 3-5 runs per workload. *)
+
+type t
+
+val create :
+  ?scale:float ->
+  ?seed:int ->
+  ?workloads:Ace_workloads.Workload.t list ->
+  unit ->
+  t
+(** Defaults: scale 1.0, seed 1, the full SPECjvm98 suite. *)
+
+val scale : t -> float
+
+val result : t -> Ace_workloads.Workload.t -> Scheme.t -> Run.result
+(** Memoized standard run. *)
+
+(** {2 Configuration tables (static)} *)
+
+val table2 : unit -> Ace_util.Table.t
+(** Simulated system configuration. *)
+
+val table3 : unit -> Ace_util.Table.t
+(** Benchmark descriptions. *)
+
+(** {2 Measured experiments} *)
+
+val table1 : t -> Ace_util.Table.t
+(** Phase identification and tuning latencies, temporal (BBV) vs DO-based —
+    the paper's qualitative Table 1 backed by measured quantities. *)
+
+val fig1 : t -> Ace_util.Table.t
+(** Distribution of stable vs transitional BBV phase intervals. *)
+
+val table4 : t -> Ace_util.Table.t
+(** Runtime hotspot characteristics. *)
+
+val table5 : t -> Ace_util.Table.t
+(** Hotspot vs BBV runtime characteristics (counts, tuned fractions, IPC
+    coefficients of variation). *)
+
+val table6 : t -> Ace_util.Table.t
+(** Tunings, reconfigurations and coverage per cache per scheme. *)
+
+val fig3 : t -> Ace_util.Table.t
+(** L1D and L2 cache energy reduction vs the fixed-maximum baseline. *)
+
+val fig4 : t -> Ace_util.Table.t
+(** Execution slowdown vs the fixed-maximum baseline. *)
+
+(** {2 Beyond the paper} *)
+
+val ablation_decoupling : t -> Ace_util.Table.t
+(** Hotspot scheme with CU decoupling disabled: every managed hotspot
+    explores the combinatorial configuration space (§2.3's strawman). *)
+
+val ablation_thresholds : t -> Ace_util.Table.t
+(** Sweep of the tuner's performance threshold on one benchmark. *)
+
+val extension_issue_queue : t -> Ace_util.Table.t
+(** Three-CU run (L1D + L2 + issue queue), the §4.1 extension. *)
+
+val extension_prediction : t -> Ace_util.Table.t
+(** Static configuration prediction by the JIT (§6 future work): tuned vs
+    predicted savings, slowdowns and tuning-trial counts. *)
+
+val extension_bbv_predictor : t -> Ace_util.Table.t
+(** The BBV baseline with the next-phase predictor the paper deliberately
+    omitted ([20]/[24]): coverage and savings with vs without it. *)
+
+val stability : t -> Ace_util.Table.t
+(** Suite-average savings and slowdowns across three construction seeds —
+    evidence the reproduction's conclusions are not seed artifacts. *)
+
+(** {2 Aggregates (used by benches and tests)} *)
+
+val energy_reduction :
+  t -> Ace_workloads.Workload.t -> Scheme.t -> float * float
+(** (L1D, L2) energy reduction vs baseline, as fractions. *)
+
+val slowdown : t -> Ace_workloads.Workload.t -> Scheme.t -> float
+(** Cycles overhead vs baseline, as a fraction. *)
+
+val average_energy_reduction : t -> Scheme.t -> float * float
+val average_slowdown : t -> Scheme.t -> float
+
+val all : t -> (string * Ace_util.Table.t) list
+(** Every experiment, in paper order, with its identifier. *)

@@ -1,0 +1,195 @@
+module Engine = Ace_vm.Engine
+module Db = Ace_vm.Do_database
+module Cu = Ace_core.Cu
+module Framework = Ace_core.Framework
+module Accounting = Ace_power.Accounting
+module Hierarchy = Ace_mem.Hierarchy
+module Cache = Ace_mem.Cache
+
+type do_stats = {
+  hotspot_count : int;
+  mean_hotspot_size : float;
+  pct_code_in_hotspots : float;
+  mean_invocations : float;
+  id_latency_frac : float;
+  per_hotspot_ipc_cov : float;
+  inter_hotspot_ipc_cov : float;
+}
+
+type hotspot_stats = {
+  reports : Framework.cu_report array;
+  unmanaged_hotspots : int;
+  views : Framework.hotspot_view list;
+}
+
+type bbv_stats = {
+  phases : int;
+  tuned_phases : int;
+  intervals_in_tuned_frac : float;
+  stable_frac : float;
+  bbv_tunings : int;
+  bbv_reconfigs : int array;
+  per_phase_ipc_cov : float;
+  inter_phase_ipc_cov : float;
+}
+
+type result = {
+  workload : string;
+  scheme : Scheme.t;
+  instrs : int;
+  cycles : float;
+  ipc : float;
+  overhead_instrs : int;
+  l1d_energy_nj : float;
+  l2_energy_nj : float;
+  l1d_avg_bytes : float;
+  l2_avg_bytes : float;
+  l1d_miss_rate : float;
+  l2_miss_rate : float;
+  do_stats : do_stats;
+  hotspot : hotspot_stats option;
+  bbv : bbv_stats option;
+  bbv_predictor : (int * int * float) option;
+}
+
+let default_hot_threshold = 2
+let bbv_interval = 1_000_000
+
+let collect_do_stats engine =
+  let db = Engine.db engine in
+  let total = Engine.instrs engine in
+  let totalf = float_of_int (max 1 total) in
+  {
+    hotspot_count = Db.hotspot_count db;
+    mean_hotspot_size = Db.mean_hotspot_size db;
+    pct_code_in_hotspots = float_of_int (Engine.hot_instrs engine) /. totalf;
+    mean_invocations = Db.mean_invocations_per_hotspot db;
+    id_latency_frac = float_of_int (Db.identification_latency_instrs db) /. totalf;
+    per_hotspot_ipc_cov = Db.mean_per_hotspot_ipc_cov db;
+    inter_hotspot_ipc_cov = Db.inter_hotspot_ipc_cov db;
+  }
+
+let engine_config ~hot_threshold ~seed ~interval =
+  {
+    Engine.default_config with
+    Engine.seed;
+    hot_threshold;
+    interval_instrs = interval;
+  }
+
+(* Fixed-baseline accounting: caches stay at maximum size; one epoch. *)
+let fixed_accounting engine =
+  let hier = Engine.hierarchy engine in
+  let l1d = Hierarchy.l1d hier and l2 = Hierarchy.l2 hier in
+  let acct_l1d =
+    Accounting.create Ace_power.Energy_model.L1d
+      ~initial_size:(Cache.config l1d).Cache.size_bytes
+  and acct_l2 =
+    Accounting.create Ace_power.Energy_model.L2
+      ~initial_size:(Cache.config l2).Cache.size_bytes
+  in
+  fun () ->
+    Accounting.finish acct_l1d
+      ~accesses_now:(Cache.Stats.accesses l1d)
+      ~cycles_now:(Engine.cycles engine);
+    Accounting.finish acct_l2
+      ~accesses_now:(Cache.Stats.accesses l2)
+      ~cycles_now:(Engine.cycles engine);
+    (acct_l1d, acct_l2)
+
+let summarize ~workload ~scheme ~engine ~accts ~hotspot ~bbv ~bbv_predictor =
+  let acct_l1d, acct_l2 = accts in
+  let hier = Engine.hierarchy engine in
+  {
+    workload;
+    scheme;
+    instrs = Engine.instrs engine;
+    cycles = Engine.cycles engine;
+    ipc = Engine.ipc engine;
+    overhead_instrs = Engine.overhead_instrs engine;
+    l1d_energy_nj = Accounting.total_nj acct_l1d;
+    l2_energy_nj = Accounting.total_nj acct_l2;
+    l1d_avg_bytes = Accounting.time_weighted_avg_bytes acct_l1d;
+    l2_avg_bytes = Accounting.time_weighted_avg_bytes acct_l2;
+    l1d_miss_rate = Cache.Stats.miss_rate (Hierarchy.l1d hier);
+    l2_miss_rate = Cache.Stats.miss_rate (Hierarchy.l2 hier);
+    do_stats = collect_do_stats engine;
+    hotspot;
+    bbv;
+    bbv_predictor;
+  }
+
+let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
+    ?(framework_config = Framework.default_config) ?(with_issue_queue = false)
+    ?(bbv_prediction = false) workload scheme =
+  let program = workload.Ace_workloads.Workload.build ~scale ~seed in
+  let name = workload.Ace_workloads.Workload.name in
+  match scheme with
+  | Scheme.Fixed_baseline ->
+      let cfg = engine_config ~hot_threshold ~seed ~interval:None in
+      let engine = Engine.create ~config:cfg program in
+      let finish = fixed_accounting engine in
+      Engine.run engine;
+      summarize ~workload:name ~scheme ~engine ~accts:(finish ()) ~hotspot:None
+        ~bbv:None ~bbv_predictor:None
+  | Scheme.Hotspot ->
+      let cfg = engine_config ~hot_threshold ~seed ~interval:None in
+      let engine = Engine.create ~config:cfg program in
+      let cus =
+        if with_issue_queue then
+          [| Cu.l1d engine; Cu.l2 engine; Cu.issue_queue engine |]
+        else [| Cu.l1d engine; Cu.l2 engine |]
+      in
+      let fw = Framework.attach ~config:framework_config engine ~cus in
+      Engine.run engine;
+      Framework.finalize fw;
+      let accts =
+        match (Framework.accounting fw 0, Framework.accounting fw 1) with
+        | Some a, Some b -> (a, b)
+        | _ -> assert false
+      in
+      let hotspot =
+        Some
+          {
+            reports = Framework.report fw;
+            unmanaged_hotspots = Framework.unmanaged_hotspots fw;
+            views = Framework.hotspot_views fw;
+          }
+      in
+      summarize ~workload:name ~scheme ~engine ~accts ~hotspot ~bbv:None
+        ~bbv_predictor:None
+  | Scheme.Bbv ->
+      let cfg = engine_config ~hot_threshold ~seed ~interval:(Some bbv_interval) in
+      let engine = Engine.create ~config:cfg program in
+      let cus = [| Cu.l1d engine; Cu.l2 engine |] in
+      let sch =
+        Ace_bbv.Scheme.attach
+          ~config:
+            {
+              Ace_bbv.Scheme.default_config with
+              next_phase_prediction = bbv_prediction;
+            }
+          engine ~cus
+      in
+      Engine.run engine;
+      Ace_bbv.Scheme.finalize sch;
+      let accts =
+        match (Ace_bbv.Scheme.accounting sch 0, Ace_bbv.Scheme.accounting sch 1) with
+        | Some a, Some b -> (a, b)
+        | _ -> assert false
+      in
+      let bbv =
+        Some
+          {
+            phases = Ace_bbv.Scheme.phase_count sch;
+            tuned_phases = Ace_bbv.Scheme.tuned_phase_count sch;
+            intervals_in_tuned_frac = Ace_bbv.Scheme.intervals_in_tuned_phases sch;
+            stable_frac = Ace_bbv.Scheme.stable_fraction sch;
+            bbv_tunings = Ace_bbv.Scheme.tunings sch;
+            bbv_reconfigs = Ace_bbv.Scheme.reconfigs_per_cu sch;
+            per_phase_ipc_cov = Ace_bbv.Scheme.mean_per_phase_ipc_cov sch;
+            inter_phase_ipc_cov = Ace_bbv.Scheme.inter_phase_ipc_cov sch;
+          }
+      in
+      summarize ~workload:name ~scheme ~engine ~accts ~hotspot:None ~bbv
+        ~bbv_predictor:(Ace_bbv.Scheme.predictor_stats sch)

@@ -1,0 +1,73 @@
+(** Execute one workload under one scheme and collect every statistic the
+    paper's tables and figures need. *)
+
+(** Table 4 statistics (hotspot characteristics), gathered from the DO
+    database after a run. *)
+type do_stats = {
+  hotspot_count : int;
+  mean_hotspot_size : float;
+  pct_code_in_hotspots : float;
+  mean_invocations : float;
+  id_latency_frac : float;
+      (** Hotspot identification latency as a fraction of execution. *)
+  per_hotspot_ipc_cov : float;
+  inter_hotspot_ipc_cov : float;
+}
+
+type hotspot_stats = {
+  reports : Ace_core.Framework.cu_report array;  (** L1D at 0, L2 at 1. *)
+  unmanaged_hotspots : int;
+  views : Ace_core.Framework.hotspot_view list;
+      (** Per-hotspot tuning outcomes (diagnostics). *)
+}
+
+type bbv_stats = {
+  phases : int;
+  tuned_phases : int;
+  intervals_in_tuned_frac : float;
+  stable_frac : float;
+  bbv_tunings : int;
+  bbv_reconfigs : int array;  (** Per CU: L1D at 0, L2 at 1. *)
+  per_phase_ipc_cov : float;
+  inter_phase_ipc_cov : float;
+}
+
+type result = {
+  workload : string;
+  scheme : Scheme.t;
+  instrs : int;
+  cycles : float;
+  ipc : float;
+  overhead_instrs : int;
+  l1d_energy_nj : float;
+  l2_energy_nj : float;
+  l1d_avg_bytes : float;  (** Time-weighted average configured size. *)
+  l2_avg_bytes : float;
+  l1d_miss_rate : float;
+  l2_miss_rate : float;
+  do_stats : do_stats;
+  hotspot : hotspot_stats option;  (** [Some] iff scheme = Hotspot. *)
+  bbv : bbv_stats option;  (** [Some] iff scheme = Bbv. *)
+  bbv_predictor : (int * int * float) option;
+      (** (predictions, correct, accuracy) when the BBV next-phase predictor
+          ran. *)
+}
+
+val default_hot_threshold : int
+(** 2 at the default reproduction scale (see DESIGN.md §5-6). *)
+
+val bbv_interval : int
+(** 1 M instructions, per the paper. *)
+
+val run :
+  ?scale:float ->
+  ?seed:int ->
+  ?hot_threshold:int ->
+  ?framework_config:Ace_core.Framework.config ->
+  ?with_issue_queue:bool ->
+  ?bbv_prediction:bool ->
+  Ace_workloads.Workload.t ->
+  Scheme.t ->
+  result
+(** Build the workload, create a fresh engine, attach the scheme, execute,
+    finalize, and summarize. *)

@@ -1,0 +1,11 @@
+(** The three resource-management schemes the paper compares. *)
+
+type t =
+  | Fixed_baseline
+      (** Caches pinned at maximum sizes (the paper's energy baseline). *)
+  | Hotspot  (** The DO-based ACE management framework (the contribution). *)
+  | Bbv  (** BBV phase tracking + all-combination tuning (prior art). *)
+
+val name : t -> string
+val of_string : string -> t option
+val all : t list

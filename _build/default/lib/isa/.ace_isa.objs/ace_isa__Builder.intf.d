@@ -1,0 +1,1 @@
+lib/isa/builder.mli: Block Pattern Program

@@ -1,0 +1,1 @@
+lib/isa/pattern.ml: Ace_util

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Ace_util Array Block Format Hashtbl List Printf

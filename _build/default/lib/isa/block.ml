@@ -1,0 +1,26 @@
+type t = {
+  id : int;
+  pc : int;
+  instrs : int;
+  loads : int;
+  stores : int;
+  pattern : Pattern.t;
+  ilp : float;
+  mispredict_rate : float;
+}
+
+let memory_ops t = t.loads + t.stores
+
+let validate t =
+  if t.instrs <= 0 then Error "block with non-positive instruction count"
+  else if t.loads < 0 || t.stores < 0 then Error "negative memory-op count"
+  else if memory_ops t > t.instrs then Error "more memory ops than instructions"
+  else if t.ilp <= 0.0 then Error "non-positive ilp"
+  else if t.mispredict_rate < 0.0 || t.mispredict_rate > 1.0 then
+    Error "mispredict rate outside [0, 1]"
+  else if t.pc < 0 then Error "negative pc"
+  else Pattern.validate t.pattern
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>block %d@ pc=0x%x@ instrs=%d@ ld=%d@ st=%d@ ilp=%.2f@]"
+    t.id t.pc t.instrs t.loads t.stores t.ilp

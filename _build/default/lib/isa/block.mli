@@ -1,0 +1,29 @@
+(** Basic blocks: the unit of simulated execution.
+
+    A block summarizes a straight-line code region.  Executing it once costs
+    [instrs] dynamic instructions, of which [loads] + [stores] touch data
+    memory according to its {!Pattern.t}.  The [pc] identifies the block's
+    terminating branch for BBV accumulation and locates the block's code for
+    instruction-cache traffic.  [ilp] is the block's ideal IPC on an
+    unbounded-cache machine; the timing model degrades it with miss and
+    mispredict penalties. *)
+
+type t = {
+  id : int;  (** Unique per program. *)
+  pc : int;  (** Byte address of the block's terminating branch. *)
+  instrs : int;  (** Dynamic instructions per execution; > 0. *)
+  loads : int;  (** Data-memory reads per execution. *)
+  stores : int;  (** Data-memory writes per execution. *)
+  pattern : Pattern.t;  (** Address source for loads and stores. *)
+  ilp : float;  (** Ideal IPC in (0, issue width]. *)
+  mispredict_rate : float;  (** Mispredicted branches per instruction. *)
+}
+
+val memory_ops : t -> int
+(** [loads + stores]. *)
+
+val validate : t -> (unit, string) result
+(** Structural invariants: positive [instrs], non-negative memory ops that
+    fit in [instrs], [ilp] and [mispredict_rate] in range, valid pattern. *)
+
+val pp : Format.formatter -> t -> unit

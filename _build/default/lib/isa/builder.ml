@@ -1,0 +1,82 @@
+type t = {
+  name : string;
+  mutable next_block_id : int;
+  mutable next_pc : int;
+  mutable next_data : int;
+  mutable methods_rev : Program.meth list;
+  mutable next_method_id : int;
+  mutable pending_code_base : int;
+      (* Code address where the method under construction began; blocks
+         created since the last [meth] call belong to the next method. *)
+}
+
+let create ~name =
+  {
+    name;
+    next_block_id = 0;
+    next_pc = 0x1000;
+    next_data = 0x10000;
+    methods_rev = [];
+    next_method_id = 0;
+    pending_code_base = 0x1000;
+  }
+
+let align up x = (x + up - 1) / up * up
+
+let alloc_data t ~bytes =
+  assert (bytes > 0);
+  let base = t.next_data in
+  t.next_data <- align 64 (t.next_data + bytes);
+  base
+
+let block t ?(ilp = 2.0) ?(mispredict_rate = 0.01) ?(loads = 0) ?(stores = 0)
+    ~instrs ~pattern () =
+  let id = t.next_block_id in
+  t.next_block_id <- id + 1;
+  let pc = t.next_pc in
+  (* 4 bytes per instruction of straight-line code.  Block starts keep
+     4-byte (instruction) alignment only: coarser alignment would leave the
+     low PC bits constant and collapse the BBV bucket index, which uses
+     bits [6:2]. *)
+  t.next_pc <- t.next_pc + (4 * instrs) + 4;
+  { Block.id; pc; instrs; loads; stores; pattern; ilp; mispredict_rate }
+
+let compute_block t ?(ilp = 3.0) ~instrs () =
+  block t ~ilp ~instrs ~pattern:(Pattern.Sequential { base = 0; extent = 64; stride = 64 }) ()
+
+type handle = int
+
+let handle_id h = h
+
+let exec b n =
+  assert (n >= 1);
+  Program.Exec (b, n)
+
+let call h n =
+  assert (n >= 1);
+  Program.Call (h, n)
+
+let meth t ~name body =
+  let id = t.next_method_id in
+  t.next_method_id <- id + 1;
+  let code_base = t.pending_code_base in
+  (* Reserve a little room for prologue/epilogue even in call-only methods.
+     Keep instruction (4-byte) alignment only — see [block]. *)
+  t.next_pc <- t.next_pc + 36;
+  let code_bytes = max 64 (t.next_pc - code_base) in
+  t.pending_code_base <- t.next_pc;
+  t.methods_rev <- { Program.id; name; code_base; code_bytes; body } :: t.methods_rev;
+  id
+
+let finish t ~entry =
+  let program =
+    {
+      Program.name = t.name;
+      methods = Array.of_list (List.rev t.methods_rev);
+      entry;
+      data_bytes = t.next_data;
+    }
+  in
+  match Program.validate program with
+  | Ok () -> program
+  | Error msg -> invalid_arg ("Builder.finish: " ^ msg)

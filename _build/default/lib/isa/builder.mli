@@ -1,0 +1,50 @@
+(** Construction DSL for synthetic programs.
+
+    The builder hands out unique block ids, lays out code addresses (so block
+    PCs are distinct and methods occupy contiguous code regions, giving the
+    instruction cache realistic locality), and allocates data regions.
+    Methods must be created bottom-up — a [call] may only target an
+    already-created method — which makes recursion unrepresentable by
+    construction. *)
+
+type t
+
+val create : name:string -> t
+
+val alloc_data : t -> bytes:int -> int
+(** Reserve a data region of the given size; returns its base address.
+    Regions are 64-byte aligned and never overlap. *)
+
+val block :
+  t ->
+  ?ilp:float ->
+  ?mispredict_rate:float ->
+  ?loads:int ->
+  ?stores:int ->
+  instrs:int ->
+  pattern:Pattern.t ->
+  unit ->
+  Block.t
+(** Create a block with a fresh id and pc.  Defaults: [ilp] 2.0,
+    [mispredict_rate] 0.01, [loads] and [stores] 0. *)
+
+val compute_block : t -> ?ilp:float -> instrs:int -> unit -> Block.t
+(** A block that touches no data memory (pure computation). *)
+
+type handle
+(** Opaque reference to a created method, usable as a call target. *)
+
+val meth : t -> name:string -> Program.stmt list -> handle
+
+val exec : Block.t -> int -> Program.stmt
+(** [exec b n] runs block [b] [n] times; [n >= 1]. *)
+
+val call : handle -> int -> Program.stmt
+(** [call h n] invokes method [h] [n] times; [n >= 1]. *)
+
+val handle_id : handle -> int
+
+val finish : t -> entry:handle -> Program.t
+(** Freeze the builder into a validated program.
+    @raise Invalid_argument if the assembled program fails
+    {!Program.validate} (a builder bug or misuse, e.g. zero repeat count). *)

@@ -1,0 +1,59 @@
+type t =
+  | Sequential of { base : int; extent : int; stride : int }
+  | Random_in of { base : int; extent : int }
+  | Pointer_chase of { base : int; extent : int }
+
+let footprint = function
+  | Sequential { extent; _ } | Random_in { extent; _ } | Pointer_chase { extent; _ } ->
+      extent
+
+let base = function
+  | Sequential { base; _ } | Random_in { base; _ } | Pointer_chase { base; _ } -> base
+
+let validate t =
+  let check_region ~base ~extent =
+    if base < 0 then Error "negative base"
+    else if extent <= 0 then Error "non-positive extent"
+    else Ok ()
+  in
+  match t with
+  | Sequential { base; extent; stride } ->
+      if stride <= 0 then Error "non-positive stride"
+      else check_region ~base ~extent
+  | Random_in { base; extent } | Pointer_chase { base; extent } ->
+      check_region ~base ~extent
+
+type cursor = { pattern : t; mutable offset : int; mutable steps : int }
+
+let cursor pattern = { pattern; offset = 0; steps = 0 }
+
+let reset c =
+  c.offset <- 0;
+  c.steps <- 0
+
+(* Cheap integer hash for the pointer-chase walk (finalizer of splitmix64,
+   truncated to OCaml's int). *)
+let chase_hash x =
+  let z = x * 0x9E3779B9 in
+  let z = (z lxor (z lsr 16)) * 0x85EBCA6B in
+  let z = (z lxor (z lsr 13)) * 0xC2B2AE35 in
+  (z lxor (z lsr 16)) land max_int
+
+let next c ~rng =
+  match c.pattern with
+  | Sequential { base; extent; stride } ->
+      let addr = base + c.offset in
+      c.offset <- c.offset + stride;
+      if c.offset >= extent then c.offset <- 0;
+      addr
+  | Random_in { base; extent } -> base + Ace_util.Rng.int rng extent
+  | Pointer_chase { base; extent } ->
+      let addr = base + c.offset in
+      (* Advance in 8-byte granules so distinct offsets map to distinct
+         words; alignment keeps the walk from splitting cache lines.  The
+         step counter enters the hash so the walk cannot collapse into a
+         short cycle (a pure offset->offset map would, by the birthday
+         bound). *)
+      c.steps <- c.steps + 1;
+      c.offset <- chase_hash ((c.offset * 31) + c.steps) mod (extent / 8 |> max 1) * 8;
+      addr

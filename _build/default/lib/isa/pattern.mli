@@ -1,0 +1,41 @@
+(** Memory access patterns of basic blocks.
+
+    A pattern describes how one basic block touches data memory each time it
+    executes.  The execution engine owns one mutable {!cursor} per static
+    block and asks the pattern for the next byte address on every load or
+    store.  Patterns are the knob by which synthetic workloads express
+    locality: a block with a small [extent] fits in a small cache and makes
+    downsizing profitable; a streaming block defeats any cache. *)
+
+type t =
+  | Sequential of { base : int; extent : int; stride : int }
+      (** Stream through [base, base+extent) with the given byte stride,
+          wrapping at the end.  Models array scans (compress, mpeg). *)
+  | Random_in of { base : int; extent : int }
+      (** Uniform random addresses in [base, base+extent).  Models hash and
+          symbol-table traffic (db, javac). *)
+  | Pointer_chase of { base : int; extent : int }
+      (** A deterministic chaotic walk over the region: the next address is a
+          hash of the previous one.  Same cache behaviour as [Random_in] but
+          the walk is reproducible without an RNG and models dependent
+          (linked-structure) traffic — ray trees, parser stacks. *)
+
+val footprint : t -> int
+(** Bytes spanned by the pattern ([extent]). *)
+
+val base : t -> int
+
+val validate : t -> (unit, string) result
+(** Check invariants: positive extent, positive stride, non-negative base. *)
+
+(** Per-block mutable iteration state. *)
+type cursor
+
+val cursor : t -> cursor
+(** Fresh cursor positioned at the pattern's start. *)
+
+val next : cursor -> rng:Ace_util.Rng.t -> int
+(** Next byte address.  Only [Random_in] consumes the RNG. *)
+
+val reset : cursor -> unit
+(** Return the cursor to the pattern's start (used between engine runs). *)

@@ -1,0 +1,170 @@
+type stmt = Exec of Block.t * int | Call of int * int
+
+type meth = {
+  id : int;
+  name : string;
+  code_base : int;
+  code_bytes : int;
+  body : stmt list;
+}
+
+type t = {
+  name : string;
+  methods : meth array;
+  entry : int;
+  data_bytes : int;
+}
+
+let method_count t = Array.length t.methods
+
+let iter_blocks t f =
+  Array.iter
+    (fun m ->
+      List.iter (function Exec (b, _) -> f b | Call _ -> ()) m.body)
+    t.methods
+
+let block_count t =
+  let n = ref 0 in
+  iter_blocks t (fun _ -> incr n);
+  !n
+
+let max_block_id t =
+  let m = ref (-1) in
+  iter_blocks t (fun b -> m := max !m b.Block.id);
+  !m
+
+(* Topological walk detecting recursion.  State per method: 0 unvisited,
+   1 on stack, 2 done. *)
+exception Cyclic of int
+exception Bad_target of int
+
+let check_acyclic t =
+  let state = Array.make (method_count t) 0 in
+  let rec visit id =
+    if id < 0 || id >= method_count t then raise (Bad_target id);
+    match state.(id) with
+    | 1 -> raise (Cyclic id)
+    | 2 -> ()
+    | _ ->
+        state.(id) <- 1;
+        List.iter
+          (function Call (callee, _) -> visit callee | Exec _ -> ())
+          t.methods.(id).body;
+        state.(id) <- 2
+  in
+  visit t.entry;
+  (* Also visit unreachable methods so their call targets are checked. *)
+  Array.iter (fun m -> if state.(m.id) = 0 then visit m.id) t.methods
+
+let validate t =
+  let n = method_count t in
+  if n = 0 then Error "program with no methods"
+  else if t.entry < 0 || t.entry >= n then Error "entry method out of range"
+  else begin
+    let result = ref (Ok ()) in
+    let fail msg = if !result = Ok () then result := Error msg in
+    Array.iteri
+      (fun i m ->
+        if m.id <> i then fail (Printf.sprintf "method %s: id %d at index %d" m.name m.id i);
+        if m.code_bytes <= 0 then fail (Printf.sprintf "method %s: non-positive code size" m.name);
+        List.iter
+          (function
+            | Exec (b, count) ->
+                if count <= 0 then fail (Printf.sprintf "method %s: non-positive exec count" m.name);
+                (match Block.validate b with
+                | Ok () -> ()
+                | Error e -> fail (Printf.sprintf "method %s, block %d: %s" m.name b.Block.id e))
+            | Call (_, count) ->
+                if count <= 0 then fail (Printf.sprintf "method %s: non-positive call count" m.name))
+          m.body)
+      t.methods;
+    (match !result with
+    | Ok () -> (
+        (* Uniqueness of block ids and pcs. *)
+        let seen_ids = Hashtbl.create 256 and seen_pcs = Hashtbl.create 256 in
+        iter_blocks t (fun b ->
+            if Hashtbl.mem seen_ids b.Block.id then
+              fail (Printf.sprintf "duplicate block id %d" b.Block.id)
+            else Hashtbl.add seen_ids b.Block.id ();
+            if Hashtbl.mem seen_pcs b.Block.pc then
+              fail (Printf.sprintf "duplicate block pc 0x%x" b.Block.pc)
+            else Hashtbl.add seen_pcs b.Block.pc ());
+        match !result with
+        | Ok () -> (
+            try
+              check_acyclic t;
+              Ok ()
+            with
+            | Cyclic id ->
+                Error (Printf.sprintf "recursive call involving method %s" t.methods.(id).name)
+            | Bad_target id -> Error (Printf.sprintf "call to unknown method id %d" id))
+        | Error _ as e -> e)
+    | Error _ as e -> e)
+  end
+
+let inclusive_size t =
+  let n = method_count t in
+  let memo = Array.make n (-1) in
+  let rec size id =
+    if memo.(id) >= 0 then memo.(id)
+    else begin
+      let total =
+        List.fold_left
+          (fun acc -> function
+            | Exec (b, count) -> acc + (b.Block.instrs * count)
+            | Call (callee, count) -> acc + (size callee * count))
+          0 t.methods.(id).body
+      in
+      memo.(id) <- total;
+      total
+    end
+  in
+  Array.iteri (fun i _ -> ignore (size i)) t.methods;
+  memo
+
+let total_dynamic_instrs t = (inclusive_size t).(t.entry)
+
+let invocation_counts t =
+  (* Multiplicity of each method in one run: entry runs once; each call site
+     multiplies the caller's multiplicity by its repeat count.  Process in
+     topological (reverse-finish) order. *)
+  let n = method_count t in
+  let order = ref [] in
+  let state = Array.make n 0 in
+  let rec visit id =
+    if state.(id) = 0 then begin
+      state.(id) <- 1;
+      List.iter (function Call (c, _) -> visit c | Exec _ -> ()) t.methods.(id).body;
+      order := id :: !order
+    end
+  in
+  visit t.entry;
+  let counts = Array.make n 0 in
+  counts.(t.entry) <- 1;
+  List.iter
+    (fun id ->
+      let mult = counts.(id) in
+      if mult > 0 then
+        List.iter
+          (function
+            | Call (callee, k) -> counts.(callee) <- counts.(callee) + (mult * k)
+            | Exec _ -> ())
+          t.methods.(id).body)
+    !order;
+  counts
+
+let reachable t =
+  let seen = Array.make (method_count t) false in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter (function Call (c, _) -> visit c | Exec _ -> ()) t.methods.(id).body
+    end
+  in
+  visit t.entry;
+  seen
+
+let pp_summary fmt t =
+  Format.fprintf fmt "@[<h>%s:@ %d methods,@ %d blocks,@ %s dynamic instrs@]"
+    t.name (method_count t) (block_count t)
+    (Ace_util.Table.cell_int (total_dynamic_instrs t))

@@ -1,0 +1,64 @@
+(** Whole-program representation.
+
+    A program is a DAG of methods.  Each method body is a sequence of
+    statements: execute a basic block a number of times, or call another
+    method a number of times.  Nesting of calls is how workloads express the
+    paper's nested-hotspot structure: an outer method whose inclusive dynamic
+    size exceeds 500 K instructions is an L2-class hotspot containing
+    L1D-class (50 K–500 K) callees.
+
+    Programs must be acyclic (no recursion): the execution engine and the
+    size analysis both rely on this, and the synthetic SPECjvm98 analogues do
+    not need recursion to match the paper's hotspot statistics. *)
+
+type stmt =
+  | Exec of Block.t * int  (** Run the block [n] times; [n > 0]. *)
+  | Call of int * int  (** Invoke method [id], [n] times; [n > 0]. *)
+
+type meth = {
+  id : int;  (** Index into the program's method array. *)
+  name : string;
+  code_base : int;  (** Byte address of the method's code. *)
+  code_bytes : int;  (** Static code footprint (drives I-cache traffic). *)
+  body : stmt list;
+}
+
+type t = {
+  name : string;
+  methods : meth array;  (** [methods.(i).id = i]. *)
+  entry : int;  (** Id of the main method. *)
+  data_bytes : int;  (** Upper bound of the data address space. *)
+}
+
+val validate : t -> (unit, string) result
+(** Checks: ids are positional; entry and call targets in range; counts
+    positive; no recursion (call graph is a DAG); block invariants hold;
+    block ids and pcs are unique program-wide. *)
+
+val method_count : t -> int
+
+val block_count : t -> int
+(** Number of static blocks across all methods. *)
+
+val max_block_id : t -> int
+(** Largest block id (engine sizes its cursor table from this). *)
+
+val iter_blocks : t -> (Block.t -> unit) -> unit
+
+val inclusive_size : t -> int array
+(** [inclusive_size p] maps each method id to the dynamic instruction count
+    of one invocation, including all callees.  Used by workload calibration
+    and by tests; the VM estimates the same quantity online. *)
+
+val total_dynamic_instrs : t -> int
+(** Dynamic instructions of one run: [inclusive_size p].(entry). *)
+
+val invocation_counts : t -> int array
+(** Static invocation multiplicity: how many times each method is invoked in
+    one program run. *)
+
+val reachable : t -> bool array
+(** Methods reachable from the entry. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line structural summary for logs and examples. *)

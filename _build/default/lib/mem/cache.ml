@@ -1,0 +1,170 @@
+type config = { size_bytes : int; assoc : int; line_bytes : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let config_valid c =
+  is_pow2 c.line_bytes && c.assoc > 0
+  && c.size_bytes >= c.assoc * c.line_bytes
+  && c.size_bytes mod (c.assoc * c.line_bytes) = 0
+  && is_pow2 (c.size_bytes / (c.assoc * c.line_bytes))
+
+let pp_config fmt c =
+  let size =
+    if c.size_bytes >= 1 lsl 20 && c.size_bytes mod (1 lsl 20) = 0 then
+      Printf.sprintf "%dMB" (c.size_bytes lsr 20)
+    else Printf.sprintf "%dKB" (c.size_bytes lsr 10)
+  in
+  Format.fprintf fmt "%s %d-way %dB" size c.assoc c.line_bytes
+
+type t = {
+  mutable cfg : config;
+  mutable sets : int;
+  mutable line_shift : int;
+  mutable tags : int array;  (* sets * assoc; -1 = invalid; value = line id *)
+  mutable dirty : bool array;
+  mutable stamp : int array;  (* LRU timestamps *)
+  mutable clock : int;
+  mutable last_victim : int;
+  (* counters *)
+  mutable n_accesses : int;
+  mutable n_hits : int;
+  mutable n_writebacks : int;
+  mutable n_flush_writebacks : int;
+  mutable n_resizes : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let allocate t =
+  let c = t.cfg in
+  t.sets <- c.size_bytes / (c.assoc * c.line_bytes);
+  t.line_shift <- log2 c.line_bytes;
+  let slots = t.sets * c.assoc in
+  t.tags <- Array.make slots (-1);
+  t.dirty <- Array.make slots false;
+  t.stamp <- Array.make slots 0
+
+let create cfg =
+  if not (config_valid cfg) then invalid_arg "Cache.create: invalid geometry";
+  let t =
+    {
+      cfg;
+      sets = 0;
+      line_shift = 0;
+      tags = [||];
+      dirty = [||];
+      stamp = [||];
+      clock = 0;
+      last_victim = 0;
+      n_accesses = 0;
+      n_hits = 0;
+      n_writebacks = 0;
+      n_flush_writebacks = 0;
+      n_resizes = 0;
+    }
+  in
+  allocate t;
+  t
+
+let config t = t.cfg
+
+type result = Hit | Miss | Miss_dirty_victim
+
+let access t addr ~write =
+  t.n_accesses <- t.n_accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = addr lsr t.line_shift in
+  let set = line land (t.sets - 1) in
+  let base = set * t.cfg.assoc in
+  let assoc = t.cfg.assoc in
+  (* Hit scan. *)
+  let rec find way =
+    if way >= assoc then -1
+    else if t.tags.(base + way) = line then way
+    else find (way + 1)
+  in
+  let way = find 0 in
+  if way >= 0 then begin
+    let slot = base + way in
+    t.n_hits <- t.n_hits + 1;
+    t.stamp.(slot) <- t.clock;
+    if write then t.dirty.(slot) <- true;
+    Hit
+  end
+  else begin
+    (* Victim: invalid way if any, else least recently used. *)
+    let victim = ref base in
+    let best = ref max_int in
+    (try
+       for w = 0 to assoc - 1 do
+         let slot = base + w in
+         if t.tags.(slot) = -1 then begin
+           victim := slot;
+           raise Exit
+         end
+         else if t.stamp.(slot) < !best then begin
+           best := t.stamp.(slot);
+           victim := slot
+         end
+       done
+     with Exit -> ());
+    let slot = !victim in
+    let was_dirty = t.tags.(slot) <> -1 && t.dirty.(slot) in
+    if was_dirty then begin
+      t.n_writebacks <- t.n_writebacks + 1;
+      t.last_victim <- t.tags.(slot) lsl t.line_shift
+    end;
+    t.tags.(slot) <- line;
+    t.dirty.(slot) <- write;
+    t.stamp.(slot) <- t.clock;
+    if was_dirty then Miss_dirty_victim else Miss
+  end
+
+let last_victim_addr t = t.last_victim
+
+let dirty_lines t =
+  let n = ref 0 in
+  for i = 0 to Array.length t.tags - 1 do
+    if t.tags.(i) <> -1 && t.dirty.(i) then incr n
+  done;
+  !n
+
+let iter_dirty t f =
+  for i = 0 to Array.length t.tags - 1 do
+    if t.tags.(i) <> -1 && t.dirty.(i) then f (t.tags.(i) lsl t.line_shift)
+  done
+
+let invalidate_all t =
+  let flushed = dirty_lines t in
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  t.n_flush_writebacks <- t.n_flush_writebacks + flushed;
+  flushed
+
+let resize t ~size_bytes =
+  if size_bytes = t.cfg.size_bytes then 0
+  else begin
+    let cfg = { t.cfg with size_bytes } in
+    if not (config_valid cfg) then invalid_arg "Cache.resize: invalid geometry";
+    let flushed = dirty_lines t in
+    t.n_flush_writebacks <- t.n_flush_writebacks + flushed;
+    t.n_resizes <- t.n_resizes + 1;
+    t.cfg <- cfg;
+    allocate t;
+    flushed
+  end
+
+module Stats = struct
+  let accesses t = t.n_accesses
+  let hits t = t.n_hits
+  let misses t = t.n_accesses - t.n_hits
+  let writebacks t = t.n_writebacks
+  let flush_writebacks t = t.n_flush_writebacks
+  let resizes t = t.n_resizes
+
+  let miss_rate t =
+    if t.n_accesses = 0 then 0.0
+    else float_of_int (misses t) /. float_of_int t.n_accesses
+end

@@ -1,0 +1,94 @@
+type latencies = {
+  l1_hit : int;
+  l2_hit : int;
+  memory : int;
+  tlb_miss : int;
+  writeback_cycles_per_line : int;
+}
+
+let default_latencies =
+  { l1_hit = 1; l2_hit = 10; memory = 100; tlb_miss = 30; writeback_cycles_per_line = 4 }
+
+type t = {
+  lat : latencies;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  dtlb : Tlb.t;
+  mutable mem_reads : int;
+  mutable mem_writebacks : int;
+}
+
+let l1i_config = { Cache.size_bytes = 64 * 1024; assoc = 2; line_bytes = 64 }
+let l1d_config = { Cache.size_bytes = 64 * 1024; assoc = 2; line_bytes = 64 }
+let l2_config = { Cache.size_bytes = 1024 * 1024; assoc = 4; line_bytes = 128 }
+
+let create ?(latencies = default_latencies) () =
+  {
+    lat = latencies;
+    l1i = Cache.create l1i_config;
+    l1d = Cache.create l1d_config;
+    l2 = Cache.create l2_config;
+    dtlb = Tlb.create ();
+    mem_reads = 0;
+    mem_writebacks = 0;
+  }
+
+let latencies t = t.lat
+let l1i t = t.l1i
+let l1d t = t.l1d
+let l2 t = t.l2
+let dtlb t = t.dtlb
+
+(* An L2 lookup on behalf of a lower-level miss or writeback.  Returns the
+   latency contribution; accounts memory traffic. *)
+let l2_access t addr ~write =
+  match Cache.access t.l2 addr ~write with
+  | Cache.Hit -> t.lat.l2_hit
+  | Cache.Miss ->
+      t.mem_reads <- t.mem_reads + 1;
+      t.lat.l2_hit + t.lat.memory
+  | Cache.Miss_dirty_victim ->
+      t.mem_reads <- t.mem_reads + 1;
+      t.mem_writebacks <- t.mem_writebacks + 1;
+      t.lat.l2_hit + t.lat.memory
+
+let data_access t ~addr ~write =
+  match Cache.access t.l1d addr ~write with
+  | Cache.Hit -> t.lat.l1_hit
+  | (Cache.Miss | Cache.Miss_dirty_victim) as r ->
+      let tlb_penalty = if Tlb.access t.dtlb addr then 0 else t.lat.tlb_miss in
+      (* Dirty victim drains to L2 off the critical path (no latency). *)
+      (if r = Cache.Miss_dirty_victim then
+         ignore (l2_access t (Cache.last_victim_addr t.l1d) ~write:true));
+      t.lat.l1_hit + l2_access t addr ~write:false + tlb_penalty
+
+let ifetch t ~pc =
+  match Cache.access t.l1i pc ~write:false with
+  | Cache.Hit -> t.lat.l1_hit
+  | Cache.Miss | Cache.Miss_dirty_victim ->
+      (* I-lines are never dirty; a victim writeback cannot happen. *)
+      t.lat.l1_hit + l2_access t pc ~write:false
+
+let resize_l1d t ~size_bytes =
+  if size_bytes = (Cache.config t.l1d).Cache.size_bytes then 0
+  else begin
+    let flushed = ref [] in
+    Cache.iter_dirty t.l1d (fun addr -> flushed := addr :: !flushed);
+    let n = Cache.resize t.l1d ~size_bytes in
+    List.iter (fun addr -> ignore (l2_access t addr ~write:true)) !flushed;
+    n
+  end
+
+let resize_l2 t ~size_bytes =
+  let n = Cache.resize t.l2 ~size_bytes in
+  t.mem_writebacks <- t.mem_writebacks + n;
+  n
+
+let memory_reads t = t.mem_reads
+let memory_writebacks t = t.mem_writebacks
+
+let pp_config fmt t =
+  Format.fprintf fmt "@[<v>L1I: %a@ L1D: %a@ L2:  %a@]" Cache.pp_config
+    (Cache.config t.l1i) Cache.pp_config (Cache.config t.l1d) Cache.pp_config
+    (Cache.config t.l2)

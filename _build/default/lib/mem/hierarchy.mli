@@ -1,0 +1,60 @@
+(** Three-level memory hierarchy (Table 2 of the paper).
+
+    - L1 I-cache: fixed 64 KB, 2-way, 64 B lines, 1-cycle hits.
+    - L1 D-cache: resizable 64/32/16/8 KB, 2-way, 64 B lines, 1-cycle hits.
+    - Unified L2: resizable 1 MB/512 KB/256 KB/128 KB, 4-way, 128 B lines,
+      10-cycle hits.
+    - Memory: 100-cycle latency.
+    - DTLB: 128-entry fully associative, consulted on L1D misses.
+
+    All access functions return the latency in cycles seen by the load/store
+    (writebacks are buffered and charged no latency, only traffic). *)
+
+type latencies = {
+  l1_hit : int;
+  l2_hit : int;  (** Added on top of the L1 lookup. *)
+  memory : int;  (** Added on top of L1 + L2 lookups. *)
+  tlb_miss : int;
+  writeback_cycles_per_line : int;
+      (** Stall cycles per dirty line flushed by a resize. *)
+}
+
+val default_latencies : latencies
+
+type t
+
+val create : ?latencies:latencies -> unit -> t
+(** Caches start at their maximum (paper baseline) sizes. *)
+
+val latencies : t -> latencies
+val l1i : t -> Cache.t
+val l1d : t -> Cache.t
+val l2 : t -> Cache.t
+val dtlb : t -> Tlb.t
+
+val data_access : t -> addr:int -> write:bool -> int
+(** Perform a load ([write:false]) or store and return its latency.  Misses
+    propagate to L2 and memory; dirty victims generate writeback traffic into
+    the next level. *)
+
+val ifetch : t -> pc:int -> int
+(** Instruction fetch probe for a basic block (one representative access per
+    block execution; see DESIGN.md). *)
+
+val resize_l1d : t -> size_bytes:int -> int
+(** Change the L1D capacity.  Flushed dirty lines are written into the L2.
+    Returns the number of dirty lines flushed (the caller charges
+    [writeback_cycles_per_line] each and the energy model charges the L2
+    write energy). *)
+
+val resize_l2 : t -> size_bytes:int -> int
+(** Change the L2 capacity; flushed dirty lines go to memory.  Returns the
+    flushed line count. *)
+
+val memory_reads : t -> int
+(** Lines fetched from memory (L2 fill traffic). *)
+
+val memory_writebacks : t -> int
+(** Lines written to memory (L2 dirty evictions and L2 flushes). *)
+
+val pp_config : Format.formatter -> t -> unit

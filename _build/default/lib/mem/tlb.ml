@@ -1,0 +1,51 @@
+type t = {
+  entries : int;
+  page_shift : int;
+  table : (int, unit) Hashtbl.t;
+  fifo : int array;  (* ring buffer of resident pages *)
+  mutable head : int;
+  mutable filled : int;
+  mutable n_accesses : int;
+  mutable n_misses : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(entries = 128) ?(page_bytes = 4096) () =
+  {
+    entries;
+    page_shift = log2 page_bytes;
+    table = Hashtbl.create (entries * 2);
+    fifo = Array.make entries 0;
+    head = 0;
+    filled = 0;
+    n_accesses = 0;
+    n_misses = 0;
+  }
+
+let access t addr =
+  t.n_accesses <- t.n_accesses + 1;
+  let page = addr lsr t.page_shift in
+  if Hashtbl.mem t.table page then true
+  else begin
+    t.n_misses <- t.n_misses + 1;
+    if t.filled >= t.entries then begin
+      let victim = t.fifo.(t.head) in
+      Hashtbl.remove t.table victim
+    end
+    else t.filled <- t.filled + 1;
+    t.fifo.(t.head) <- page;
+    t.head <- (t.head + 1) mod t.entries;
+    Hashtbl.replace t.table page ();
+    false
+  end
+
+let accesses t = t.n_accesses
+let misses t = t.n_misses
+
+let flush t =
+  Hashtbl.reset t.table;
+  t.head <- 0;
+  t.filled <- 0

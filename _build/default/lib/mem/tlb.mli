@@ -1,0 +1,19 @@
+(** Data TLB model: fixed capacity, 4 KB pages, FIFO replacement (a standard
+    approximation of LRU for fully associative TLBs).
+
+    Per the paper's Table 2 the TLB is 128-entry and fully set-associative.
+    The TLB is consulted on the L1-miss path only: page-level locality makes
+    TLB misses coincide with cache misses, and keeping the TLB off the
+    every-access fast path matters for simulator throughput (see DESIGN.md). *)
+
+type t
+
+val create : ?entries:int -> ?page_bytes:int -> unit -> t
+(** Defaults: 128 entries, 4096-byte pages. *)
+
+val access : t -> int -> bool
+(** [access t addr] is [true] on a TLB hit; a miss installs the page. *)
+
+val accesses : t -> int
+val misses : t -> int
+val flush : t -> unit

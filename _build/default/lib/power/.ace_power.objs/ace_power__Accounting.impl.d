@@ -1,0 +1,1 @@
+lib/power/accounting.ml: Energy_model

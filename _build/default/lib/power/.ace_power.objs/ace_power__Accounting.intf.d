@@ -1,0 +1,1 @@
+lib/power/accounting.mli: Energy_model

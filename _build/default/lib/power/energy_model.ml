@@ -1,0 +1,32 @@
+type family = L1i | L1d | L2
+
+(* Calibration anchors (nJ at the baseline geometry, 0.18 um, 2 V):
+   L1 64 KB access ~0.5 nJ, L2 1 MB access ~2.5 nJ (Wattch);
+   leakage 20 mW for a 64 KB L1, 300 mW for a 1 MB L2 (=> nJ/cycle at
+   1 GHz).  The size exponent for dynamic energy is 0.7 (CACTI). *)
+
+let dynamic_exponent = 0.7
+
+let access_anchor = function
+  | L1i | L1d -> (64.0, 0.5) (* size_kb, nJ *)
+  | L2 -> (1024.0, 2.5)
+
+let leakage_anchor = function
+  | L1i | L1d -> (64.0, 0.020) (* size_kb, nJ/cycle *)
+  | L2 -> (1024.0, 0.300)
+
+let access_energy_nj family ~size_bytes =
+  let size_kb = float_of_int size_bytes /. 1024.0 in
+  let anchor_kb, anchor_nj = access_anchor family in
+  anchor_nj *. ((size_kb /. anchor_kb) ** dynamic_exponent)
+
+let leakage_nj_per_cycle family ~size_bytes =
+  let size_kb = float_of_int size_bytes /. 1024.0 in
+  let anchor_kb, anchor_nj = leakage_anchor family in
+  anchor_nj *. (size_kb /. anchor_kb)
+
+let line_transfer_nj = function
+  | L1i | L1d -> 1.2 (* 64 B line into the L2 *)
+  | L2 -> 4.0 (* 128 B line onto the memory bus *)
+
+let family_name = function L1i -> "L1I" | L1d -> "L1D" | L2 -> "L2"

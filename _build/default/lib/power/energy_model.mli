@@ -1,0 +1,31 @@
+(** Analytical cache energy model (Wattch/CACTI-style, at 1 GHz and 2 V).
+
+    Dynamic energy per access grows sublinearly with capacity (longer
+    bitlines and wordlines, more subbanks): we use [E = alpha * size_kb^0.7],
+    the exponent CACTI reports for small-to-medium SRAM arrays.  Leakage
+    power is proportional to capacity.  The absolute constants are
+    calibrated to Wattch's 0.18 um numbers for the paper's baseline
+    geometries; what matters for the reproduction is the *ratio* across
+    sizes, which the functional form fixes:
+
+    - shrinking the L1D from 64 KB to 8 KB cuts per-access energy ~4.3x,
+    - shrinking the L2 from 1 MB to 128 KB cuts leakage 8x.
+
+    Dynamic energy dominates the (frequently accessed) L1D; leakage
+    dominates the (large, rarely accessed) L2 — so L1D savings track the
+    access-weighted average size while L2 savings track the time-weighted
+    average size, exactly the structure the paper's Figure 3 relies on. *)
+
+type family = L1i | L1d | L2
+
+val access_energy_nj : family -> size_bytes:int -> float
+(** Energy of one read or write access, in nanojoules. *)
+
+val leakage_nj_per_cycle : family -> size_bytes:int -> float
+(** Static energy per clock cycle at the model's voltage/temperature. *)
+
+val line_transfer_nj : family -> float
+(** Energy to move one cache line to the next level (used for dirty
+    writebacks during reconfiguration flushes). *)
+
+val family_name : family -> string

@@ -1,0 +1,35 @@
+(** Minimal ASCII table renderer for reproducing the paper's tables on
+    stdout.  Columns are sized to their widest cell; the first row may be
+    marked as a header, which draws a separator beneath it. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given header labels and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used before summary rows such as averages). *)
+
+val render : t -> string
+(** Render to a string, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float with the given number of decimals (default 2). *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** Format a fraction as a percentage string, e.g. [0.47] -> ["47.0%"]
+    (default 1 decimal). *)
+
+val cell_int : int -> string
+(** Format an integer with thousands separators, e.g. [9830000000] ->
+    ["9,830,000,000"]. *)

@@ -1,0 +1,1 @@
+lib/vm/do_database.ml: Ace_util Array Instrument List Seq

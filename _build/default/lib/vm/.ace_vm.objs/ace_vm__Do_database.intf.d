@@ -1,0 +1,1 @@
+lib/vm/do_database.mli: Ace_util Instrument

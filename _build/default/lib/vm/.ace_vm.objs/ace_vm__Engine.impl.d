@@ -1,0 +1,1 @@
+lib/vm/engine.ml: Ace_cpu Ace_isa Ace_mem Ace_util Array Do_database List Profile

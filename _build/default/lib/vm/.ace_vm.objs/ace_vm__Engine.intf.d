@@ -1,0 +1,1 @@
+lib/vm/engine.mli: Ace_cpu Ace_isa Ace_mem Do_database Profile

@@ -1,0 +1,1 @@
+lib/vm/profile.ml: Ace_power

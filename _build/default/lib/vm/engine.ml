@@ -1,0 +1,250 @@
+module Rng = Ace_util.Rng
+module Program = Ace_isa.Program
+module Block = Ace_isa.Block
+module Pattern = Ace_isa.Pattern
+module Hierarchy = Ace_mem.Hierarchy
+module Cache = Ace_mem.Cache
+
+type config = {
+  seed : int;
+  hot_threshold : int;
+  sample_period_cycles : float;
+  sample_opt_threshold : int;
+  quality_baseline : float;
+  quality_optimized : float;
+  compile_instrs_per_code_byte : int;
+  interval_instrs : int option;
+}
+
+let default_config =
+  {
+    seed = 42;
+    hot_threshold = 32;
+    sample_period_cycles = 200_000.0;
+    sample_opt_threshold = 2;
+    quality_baseline = 0.55;
+    quality_optimized = 1.0;
+    compile_instrs_per_code_byte = 50;
+    interval_instrs = None;
+  }
+
+type hooks = {
+  mutable on_hotspot_promoted : meth_id:int -> unit;
+  mutable on_method_entry : meth_id:int -> unit;
+  mutable on_method_exit : meth_id:int -> Profile.t -> unit;
+  mutable on_block : pc:int -> instrs:int -> count:int -> unit;
+  mutable on_interval : total_instrs:int -> unit;
+  mutable on_recompile : meth_id:int -> unit;
+}
+
+let no_hooks () =
+  {
+    on_hotspot_promoted = (fun ~meth_id:_ -> ());
+    on_method_entry = (fun ~meth_id:_ -> ());
+    on_method_exit = (fun ~meth_id:_ _ -> ());
+    on_block = (fun ~pc:_ ~instrs:_ ~count:_ -> ());
+    on_interval = (fun ~total_instrs:_ -> ());
+    on_recompile = (fun ~meth_id:_ -> ());
+  }
+
+type t = {
+  cfg : config;
+  program : Program.t;
+  hier : Hierarchy.t;
+  timing : Ace_cpu.Timing.t;
+  db : Do_database.t;
+  hooks : hooks;
+  rng : Rng.t;
+  cursors : Pattern.cursor array;  (* indexed by block id *)
+  (* counters *)
+  mutable n_instrs : int;
+  mutable n_cycles : float;
+  mutable n_overhead_instrs : int;
+  mutable n_hot_instrs : int;
+  (* sampler / interval state *)
+  mutable next_sample_at : float;
+  mutable next_interval_at : int;
+  (* execution context *)
+  mutable current_meth : int;
+  mutable hotspot_depth : int;
+  mutable ilp_scale : float;
+  mutable exposure_scale : float;
+  mutable ran : bool;
+}
+
+let create ?(config = default_config) program =
+  (match Program.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.create: " ^ msg));
+  let cursors = Array.make (Program.max_block_id program + 1) (Pattern.cursor (Pattern.Random_in { base = 0; extent = 1 })) in
+  Program.iter_blocks program (fun b -> cursors.(b.Block.id) <- Pattern.cursor b.Block.pattern);
+  {
+    cfg = config;
+    program;
+    hier = Hierarchy.create ();
+    timing = Ace_cpu.Timing.create Ace_cpu.Machine.default;
+    db = Do_database.create ~methods:(Program.method_count program);
+    hooks = no_hooks ();
+    rng = Rng.create ~seed:config.seed;
+    cursors;
+    n_instrs = 0;
+    n_cycles = 0.0;
+    n_overhead_instrs = 0;
+    n_hot_instrs = 0;
+    next_sample_at = config.sample_period_cycles;
+    next_interval_at = (match config.interval_instrs with Some n -> n | None -> max_int);
+    current_meth = program.Program.entry;
+    hotspot_depth = 0;
+    ilp_scale = 1.0;
+    exposure_scale = 1.0;
+    ran = false;
+  }
+
+let config t = t.cfg
+let program t = t.program
+let hooks t = t.hooks
+let hierarchy t = t.hier
+let machine t = Ace_cpu.Timing.machine t.timing
+let db t = t.db
+let instrs t = t.n_instrs
+let cycles t = t.n_cycles
+let overhead_instrs t = t.n_overhead_instrs
+let hot_instrs t = t.n_hot_instrs
+let ipc t = if t.n_cycles <= 0.0 then 0.0 else float_of_int t.n_instrs /. t.n_cycles
+
+let add_stall_cycles t c = t.n_cycles <- t.n_cycles +. c
+
+let set_ilp_scale t s =
+  assert (s > 0.0);
+  t.ilp_scale <- s
+
+let set_exposure_scale t s =
+  assert (s > 0.0);
+  t.exposure_scale <- s
+
+let charge_software_instrs t n =
+  if n > 0 then begin
+    t.n_overhead_instrs <- t.n_overhead_instrs + n;
+    t.n_cycles <- t.n_cycles +. Ace_cpu.Timing.overhead_cycles t.timing ~instrs:n
+  end
+
+(* JIT recompilation: flips code quality and charges compile time. *)
+let recompile t entry =
+  let m = t.program.Program.methods.(entry.Do_database.meth_id) in
+  entry.Do_database.compile_state <- Do_database.Optimized;
+  charge_software_instrs t (m.Program.code_bytes * t.cfg.compile_instrs_per_code_byte);
+  t.hooks.on_recompile ~meth_id:entry.Do_database.meth_id
+
+let promote t entry =
+  entry.Do_database.is_hotspot <- true;
+  entry.Do_database.promoted_at_instr <- t.n_instrs;
+  if entry.Do_database.compile_state = Do_database.Baseline then recompile t entry;
+  t.hooks.on_hotspot_promoted ~meth_id:entry.Do_database.meth_id
+
+(* Timer sampler: attribute a tick to the currently executing method and
+   recompile long-runners, mirroring Jikes' 10 ms sampling recompilation. *)
+let sampler_tick t =
+  t.next_sample_at <- t.next_sample_at +. t.cfg.sample_period_cycles;
+  let entry = Do_database.entry t.db t.current_meth in
+  entry.Do_database.samples <- entry.Do_database.samples + 1;
+  if
+    entry.Do_database.samples >= t.cfg.sample_opt_threshold
+    && entry.Do_database.compile_state = Do_database.Baseline
+  then recompile t entry
+
+let fire_interval t =
+  while t.n_instrs >= t.next_interval_at do
+    t.hooks.on_interval ~total_instrs:t.next_interval_at;
+    t.next_interval_at <-
+      t.next_interval_at
+      + (match t.cfg.interval_instrs with Some n -> n | None -> max_int)
+  done
+
+let exec_block t (b : Block.t) count quality =
+  let l1_hit = (Hierarchy.latencies t.hier).Hierarchy.l1_hit in
+  let cursor = t.cursors.(b.Block.id) in
+  let penalty = ref 0 in
+  (* One representative I-fetch probe per batch (see DESIGN.md). *)
+  penalty := !penalty + (Hierarchy.ifetch t.hier ~pc:b.Block.pc - l1_hit);
+  for _rep = 1 to count do
+    for _ld = 1 to b.Block.loads do
+      let addr = Pattern.next cursor ~rng:t.rng in
+      penalty := !penalty + (Hierarchy.data_access t.hier ~addr ~write:false - l1_hit)
+    done;
+    for _st = 1 to b.Block.stores do
+      let addr = Pattern.next cursor ~rng:t.rng in
+      penalty := !penalty + (Hierarchy.data_access t.hier ~addr ~write:true - l1_hit)
+    done
+  done;
+  let batch_instrs = b.Block.instrs * count in
+  let c =
+    Ace_cpu.Timing.block_cycles t.timing ~instrs:batch_instrs
+      ~ilp:(b.Block.ilp *. t.ilp_scale) ~quality
+      ~exposed_mem_cycles:
+        (int_of_float (float_of_int !penalty *. t.exposure_scale))
+      ~mispredict_rate:b.Block.mispredict_rate
+  in
+  t.n_instrs <- t.n_instrs + batch_instrs;
+  t.n_cycles <- t.n_cycles +. c;
+  if t.hotspot_depth > 0 then t.n_hot_instrs <- t.n_hot_instrs + batch_instrs;
+  t.hooks.on_block ~pc:b.Block.pc ~instrs:b.Block.instrs ~count;
+  if t.n_cycles >= t.next_sample_at then sampler_tick t;
+  if t.n_instrs >= t.next_interval_at then fire_interval t
+
+let rec run_method t meth_id =
+  let entry = Do_database.entry t.db meth_id in
+  entry.Do_database.invocations <- entry.Do_database.invocations + 1;
+  if (not entry.Do_database.is_hotspot) && entry.Do_database.invocations >= t.cfg.hot_threshold
+  then promote t entry;
+  let was_hotspot_at_entry = entry.Do_database.is_hotspot in
+  charge_software_instrs t entry.Do_database.entry_overhead;
+  t.hooks.on_method_entry ~meth_id;
+  (* Snapshot for the invocation profile (after the entry stub so stub cost
+     stays out of the tuner's IPC measurements). *)
+  let instrs0 = t.n_instrs in
+  let cycles0 = t.n_cycles in
+  let l1d = Hierarchy.l1d t.hier and l2 = Hierarchy.l2 t.hier in
+  let l1a0 = Cache.Stats.accesses l1d and l1m0 = Cache.Stats.misses l1d in
+  let l2a0 = Cache.Stats.accesses l2 and l2m0 = Cache.Stats.misses l2 in
+  if was_hotspot_at_entry then t.hotspot_depth <- t.hotspot_depth + 1;
+  let saved_meth = t.current_meth in
+  t.current_meth <- meth_id;
+  let quality =
+    match entry.Do_database.compile_state with
+    | Do_database.Baseline -> t.cfg.quality_baseline
+    | Do_database.Optimized -> t.cfg.quality_optimized
+  in
+  List.iter
+    (function
+      | Program.Exec (b, n) -> exec_block t b n quality
+      | Program.Call (callee, n) ->
+          for _i = 1 to n do
+            run_method t callee;
+            t.current_meth <- meth_id
+          done)
+    t.program.Program.methods.(meth_id).Program.body;
+  t.current_meth <- saved_meth;
+  if was_hotspot_at_entry then t.hotspot_depth <- t.hotspot_depth - 1;
+  let profile =
+    {
+      Profile.instrs = t.n_instrs - instrs0;
+      cycles = t.n_cycles -. cycles0;
+      l1d_accesses = Cache.Stats.accesses l1d - l1a0;
+      l1d_misses = Cache.Stats.misses l1d - l1m0;
+      l2_accesses = Cache.Stats.accesses l2 - l2a0;
+      l2_misses = Cache.Stats.misses l2 - l2m0;
+    }
+  in
+  Ace_util.Stats.Ema.add entry.Do_database.size_ema (float_of_int profile.Profile.instrs);
+  if entry.Do_database.is_hotspot then
+    Ace_util.Stats.Running.add entry.Do_database.ipc_profile (Profile.ipc profile)
+  else
+    entry.Do_database.pre_promotion_instrs <-
+      entry.Do_database.pre_promotion_instrs + profile.Profile.instrs;
+  charge_software_instrs t entry.Do_database.exit_overhead;
+  t.hooks.on_method_exit ~meth_id profile
+
+let run t =
+  if t.ran then invalid_arg "Engine.run: engine already ran";
+  t.ran <- true;
+  run_method t t.program.Program.entry

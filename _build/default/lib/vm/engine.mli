@@ -1,0 +1,101 @@
+(** The dynamic optimization system's execution engine.
+
+    Plays the role of Jikes RVM running on Dynamic SimpleScalar: it executes
+    an {!Ace_isa.Program.t} over a simulated memory hierarchy and timing
+    model, while performing the DO system's own activities — invocation
+    counting, timer-based sampling, hotspot promotion, JIT recompilation
+    (modelled as a code-quality step plus a compilation-cost charge), and
+    execution of instrumentation stubs at method boundaries.
+
+    Resource-adaptation schemes attach through {!hooks}; the engine itself is
+    scheme-agnostic and identical across the fixed-baseline, hotspot-ACE and
+    BBV runs, as in the paper where all three run the same VM. *)
+
+type config = {
+  seed : int;
+  hot_threshold : int;
+      (** Invocations after which a method is promoted to hotspot. *)
+  sample_period_cycles : float;
+      (** Jikes' 10 ms timer tick, expressed in cycles. *)
+  sample_opt_threshold : int;
+      (** Sampler hits that trigger recompilation of a long-running,
+          rarely-invoked method. *)
+  quality_baseline : float;  (** IPC multiplier of baseline-compiled code. *)
+  quality_optimized : float;  (** IPC multiplier after JIT optimization. *)
+  compile_instrs_per_code_byte : int;
+      (** JIT compilation cost charged when a method is recompiled. *)
+  interval_instrs : int option;
+      (** If set, [on_interval] fires every this many program instructions
+          (the BBV sampling interval). *)
+}
+
+val default_config : config
+(** seed 42, hot_threshold 32, 200 K-cycle sampler, thresholds and qualities
+    as in DESIGN.md, no interval hook. *)
+
+type hooks = {
+  mutable on_hotspot_promoted : meth_id:int -> unit;
+  mutable on_method_entry : meth_id:int -> unit;
+      (** After the entry stub, before the invocation's first instruction. *)
+  mutable on_method_exit : meth_id:int -> Profile.t -> unit;
+      (** After the invocation's last instruction and the exit stub. *)
+  mutable on_block : pc:int -> instrs:int -> count:int -> unit;
+      (** After a batch of [count] executions of the block at [pc] (BBV
+          accumulation point). *)
+  mutable on_interval : total_instrs:int -> unit;
+      (** Fired when the program instruction counter crosses a multiple of
+          [interval_instrs]. *)
+  mutable on_recompile : meth_id:int -> unit;
+}
+
+type t
+
+val create : ?config:config -> Ace_isa.Program.t -> t
+(** Build an engine for one run.
+    @raise Invalid_argument if the program fails validation. *)
+
+val config : t -> config
+val program : t -> Ace_isa.Program.t
+val hooks : t -> hooks
+val hierarchy : t -> Ace_mem.Hierarchy.t
+val machine : t -> Ace_cpu.Machine.t
+val db : t -> Do_database.t
+
+val run : t -> unit
+(** Execute the program's entry method once.  May be called once per
+    engine. *)
+
+(** {2 Global counters} *)
+
+val instrs : t -> int
+(** Program instructions retired (excludes instrumentation stubs). *)
+
+val cycles : t -> float
+(** Total cycles, including stubs, JIT compilation and reconfiguration
+    stalls. *)
+
+val overhead_instrs : t -> int
+(** Instrumentation + JIT instructions executed so far. *)
+
+val hot_instrs : t -> int
+(** Instructions retired while at least one already-promoted hotspot frame
+    was on the call stack (Table 4's "% of code in hotspots"). *)
+
+val ipc : t -> float
+
+(** {2 Services for schemes} *)
+
+val add_stall_cycles : t -> float -> unit
+(** Charge stall cycles (e.g. a reconfiguration flush) to the global clock. *)
+
+val charge_software_instrs : t -> int -> unit
+(** Charge scheme software work (tuning logic) as overhead instructions. *)
+
+val set_ilp_scale : t -> float -> unit
+(** Scale the effective ILP of all subsequent blocks.  Models non-cache
+    configurable units (e.g. a downsized issue queue); 1.0 initially. *)
+
+val set_exposure_scale : t -> float -> unit
+(** Scale the exposed fraction of memory-miss latency.  Models a resized
+    reorder buffer: a smaller out-of-order window hides less of each miss;
+    1.0 initially. *)

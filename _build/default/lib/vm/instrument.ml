@@ -1,0 +1,22 @@
+type kind = Plain | Profiling | Tuning | Configured | Configured_sampling
+
+let entry_instrs = function
+  | Plain -> 0
+  | Profiling -> 8
+  | Tuning -> 40 (* DO-database lookup, list fetch, control-register writes *)
+  | Configured -> 12 (* control-register writes only *)
+  | Configured_sampling -> 12
+
+let exit_instrs = function
+  | Plain -> 0
+  | Profiling -> 12
+  | Tuning -> 30 (* gather counters, store into the DO database *)
+  | Configured -> 0
+  | Configured_sampling -> 10 (* amortized cost of occasional sampling *)
+
+let to_string = function
+  | Plain -> "plain"
+  | Profiling -> "profiling"
+  | Tuning -> "tuning"
+  | Configured -> "configured"
+  | Configured_sampling -> "configured+sampling"

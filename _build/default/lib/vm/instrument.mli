@@ -1,0 +1,27 @@
+(** Instrumentation stubs the JIT compiler plants at hotspot boundaries
+    (Figure 2 of the paper), modelled by their instruction cost.
+
+    The engine executes the entry stub before an invocation's profile window
+    opens and the exit stub after it closes, charging their cycles to the
+    global clock — this is how the scheme's software overhead shows up in
+    Figure 4's slowdown. *)
+
+type kind =
+  | Plain  (** No ACE instrumentation. *)
+  | Profiling
+      (** Invocation counting and per-invocation statistics gathering (the
+          initial state of every detected hotspot). *)
+  | Tuning
+      (** Entry: fetch the next configuration from the DO database and write
+          the control registers; exit: gather and store performance
+          characteristics. *)
+  | Configured
+      (** Entry: set the known most-energy-efficient configuration. *)
+  | Configured_sampling
+      (** [Configured] plus occasional statistics gathering at exits to
+          detect behaviour change (re-tune trigger). *)
+
+val entry_instrs : kind -> int
+val exit_instrs : kind -> int
+
+val to_string : kind -> string

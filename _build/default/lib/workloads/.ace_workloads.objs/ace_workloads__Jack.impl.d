@@ -1,0 +1,1 @@
+lib/workloads/jack.ml: Ace_util Array Kit List Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/jack.mli: Ace_isa Workload

@@ -1,0 +1,1 @@
+lib/workloads/javac.mli: Ace_isa Workload

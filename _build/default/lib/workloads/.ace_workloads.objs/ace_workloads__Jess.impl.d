@@ -1,0 +1,1 @@
+lib/workloads/jess.ml: Ace_util Array Kit List Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/kit.ml: Ace_isa Ace_util Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/workloads/kit.mli: Ace_isa Ace_util

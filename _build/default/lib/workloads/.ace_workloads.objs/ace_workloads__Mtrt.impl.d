@@ -1,0 +1,1 @@
+lib/workloads/mtrt.ml: Ace_util Array Kit List Printf Workload

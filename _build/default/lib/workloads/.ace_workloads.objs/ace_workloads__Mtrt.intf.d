@@ -1,0 +1,1 @@
+lib/workloads/mtrt.mli: Ace_isa Workload

@@ -1,0 +1,1 @@
+lib/workloads/specjvm.ml: Compress Db Jack Javac Jess List Mpeg Mtrt Workload

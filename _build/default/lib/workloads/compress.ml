@@ -1,0 +1,102 @@
+(* 201_compress: LZW compression.  Streaming passes over the input/output
+   buffers plus small, very hot hash/dictionary tables.  Streams defeat any
+   L1D size while the hot tables fit 8 KB, so small L1D configurations win
+   with negligible performance loss; the combined L2 footprint (~230 KB)
+   lets the L2 drop to 256 KB.  Compression and decompression have distinct
+   code (separate leaf families) and run in alternating multi-interval
+   bursts, giving BBV two clearly separated, mostly stable macro phases
+   (~80% stable intervals, Figure 1). *)
+
+let build ~scale ~seed =
+  let k = Kit.create ~name:"compress" ~seed in
+  let rng = Kit.rng k in
+  let input = Kit.data_region k ~kb:96 in
+  let output = Kit.data_region k ~kb:96 in
+  let hash = Kit.data_region k ~kb:6 in
+  let dict = Kit.data_region k ~kb:6 in
+
+  let probe_family tag =
+    Array.init 8 (fun i ->
+        let instrs = 900 + Ace_util.Rng.int rng 600 in
+        let b =
+          Kit.block k ~ilp:1.9 ~mispredict_rate:0.015 ~instrs ~mem_frac:0.30
+            ~access:(Kit.Uniform hash) ()
+        in
+        Kit.meth k ~name:(Printf.sprintf "%s_probe_%d" tag i) [ Kit.exec b 1 ])
+  in
+  let c_probes = probe_family "comp" in
+  let d_probes = probe_family "decomp" in
+  let dict_leaf name =
+    let b =
+      Kit.block k ~ilp:1.7 ~instrs:1400 ~mem_frac:0.33 ~access:(Kit.Uniform dict) ()
+    in
+    Kit.meth k ~name [ Kit.exec b 1 ]
+  in
+  let dict_insert = dict_leaf "dict_insert" in
+  let dict_lookup = dict_leaf "dict_lookup" in
+  let stream_leaf name region ~store =
+    let b =
+      Kit.block k ~ilp:2.3 ~instrs:1000 ~mem_frac:0.28
+        ~store_share:(if store then 0.8 else 0.1)
+        ~access:(Kit.Stream (region, 8)) ()
+    in
+    Kit.meth k ~name [ Kit.exec b 1 ]
+  in
+  let get_bytes = stream_leaf "get_bytes" input ~store:false in
+  let put_code = stream_leaf "put_code" output ~store:true in
+  let get_code = stream_leaf "get_code" output ~store:false in
+  let put_bytes = stream_leaf "put_bytes" input ~store:true in
+
+  (* L1D-class hotspots: one chunk of (de)compression, ~120-150 K instrs. *)
+  let compress_chunk =
+    let ctrl = Kit.block k ~ilp:2.0 ~instrs:500 ~mem_frac:0.0 ~access:Kit.No_memory () in
+    Kit.meth k ~name:"compress_chunk"
+      ([ Kit.exec ctrl 1 ]
+      @ List.concat_map
+          (fun p -> [ Kit.call p 6; Kit.call get_bytes 4; Kit.call dict_insert 2 ])
+          (Array.to_list c_probes)
+      @ [ Kit.call put_code 30 ])
+  in
+  let decompress_chunk =
+    let ctrl = Kit.block k ~ilp:2.1 ~instrs:600 ~mem_frac:0.0 ~access:Kit.No_memory () in
+    Kit.meth k ~name:"decompress_chunk"
+      ([ Kit.exec ctrl 1 ]
+      @ List.map (fun p -> Kit.call p 5) (Array.to_list d_probes)
+      @ [ Kit.call get_code 26; Kit.call put_bytes 26; Kit.call dict_lookup 10 ])
+  in
+
+  (* L2-class hotspots: a full pass over the input (~600-700 K). *)
+  let reset =
+    let b =
+      Kit.block k ~ilp:2.6 ~instrs:3000 ~mem_frac:0.30 ~store_share:0.9
+        ~access:(Kit.Stream (hash, 64)) ()
+    in
+    Kit.meth k ~name:"reset_tables" [ Kit.exec b 1 ]
+  in
+  let compress_pass =
+    Kit.meth k ~name:"compress_pass" [ Kit.call reset 1; Kit.call compress_chunk 5 ]
+  in
+  let decompress_pass =
+    Kit.meth k ~name:"decompress_pass" [ Kit.call reset 1; Kit.call decompress_chunk 5 ]
+  in
+
+  (* Alternating multi-interval bursts: each run of 9 passes spans ~5-6
+     sampling intervals, so most intervals are stable with one transitional
+     interval per phase boundary. *)
+  let rounds = Kit.scaled ~scale 8 in
+  let burst = 9 in
+  let main =
+    Kit.meth k ~name:"main"
+      (List.concat
+         (List.init rounds (fun _ ->
+              [ Kit.call compress_pass burst; Kit.call decompress_pass burst ])))
+  in
+  Kit.finish k ~entry:main
+
+let workload =
+  {
+    Workload.name = "compress";
+    description = "A popular LZW compression program.";
+    paper_dynamic_instrs = 9.83e9;
+    build;
+  }

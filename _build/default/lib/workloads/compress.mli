@@ -1,0 +1,10 @@
+(** Synthetic analogue of SPECjvm98 201_compress: LZW compression — streaming buffers plus small hot hash/dictionary tables; the friendliest L1D-downsizing profile and a ~230 KB L2 footprint.
+
+    See the implementation's header comment for the structural recipe and
+    DESIGN.md section 2 for how the analogues were calibrated against the
+    paper's Table 4. *)
+
+val workload : Workload.t
+
+val build : scale:float -> seed:int -> Ace_isa.Program.t
+(** [workload.build]; exposed for direct use in tests and examples. *)

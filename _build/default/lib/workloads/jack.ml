@@ -1,0 +1,106 @@
+(* 228_jack: a parser generator that processes its own specification 16
+   times.  Characteristics from the paper: the most hotspots per instruction,
+   the smallest average hotspot size and very high invocation counts — a
+   flat profile of tiny methods over small grammar windows.  The AST is
+   large (256 KB, pointer-chased) so L1D misses there are size-insensitive,
+   and each of the 16 iterations ends with a short code-emission burst whose
+   intervals are transitional (~70% stable, Figure 1). *)
+
+let build ~scale ~seed =
+  let k = Kit.create ~name:"jack" ~seed in
+  let rng = Kit.rng k in
+  let grammar = Kit.data_region k ~kb:48 in
+  let tokens = Kit.data_region k ~kb:6 in
+  let ast = Kit.data_region k ~kb:256 in
+  let strings = Kit.data_region k ~kb:4 in
+
+  (* Large family of tiny rule-matcher leaves over small grammar windows. *)
+  let matchers =
+    Array.init 28 (fun i ->
+        let window = Kit.sub_region k grammar ~at_kb:(i mod 3 * 4) ~kb:3 in
+        let instrs = 500 + Ace_util.Rng.int rng 700 in
+        let b =
+          Kit.block k ~ilp:1.9 ~mispredict_rate:0.025 ~instrs ~mem_frac:0.3
+            ~access:(Kit.Uniform window) ()
+        in
+        Kit.meth k ~name:(Printf.sprintf "match_rule_%d" i) [ Kit.exec b 1 ])
+  in
+  let scan_token =
+    let b =
+      Kit.block k ~ilp:2.3 ~mispredict_rate:0.02 ~instrs:800 ~mem_frac:0.3
+        ~access:(Kit.Stream (tokens, 8)) ()
+    in
+    Kit.meth k ~name:"scan_token" [ Kit.exec b 1 ]
+  in
+  let node_pool = Kit.data_region k ~kb:6 in
+  let build_node =
+    (* Node construction touches the small active-node pool; whole-AST
+       traffic happens in the streaming emission phase. *)
+    let b =
+      Kit.block k ~ilp:1.5 ~instrs:1100 ~mem_frac:0.25 ~store_share:0.45
+        ~access:(Kit.Uniform node_pool) ()
+    in
+    Kit.meth k ~name:"build_node" [ Kit.exec b 1 ]
+  in
+  let intern_string =
+    let b =
+      Kit.block k ~ilp:1.8 ~instrs:700 ~mem_frac:0.3 ~access:(Kit.Uniform strings) ()
+    in
+    Kit.meth k ~name:"intern_string" [ Kit.exec b 1 ]
+  in
+
+  (* L1D-class: parse one nonterminal group (~70 K). *)
+  let parse_group g =
+    let members = Array.sub matchers (g * 7) 7 in
+    Kit.meth k
+      ~name:(Printf.sprintf "parse_group_%d" g)
+      (List.concat_map
+         (fun m -> [ Kit.call scan_token 3; Kit.call m 6; Kit.call build_node 2 ])
+         (Array.to_list members)
+      @ [ Kit.call intern_string 8 ])
+  in
+  let groups = Array.init 4 parse_group in
+
+  (* L2-class: a full pass over the specification (~590 K). *)
+  let parse_spec =
+    Kit.meth k ~name:"parse_spec"
+      (List.map (fun g -> Kit.call g 2) (Array.to_list groups))
+  in
+  (* Short emission burst: distinct streaming code, sub-interval length, so
+     its intervals read as transitional to BBV. *)
+  let emit_parser =
+    let b =
+      Kit.block k ~ilp:2.4 ~instrs:5000 ~mem_frac:0.28 ~store_share:0.7
+        ~access:(Kit.Stream (ast, 16)) ()
+    in
+    Kit.meth k ~name:"emit_parser" [ Kit.exec b 160 ]
+  in
+
+  (* Issue-queue-class hotspot (~16 K): symbol-table consolidation between
+     parsing and emission — exercised by the multi-CU extension. *)
+  let intern_pass =
+    Kit.meth k ~name:"intern_pass"
+      [ Kit.call intern_string 14; Kit.call scan_token 8 ]
+  in
+
+  (* 16 iterations, each: a ~5-interval parsing run then an emission burst. *)
+  let passes = Kit.scaled ~scale 9 in
+  let main =
+    Kit.meth k ~name:"main"
+      (List.concat
+         (List.init 16 (fun _ ->
+              [
+                Kit.call parse_spec passes;
+                Kit.call intern_pass 3;
+                Kit.call emit_parser 1;
+              ])))
+  in
+  Kit.finish k ~entry:main
+
+let workload =
+  {
+    Workload.name = "jack";
+    description = "A real parser-generator from Sun Microsystems.";
+    paper_dynamic_instrs = 8.22e9;
+    build;
+  }

@@ -1,0 +1,10 @@
+(** Synthetic analogue of SPECjvm98 228_jack: parser generator run 16 times over its own specification — many tiny hotspots, strongly recurring phases, BBV competitive on the L2.
+
+    See the implementation's header comment for the structural recipe and
+    DESIGN.md section 2 for how the analogues were calibrated against the
+    paper's Table 4. *)
+
+val workload : Workload.t
+
+val build : scale:float -> seed:int -> Ace_isa.Program.t
+(** [workload.build]; exposed for direct use in tests and examples. *)

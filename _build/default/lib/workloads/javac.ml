@@ -1,0 +1,119 @@
+(* 213_javac: the JDK 1.0.2 Java compiler.  The paper's most hotspot-rich
+   benchmark with by far the lowest BBV stable-phase coverage (~40%,
+   Figure 1): compilation interleaves lexing, parsing, checking and code
+   generation in chunks incommensurate with the 1 M-instruction sampling
+   interval, so successive intervals keep presenting different block mixes.
+   Positional (hotspot) detection is immune to that — each activity method
+   is identified and tuned on its own boundaries regardless of alignment. *)
+
+let build ~scale ~seed =
+  let k = Kit.create ~name:"javac" ~seed in
+  let rng = Kit.rng k in
+  let source = Kit.data_region k ~kb:96 in
+  let ast = Kit.data_region k ~kb:160 in
+  let symtab = Kit.data_region k ~kb:40 in
+  let constpool = Kit.data_region k ~kb:4 in
+  let code = Kit.data_region k ~kb:96 in
+
+  let leaf_family ~tag ~n ~mk = Array.init n (fun i -> mk i (Printf.sprintf "%s_%d" tag i)) in
+  let lex_leaves =
+    leaf_family ~tag:"lex" ~n:10 ~mk:(fun i name ->
+        let instrs = 600 + Ace_util.Rng.int rng 500 in
+        let b =
+          Kit.block k ~ilp:2.4 ~mispredict_rate:0.02 ~instrs ~mem_frac:0.28
+            ~access:(Kit.Stream (source, 8 + (4 * (i mod 3)))) ()
+        in
+        Kit.meth k ~name [ Kit.exec b 1 ])
+  in
+  let parse_leaves =
+    (* Each parser production chases its own active subtree (a 16 KB window
+       of the AST); the full AST is only streamed during emission. *)
+    leaf_family ~tag:"parse" ~n:14 ~mk:(fun i name ->
+        let window = Kit.sub_region k ast ~at_kb:(i mod 6 * 24) ~kb:16 in
+        let instrs = 700 + Ace_util.Rng.int rng 800 in
+        let b =
+          Kit.block k ~ilp:1.7 ~mispredict_rate:0.03 ~instrs ~mem_frac:0.22
+            ~store_share:0.4 ~access:(Kit.Chase window) ()
+        in
+        Kit.meth k ~name [ Kit.exec b 1 ])
+  in
+  let check_leaves =
+    (* Symbol-table probes: each over a small window, but the windows of
+       different checkers cover a 40 KB table, so the check activity prefers
+       a mid-size L1D. *)
+    leaf_family ~tag:"check" ~n:14 ~mk:(fun i name ->
+        let window = Kit.sub_region k symtab ~at_kb:(i mod 3 * 8) ~kb:8 in
+        let instrs = 800 + Ace_util.Rng.int rng 700 in
+        let b =
+          Kit.block k ~ilp:1.8 ~instrs ~mem_frac:0.30 ~access:(Kit.Uniform window) ()
+        in
+        Kit.meth k ~name [ Kit.exec b 1 ])
+  in
+  let emit_leaves =
+    leaf_family ~tag:"emit" ~n:10 ~mk:(fun i name ->
+        let access =
+          if i mod 3 = 0 then Kit.Uniform constpool else Kit.Stream (code, 8)
+        in
+        let instrs = 650 + Ace_util.Rng.int rng 500 in
+        let b =
+          Kit.block k ~ilp:2.1 ~instrs ~mem_frac:0.3 ~store_share:0.55 ~access ()
+        in
+        Kit.meth k ~name [ Kit.exec b 1 ])
+  in
+
+  (* L1D-class activity methods. *)
+  let activity name leaves per_leaf =
+    Kit.meth k ~name
+      (List.map (fun l -> Kit.call l per_leaf) (Array.to_list leaves))
+  in
+  let lex_unit = activity "lex_unit" lex_leaves 8 in
+  let parse_unit = activity "parse_unit" parse_leaves 10 in
+  let check_unit = activity "check_unit" check_leaves 12 in
+  let emit_unit = activity "emit_unit" emit_leaves 9 in
+
+  (* L2-class compilation units with unequal activity balances; their sizes
+     (~1.3 M and ~1.0 M) are incommensurate with the 1 M interval. *)
+  let compile_class =
+    Kit.meth k ~name:"compile_class"
+      [
+        Kit.call lex_unit 4;
+        Kit.call parse_unit 7;
+        Kit.call check_unit 6;
+        Kit.call emit_unit 8;
+      ]
+  in
+  let compile_interface =
+    Kit.meth k ~name:"compile_interface"
+      [ Kit.call lex_unit 1; Kit.call parse_unit 2; Kit.call check_unit 4 ]
+  in
+  (* One long homogeneous activity (class-file writing) supplies javac's
+     stable minority of intervals. *)
+  let write_class_files =
+    let b =
+      Kit.block k ~ilp:2.6 ~instrs:6000 ~mem_frac:0.3 ~store_share:0.8
+        ~access:(Kit.Stream (code, 8)) ()
+    in
+    Kit.meth k ~name:"write_class_files" [ Kit.exec b 110 ]
+  in
+
+  let rounds = Kit.scaled ~scale 8 in
+  let main =
+    Kit.meth k ~name:"main"
+      (List.concat
+         (List.init rounds (fun _ ->
+              [
+                Kit.call compile_class 2;
+                Kit.call compile_interface 2;
+                Kit.call compile_class 1;
+                Kit.call write_class_files 6;
+              ])))
+  in
+  Kit.finish k ~entry:main
+
+let workload =
+  {
+    Workload.name = "javac";
+    description = "The JDK 1.0.2 Java compiler.";
+    paper_dynamic_instrs = 8.92e9;
+    build;
+  }

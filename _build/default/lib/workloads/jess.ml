@@ -1,0 +1,86 @@
+(* 202_jess: a CLIPS-style rule-based expert system.  Alpha-node tests probe
+   tiny per-node memories (downsizing-friendly); beta joins chase a 24 KB
+   Rete network region — the hotspot that keeps a mid-size L1D.  Inference
+   alternates between two rule clusters in runs of one-to-two sampling
+   intervals, so jess sits in the middle of Figure 1 (~57% stable). *)
+
+let build ~scale ~seed =
+  let k = Kit.create ~name:"jess" ~seed in
+  let rng = Kit.rng k in
+  let facts = Kit.data_region k ~kb:176 in
+  let rete = Kit.data_region k ~kb:12 in
+  let agenda = Kit.data_region k ~kb:4 in
+
+  let alpha_family tag =
+    Array.init 6 (fun i ->
+        let node_mem = Kit.data_region k ~kb:3 in
+        let instrs = 600 + Ace_util.Rng.int rng 500 in
+        let b =
+          Kit.block k ~ilp:2.0 ~mispredict_rate:0.02 ~instrs ~mem_frac:0.3
+            ~access:(Kit.Uniform node_mem) ()
+        in
+        ignore i;
+        Kit.meth k ~name:(Printf.sprintf "alpha_%s_%d" tag i) [ Kit.exec b 1 ])
+  in
+  let beta_family tag =
+    Array.init 4 (fun i ->
+        let instrs = 1400 + Ace_util.Rng.int rng 900 in
+        let b =
+          Kit.block k ~ilp:1.4 ~mispredict_rate:0.03 ~instrs ~mem_frac:0.25
+            ~access:(Kit.Chase rete) ()
+        in
+        Kit.meth k ~name:(Printf.sprintf "beta_%s_%d" tag i) [ Kit.exec b 1 ])
+  in
+  let agenda_push =
+    let b =
+      Kit.block k ~ilp:2.2 ~instrs:500 ~mem_frac:0.3 ~store_share:0.6
+        ~access:(Kit.Uniform agenda) ()
+    in
+    Kit.meth k ~name:"agenda_push" [ Kit.exec b 1 ]
+  in
+  let fire_rule =
+    let b =
+      Kit.block k ~ilp:1.8 ~instrs:2000 ~mem_frac:0.20 ~store_share:0.5
+        ~access:(Kit.Uniform facts) ()
+    in
+    Kit.meth k ~name:"fire_rule" [ Kit.exec b 1 ]
+  in
+
+  (* L1D-class: one match cycle through one rule cluster (~110 K). *)
+  let match_cycle tag =
+    let alphas = alpha_family tag in
+    let betas = beta_family tag in
+    Kit.meth k
+      ~name:(Printf.sprintf "match_cycle_%s" tag)
+      (List.concat_map
+         (fun a -> [ Kit.call a 7; Kit.call agenda_push 2 ])
+         (Array.to_list alphas)
+      @ List.map (fun b -> Kit.call b 9) (Array.to_list betas))
+  in
+  let cycle_a = match_cycle "a" in
+  let cycle_b = match_cycle "b" in
+
+  (* L2-class: an inference round over one cluster (~740 K). *)
+  let solve_round name cycle =
+    Kit.meth k ~name [ Kit.call cycle 3; Kit.call fire_rule 20; Kit.call cycle 3 ]
+  in
+  let round_a = solve_round "solve_round_a" cycle_a in
+  let round_b = solve_round "solve_round_b" cycle_b in
+
+  (* Cluster runs of ~1.5-3 intervals, frequent boundaries. *)
+  let rounds = Kit.scaled ~scale 11 in
+  let main =
+    Kit.meth k ~name:"main"
+      (List.concat
+         (List.init rounds (fun _ ->
+              [ Kit.call round_a 6; Kit.call round_b 5 ])))
+  in
+  Kit.finish k ~entry:main
+
+let workload =
+  {
+    Workload.name = "jess";
+    description = "A Java version of NASA's CLIPS rule-based expert system.";
+    paper_dynamic_instrs = 5.72e9;
+    build;
+  }

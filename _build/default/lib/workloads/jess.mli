@@ -1,0 +1,10 @@
+(** Synthetic analogue of SPECjvm98 202_jess: CLIPS-style expert system — Rete matching over small node memories with a mid-size network region.
+
+    See the implementation's header comment for the structural recipe and
+    DESIGN.md section 2 for how the analogues were calibrated against the
+    paper's Table 4. *)
+
+val workload : Workload.t
+
+val build : scale:float -> seed:int -> Ace_isa.Program.t
+(** [workload.build]; exposed for direct use in tests and examples. *)

@@ -1,0 +1,79 @@
+module Builder = Ace_isa.Builder
+module Block = Ace_isa.Block
+module Pattern = Ace_isa.Pattern
+module Program = Ace_isa.Program
+module Rng = Ace_util.Rng
+
+type t = {
+  builder : Builder.t;
+  rng : Rng.t;
+  sizes : (int, int) Hashtbl.t;  (* handle id -> inclusive size *)
+}
+
+let create ~name ~seed =
+  { builder = Builder.create ~name; rng = Rng.create ~seed; sizes = Hashtbl.create 64 }
+
+let rng t = t.rng
+
+type region = { base : int; extent : int }
+
+let data_region t ~kb =
+  assert (kb > 0);
+  let extent = kb * 1024 in
+  { base = Builder.alloc_data t.builder ~bytes:extent; extent }
+
+let sub_region _t r ~at_kb ~kb =
+  let offset = at_kb * 1024 and extent = kb * 1024 in
+  assert (offset + extent <= r.extent);
+  { base = r.base + offset; extent }
+
+type access = No_memory | Stream of region * int | Uniform of region | Chase of region
+
+let pattern_of_access = function
+  | No_memory -> Pattern.Sequential { base = 0; extent = 64; stride = 64 }
+  | Stream (r, stride) -> Pattern.Sequential { base = r.base; extent = r.extent; stride }
+  | Uniform r -> Pattern.Random_in { base = r.base; extent = r.extent }
+  | Chase r -> Pattern.Pointer_chase { base = r.base; extent = r.extent }
+
+let block t ?(ilp = 2.0) ?(mispredict_rate = 0.01) ?(store_share = 0.25) ~instrs
+    ~mem_frac ~access () =
+  assert (mem_frac >= 0.0 && mem_frac <= 1.0);
+  let mem_ops =
+    match access with
+    | No_memory -> 0
+    | Stream _ | Uniform _ | Chase _ ->
+        int_of_float (Float.round (mem_frac *. float_of_int instrs))
+  in
+  let stores = int_of_float (Float.round (store_share *. float_of_int mem_ops)) in
+  let loads = mem_ops - stores in
+  Builder.block t.builder ~ilp ~mispredict_rate ~loads ~stores ~instrs
+    ~pattern:(pattern_of_access access) ()
+
+let exec = Builder.exec
+let call = Builder.call
+
+let stmt_size t = function
+  | Program.Exec (b, n) -> b.Block.instrs * n
+  | Program.Call (h, n) -> (
+      match Hashtbl.find_opt t.sizes h with
+      | Some s -> s * n
+      | None -> invalid_arg "Kit: call to a method not built with Kit.meth")
+
+let meth t ~name body =
+  let total = List.fold_left (fun acc s -> acc + stmt_size t s) 0 body in
+  let h = Builder.meth t.builder ~name body in
+  Hashtbl.replace t.sizes (Builder.handle_id h) total;
+  h
+
+let size t h =
+  match Hashtbl.find_opt t.sizes (Builder.handle_id h) with
+  | Some s -> s
+  | None -> invalid_arg "Kit.size: unknown method"
+
+let call_to_size t h ~target =
+  let s = size t h in
+  Builder.call h (max 1 (target / max 1 s))
+
+let scaled ~scale n = max 1 (int_of_float (Float.round (scale *. float_of_int n)))
+
+let finish t ~entry = Builder.finish t.builder ~entry

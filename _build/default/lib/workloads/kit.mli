@@ -1,0 +1,61 @@
+(** Workload construction kit.
+
+    A thin layer over {!Ace_isa.Builder} that the synthetic SPECjvm98
+    analogues share: data-region allocation, block construction from a
+    memory-behaviour description, and method construction that tracks each
+    method's inclusive dynamic size so callers can pick repeat counts that
+    hit a target hotspot size (the paper's 50 K–500 K L1D class and >= 500 K
+    L2 class). *)
+
+type t
+
+val create : name:string -> seed:int -> t
+
+val rng : t -> Ace_util.Rng.t
+
+type region = { base : int; extent : int }
+
+val data_region : t -> kb:int -> region
+(** Allocate a fresh [kb]-kilobyte data region. *)
+
+val sub_region : t -> region -> at_kb:int -> kb:int -> region
+(** A [kb]-kilobyte window into an existing region starting [at_kb] from its
+    base (regions may overlap deliberately, e.g. shared structures). *)
+
+(** How a block touches memory. *)
+type access =
+  | No_memory
+  | Stream of region * int  (** Sequential with the given byte stride. *)
+  | Uniform of region  (** Random within the region. *)
+  | Chase of region  (** Dependent pointer-chase walk. *)
+
+val block :
+  t ->
+  ?ilp:float ->
+  ?mispredict_rate:float ->
+  ?store_share:float ->
+  instrs:int ->
+  mem_frac:float ->
+  access:access ->
+  unit ->
+  Ace_isa.Block.t
+(** A block of [instrs] instructions of which [mem_frac] are memory
+    operations, [store_share] (default 0.25) of those being stores. *)
+
+val meth : t -> name:string -> Ace_isa.Program.stmt list -> Ace_isa.Builder.handle
+(** Create a method and record its inclusive dynamic size. *)
+
+val size : t -> Ace_isa.Builder.handle -> int
+(** Inclusive dynamic instructions of one invocation. *)
+
+val exec : Ace_isa.Block.t -> int -> Ace_isa.Program.stmt
+val call : Ace_isa.Builder.handle -> int -> Ace_isa.Program.stmt
+
+val call_to_size : t -> Ace_isa.Builder.handle -> target:int -> Ace_isa.Program.stmt
+(** [call h n] with [n] chosen so the calls total roughly [target]
+    instructions (at least one call). *)
+
+val scaled : scale:float -> int -> int
+(** [max 1 (round (scale * n))] — for scaling repeat counts. *)
+
+val finish : t -> entry:Ace_isa.Builder.handle -> Ace_isa.Program.t

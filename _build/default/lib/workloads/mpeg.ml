@@ -1,0 +1,86 @@
+(* 222_mpegaudio: MP3 decoding.  Compute-dominated (high ILP) with small,
+   hot coefficient tables and streaming input — the friendliest benchmark
+   for aggressive cache downsizing, and the paper's longest run.  Frame
+   decoding is extremely regular (long stable runs) punctuated by short
+   seek/header-scan bursts (~73% stable intervals). *)
+
+let build ~scale ~seed =
+  let k = Kit.create ~name:"mpeg" ~seed in
+  let rng = Kit.rng k in
+  let bitstream = Kit.data_region k ~kb:192 in
+  let coeff = Kit.data_region k ~kb:4 in
+  let window = Kit.data_region k ~kb:3 in
+  let pcm_out = Kit.data_region k ~kb:64 in
+
+  let huffman_decoders =
+    Array.init 6 (fun i ->
+        let instrs = 800 + Ace_util.Rng.int rng 400 in
+        let b =
+          Kit.block k ~ilp:1.8 ~mispredict_rate:0.035 ~instrs ~mem_frac:0.3
+            ~access:(Kit.Stream (bitstream, 8 + (8 * (i mod 2)))) ()
+        in
+        Kit.meth k ~name:(Printf.sprintf "huffman_%d" i) [ Kit.exec b 1 ])
+  in
+  let dequantize =
+    let b =
+      Kit.block k ~ilp:3.0 ~instrs:1500 ~mem_frac:0.22 ~access:(Kit.Uniform coeff) ()
+    in
+    Kit.meth k ~name:"dequantize" [ Kit.exec b 1 ]
+  in
+  let subband_synthesis =
+    let b =
+      Kit.block k ~ilp:3.2 ~mispredict_rate:0.004 ~instrs:2600 ~mem_frac:0.20
+        ~access:(Kit.Uniform window) ()
+    in
+    Kit.meth k ~name:"subband_synthesis" [ Kit.exec b 1 ]
+  in
+  let write_pcm =
+    let b =
+      Kit.block k ~ilp:2.8 ~instrs:700 ~mem_frac:0.3 ~store_share:0.85
+        ~access:(Kit.Stream (pcm_out, 8)) ()
+    in
+    Kit.meth k ~name:"write_pcm" [ Kit.exec b 1 ]
+  in
+
+  (* L1D-class: decode one audio frame (~65 K, matching Table 4). *)
+  let decode_frame =
+    Kit.meth k ~name:"decode_frame"
+      (List.map (fun h -> Kit.call h 3) (Array.to_list huffman_decoders)
+      @ [ Kit.call dequantize 8; Kit.call subband_synthesis 12; Kit.call write_pcm 8 ])
+  in
+
+  (* L2-class: a granule of frames (~600 K). *)
+  let decode_granule =
+    let hdr =
+      Kit.block k ~ilp:2.0 ~instrs:1200 ~mem_frac:0.2
+        ~access:(Kit.Stream (bitstream, 64)) ()
+    in
+    Kit.meth k ~name:"decode_granule" [ Kit.exec hdr 1; Kit.call decode_frame 9 ]
+  in
+  (* Short seek burst with distinct code: scans the stream for sync words.
+     Sub-interval length makes its intervals transitional. *)
+  let seek_sync =
+    let scan =
+      Kit.block k ~ilp:2.2 ~mispredict_rate:0.05 ~instrs:4000 ~mem_frac:0.35
+        ~access:(Kit.Stream (bitstream, 4)) ()
+    in
+    Kit.meth k ~name:"seek_sync" [ Kit.exec scan 90 ]
+  in
+
+  (* Long decode runs (~7 intervals) between seek bursts. *)
+  let rounds = Kit.scaled ~scale 16 in
+  let main =
+    Kit.meth k ~name:"main"
+      (List.concat
+         (List.init rounds (fun _ ->
+              [ Kit.call decode_granule 12; Kit.call seek_sync 1 ])))
+  in
+  Kit.finish k ~entry:main
+
+let workload =
+  {
+    Workload.name = "mpeg";
+    description = "The core algorithm that decodes an MPEG-3 audio stream.";
+    paper_dynamic_instrs = 1.09e10;
+    build;
+  }

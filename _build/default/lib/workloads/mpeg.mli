@@ -1,0 +1,10 @@
+(** Synthetic analogue of SPECjvm98 222_mpegaudio: MP3 decoding — compute-dominated, tiny hot tables, extremely regular frames.
+
+    See the implementation's header comment for the structural recipe and
+    DESIGN.md section 2 for how the analogues were calibrated against the
+    paper's Table 4. *)
+
+val workload : Workload.t
+
+val build : scale:float -> seed:int -> Ace_isa.Program.t
+(** [workload.build]; exposed for direct use in tests and examples. *)

@@ -1,0 +1,98 @@
+(* 227_mtrt: dual-threaded ray tracing.  Modelled as two interleaved task
+   streams sharing a 768 KB scene graph (the interleaving, not the
+   scheduling, is what stresses phase detection — see DESIGN.md).  Scene
+   traversal misses the L1D at any size (dependent chase over 768 KB), the
+   per-thread shading state is tiny, and rendering is one long homogeneous
+   phase — the paper's most stable benchmark (~93% stable intervals) and
+   one where BBV's L2 choice can match the hotspot scheme (Figure 3b). *)
+
+let build ~scale ~seed =
+  let k = Kit.create ~name:"mtrt" ~seed in
+  let rng = Kit.rng k in
+  let scene = Kit.data_region k ~kb:768 in
+  let stack_a = Kit.data_region k ~kb:5 in
+  let stack_b = Kit.data_region k ~kb:5 in
+  let framebuf = Kit.data_region k ~kb:96 in
+
+  let thread_leaves tag stack =
+    let traverse =
+      Array.init 5 (fun i ->
+          let instrs = 700 + Ace_util.Rng.int rng 500 in
+          let b =
+            Kit.block k ~ilp:1.6 ~mispredict_rate:0.028 ~instrs ~mem_frac:0.04
+              ~access:(Kit.Chase scene) ()
+          in
+          Kit.meth k ~name:(Printf.sprintf "traverse_%s_%d" tag i) [ Kit.exec b 1 ])
+    in
+    let intersect =
+      let b =
+        Kit.block k ~ilp:2.6 ~instrs:1300 ~mem_frac:0.30 ~access:(Kit.Uniform stack) ()
+      in
+      Kit.meth k ~name:("intersect_" ^ tag) [ Kit.exec b 1 ]
+    in
+    let shade =
+      let b =
+        Kit.block k ~ilp:2.9 ~instrs:1600 ~mem_frac:0.28 ~store_share:0.5
+          ~access:(Kit.Uniform stack) ()
+      in
+      Kit.meth k ~name:("shade_" ^ tag) [ Kit.exec b 1 ]
+    in
+    let write_pixels =
+      let b =
+        Kit.block k ~ilp:2.5 ~instrs:600 ~mem_frac:0.3 ~store_share:0.9
+          ~access:(Kit.Stream (framebuf, 8)) ()
+      in
+      Kit.meth k ~name:("write_pixels_" ^ tag) [ Kit.exec b 1 ]
+    in
+    (traverse, intersect, shade, write_pixels)
+  in
+  let trav_a, isect_a, shade_a, wp_a = thread_leaves "a" stack_a in
+  let trav_b, isect_b, shade_b, wp_b = thread_leaves "b" stack_b in
+
+  (* L1D-class: trace one tile on one thread (~110 K). *)
+  let trace_tile tag traverse isect shade wp =
+    Kit.meth k ~name:("trace_tile_" ^ tag)
+      (List.concat_map
+         (fun t -> [ Kit.call t 8; Kit.call isect 6; Kit.call shade 4 ])
+         (Array.to_list traverse)
+      @ [ Kit.call wp 6 ])
+  in
+  let tile_a = trace_tile "a" trav_a isect_a shade_a wp_a in
+  let tile_b = trace_tile "b" trav_b isect_b shade_b wp_b in
+
+  (* L2-class: a band of tiles, the two threads interleaved (~900 K).  The
+     a/b interleave period (~110 K) is far below the sampling interval, so
+     every rendering interval sees the same thread mix — mtrt is the most
+     stable benchmark in Figure 1. *)
+  let render_band =
+    Kit.meth k ~name:"render_band"
+      [
+        Kit.call tile_a 1; Kit.call tile_b 1; Kit.call tile_a 1; Kit.call tile_b 1;
+        Kit.call tile_a 1; Kit.call tile_b 1; Kit.call tile_a 1; Kit.call tile_b 1;
+      ]
+  in
+  (* Rare scene (re)load burst — the only phase change mtrt has. *)
+  let load_scene =
+    let b =
+      Kit.block k ~ilp:2.4 ~instrs:7000 ~mem_frac:0.32 ~store_share:0.8
+        ~access:(Kit.Stream (scene, 16)) ()
+    in
+    Kit.meth k ~name:"load_scene" [ Kit.exec b 60 ]
+  in
+
+  let rounds = Kit.scaled ~scale 3 in
+  let main =
+    Kit.meth k ~name:"main"
+      (List.concat
+         (List.init rounds (fun _ ->
+              [ Kit.call load_scene 1; Kit.call render_band 25 ])))
+  in
+  Kit.finish k ~entry:main
+
+let workload =
+  {
+    Workload.name = "mtrt";
+    description = "A dual-threaded program that ray traces an image file.";
+    paper_dynamic_instrs = 5.10e9;
+    build;
+  }

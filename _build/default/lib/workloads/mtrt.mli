@@ -1,0 +1,10 @@
+(** Synthetic analogue of SPECjvm98 227_mtrt: dual-threaded ray tracer modelled as interleaved task streams over a shared 768 KB scene; the most stable benchmark and the paper's BBV-wins-the-L2 exception.
+
+    See the implementation's header comment for the structural recipe and
+    DESIGN.md section 2 for how the analogues were calibrated against the
+    paper's Table 4. *)
+
+val workload : Workload.t
+
+val build : scale:float -> seed:int -> Ace_isa.Program.t
+(** [workload.build]; exposed for direct use in tests and examples. *)

@@ -1,0 +1,14 @@
+let all =
+  [
+    Compress.workload;
+    Db.workload;
+    Jack.workload;
+    Javac.workload;
+    Jess.workload;
+    Mpeg.workload;
+    Mtrt.workload;
+  ]
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) all
+
+let names = List.map (fun w -> w.Workload.name) all

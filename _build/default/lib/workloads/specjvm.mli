@@ -1,0 +1,10 @@
+(** The synthetic SPECjvm98 suite (Table 3 of the paper; 200_check excluded
+    there as it only verifies JVM functionality). *)
+
+val all : Workload.t list
+(** compress, db, jack, javac, jess, mpeg, mtrt — paper order. *)
+
+val find : string -> Workload.t option
+(** Look up by name. *)
+
+val names : string list

@@ -1,0 +1,103 @@
+type params = {
+  n_phases : int;
+  phase_repeats : int;
+  l1_methods_per_phase : int;
+  l1_target_size : int;
+  leaves_per_phase : int;
+  leaf_instrs : int;
+  working_set_kb : int;
+  shared_kb : int;
+  mem_frac : float;
+  streaming_share : float;
+  ilp : float;
+}
+
+let default =
+  {
+    n_phases = 3;
+    phase_repeats = 40;
+    l1_methods_per_phase = 3;
+    l1_target_size = 120_000;
+    leaves_per_phase = 8;
+    leaf_instrs = 1200;
+    working_set_kb = 24;
+    shared_kb = 0;
+    mem_frac = 0.3;
+    streaming_share = 0.3;
+    ilp = 2.0;
+  }
+
+let validate p =
+  assert (p.n_phases > 0);
+  assert (p.phase_repeats > 0);
+  assert (p.l1_methods_per_phase > 0);
+  assert (p.leaves_per_phase > 0);
+  assert (p.leaf_instrs > 0);
+  assert (p.l1_target_size >= p.leaf_instrs);
+  assert (p.working_set_kb > 0);
+  assert (p.shared_kb >= 0);
+  assert (p.mem_frac >= 0.0 && p.mem_frac <= 1.0);
+  assert (p.streaming_share >= 0.0 && p.streaming_share <= 1.0);
+  assert (p.ilp > 0.0)
+
+let build p ~seed =
+  validate p;
+  let k = Kit.create ~name:"synthetic" ~seed in
+  let rng = Kit.rng k in
+  let shared =
+    if p.shared_kb > 0 then Some (Kit.data_region k ~kb:p.shared_kb) else None
+  in
+  let phase i =
+    let region = Kit.data_region k ~kb:p.working_set_kb in
+    let leaves =
+      Array.init p.leaves_per_phase (fun j ->
+          let streaming =
+            float_of_int j < p.streaming_share *. float_of_int p.leaves_per_phase
+          in
+          let access =
+            match (streaming, shared) with
+            | true, _ -> Kit.Stream (region, 8)
+            | false, Some s when j mod 3 = 2 -> Kit.Uniform s
+            | false, _ -> Kit.Uniform region
+          in
+          let instrs = p.leaf_instrs / 2 + Ace_util.Rng.int rng p.leaf_instrs in
+          let b =
+            Kit.block k ~ilp:p.ilp ~mispredict_rate:0.015 ~instrs
+              ~mem_frac:p.mem_frac ~access ()
+          in
+          Kit.meth k
+            ~name:(Printf.sprintf "leaf_%d_%d" i j)
+            [ Kit.exec b 1 ])
+    in
+    let l1_methods =
+      Array.init p.l1_methods_per_phase (fun j ->
+          let per_leaf =
+            max 1 (p.l1_target_size / (p.leaves_per_phase * p.leaf_instrs))
+          in
+          Kit.meth k
+            ~name:(Printf.sprintf "work_%d_%d" i j)
+            (List.map (fun l -> Kit.call l per_leaf) (Array.to_list leaves)))
+    in
+    let body =
+      List.concat_map
+        (fun m -> [ Kit.call m (2 + (i mod 2)) ])
+        (Array.to_list l1_methods)
+    in
+    Kit.meth k ~name:(Printf.sprintf "phase_%d" i) body
+  in
+  let phases = List.init p.n_phases phase in
+  let main =
+    Kit.meth k ~name:"main"
+      (List.map (fun ph -> Kit.call ph p.phase_repeats) phases)
+  in
+  Kit.finish k ~entry:main
+
+let workload ?(name = "synthetic") p =
+  {
+    Workload.name;
+    description = "Parameterized synthetic workload";
+    paper_dynamic_instrs = 0.0;
+    build =
+      (fun ~scale ~seed ->
+        build { p with phase_repeats = Kit.scaled ~scale p.phase_repeats } ~seed);
+  }

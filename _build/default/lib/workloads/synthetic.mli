@@ -1,0 +1,32 @@
+(** Parameterized synthetic workload generator.
+
+    Where the SPECjvm98 analogues are hand-shaped, this generator produces a
+    family of structurally similar programs from a compact parameter record —
+    used by property-based tests (random but valid programs), by the examples
+    (build-your-own workload) and by sensitivity benches (sweeps over hotspot
+    size or locality). *)
+
+type params = {
+  n_phases : int;  (** L2-class phase methods. *)
+  phase_repeats : int;  (** Invocations of each phase method. *)
+  l1_methods_per_phase : int;
+  l1_target_size : int;  (** Inclusive instructions per L1D-class method. *)
+  leaves_per_phase : int;
+  leaf_instrs : int;  (** Instructions per leaf invocation. *)
+  working_set_kb : int;  (** Per-phase data region. *)
+  shared_kb : int;  (** Region shared by all phases (0 = none). *)
+  mem_frac : float;
+  streaming_share : float;
+      (** Fraction of leaves that stream rather than access randomly. *)
+  ilp : float;
+}
+
+val default : params
+(** A medium workload: 3 phases x 40 repeats, ~120 K L1D methods, 24 KB
+    working sets — roughly 40 M instructions. *)
+
+val build : params -> seed:int -> Ace_isa.Program.t
+(** @raise Invalid_argument on nonsensical parameters (asserted). *)
+
+val workload : ?name:string -> params -> Workload.t
+(** Wrap as a {!Workload.t}; [scale] multiplies [phase_repeats]. *)

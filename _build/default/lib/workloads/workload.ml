@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  description : string;
+  paper_dynamic_instrs : float;
+  build : scale:float -> seed:int -> Ace_isa.Program.t;
+}
+
+let build_default t = t.build ~scale:1.0 ~seed:1

@@ -1,0 +1,15 @@
+(** A named synthetic workload: builder plus the paper-reported reference
+    numbers the harness prints alongside measured values. *)
+
+type t = {
+  name : string;
+  description : string;  (** Table 3's description. *)
+  paper_dynamic_instrs : float;
+      (** Dynamic instruction count reported in Table 4 (unscaled). *)
+  build : scale:float -> seed:int -> Ace_isa.Program.t;
+      (** [scale] multiplies top-level repetition counts; 1.0 is the default
+          reproduction scale (about 1/64 of the paper's run lengths). *)
+}
+
+val build_default : t -> Ace_isa.Program.t
+(** [build ~scale:1.0 ~seed:1]. *)

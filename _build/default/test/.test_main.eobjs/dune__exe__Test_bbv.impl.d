@@ -1,0 +1,1 @@
+test/test_bbv.ml: Ace_bbv Ace_core Ace_power Ace_util Ace_vm Alcotest Array Tu

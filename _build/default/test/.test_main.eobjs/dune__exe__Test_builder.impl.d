@@ -1,0 +1,1 @@
+test/test_builder.ml: Ace_isa Alcotest Array List Printf QCheck Tu

@@ -1,0 +1,1 @@
+test/test_cache.ml: Ace_mem Ace_util Alcotest List QCheck Tu

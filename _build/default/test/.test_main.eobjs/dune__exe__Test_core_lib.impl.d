@@ -1,0 +1,1 @@
+test/test_core_lib.ml: Ace_core Ace_util Ace_vm Alcotest Array Gen Hashtbl List QCheck Tu

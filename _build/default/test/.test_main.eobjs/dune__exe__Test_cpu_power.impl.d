@@ -1,0 +1,1 @@
+test/test_cpu_power.ml: Ace_cpu Ace_power Alcotest List Tu

@@ -1,0 +1,1 @@
+test/test_framework.ml: Ace_core Ace_mem Ace_power Ace_vm Ace_workloads Alcotest Array List Printf Tu

@@ -1,0 +1,1 @@
+test/test_harness.ml: Ace_core Ace_harness Ace_util Ace_workloads Alcotest Array Float Hashtbl Lazy List String Tu

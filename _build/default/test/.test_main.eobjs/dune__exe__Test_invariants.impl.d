@@ -1,0 +1,1 @@
+test/test_invariants.ml: Ace_mem Ace_power Ace_util Ace_vm Alcotest QCheck Tu

@@ -1,0 +1,1 @@
+test/test_mem.ml: Ace_mem Alcotest Tu

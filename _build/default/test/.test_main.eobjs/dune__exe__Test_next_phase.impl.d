@@ -1,0 +1,1 @@
+test/test_next_phase.ml: Ace_bbv Ace_harness Ace_workloads Alcotest Tu

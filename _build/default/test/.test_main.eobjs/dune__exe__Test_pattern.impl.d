@@ -1,0 +1,1 @@
+test/test_pattern.ml: Ace_isa Ace_util Alcotest Hashtbl List QCheck Result Tu

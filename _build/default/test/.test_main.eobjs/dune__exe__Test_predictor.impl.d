@@ -1,0 +1,1 @@
+test/test_predictor.ml: Ace_core Ace_isa Ace_vm Ace_workloads Alcotest Array List Tu

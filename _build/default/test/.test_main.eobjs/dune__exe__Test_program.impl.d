@@ -1,0 +1,1 @@
+test/test_program.ml: Ace_isa Alcotest Array Result Tu

@@ -1,0 +1,1 @@
+test/test_rng.ml: Ace_util Alcotest Array Fun QCheck Tu

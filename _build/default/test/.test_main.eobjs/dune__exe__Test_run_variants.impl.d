@@ -1,0 +1,1 @@
+test/test_run_variants.ml: Ace_core Ace_harness Ace_workloads Alcotest Array Tu

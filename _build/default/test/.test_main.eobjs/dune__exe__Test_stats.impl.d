@@ -1,0 +1,1 @@
+test/test_stats.ml: Ace_util Alcotest Array Gen QCheck Tu

@@ -1,0 +1,1 @@
+test/test_table.ml: Ace_util Alcotest List String Tu

@@ -1,0 +1,1 @@
+test/test_vm.ml: Ace_isa Ace_util Ace_vm Alcotest List QCheck String Tu

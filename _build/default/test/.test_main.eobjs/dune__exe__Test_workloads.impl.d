@@ -1,0 +1,1 @@
+test/test_workloads.ml: Ace_isa Ace_vm Ace_workloads Alcotest Array List Printf QCheck String Tu

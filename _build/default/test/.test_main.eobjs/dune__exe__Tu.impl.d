@@ -1,0 +1,1 @@
+test/tu.ml: Ace_isa Ace_workloads Alcotest Float QCheck_alcotest

@@ -1,0 +1,180 @@
+(* BBV vector, tracker, and scheme tests. *)
+module Vector = Ace_bbv.Vector
+module Tracker = Ace_bbv.Tracker
+
+let test_vector_empty () =
+  let v = Vector.create () in
+  Alcotest.(check bool) "empty" true (Vector.is_empty v);
+  let s = Vector.snapshot v in
+  Tu.check_approx "all-zero snapshot" 0.0 (Array.fold_left ( +. ) 0.0 s)
+
+let test_vector_accumulate_and_normalize () =
+  let v = Vector.create ~buckets:4 () in
+  (* pcs 0 and 4 land in buckets 0 and 1 ((pc >> 2) mod 4). *)
+  Vector.add v ~pc:0 ~instrs:300;
+  Vector.add v ~pc:4 ~instrs:100;
+  let s = Vector.snapshot v in
+  Tu.check_approx "bucket 0 share" 0.75 s.(0);
+  Tu.check_approx "bucket 1 share" 0.25 s.(1);
+  Tu.check_approx "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 s)
+
+let test_vector_bucket_mapping () =
+  let v = Vector.create ~buckets:32 () in
+  (* The 2 LSBs are excluded: pcs 0..3 all land in bucket 0. *)
+  Vector.add v ~pc:3 ~instrs:10;
+  let s = Vector.snapshot v in
+  Tu.check_approx "low bits ignored" 1.0 s.(0)
+
+let test_vector_saturation () =
+  let v = Vector.create ~buckets:2 () in
+  Vector.add v ~pc:0 ~instrs:((1 lsl 24) + 5000);
+  Vector.add v ~pc:4 ~instrs:1;
+  let s = Vector.snapshot v in
+  (* Bucket 0 saturates at 2^24 - 1 rather than growing unboundedly. *)
+  Alcotest.(check bool) "saturated" true (s.(0) < 1.0 && s.(0) > 0.999)
+
+let test_vector_clear () =
+  let v = Vector.create () in
+  Vector.add v ~pc:0 ~instrs:10;
+  Vector.clear v;
+  Alcotest.(check bool) "cleared" true (Vector.is_empty v)
+
+let vec ~hot n =
+  (* A normalized vector concentrated on bucket [hot] of [n]. *)
+  Array.init n (fun i -> if i = hot then 0.9 else 0.1 /. float_of_int (n - 1))
+
+let test_tracker_new_and_recurring () =
+  let t = Tracker.create () in
+  let a = Tracker.classify t (vec ~hot:0 8) in
+  let b = Tracker.classify t (vec ~hot:4 8) in
+  let a' = Tracker.classify t (vec ~hot:0 8) in
+  Alcotest.(check bool) "distinct phases" true (a <> b);
+  Alcotest.(check int) "recurring phase recognized" a a';
+  Alcotest.(check int) "two signatures" 2 (Tracker.phase_count t);
+  Alcotest.(check int) "three intervals" 3 (Tracker.intervals t)
+
+let test_tracker_stability () =
+  let t = Tracker.create () in
+  let stable = vec ~hot:0 8 and other = vec ~hot:4 8 in
+  (* A A A B A A -> stable: the first three As (run 3) and final two As (run
+     2); B is transitional (run 1). *)
+  ignore (Tracker.classify t stable);
+  ignore (Tracker.classify t stable);
+  ignore (Tracker.classify t stable);
+  ignore (Tracker.classify t other);
+  ignore (Tracker.classify t stable);
+  ignore (Tracker.classify t stable);
+  Alcotest.(check int) "stable intervals" 5 (Tracker.stable_intervals t);
+  Alcotest.(check int) "transitional intervals" 1 (Tracker.transitional_intervals t)
+
+let test_tracker_all_transitional () =
+  let t = Tracker.create () in
+  for i = 0 to 5 do
+    ignore (Tracker.classify t (vec ~hot:i 8))
+  done;
+  Alcotest.(check int) "no stable runs" 0 (Tracker.stable_intervals t);
+  Alcotest.(check int) "six phases" 6 (Tracker.phase_count t)
+
+let test_tracker_run_tracking () =
+  let t = Tracker.create () in
+  let v = vec ~hot:2 8 in
+  ignore (Tracker.classify t v);
+  ignore (Tracker.classify t v);
+  ignore (Tracker.classify t v);
+  Alcotest.(check int) "current run" 3 (Tracker.current_run t);
+  Alcotest.(check int) "phase interval count" 3
+    (Tracker.phase_intervals t (Tracker.current_phase t))
+
+let test_tracker_threshold () =
+  let tight = Tracker.create ~threshold:0.01 () in
+  let a = Array.make 8 0.125 in
+  let b = Array.copy a in
+  b.(0) <- 0.135;
+  b.(1) <- 0.115;
+  ignore (Tracker.classify tight a);
+  ignore (Tracker.classify tight b);
+  Alcotest.(check int) "tight threshold separates" 2 (Tracker.phase_count tight);
+  let loose = Tracker.create ~threshold:0.5 () in
+  ignore (Tracker.classify loose a);
+  ignore (Tracker.classify loose b);
+  Alcotest.(check int) "loose threshold merges" 1 (Tracker.phase_count loose)
+
+let test_tracker_growth () =
+  let t = Tracker.create () in
+  for i = 0 to 99 do
+    ignore (Tracker.classify t (Ace_util.Stats.normalize_l1 (Array.init 64 (fun j -> if j = i mod 64 then 1.0 else 0.0))))
+  done;
+  Alcotest.(check bool) "handles many signatures" true (Tracker.phase_count t >= 60)
+
+(* --- scheme-level behaviour on a real engine --- *)
+
+let run_bbv program =
+  let config =
+    { Ace_vm.Engine.default_config with interval_instrs = Some 1_000_000; hot_threshold = 3 }
+  in
+  let engine = Ace_vm.Engine.create ~config program in
+  let cus = [| Ace_core.Cu.l1d engine; Ace_core.Cu.l2 engine |] in
+  let scheme = Ace_bbv.Scheme.attach engine ~cus in
+  Ace_vm.Engine.run engine;
+  Ace_bbv.Scheme.finalize scheme;
+  (engine, scheme)
+
+let test_scheme_requires_interval () =
+  let engine = Ace_vm.Engine.create (Tu.tiny_program ()) in
+  Alcotest.check_raises "no interval configured"
+    (Invalid_argument "Bbv.Scheme.attach: engine has no sampling interval configured")
+    (fun () ->
+      ignore
+        (Ace_bbv.Scheme.attach engine
+           ~cus:[| Ace_core.Cu.l1d engine; Ace_core.Cu.l2 engine |]))
+
+let test_scheme_tunes_stable_program () =
+  (* One homogeneous phase, long enough to test all 16 configurations (the
+     L2's 1 M-instruction guard makes each L2-changing trial take several
+     intervals). *)
+  let program = Tu.tiny_program ~reps:100_000 ~worker_instrs:1000 () in
+  let _, scheme = run_bbv program in
+  Alcotest.(check bool) "few phases" true (Ace_bbv.Scheme.phase_count scheme <= 3);
+  Alcotest.(check int) "phase tuned" 1 (Ace_bbv.Scheme.tuned_phase_count scheme);
+  Alcotest.(check bool) "most intervals in tuned phases" true
+    (Ace_bbv.Scheme.intervals_in_tuned_phases scheme > 0.8);
+  Alcotest.(check bool) "stable fraction high" true
+    (Ace_bbv.Scheme.stable_fraction scheme > 0.9);
+  Alcotest.(check bool) "16 tunings recorded" true
+    (Ace_bbv.Scheme.tunings scheme >= 16)
+
+let test_scheme_energy_accounting () =
+  let program = Tu.tiny_program ~reps:20_000 ~worker_instrs:1000 () in
+  let _, scheme = run_bbv program in
+  match Ace_bbv.Scheme.accounting scheme 0 with
+  | Some acct ->
+      Alcotest.(check bool) "energy accounted" true
+        (Ace_power.Accounting.total_nj acct > 0.0)
+  | None -> Alcotest.fail "L1D accounting missing"
+
+let test_scheme_cov_stats () =
+  let program = Tu.tiny_program ~reps:20_000 ~worker_instrs:1000 () in
+  let _, scheme = run_bbv program in
+  Alcotest.(check bool) "per-phase CoV finite and small" true
+    (Ace_bbv.Scheme.mean_per_phase_ipc_cov scheme < 0.5);
+  Alcotest.(check bool) "inter-phase CoV non-negative" true
+    (Ace_bbv.Scheme.inter_phase_ipc_cov scheme >= 0.0)
+
+let suite =
+  [
+    Tu.case "vector empty" test_vector_empty;
+    Tu.case "vector accumulate/normalize" test_vector_accumulate_and_normalize;
+    Tu.case "vector bucket mapping" test_vector_bucket_mapping;
+    Tu.case "vector saturation" test_vector_saturation;
+    Tu.case "vector clear" test_vector_clear;
+    Tu.case "tracker new/recurring" test_tracker_new_and_recurring;
+    Tu.case "tracker stability" test_tracker_stability;
+    Tu.case "tracker all transitional" test_tracker_all_transitional;
+    Tu.case "tracker run tracking" test_tracker_run_tracking;
+    Tu.case "tracker threshold" test_tracker_threshold;
+    Tu.case "tracker growth" test_tracker_growth;
+    Tu.case "scheme requires interval" test_scheme_requires_interval;
+    Tu.case "scheme tunes stable program" test_scheme_tunes_stable_program;
+    Tu.case "scheme energy accounting" test_scheme_energy_accounting;
+    Tu.case "scheme CoV stats" test_scheme_cov_stats;
+  ]

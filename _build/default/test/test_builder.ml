@@ -1,0 +1,93 @@
+module Builder = Ace_isa.Builder
+module Program = Ace_isa.Program
+module Pattern = Ace_isa.Pattern
+module Block = Ace_isa.Block
+
+let test_fresh_ids_and_pcs () =
+  let b = Builder.create ~name:"t" in
+  let pat = Pattern.Random_in { base = 0; extent = 64 } in
+  let b1 = Builder.block b ~instrs:10 ~pattern:pat () in
+  let b2 = Builder.block b ~instrs:10 ~pattern:pat () in
+  Alcotest.(check bool) "distinct ids" true (b1.Block.id <> b2.Block.id);
+  Alcotest.(check bool) "distinct pcs" true (b1.Block.pc <> b2.Block.pc)
+
+let test_data_regions_disjoint () =
+  let b = Builder.create ~name:"t" in
+  let r1 = Builder.alloc_data b ~bytes:1000 in
+  let r2 = Builder.alloc_data b ~bytes:1000 in
+  Alcotest.(check bool) "regions do not overlap" true (r2 >= r1 + 1000);
+  Alcotest.(check int) "64-byte aligned" 0 (r2 mod 64)
+
+let test_finish_validates () =
+  let b = Builder.create ~name:"t" in
+  let blk = Builder.compute_block b ~instrs:50 () in
+  let m = Builder.meth b ~name:"m" [ Builder.exec blk 3 ] in
+  let main = Builder.meth b ~name:"main" [ Builder.call m 2 ] in
+  let p = Builder.finish b ~entry:main in
+  Alcotest.(check int) "total instrs" 300 (Program.total_dynamic_instrs p);
+  Alcotest.(check string) "name" "t" p.Program.name
+
+let test_compute_block_has_no_memory () =
+  let b = Builder.create ~name:"t" in
+  let blk = Builder.compute_block b ~instrs:50 () in
+  Alcotest.(check int) "no memory ops" 0 (Block.memory_ops blk)
+
+let test_bottom_up_only () =
+  (* Call targets must be existing handles, so recursion is impossible by
+     construction; check the types force at least forward references. *)
+  let b = Builder.create ~name:"t" in
+  let blk = Builder.compute_block b ~instrs:10 () in
+  let leaf = Builder.meth b ~name:"leaf" [ Builder.exec blk 1 ] in
+  let mid = Builder.meth b ~name:"mid" [ Builder.call leaf 1 ] in
+  let main = Builder.meth b ~name:"main" [ Builder.call mid 1 ] in
+  let p = Builder.finish b ~entry:main in
+  Alcotest.(check int) "three methods" 3 (Program.method_count p)
+
+let test_method_code_regions () =
+  let b = Builder.create ~name:"t" in
+  let blk1 = Builder.compute_block b ~instrs:100 () in
+  let m1 = Builder.meth b ~name:"m1" [ Builder.exec blk1 1 ] in
+  let blk2 = Builder.compute_block b ~instrs:100 () in
+  let m2 = Builder.meth b ~name:"m2" [ Builder.exec blk2 1 ] in
+  let main = Builder.meth b ~name:"main" [ Builder.call m1 1; Builder.call m2 1 ] in
+  let p = Builder.finish b ~entry:main in
+  let meths = p.Program.methods in
+  let h1 = Builder.handle_id m1 and h2 = Builder.handle_id m2 in
+  Alcotest.(check bool) "code regions ordered and disjoint" true
+    (meths.(h1).Program.code_base + meths.(h1).Program.code_bytes
+    <= meths.(h2).Program.code_base);
+  Alcotest.(check bool) "block pc inside its method region" true
+    (blk2.Block.pc >= meths.(h2).Program.code_base
+    || blk2.Block.pc >= meths.(h1).Program.code_base)
+
+let prop_generated_programs_valid =
+  QCheck.Test.make ~name:"builder output always validates" ~count:100
+    QCheck.(
+      triple (int_range 1 5) (int_range 1 6) (int_range 1 2000))
+    (fun (n_methods, blocks_per, instrs) ->
+      let b = Builder.create ~name:"gen" in
+      let prev = ref None in
+      for i = 0 to n_methods - 1 do
+        let body =
+          List.init blocks_per (fun _ ->
+              Builder.exec (Builder.compute_block b ~instrs ()) 1)
+          @ (match !prev with Some h -> [ Builder.call h 2 ] | None -> [])
+        in
+        prev := Some (Builder.meth b ~name:(Printf.sprintf "m%d" i) body)
+      done;
+      match !prev with
+      | None -> false
+      | Some entry ->
+          let p = Builder.finish b ~entry in
+          Program.validate p = Ok ())
+
+let suite =
+  [
+    Tu.case "fresh ids and pcs" test_fresh_ids_and_pcs;
+    Tu.case "data regions disjoint" test_data_regions_disjoint;
+    Tu.case "finish validates" test_finish_validates;
+    Tu.case "compute block" test_compute_block_has_no_memory;
+    Tu.case "bottom-up construction" test_bottom_up_only;
+    Tu.case "method code regions" test_method_code_regions;
+    Tu.qcheck prop_generated_programs_valid;
+  ]

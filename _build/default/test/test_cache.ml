@@ -1,0 +1,208 @@
+module Cache = Ace_mem.Cache
+
+let cfg ?(size = 1024) ?(assoc = 2) ?(line = 64) () =
+  { Cache.size_bytes = size; assoc; line_bytes = line }
+
+let mk ?size ?assoc ?line () = Cache.create (cfg ?size ?assoc ?line ())
+
+let test_config_validation () =
+  Alcotest.(check bool) "valid" true (Cache.config_valid (cfg ()));
+  Alcotest.(check bool) "non-pow2 line" false
+    (Cache.config_valid (cfg ~line:48 ()));
+  Alcotest.(check bool) "size not multiple" false
+    (Cache.config_valid (cfg ~size:1000 ()));
+  Alcotest.(check bool) "non-pow2 sets" false
+    (Cache.config_valid { Cache.size_bytes = 3 * 128; assoc = 1; line_bytes = 64 });
+  Alcotest.check_raises "create rejects bad geometry"
+    (Invalid_argument "Cache.create: invalid geometry") (fun () ->
+      ignore (Cache.create (cfg ~line:48 ())))
+
+let test_cold_miss_then_hit () =
+  let c = mk () in
+  Alcotest.(check bool) "cold miss" true (Cache.access c 0 ~write:false = Cache.Miss);
+  Alcotest.(check bool) "then hit" true (Cache.access c 0 ~write:false = Cache.Hit);
+  Alcotest.(check bool) "same line hits" true
+    (Cache.access c 63 ~write:false = Cache.Hit);
+  Alcotest.(check bool) "next line misses" true
+    (Cache.access c 64 ~write:false = Cache.Miss)
+
+let test_lru_within_set () =
+  (* 1 KB, 2-way, 64 B lines -> 8 sets.  Addresses 0, 512, 1024 map to set 0. *)
+  let c = mk () in
+  ignore (Cache.access c 0 ~write:false);
+  ignore (Cache.access c 512 ~write:false);
+  (* touch 0 to make 512 the LRU *)
+  ignore (Cache.access c 0 ~write:false);
+  ignore (Cache.access c 1024 ~write:false);
+  (* 512 should have been evicted, 0 should survive *)
+  Alcotest.(check bool) "0 survives" true (Cache.access c 0 ~write:false = Cache.Hit);
+  Alcotest.(check bool) "512 evicted" true
+    (Cache.access c 512 ~write:false <> Cache.Hit)
+
+let test_dirty_writeback () =
+  let c = mk ~assoc:1 () in
+  (* direct-mapped: 16 sets.  Write line 0, then evict with a conflicting
+     line: should report a dirty victim at address 0. *)
+  ignore (Cache.access c 0 ~write:true);
+  (match Cache.access c 1024 ~write:false with
+  | Cache.Miss_dirty_victim ->
+      Alcotest.(check int) "victim address" 0 (Cache.last_victim_addr c)
+  | Cache.Hit | Cache.Miss -> Alcotest.fail "expected dirty victim");
+  Alcotest.(check int) "one writeback" 1 (Cache.Stats.writebacks c)
+
+let test_clean_eviction_no_writeback () =
+  let c = mk ~assoc:1 () in
+  ignore (Cache.access c 0 ~write:false);
+  Alcotest.(check bool) "clean victim" true
+    (Cache.access c 1024 ~write:false = Cache.Miss);
+  Alcotest.(check int) "no writebacks" 0 (Cache.Stats.writebacks c)
+
+let test_write_hit_marks_dirty () =
+  let c = mk ~assoc:1 () in
+  ignore (Cache.access c 0 ~write:false);
+  ignore (Cache.access c 0 ~write:true);
+  Alcotest.(check int) "one dirty line" 1 (Cache.dirty_lines c);
+  ignore (Cache.access c 1024 ~write:false);
+  Alcotest.(check int) "writeback on eviction" 1 (Cache.Stats.writebacks c)
+
+let test_capacity_fits () =
+  (* Touch exactly [size] bytes; second pass must be all hits. *)
+  let c = mk ~size:2048 () in
+  for i = 0 to 31 do
+    ignore (Cache.access c (i * 64) ~write:false)
+  done;
+  let hits_before = Cache.Stats.hits c in
+  for i = 0 to 31 do
+    ignore (Cache.access c (i * 64) ~write:false)
+  done;
+  Alcotest.(check int) "working set = capacity: all hits" 32
+    (Cache.Stats.hits c - hits_before)
+
+let test_capacity_exceeded () =
+  (* Sequential sweep over 2x capacity keeps missing on every revisit. *)
+  let c = mk ~size:1024 () in
+  for _pass = 1 to 3 do
+    for i = 0 to 31 do
+      ignore (Cache.access c (i * 64) ~write:false)
+    done
+  done;
+  Alcotest.(check int) "sequential over-capacity always misses" 96
+    (Cache.Stats.misses c)
+
+let test_resize_flushes_dirty () =
+  let c = mk ~size:2048 () in
+  for i = 0 to 15 do
+    ignore (Cache.access c (i * 64) ~write:true)
+  done;
+  Alcotest.(check int) "16 dirty lines" 16 (Cache.dirty_lines c);
+  let flushed = Cache.resize c ~size_bytes:1024 in
+  Alcotest.(check int) "all flushed" 16 flushed;
+  Alcotest.(check int) "flush counter" 16 (Cache.Stats.flush_writebacks c);
+  Alcotest.(check int) "new size" 1024 (Cache.config c).Cache.size_bytes;
+  Alcotest.(check bool) "cache empty after resize" true
+    (Cache.access c 0 ~write:false <> Cache.Hit);
+  Alcotest.(check int) "one resize recorded" 1 (Cache.Stats.resizes c)
+
+let test_resize_noop () =
+  let c = mk ~size:2048 () in
+  ignore (Cache.access c 0 ~write:true);
+  Alcotest.(check int) "same-size resize is free" 0 (Cache.resize c ~size_bytes:2048);
+  Alcotest.(check bool) "contents preserved" true (Cache.access c 0 ~write:false = Cache.Hit)
+
+let test_resize_up () =
+  let c = mk ~size:1024 () in
+  ignore (Cache.access c 0 ~write:true);
+  let flushed = Cache.resize c ~size_bytes:4096 in
+  Alcotest.(check int) "grow also flushes dirty" 1 flushed;
+  Alcotest.(check int) "bigger now" 4096 (Cache.config c).Cache.size_bytes
+
+let test_iter_dirty () =
+  let c = mk ~size:1024 () in
+  ignore (Cache.access c 0 ~write:true);
+  ignore (Cache.access c 128 ~write:false);
+  ignore (Cache.access c 256 ~write:true);
+  let dirty = ref [] in
+  Cache.iter_dirty c (fun a -> dirty := a :: !dirty);
+  Alcotest.(check (list int)) "dirty addresses" [ 0; 256 ] (List.sort compare !dirty)
+
+let test_invalidate_all () =
+  let c = mk ~size:1024 () in
+  ignore (Cache.access c 0 ~write:true);
+  ignore (Cache.access c 64 ~write:false);
+  Alcotest.(check int) "one dirty flushed" 1 (Cache.invalidate_all c);
+  Alcotest.(check int) "empty" 0 (Cache.dirty_lines c);
+  Alcotest.(check bool) "all lines gone" true (Cache.access c 64 ~write:false <> Cache.Hit)
+
+let test_stats_consistency () =
+  let c = mk () in
+  let rng = Ace_util.Rng.create ~seed:2 in
+  for _ = 1 to 5000 do
+    ignore (Cache.access c (Ace_util.Rng.int rng 16384) ~write:(Ace_util.Rng.bool rng))
+  done;
+  Alcotest.(check int) "hits + misses = accesses" (Cache.Stats.accesses c)
+    (Cache.Stats.hits c + Cache.Stats.misses c);
+  Alcotest.(check bool) "miss rate in [0,1]" true
+    (Cache.Stats.miss_rate c >= 0.0 && Cache.Stats.miss_rate c <= 1.0)
+
+let test_paper_geometries () =
+  (* Every configuration from Table 2 must be constructible. *)
+  List.iter
+    (fun size ->
+      ignore (Cache.create { Cache.size_bytes = size * 1024; assoc = 2; line_bytes = 64 }))
+    [ 64; 32; 16; 8 ];
+  List.iter
+    (fun size ->
+      ignore (Cache.create { Cache.size_bytes = size * 1024; assoc = 4; line_bytes = 128 }))
+    [ 1024; 512; 256; 128 ]
+
+let prop_miss_rate_monotone_capacity =
+  (* Larger caches never have more misses on the same random trace (holds
+     for LRU by inclusion). *)
+  QCheck.Test.make ~name:"LRU inclusion: bigger cache, fewer misses" ~count:30
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, assoc_pow) ->
+      let assoc = 1 lsl (assoc_pow - 1) in
+      let small = Cache.create { Cache.size_bytes = 2048; assoc; line_bytes = 64 } in
+      let big = Cache.create { Cache.size_bytes = 8192; assoc = assoc * 4; line_bytes = 64 } in
+      let rng = Ace_util.Rng.create ~seed in
+      for _ = 1 to 3000 do
+        let a = Ace_util.Rng.int rng 32768 in
+        ignore (Cache.access small a ~write:false);
+        ignore (Cache.access big a ~write:false)
+      done;
+      Cache.Stats.misses big <= Cache.Stats.misses small)
+
+let prop_writebacks_bounded_by_writes =
+  QCheck.Test.make ~name:"writebacks never exceed write count" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let c = mk () in
+      let rng = Ace_util.Rng.create ~seed in
+      let writes = ref 0 in
+      for _ = 1 to 2000 do
+        let w = Ace_util.Rng.bool rng in
+        if w then incr writes;
+        ignore (Cache.access c (Ace_util.Rng.int rng 65536) ~write:w)
+      done;
+      Cache.Stats.writebacks c + Cache.dirty_lines c <= !writes)
+
+let suite =
+  [
+    Tu.case "config validation" test_config_validation;
+    Tu.case "cold miss then hit" test_cold_miss_then_hit;
+    Tu.case "LRU within set" test_lru_within_set;
+    Tu.case "dirty writeback" test_dirty_writeback;
+    Tu.case "clean eviction" test_clean_eviction_no_writeback;
+    Tu.case "write hit marks dirty" test_write_hit_marks_dirty;
+    Tu.case "capacity fits" test_capacity_fits;
+    Tu.case "capacity exceeded" test_capacity_exceeded;
+    Tu.case "resize flushes dirty" test_resize_flushes_dirty;
+    Tu.case "resize noop" test_resize_noop;
+    Tu.case "resize up" test_resize_up;
+    Tu.case "iter_dirty" test_iter_dirty;
+    Tu.case "invalidate all" test_invalidate_all;
+    Tu.case "stats consistency" test_stats_consistency;
+    Tu.case "paper geometries" test_paper_geometries;
+    Tu.qcheck prop_miss_rate_monotone_capacity;
+    Tu.qcheck prop_writebacks_bounded_by_writes;
+  ]

@@ -1,0 +1,347 @@
+(* ACE core: CU, Hw guard, decoupling, tuner. *)
+module Cu = Ace_core.Cu
+module Hw = Ace_core.Hw
+module Decoupling = Ace_core.Decoupling
+module Tuner = Ace_core.Tuner
+module Engine = Ace_vm.Engine
+
+let engine () = Engine.create (Tu.tiny_program ())
+
+(* A synthetic CU for guard tests: 4 settings, interval 100, no flush. *)
+let test_cu ?(interval = 100) () =
+  let applied = ref [] in
+  let cu =
+    {
+      Cu.name = "test";
+      family = None;
+      setting_labels = [| "3"; "2"; "1"; "0" |];
+      setting_sizes = [| 4000; 3000; 2000; 1000 |];
+      reconfig_interval = interval;
+      apply =
+        (fun idx ->
+          applied := idx :: !applied;
+          idx);
+      accesses_now = (fun () -> 0);
+      energy_proxy = (fun _ ~setting -> float_of_int setting);
+      current = 0;
+      last_reconfig_instr = 0;
+      applied_count = 0;
+      denied_count = 0;
+    }
+  in
+  (cu, applied)
+
+let test_hw_unchanged () =
+  let cu, applied = test_cu () in
+  Alcotest.(check bool) "same setting is a no-op" true
+    (Hw.request cu ~setting:0 ~now_instrs:1000 = Hw.Unchanged);
+  Alcotest.(check (list int)) "apply not called" [] !applied
+
+let test_hw_applied () =
+  let cu, applied = test_cu () in
+  (match Hw.request cu ~setting:2 ~now_instrs:1000 with
+  | Hw.Applied { flushed_lines } -> Alcotest.(check int) "flush from apply" 2 flushed_lines
+  | Hw.Unchanged | Hw.Denied -> Alcotest.fail "expected Applied");
+  Alcotest.(check int) "current updated" 2 cu.Cu.current;
+  Alcotest.(check int) "guard counter updated" 1000 cu.Cu.last_reconfig_instr;
+  Alcotest.(check int) "applied count" 1 cu.Cu.applied_count;
+  Alcotest.(check (list int)) "apply called once" [ 2 ] !applied
+
+let test_hw_guard_denies () =
+  let cu, _ = test_cu ~interval:100 () in
+  ignore (Hw.request cu ~setting:1 ~now_instrs:1000);
+  Alcotest.(check bool) "too-early request dropped" true
+    (Hw.request cu ~setting:2 ~now_instrs:1050 = Hw.Denied);
+  Alcotest.(check int) "setting unchanged" 1 cu.Cu.current;
+  Alcotest.(check int) "denied counted" 1 cu.Cu.denied_count;
+  Alcotest.(check bool) "after the interval it works" true
+    (match Hw.request cu ~setting:2 ~now_instrs:1100 with
+    | Hw.Applied _ -> true
+    | Hw.Unchanged | Hw.Denied -> false)
+
+let test_hw_force_bypasses_guard () =
+  let cu, _ = test_cu ~interval:1_000_000 () in
+  ignore (Hw.request cu ~setting:1 ~now_instrs:10);
+  Alcotest.(check bool) "force ignores the interval" true
+    (match Hw.force cu ~setting:3 ~now_instrs:20 with
+    | Hw.Applied _ -> true
+    | Hw.Unchanged | Hw.Denied -> false)
+
+let test_hw_range_check () =
+  let cu, _ = test_cu () in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Hw.request: setting 9 out of range for test") (fun () ->
+      ignore (Hw.request cu ~setting:9 ~now_instrs:0))
+
+(* --- decoupling --- *)
+
+let paper_cus () =
+  let e = engine () in
+  [| Cu.l1d e; Cu.l2 e |]
+
+let test_class_bounds () =
+  let e = engine () in
+  let l1d = Cu.l1d e and l2 = Cu.l2 e in
+  Alcotest.(check (pair int int)) "L1D alone takes everything above 50K"
+    (50_000, max_int) (Decoupling.class_bounds l1d);
+  Alcotest.(check (pair int int)) "L2 from 500K" (500_000, max_int)
+    (Decoupling.class_bounds l2)
+
+let test_assign_paper_classes () =
+  let cus = paper_cus () in
+  let assign size = Decoupling.assign ~cus ~size ~decoupling:true in
+  Alcotest.(check (list int)) "too small" [] (assign 10_000);
+  Alcotest.(check (list int)) "L1D class at 50K" [ 0 ] (assign 50_000);
+  Alcotest.(check (list int)) "L1D class at 499K" [ 0 ] (assign 499_999);
+  Alcotest.(check (list int)) "L2 class at 500K" [ 1 ] (assign 500_000);
+  Alcotest.(check (list int)) "L2 class at 50M" [ 1 ] (assign 50_000_000)
+
+let test_assign_no_decoupling () =
+  let cus = paper_cus () in
+  let assign size = Decoupling.assign ~cus ~size ~decoupling:false in
+  Alcotest.(check (list int)) "too small still unmanaged" [] (assign 10_000);
+  Alcotest.(check (list int)) "everything else manages all CUs" [ 0; 1 ]
+    (assign 60_000);
+  Alcotest.(check (list int)) "large too" [ 0; 1 ] (assign 5_000_000)
+
+let test_assign_three_cus () =
+  let e = engine () in
+  let cus = [| Cu.l1d e; Cu.l2 e; Cu.issue_queue e |] in
+  let assign size = Decoupling.assign ~cus ~size ~decoupling:true in
+  Alcotest.(check (list int)) "IQ class at 20K" [ 2 ] (assign 20_000);
+  Alcotest.(check (list int)) "L1D class" [ 0 ] (assign 100_000);
+  Alcotest.(check (list int)) "L2 class" [ 1 ] (assign 2_000_000)
+
+let test_assign_four_cus_overlap () =
+  let e = engine () in
+  let cus = [| Cu.l1d e; Cu.l2 e; Cu.issue_queue e; Cu.reorder_buffer e |] in
+  let assign size = Decoupling.assign ~cus ~size ~decoupling:true in
+  (* IQ [5K,50K) and ROB [2.5K,25K) overlap: a 10K hotspot manages both
+     jointly (the subset, per §3.2.2), a 40K one only the IQ. *)
+  Alcotest.(check (list int)) "overlap manages both" [ 2; 3 ] (assign 10_000);
+  Alcotest.(check (list int)) "above ROB range" [ 2 ] (assign 40_000);
+  Alcotest.(check (list int)) "below IQ range" [ 3 ] (assign 3_000);
+  (* Joint configuration list is the 4x4 product. *)
+  Alcotest.(check int) "joint configs" 16
+    (Array.length (Decoupling.configurations ~cus ~managed:[ 2; 3 ]))
+
+let test_reorder_buffer_effect () =
+  let cycles_with setting =
+    let e = Engine.create (Tu.tiny_program ~reps:200 ()) in
+    let rob = Cu.reorder_buffer e in
+    (match Hw.force rob ~setting ~now_instrs:0 with
+    | Hw.Applied _ | Hw.Unchanged -> ()
+    | Hw.Denied -> Alcotest.fail "force cannot be denied");
+    Engine.run e;
+    Engine.cycles e
+  in
+  Alcotest.(check bool) "smaller ROB exposes more miss latency" true
+    (cycles_with 3 > cycles_with 0)
+
+let test_configurations_single () =
+  let cus = paper_cus () in
+  let configs = Decoupling.configurations ~cus ~managed:[ 0 ] in
+  Alcotest.(check int) "4 settings" 4 (Array.length configs);
+  Alcotest.(check (array int)) "largest first" [| 0 |] configs.(0);
+  Alcotest.(check (array int)) "smallest last" [| 3 |] configs.(3)
+
+let test_configurations_product () =
+  let cus = paper_cus () in
+  let configs = Decoupling.configurations ~cus ~managed:[ 0; 1 ] in
+  Alcotest.(check int) "16 combinations" 16 (Array.length configs);
+  Alcotest.(check (array int)) "all-max first" [| 0; 0 |] configs.(0);
+  Alcotest.(check (array int)) "all-min last" [| 3; 3 |] configs.(15);
+  (* Every combination appears exactly once. *)
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "unique" false (Hashtbl.mem seen (c.(0), c.(1)));
+      Hashtbl.replace seen (c.(0), c.(1)) ())
+    configs;
+  (* Ordered by decreasing total capacity (increasing index sum). *)
+  let sums = Array.map (fun c -> c.(0) + c.(1)) configs in
+  Array.iteri
+    (fun i s -> if i > 0 then Alcotest.(check bool) "monotone" true (s >= sums.(i - 1)))
+    sums
+
+(* --- tuner --- *)
+
+let params ?(performance_threshold = 0.02) ?(invocations_per_config = 1)
+    ?(warmup = 0) ?(sample_every = 4) ?(retune_threshold = 0.15) () =
+  {
+    Tuner.performance_threshold;
+    retune_threshold;
+    sample_every;
+    invocations_per_config;
+    warmup_invocations = warmup;
+  }
+
+let l1d_configs = [| [| 0 |]; [| 1 |]; [| 2 |]; [| 3 |] |]
+
+(* Drive one tuning invocation: entry (expects Set), applied cleanly, exit
+   with the given measurement. *)
+let step t ~energy ~ipc =
+  (match Tuner.on_entry t with
+  | Tuner.Set _ -> ()
+  | Tuner.Nothing -> Alcotest.fail "expected a configuration request");
+  Tuner.entry_outcome t ~applied:true ~changed:false;
+  Tuner.on_exit t ~energy ~ipc
+
+let test_tuner_full_sweep_selects_min_energy () =
+  let t = Tuner.create (params ()) ~configs:l1d_configs in
+  (* Equal IPC everywhere: the smallest (cheapest) config must win. *)
+  let energies = [| 8.0; 4.0; 2.0; 1.0 |] in
+  let finished = ref None in
+  Array.iteri
+    (fun i e ->
+      match step t ~energy:e ~ipc:1.5 with
+      | Tuner.Finished cfg -> finished := Some (i, cfg)
+      | Tuner.Continue | Tuner.Retuning -> ())
+    energies;
+  (match !finished with
+  | Some (3, cfg) -> Alcotest.(check (array int)) "smallest selected" [| 3 |] cfg
+  | _ -> Alcotest.fail "tuning should finish on the last configuration");
+  Alcotest.(check bool) "configured" true (Tuner.is_configured t);
+  Alcotest.(check int) "tested all" 4 (Tuner.tested_count t)
+
+let test_tuner_perf_threshold_filters () =
+  let t = Tuner.create (params ()) ~configs:l1d_configs in
+  (* Config 2 and 3 degrade IPC by more than 2%; config 1 is cheapest within
+     the threshold.  Degradation at config 2 also stops the sweep. *)
+  ignore (step t ~energy:8.0 ~ipc:2.0);
+  ignore (step t ~energy:4.0 ~ipc:1.99);
+  (match step t ~energy:2.0 ~ipc:1.5 with
+  | Tuner.Finished cfg -> Alcotest.(check (array int)) "config 1 selected" [| 1 |] cfg
+  | Tuner.Continue | Tuner.Retuning -> Alcotest.fail "early exit expected");
+  Alcotest.(check int) "stopped after 3 tests" 3 (Tuner.tested_count t)
+
+let test_tuner_early_exit_on_degradation () =
+  let t = Tuner.create (params ()) ~configs:l1d_configs in
+  ignore (step t ~energy:8.0 ~ipc:2.0);
+  match step t ~energy:4.0 ~ipc:1.0 with
+  | Tuner.Finished cfg ->
+      (* Config 1 violates the threshold; the best within it is config 0. *)
+      Alcotest.(check (array int)) "falls back to max config" [| 0 |] cfg
+  | Tuner.Continue | Tuner.Retuning -> Alcotest.fail "should stop early"
+
+let test_tuner_denied_retries () =
+  let t = Tuner.create (params ()) ~configs:l1d_configs in
+  (match Tuner.on_entry t with
+  | Tuner.Set cfg -> Alcotest.(check (array int)) "first config" [| 0 |] cfg
+  | Tuner.Nothing -> Alcotest.fail "expected Set");
+  Tuner.entry_outcome t ~applied:false ~changed:false;
+  Alcotest.(check bool) "not measuring after denial" false (Tuner.measuring t);
+  ignore (Tuner.on_exit t ~energy:1.0 ~ipc:1.0);
+  (* Same config is requested again. *)
+  match Tuner.on_entry t with
+  | Tuner.Set cfg -> Alcotest.(check (array int)) "retried" [| 0 |] cfg
+  | Tuner.Nothing -> Alcotest.fail "expected Set again"
+
+let test_tuner_change_warms () =
+  let t = Tuner.create (params ()) ~configs:l1d_configs in
+  ignore (Tuner.on_entry t);
+  Tuner.entry_outcome t ~applied:true ~changed:true;
+  Alcotest.(check bool) "measurement skipped on the flush invocation" false
+    (Tuner.measuring t)
+
+let test_tuner_averaging () =
+  let t = Tuner.create (params ~invocations_per_config:2 ()) ~configs:l1d_configs in
+  (* Each config needs two measured invocations. *)
+  ignore (step t ~energy:10.0 ~ipc:2.0);
+  Alcotest.(check int) "not yet recorded" 0 (Tuner.tested_count t);
+  ignore (step t ~energy:20.0 ~ipc:2.0);
+  Alcotest.(check int) "recorded after two" 1 (Tuner.tested_count t)
+
+let test_tuner_warmup () =
+  let t = Tuner.create (params ~warmup:2 ()) ~configs:l1d_configs in
+  Alcotest.(check bool) "warmup entry does nothing" true (Tuner.on_entry t = Tuner.Nothing);
+  ignore (Tuner.on_exit t ~energy:0.0 ~ipc:0.0);
+  Alcotest.(check bool) "still warming" true (Tuner.on_entry t = Tuner.Nothing);
+  ignore (Tuner.on_exit t ~energy:0.0 ~ipc:0.0);
+  match Tuner.on_entry t with
+  | Tuner.Set _ -> ()
+  | Tuner.Nothing -> Alcotest.fail "warmup should be over"
+
+let finish_quickly t =
+  (* Complete tuning with flat measurements; config 3 wins. *)
+  for _ = 0 to 3 do
+    ignore (step t ~energy:1.0 ~ipc:1.5)
+  done
+
+let test_tuner_sampling_and_retune () =
+  let t = Tuner.create (params ~sample_every:2 ~retune_threshold:0.10 ()) ~configs:l1d_configs in
+  finish_quickly t;
+  Alcotest.(check bool) "configured" true (Tuner.is_configured t);
+  (* Exits 1 (not sampling), 2 (sampling, same ipc -> no retune). *)
+  ignore (Tuner.on_entry t);
+  ignore (Tuner.on_exit t ~energy:1.0 ~ipc:1.5);
+  ignore (Tuner.on_entry t);
+  Alcotest.(check bool) "sampling exit measures" true (Tuner.measuring t);
+  (match Tuner.on_exit t ~energy:1.0 ~ipc:1.5 with
+  | Tuner.Continue -> ()
+  | Tuner.Finished _ | Tuner.Retuning -> Alcotest.fail "stable ipc: no retune");
+  (* Now a big drift on the next sampling exit triggers re-tuning. *)
+  ignore (Tuner.on_entry t);
+  ignore (Tuner.on_exit t ~energy:1.0 ~ipc:1.5);
+  ignore (Tuner.on_entry t);
+  (match Tuner.on_exit t ~energy:1.0 ~ipc:0.5 with
+  | Tuner.Retuning -> ()
+  | Tuner.Continue | Tuner.Finished _ -> Alcotest.fail "drift should retune");
+  Alcotest.(check int) "round counter" 2 (Tuner.rounds t);
+  Alcotest.(check bool) "back in tuning" false (Tuner.is_configured t)
+
+let test_tuner_selected () =
+  let t = Tuner.create (params ()) ~configs:l1d_configs in
+  Alcotest.(check bool) "none before" true (Tuner.selected t = None);
+  finish_quickly t;
+  Alcotest.(check bool) "selected after" true (Tuner.selected t <> None)
+
+let test_tuner_empty_configs_rejected () =
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Tuner.create: empty configuration list") (fun () ->
+      ignore (Tuner.create (params ()) ~configs:[||]))
+
+let prop_tuner_always_terminates =
+  QCheck.Test.make ~name:"tuner reaches Configured within |configs| tests" ~count:100
+    QCheck.(pair small_int (list_of_size (Gen.return 16) (float_range 0.1 4.0)))
+    (fun (seed, ipcs) ->
+      let rng = Ace_util.Rng.create ~seed in
+      let configs = Decoupling.configurations ~cus:(paper_cus ()) ~managed:[ 0; 1 ] in
+      let t = Tuner.create (params ()) ~configs in
+      let finished = ref false in
+      List.iter
+        (fun ipc ->
+          if not !finished then
+            match step t ~energy:(Ace_util.Rng.float rng 10.0) ~ipc with
+            | Tuner.Finished _ -> finished := true
+            | Tuner.Continue | Tuner.Retuning -> ())
+        ipcs;
+      !finished)
+
+let suite =
+  [
+    Tu.case "hw unchanged" test_hw_unchanged;
+    Tu.case "hw applied" test_hw_applied;
+    Tu.case "hw guard denies" test_hw_guard_denies;
+    Tu.case "hw force" test_hw_force_bypasses_guard;
+    Tu.case "hw range check" test_hw_range_check;
+    Tu.case "class bounds" test_class_bounds;
+    Tu.case "assign paper classes" test_assign_paper_classes;
+    Tu.case "assign without decoupling" test_assign_no_decoupling;
+    Tu.case "assign three CUs" test_assign_three_cus;
+    Tu.case "assign four CUs (overlapping classes)" test_assign_four_cus_overlap;
+    Tu.case "reorder buffer effect" test_reorder_buffer_effect;
+    Tu.case "configurations single CU" test_configurations_single;
+    Tu.case "configurations product" test_configurations_product;
+    Tu.case "tuner selects min energy" test_tuner_full_sweep_selects_min_energy;
+    Tu.case "tuner perf threshold" test_tuner_perf_threshold_filters;
+    Tu.case "tuner early exit" test_tuner_early_exit_on_degradation;
+    Tu.case "tuner denied retries" test_tuner_denied_retries;
+    Tu.case "tuner change warms" test_tuner_change_warms;
+    Tu.case "tuner averaging" test_tuner_averaging;
+    Tu.case "tuner warmup" test_tuner_warmup;
+    Tu.case "tuner sampling and retune" test_tuner_sampling_and_retune;
+    Tu.case "tuner selected" test_tuner_selected;
+    Tu.case "tuner empty configs" test_tuner_empty_configs_rejected;
+    Tu.qcheck prop_tuner_always_terminates;
+  ]

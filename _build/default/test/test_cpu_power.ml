@@ -1,0 +1,168 @@
+(* Timing model and energy model/accounting tests. *)
+module Machine = Ace_cpu.Machine
+module Timing = Ace_cpu.Timing
+module Em = Ace_power.Energy_model
+module Acct = Ace_power.Accounting
+
+let timing () = Timing.create Machine.default
+
+let test_issue_bound () =
+  let t = timing () in
+  (* ILP 8 with quality 1.0 is capped at the 4-wide issue width. *)
+  let c =
+    Timing.block_cycles t ~instrs:400 ~ilp:8.0 ~quality:1.0 ~exposed_mem_cycles:0
+      ~mispredict_rate:0.0
+  in
+  Tu.check_approx "width-capped" 100.0 c
+
+let test_ilp_bound () =
+  let t = timing () in
+  let c =
+    Timing.block_cycles t ~instrs:400 ~ilp:2.0 ~quality:1.0 ~exposed_mem_cycles:0
+      ~mispredict_rate:0.0
+  in
+  Tu.check_approx "ilp-bound" 200.0 c
+
+let test_quality_scales_ipc () =
+  let t = timing () in
+  let base =
+    Timing.block_cycles t ~instrs:400 ~ilp:2.0 ~quality:1.0 ~exposed_mem_cycles:0
+      ~mispredict_rate:0.0
+  in
+  let slow =
+    Timing.block_cycles t ~instrs:400 ~ilp:2.0 ~quality:0.5 ~exposed_mem_cycles:0
+      ~mispredict_rate:0.0
+  in
+  Tu.check_approx "half quality, double time" (base *. 2.0) slow
+
+let test_memory_overlap () =
+  let t = timing () in
+  let c =
+    Timing.block_cycles t ~instrs:4 ~ilp:4.0 ~quality:1.0 ~exposed_mem_cycles:100
+      ~mispredict_rate:0.0
+  in
+  (* 1 issue cycle + 100 * 0.6 overlap. *)
+  Tu.check_approx "overlap factor applied" 61.0 c
+
+let test_mispredicts () =
+  let t = timing () in
+  let c =
+    Timing.block_cycles t ~instrs:1000 ~ilp:4.0 ~quality:1.0 ~exposed_mem_cycles:0
+      ~mispredict_rate:0.01
+  in
+  (* 250 issue + 1000 * 0.01 * 3. *)
+  Tu.check_approx "mispredict penalty" 280.0 c
+
+let test_quality_floor () =
+  let t = timing () in
+  let c =
+    Timing.block_cycles t ~instrs:100 ~ilp:1.0 ~quality:0.001 ~exposed_mem_cycles:0
+      ~mispredict_rate:0.0
+  in
+  (* Effective IPC floored at 0.1. *)
+  Tu.check_approx "ipc floor" 1000.0 c
+
+let test_overhead_cycles () =
+  let t = timing () in
+  Tu.check_approx "stub at width/2 IPC" 20.0 (Timing.overhead_cycles t ~instrs:40)
+
+let test_machine_rows () =
+  Alcotest.(check bool) "Table 2 has >= 9 rows" true
+    (List.length (Machine.rows Machine.default) >= 9)
+
+(* --- energy model --- *)
+
+let test_access_energy_monotone () =
+  let e s = Em.access_energy_nj Em.L1d ~size_bytes:(s * 1024) in
+  Alcotest.(check bool) "monotone in size" true
+    (e 8 < e 16 && e 16 < e 32 && e 32 < e 64)
+
+let test_access_energy_anchor () =
+  Tu.check_approx ~eps:1e-9 "L1 anchor 0.5 nJ at 64 KB" 0.5
+    (Em.access_energy_nj Em.L1d ~size_bytes:(64 * 1024));
+  Tu.check_approx ~eps:1e-9 "L2 anchor 2.5 nJ at 1 MB" 2.5
+    (Em.access_energy_nj Em.L2 ~size_bytes:(1024 * 1024))
+
+let test_leakage_linear () =
+  let l s = Em.leakage_nj_per_cycle Em.L2 ~size_bytes:(s * 1024) in
+  Tu.check_approx ~eps:1e-12 "leakage halves with size" (l 1024 /. 2.0) (l 512);
+  Tu.check_approx ~eps:1e-12 "leakage at 128 KB = 1/8" (l 1024 /. 8.0) (l 128)
+
+let test_line_transfer_positive () =
+  Alcotest.(check bool) "positive transfer energies" true
+    (Em.line_transfer_nj Em.L1d > 0.0 && Em.line_transfer_nj Em.L2 > 0.0)
+
+let test_family_names () =
+  Alcotest.(check string) "L1D" "L1D" (Em.family_name Em.L1d);
+  Alcotest.(check string) "L2" "L2" (Em.family_name Em.L2);
+  Alcotest.(check string) "L1I" "L1I" (Em.family_name Em.L1i)
+
+(* --- accounting --- *)
+
+let test_accounting_single_epoch () =
+  let a = Acct.create Em.L1d ~initial_size:(64 * 1024) in
+  Acct.finish a ~accesses_now:1000 ~cycles_now:10_000.0;
+  let expect_dyn = 1000.0 *. Em.access_energy_nj Em.L1d ~size_bytes:(64 * 1024) in
+  let expect_leak = 10_000.0 *. Em.leakage_nj_per_cycle Em.L1d ~size_bytes:(64 * 1024) in
+  Tu.check_approx ~eps:1e-6 "dynamic" expect_dyn (Acct.dynamic_nj a);
+  Tu.check_approx ~eps:1e-6 "leakage" expect_leak (Acct.leakage_nj a);
+  Tu.check_approx ~eps:1e-6 "total" (expect_dyn +. expect_leak) (Acct.total_nj a);
+  Tu.check_approx ~eps:1e-6 "reconfig energy zero" 0.0 (Acct.reconfig_nj a);
+  Alcotest.(check int) "no reconfigs" 0 (Acct.reconfig_count a)
+
+let test_accounting_reconfig () =
+  let a = Acct.create Em.L1d ~initial_size:(64 * 1024) in
+  Acct.on_reconfig a ~new_size:(8 * 1024) ~accesses_now:1000 ~cycles_now:5000.0
+    ~flushed_lines:10;
+  Acct.finish a ~accesses_now:3000 ~cycles_now:9000.0;
+  let e64 = Em.access_energy_nj Em.L1d ~size_bytes:(64 * 1024) in
+  let e8 = Em.access_energy_nj Em.L1d ~size_bytes:(8 * 1024) in
+  Tu.check_approx ~eps:1e-6 "dynamic split by epoch"
+    ((1000.0 *. e64) +. (2000.0 *. e8))
+    (Acct.dynamic_nj a);
+  Tu.check_approx ~eps:1e-6 "flush energy"
+    (10.0 *. Em.line_transfer_nj Em.L1d)
+    (Acct.reconfig_nj a);
+  Alcotest.(check int) "one reconfig" 1 (Acct.reconfig_count a)
+
+let test_time_weighted_avg () =
+  let a = Acct.create Em.L1d ~initial_size:(64 * 1024) in
+  Acct.on_reconfig a ~new_size:(8 * 1024) ~accesses_now:0 ~cycles_now:1000.0
+    ~flushed_lines:0;
+  Acct.finish a ~accesses_now:0 ~cycles_now:4000.0;
+  (* 1000 cycles at 64K, 3000 at 8K -> (64*1000 + 8*3000)/4000 = 22 KB. *)
+  Tu.check_approx ~eps:1.0 "time-weighted avg" (22.0 *. 1024.0)
+    (Acct.time_weighted_avg_bytes a)
+
+let test_smaller_config_saves_energy () =
+  (* Same activity at 8 KB must cost less than at 64 KB. *)
+  let big = Acct.create Em.L1d ~initial_size:(64 * 1024) in
+  Acct.finish big ~accesses_now:100_000 ~cycles_now:1e6;
+  let small = Acct.create Em.L1d ~initial_size:(8 * 1024) in
+  Acct.finish small ~accesses_now:100_000 ~cycles_now:1e6;
+  Alcotest.(check bool) "downsizing saves energy" true
+    (Acct.total_nj small < Acct.total_nj big);
+  (* And the saving should be substantial (> 50% for 8x downsizing). *)
+  Alcotest.(check bool) "saving > 50%" true
+    (Acct.total_nj small < 0.5 *. Acct.total_nj big)
+
+let suite =
+  [
+    Tu.case "issue bound" test_issue_bound;
+    Tu.case "ilp bound" test_ilp_bound;
+    Tu.case "quality scales ipc" test_quality_scales_ipc;
+    Tu.case "memory overlap" test_memory_overlap;
+    Tu.case "mispredict penalty" test_mispredicts;
+    Tu.case "quality floor" test_quality_floor;
+    Tu.case "overhead cycles" test_overhead_cycles;
+    Tu.case "machine rows" test_machine_rows;
+    Tu.case "access energy monotone" test_access_energy_monotone;
+    Tu.case "access energy anchors" test_access_energy_anchor;
+    Tu.case "leakage linear" test_leakage_linear;
+    Tu.case "line transfer positive" test_line_transfer_positive;
+    Tu.case "family names" test_family_names;
+    Tu.case "accounting single epoch" test_accounting_single_epoch;
+    Tu.case "accounting reconfig epochs" test_accounting_reconfig;
+    Tu.case "time-weighted average size" test_time_weighted_avg;
+    Tu.case "downsizing saves energy" test_smaller_config_saves_energy;
+  ]

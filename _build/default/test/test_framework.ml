@@ -1,0 +1,206 @@
+(* End-to-end framework tests on small programs. *)
+module Engine = Ace_vm.Engine
+module Db = Ace_vm.Do_database
+module Cu = Ace_core.Cu
+module Framework = Ace_core.Framework
+module Kit = Ace_workloads.Kit
+
+let config ?(hot_threshold = 3) () =
+  { Engine.default_config with Engine.hot_threshold }
+
+(* A program whose single L1D-class hotspot has a 4 KB working set: the
+   framework must tune it down. *)
+let small_ws_program ?(reps = 60) () =
+  let k = Kit.create ~name:"smallws" ~seed:3 in
+  let region = Kit.data_region k ~kb:4 in
+  let b = Kit.block k ~instrs:1000 ~mem_frac:0.3 ~access:(Kit.Uniform region) () in
+  let leaf = Kit.meth k ~name:"leaf" [ Kit.exec b 1 ] in
+  let work = Kit.meth k ~name:"work" [ Kit.call leaf 100 ] in
+  let main = Kit.meth k ~name:"main" [ Kit.call work reps ] in
+  Kit.finish k ~entry:main
+
+(* A hotspot whose working set needs the full 64 KB: the framework must
+   keep it large. *)
+let large_ws_program ?(reps = 60) () =
+  let k = Kit.create ~name:"largews" ~seed:4 in
+  let region = Kit.data_region k ~kb:48 in
+  let b = Kit.block k ~instrs:1000 ~mem_frac:0.35 ~access:(Kit.Uniform region) () in
+  let leaf = Kit.meth k ~name:"leaf" [ Kit.exec b 1 ] in
+  let work = Kit.meth k ~name:"work" [ Kit.call leaf 100 ] in
+  let main = Kit.meth k ~name:"main" [ Kit.call work reps ] in
+  Kit.finish k ~entry:main
+
+let attach_and_run ?(fw_config = Framework.default_config) program =
+  let engine = Engine.create ~config:(config ()) program in
+  let cus = [| Cu.l1d engine; Cu.l2 engine |] in
+  let fw = Framework.attach ~config:fw_config engine ~cus in
+  Engine.run engine;
+  Framework.finalize fw;
+  (engine, fw)
+
+let find_view fw name =
+  List.find_opt
+    (fun (v : Framework.hotspot_view) -> v.meth_name = name)
+    (Framework.hotspot_views fw)
+
+let test_small_ws_downsizes () =
+  let _, fw = attach_and_run (small_ws_program ()) in
+  match find_view fw "work" with
+  | Some v ->
+      Alcotest.(check bool) "configured" true v.configured;
+      Alcotest.(check (list string)) "manages L1D" [ "L1D" ] v.managed_cus;
+      let selection = List.assoc "L1D" v.selection in
+      Alcotest.(check bool)
+        (Printf.sprintf "picked a small size (got %s)" selection)
+        true
+        (selection = "8KB" || selection = "16KB")
+  | None -> Alcotest.fail "work should be a managed hotspot"
+
+let test_large_ws_stays_large () =
+  let _, fw = attach_and_run (large_ws_program ()) in
+  match find_view fw "work" with
+  | Some v ->
+      Alcotest.(check bool) "configured" true v.configured;
+      let selection = List.assoc "L1D" v.selection in
+      Alcotest.(check bool)
+        (Printf.sprintf "kept a large size (got %s)" selection)
+        true
+        (selection = "64KB" || selection = "32KB")
+  | None -> Alcotest.fail "work should be a managed hotspot"
+
+let test_energy_saved_vs_fixed () =
+  (* Fixed-max baseline vs managed run on the same program. *)
+  let fixed =
+    let engine = Engine.create ~config:(config ()) (small_ws_program ()) in
+    let acct =
+      Ace_power.Accounting.create Ace_power.Energy_model.L1d
+        ~initial_size:(64 * 1024)
+    in
+    Engine.run engine;
+    Ace_power.Accounting.finish acct
+      ~accesses_now:
+        (Ace_mem.Cache.Stats.accesses (Ace_mem.Hierarchy.l1d (Engine.hierarchy engine)))
+      ~cycles_now:(Engine.cycles engine);
+    Ace_power.Accounting.total_nj acct
+  in
+  let _, fw = attach_and_run (small_ws_program ()) in
+  match Framework.accounting fw 0 with
+  | Some acct ->
+      let adaptive = Ace_power.Accounting.total_nj acct in
+      Alcotest.(check bool)
+        (Printf.sprintf "managed L1D saves energy (%.3g vs %.3g nJ)" adaptive fixed)
+        true (adaptive < 0.8 *. fixed)
+  | None -> Alcotest.fail "L1D accounting missing"
+
+let test_slowdown_bounded () =
+  let cycles_of program managed =
+    let engine = Engine.create ~config:(config ()) program in
+    if managed then begin
+      let cus = [| Cu.l1d engine; Cu.l2 engine |] in
+      let fw = Framework.attach engine ~cus in
+      Engine.run engine;
+      Framework.finalize fw
+    end
+    else Engine.run engine;
+    Engine.cycles engine
+  in
+  let base = cycles_of (small_ws_program ~reps:80 ()) false in
+  let managed = cycles_of (small_ws_program ~reps:80 ()) true in
+  let slowdown = (managed /. base) -. 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "slowdown below 10%% (got %.2f%%)" (slowdown *. 100.0))
+    true (slowdown < 0.10)
+
+let test_coverage_grows_with_invocations () =
+  let coverage reps =
+    let _, fw = attach_and_run (small_ws_program ~reps ()) in
+    (Framework.report fw).(0).Framework.coverage
+  in
+  let short = coverage 20 and long = coverage 200 in
+  Alcotest.(check bool) "longer runs have higher tuned coverage" true (long > short);
+  Alcotest.(check bool) "long-run coverage high" true (long > 0.85)
+
+let test_unmanaged_small_hotspots () =
+  let k = Kit.create ~name:"tiny_hs" ~seed:5 in
+  let b = Kit.block k ~instrs:500 ~mem_frac:0.0 ~access:Kit.No_memory () in
+  let leaf = Kit.meth k ~name:"leaf" [ Kit.exec b 1 ] in
+  (* leaf is 500 instrs: far below the 50 K L1D class bound. *)
+  let main = Kit.meth k ~name:"main" [ Kit.call leaf 50 ] in
+  let program = Kit.finish k ~entry:main in
+  let _, fw = attach_and_run program in
+  Alcotest.(check int) "leaf promoted but unmanaged" 1 (Framework.unmanaged_hotspots fw);
+  Alcotest.(check int) "no managed hotspots" 0 (List.length (Framework.hotspot_views fw))
+
+let test_reports_shape () =
+  let _, fw = attach_and_run (small_ws_program ()) in
+  let reports = Framework.report fw in
+  Alcotest.(check int) "one report per CU" 2 (Array.length reports);
+  Alcotest.(check string) "L1D first" "L1D" reports.(0).Framework.cu_name;
+  Alcotest.(check string) "L2 second" "L2" reports.(1).Framework.cu_name;
+  Alcotest.(check int) "one L1D-class hotspot" 1 reports.(0).Framework.class_hotspots;
+  Alcotest.(check bool) "coverage in [0,1]" true
+    (Array.for_all
+       (fun r -> r.Framework.coverage >= 0.0 && r.Framework.coverage <= 1.0)
+       reports)
+
+let test_finalize_required_and_once () =
+  let engine = Engine.create ~config:(config ()) (small_ws_program ()) in
+  let fw = Framework.attach engine ~cus:[| Cu.l1d engine; Cu.l2 engine |] in
+  Engine.run engine;
+  Alcotest.check_raises "report before finalize"
+    (Invalid_argument "Framework.report: call finalize first") (fun () ->
+      ignore (Framework.report fw));
+  Framework.finalize fw;
+  Alcotest.check_raises "double finalize"
+    (Invalid_argument "Framework.finalize: already finalized") (fun () ->
+      Framework.finalize fw)
+
+let test_decoupling_off_tests_more_configs () =
+  let tunings fw_config =
+    let _, fw = attach_and_run ~fw_config (small_ws_program ~reps:400 ()) in
+    let r = Framework.report fw in
+    (r.(0).Framework.tunings, List.length (Framework.hotspot_views fw))
+  in
+  let dec_tunings, _ = tunings Framework.default_config in
+  let joint_tunings, _ =
+    tunings { Framework.default_config with decoupling = false }
+  in
+  (* Joint tuning explores 16 configurations instead of 4: measured
+     invocations during tuning must be substantially higher. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "joint tuning works harder (%d vs %d)" joint_tunings dec_tunings)
+    true
+    (joint_tunings > dec_tunings)
+
+let test_issue_queue_cu () =
+  let k = Kit.create ~name:"iq" ~seed:6 in
+  let b = Kit.block k ~ilp:3.5 ~instrs:1000 ~mem_frac:0.05
+      ~access:(Kit.Uniform (Kit.data_region k ~kb:2)) () in
+  let leaf = Kit.meth k ~name:"leaf" [ Kit.exec b 1 ] in
+  (* ~20 K instrs: the issue-queue class (5 K - 50 K). *)
+  let work = Kit.meth k ~name:"work" [ Kit.call leaf 20 ] in
+  let main = Kit.meth k ~name:"main" [ Kit.call work 300 ] in
+  let program = Kit.finish k ~entry:main in
+  let engine = Engine.create ~config:(config ()) program in
+  let cus = [| Cu.l1d engine; Cu.l2 engine; Cu.issue_queue engine |] in
+  let fw = Framework.attach engine ~cus in
+  Engine.run engine;
+  Framework.finalize fw;
+  match find_view fw "work" with
+  | Some v ->
+      Alcotest.(check (list string)) "managed by the issue queue" [ "IQ" ] v.managed_cus
+  | None -> Alcotest.fail "work should be IQ-managed"
+
+let suite =
+  [
+    Tu.case "small working set downsizes" test_small_ws_downsizes;
+    Tu.case "large working set stays large" test_large_ws_stays_large;
+    Tu.case "energy saved vs fixed" test_energy_saved_vs_fixed;
+    Tu.case "slowdown bounded" test_slowdown_bounded;
+    Tu.case "coverage grows with invocations" test_coverage_grows_with_invocations;
+    Tu.case "small hotspots unmanaged" test_unmanaged_small_hotspots;
+    Tu.case "report shape" test_reports_shape;
+    Tu.case "finalize protocol" test_finalize_required_and_once;
+    Tu.case "decoupling ablation" test_decoupling_off_tests_more_configs;
+    Tu.case "issue queue CU" test_issue_queue_cu;
+  ]

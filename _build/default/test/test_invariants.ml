@@ -1,0 +1,183 @@
+(* Cross-module invariants and remaining unit coverage: invocation profiles,
+   energy bookkeeping consistency, hierarchy traffic conservation, and
+   whole-run conservation laws. *)
+module Engine = Ace_vm.Engine
+module Profile = Ace_vm.Profile
+module Hierarchy = Ace_mem.Hierarchy
+module Cache = Ace_mem.Cache
+module Em = Ace_power.Energy_model
+module Acct = Ace_power.Accounting
+
+let test_profile_ipc () =
+  let p =
+    {
+      Profile.instrs = 1000;
+      cycles = 500.0;
+      l1d_accesses = 0;
+      l1d_misses = 0;
+      l2_accesses = 0;
+      l2_misses = 0;
+    }
+  in
+  Tu.check_approx "ipc" 2.0 (Profile.ipc p);
+  Tu.check_approx "zero cycles" 0.0 (Profile.ipc { p with Profile.cycles = 0.0 })
+
+let test_profile_energy_monotone_in_size () =
+  let p =
+    {
+      Profile.instrs = 10_000;
+      cycles = 8000.0;
+      l1d_accesses = 2500;
+      l1d_misses = 50;
+      l2_accesses = 60;
+      l2_misses = 5;
+    }
+  in
+  let e8 = Profile.l1d_energy_nj p ~size_bytes:(8 * 1024) ~leak_cycles:p.Profile.cycles in
+  let e64 = Profile.l1d_energy_nj p ~size_bytes:(64 * 1024) ~leak_cycles:p.Profile.cycles in
+  Alcotest.(check bool) "smaller L1D cheaper for same profile" true (e8 < e64);
+  let l128 = Profile.l2_energy_nj p ~size_bytes:(128 * 1024) ~leak_cycles:p.Profile.cycles in
+  let l1m = Profile.l2_energy_nj p ~size_bytes:(1024 * 1024) ~leak_cycles:p.Profile.cycles in
+  Alcotest.(check bool) "smaller L2 cheaper for same profile" true (l128 < l1m)
+
+let test_l2_energy_leakage_dominated () =
+  (* With few accesses and many cycles (the L2's regime), leakage dominates
+     the proxy — the structural property Figure 3b relies on. *)
+  let p =
+    {
+      Profile.instrs = 1_000_000;
+      cycles = 700_000.0;
+      l1d_accesses = 0;
+      l1d_misses = 0;
+      l2_accesses = 5_000;
+      l2_misses = 100;
+    }
+  in
+  let dynamic = float_of_int p.Profile.l2_accesses *. Em.access_energy_nj Em.L2 ~size_bytes:(1 lsl 20) in
+  let leak = p.Profile.cycles *. Em.leakage_nj_per_cycle Em.L2 ~size_bytes:(1 lsl 20) in
+  Alcotest.(check bool) "leakage > dynamic at 1 MB" true (leak > dynamic)
+
+let test_hierarchy_traffic_conservation () =
+  (* L2 accesses = L1D misses + L1D dirty writebacks + L1I misses (modulo
+     resize replays, absent here). *)
+  let h = Hierarchy.create () in
+  let rng = Ace_util.Rng.create ~seed:9 in
+  for _ = 1 to 20_000 do
+    ignore
+      (Hierarchy.data_access h
+         ~addr:(Ace_util.Rng.int rng (1 lsl 21))
+         ~write:(Ace_util.Rng.bernoulli rng 0.3))
+  done;
+  for _ = 1 to 500 do
+    ignore (Hierarchy.ifetch h ~pc:(Ace_util.Rng.int rng (1 lsl 18)))
+  done;
+  let l1d = Hierarchy.l1d h and l1i = Hierarchy.l1i h and l2 = Hierarchy.l2 h in
+  Alcotest.(check int) "L2 access conservation"
+    (Cache.Stats.misses l1d + Cache.Stats.writebacks l1d + Cache.Stats.misses l1i)
+    (Cache.Stats.accesses l2)
+
+let test_memory_traffic_conservation () =
+  let h = Hierarchy.create () in
+  let rng = Ace_util.Rng.create ~seed:10 in
+  for _ = 1 to 20_000 do
+    ignore
+      (Hierarchy.data_access h
+         ~addr:(Ace_util.Rng.int rng (1 lsl 22))
+         ~write:(Ace_util.Rng.bernoulli rng 0.3))
+  done;
+  let l2 = Hierarchy.l2 h in
+  Alcotest.(check int) "memory reads = L2 misses" (Cache.Stats.misses l2)
+    (Hierarchy.memory_reads h);
+  Alcotest.(check int) "memory writebacks = L2 dirty evictions"
+    (Cache.Stats.writebacks l2)
+    (Hierarchy.memory_writebacks h)
+
+let test_engine_cache_counters_match_blocks () =
+  (* L1D accesses equal the program's total loads+stores. *)
+  let p = Tu.tiny_program ~reps:50 ~worker_instrs:1000 () in
+  let e = Engine.create p in
+  Engine.run e;
+  let expected = 50 * (100 + 50) in
+  Alcotest.(check int) "L1D accesses = program memory ops" expected
+    (Cache.Stats.accesses (Hierarchy.l1d (Engine.hierarchy e)))
+
+let test_invocation_profiles_partition_run () =
+  (* The entry method's single invocation profile covers the whole run's
+     program instructions. *)
+  let p = Tu.tiny_program ~reps:30 () in
+  let e = Engine.create p in
+  let main_profile = ref None in
+  (Engine.hooks e).Engine.on_method_exit <-
+    (fun ~meth_id profile -> if meth_id = 1 then main_profile := Some profile);
+  Engine.run e;
+  match !main_profile with
+  | Some pr -> Alcotest.(check int) "main profile inclusive" (Engine.instrs e) pr.Profile.instrs
+  | None -> Alcotest.fail "main never exited"
+
+let test_accounting_epochs_partition_energy () =
+  (* Splitting the same activity into many epochs at one size equals one
+     epoch (no double counting). *)
+  let one = Acct.create Em.L1d ~initial_size:(64 * 1024) in
+  Acct.finish one ~accesses_now:90_000 ~cycles_now:300_000.0;
+  let many = Acct.create Em.L1d ~initial_size:(64 * 1024) in
+  for i = 1 to 9 do
+    Acct.on_reconfig many ~new_size:(64 * 1024)
+      ~accesses_now:(i * 10_000)
+      ~cycles_now:(float_of_int i *. 30_000.0)
+      ~flushed_lines:0
+  done;
+  Acct.finish many ~accesses_now:90_000 ~cycles_now:300_000.0;
+  Tu.check_approx ~eps:1e-6 "epoch partition" (Acct.total_nj one) (Acct.total_nj many)
+
+let test_do_database_set_instrument () =
+  let db = Ace_vm.Do_database.create ~methods:2 in
+  Ace_vm.Do_database.set_instrument db 0 Ace_vm.Instrument.Tuning;
+  let e = Ace_vm.Do_database.entry db 0 in
+  Alcotest.(check int) "entry overhead" 40 e.Ace_vm.Do_database.entry_overhead;
+  Alcotest.(check int) "exit overhead" 30 e.Ace_vm.Do_database.exit_overhead;
+  Ace_vm.Do_database.set_instrument db 0 Ace_vm.Instrument.Plain;
+  Alcotest.(check int) "reset to plain" 0 e.Ace_vm.Do_database.entry_overhead
+
+let test_estimated_size_before_any_exit () =
+  let db = Ace_vm.Do_database.create ~methods:1 in
+  Alcotest.(check int) "no samples -> 0" 0
+    (Ace_vm.Do_database.estimated_size (Ace_vm.Do_database.entry db 0))
+
+let prop_engine_conserves_instructions =
+  QCheck.Test.make ~name:"engine retires exactly the program's instructions"
+    ~count:15
+    QCheck.(pair (int_range 1 40) (int_range 100 3000))
+    (fun (reps, worker_instrs) ->
+      let p = Tu.tiny_program ~reps ~worker_instrs () in
+      let e = Engine.create p in
+      Engine.run e;
+      Engine.instrs e = reps * worker_instrs)
+
+let prop_accounting_total_is_sum_of_parts =
+  QCheck.Test.make ~name:"accounting total = dynamic + leakage + reconfig"
+    ~count:50
+    QCheck.(triple (int_range 0 100000) (int_range 0 1000000) (int_range 0 500))
+    (fun (accesses, cycles, flushed) ->
+      let a = Acct.create Em.L1d ~initial_size:(64 * 1024) in
+      Acct.on_reconfig a ~new_size:(16 * 1024) ~accesses_now:accesses
+        ~cycles_now:(float_of_int cycles) ~flushed_lines:flushed;
+      Acct.finish a ~accesses_now:(accesses * 2) ~cycles_now:(float_of_int (cycles * 2));
+      Tu.approx ~eps:1e-6
+        (Acct.total_nj a)
+        (Acct.dynamic_nj a +. Acct.leakage_nj a +. Acct.reconfig_nj a))
+
+let suite =
+  [
+    Tu.case "profile ipc" test_profile_ipc;
+    Tu.case "profile energy monotone" test_profile_energy_monotone_in_size;
+    Tu.case "L2 energy leakage-dominated" test_l2_energy_leakage_dominated;
+    Tu.case "hierarchy traffic conservation" test_hierarchy_traffic_conservation;
+    Tu.case "memory traffic conservation" test_memory_traffic_conservation;
+    Tu.case "engine cache counters" test_engine_cache_counters_match_blocks;
+    Tu.case "invocation profiles partition run" test_invocation_profiles_partition_run;
+    Tu.case "accounting epochs partition energy" test_accounting_epochs_partition_energy;
+    Tu.case "do-database set_instrument" test_do_database_set_instrument;
+    Tu.case "estimated size before exits" test_estimated_size_before_any_exit;
+    Tu.qcheck prop_engine_conserves_instructions;
+    Tu.qcheck prop_accounting_total_is_sum_of_parts;
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "ace-reproduction"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("table", Test_table.suite);
+      ("pattern", Test_pattern.suite);
+      ("program", Test_program.suite);
+      ("builder", Test_builder.suite);
+      ("cache", Test_cache.suite);
+      ("mem", Test_mem.suite);
+      ("cpu+power", Test_cpu_power.suite);
+      ("vm", Test_vm.suite);
+      ("core", Test_core_lib.suite);
+      ("framework", Test_framework.suite);
+      ("predictor", Test_predictor.suite);
+      ("bbv", Test_bbv.suite);
+      ("next-phase", Test_next_phase.suite);
+      ("workloads", Test_workloads.suite);
+      ("harness", Test_harness.suite);
+      ("run-variants", Test_run_variants.suite);
+      ("invariants", Test_invariants.suite);
+    ]

@@ -1,0 +1,141 @@
+(* TLB and hierarchy tests. *)
+module Tlb = Ace_mem.Tlb
+module Hierarchy = Ace_mem.Hierarchy
+module Cache = Ace_mem.Cache
+
+let test_tlb_hit_miss () =
+  let t = Tlb.create () in
+  Alcotest.(check bool) "cold miss" false (Tlb.access t 0);
+  Alcotest.(check bool) "then hit" true (Tlb.access t 0);
+  Alcotest.(check bool) "same page hits" true (Tlb.access t 4095);
+  Alcotest.(check bool) "next page misses" false (Tlb.access t 4096)
+
+let test_tlb_capacity () =
+  let t = Tlb.create ~entries:4 () in
+  for p = 0 to 3 do
+    ignore (Tlb.access t (p * 4096))
+  done;
+  (* All four resident. *)
+  for p = 0 to 3 do
+    Alcotest.(check bool) "resident" true (Tlb.access t (p * 4096))
+  done;
+  (* Fifth page evicts the oldest (page 0, FIFO). *)
+  ignore (Tlb.access t (4 * 4096));
+  Alcotest.(check bool) "page 0 evicted" false (Tlb.access t 0)
+
+let test_tlb_counters () =
+  let t = Tlb.create ~entries:2 () in
+  ignore (Tlb.access t 0);
+  ignore (Tlb.access t 0);
+  ignore (Tlb.access t 8192);
+  Alcotest.(check int) "accesses" 3 (Tlb.accesses t);
+  Alcotest.(check int) "misses" 2 (Tlb.misses t)
+
+let test_tlb_flush () =
+  let t = Tlb.create () in
+  ignore (Tlb.access t 0);
+  Tlb.flush t;
+  Alcotest.(check bool) "flushed" false (Tlb.access t 0)
+
+let test_hierarchy_latencies () =
+  let h = Hierarchy.create () in
+  let lat = Hierarchy.latencies h in
+  (* Cold access: L1 miss + L2 miss + memory + TLB miss. *)
+  let cold = Hierarchy.data_access h ~addr:0 ~write:false in
+  Alcotest.(check int) "cold latency"
+    (lat.Hierarchy.l1_hit + lat.Hierarchy.l2_hit + lat.Hierarchy.memory
+   + lat.Hierarchy.tlb_miss)
+    cold;
+  (* Warm: L1 hit. *)
+  Alcotest.(check int) "warm latency" lat.Hierarchy.l1_hit
+    (Hierarchy.data_access h ~addr:0 ~write:false)
+
+let test_hierarchy_l2_hit_latency () =
+  let h = Hierarchy.create () in
+  let lat = Hierarchy.latencies h in
+  ignore (Hierarchy.data_access h ~addr:0 ~write:false);
+  (* Evict from L1 (64 KB, 2-way, 64 B lines -> 512 sets): two conflicting
+     lines at 32 KB strides. *)
+  ignore (Hierarchy.data_access h ~addr:(1 lsl 15) ~write:false);
+  ignore (Hierarchy.data_access h ~addr:(2 lsl 15) ~write:false);
+  (* Address 0 now misses L1 but hits L2 (1 MB holds all three). *)
+  let l2_hit = Hierarchy.data_access h ~addr:0 ~write:false in
+  Alcotest.(check int) "L1 miss, L2 hit"
+    (lat.Hierarchy.l1_hit + lat.Hierarchy.l2_hit)
+    l2_hit
+
+let test_hierarchy_ifetch () =
+  let h = Hierarchy.create () in
+  let lat = Hierarchy.latencies h in
+  let cold = Hierarchy.ifetch h ~pc:0x4000 in
+  Alcotest.(check int) "cold ifetch misses to memory"
+    (lat.Hierarchy.l1_hit + lat.Hierarchy.l2_hit + lat.Hierarchy.memory)
+    cold;
+  Alcotest.(check int) "warm ifetch" lat.Hierarchy.l1_hit
+    (Hierarchy.ifetch h ~pc:0x4000)
+
+let test_resize_l1d_writes_into_l2 () =
+  let h = Hierarchy.create () in
+  (* Dirty a line in L1D only (L2 also gets the fill, but the dirty data is
+     in L1). *)
+  ignore (Hierarchy.data_access h ~addr:0 ~write:true);
+  let l2_accesses_before = Cache.Stats.accesses (Hierarchy.l2 h) in
+  let flushed = Hierarchy.resize_l1d h ~size_bytes:(32 * 1024) in
+  Alcotest.(check int) "one dirty line flushed" 1 flushed;
+  Alcotest.(check bool) "flush wrote into L2" true
+    (Cache.Stats.accesses (Hierarchy.l2 h) > l2_accesses_before);
+  Alcotest.(check int) "L1D resized" (32 * 1024)
+    (Cache.config (Hierarchy.l1d h)).Cache.size_bytes
+
+let test_resize_l2_writes_to_memory () =
+  let h = Hierarchy.create () in
+  ignore (Hierarchy.data_access h ~addr:0 ~write:true);
+  (* Push the dirty line down into L2 by flushing L1D first. *)
+  ignore (Hierarchy.resize_l1d h ~size_bytes:(32 * 1024));
+  let wb_before = Hierarchy.memory_writebacks h in
+  let flushed = Hierarchy.resize_l2 h ~size_bytes:(512 * 1024) in
+  Alcotest.(check bool) "L2 flush produced memory writebacks" true (flushed >= 1);
+  Alcotest.(check bool) "memory writeback counter advanced" true
+    (Hierarchy.memory_writebacks h >= wb_before + flushed)
+
+let test_resize_l1d_noop () =
+  let h = Hierarchy.create () in
+  ignore (Hierarchy.data_access h ~addr:0 ~write:true);
+  Alcotest.(check int) "same size: no flush" 0
+    (Hierarchy.resize_l1d h ~size_bytes:(64 * 1024));
+  Alcotest.(check bool) "contents preserved" true
+    (Hierarchy.data_access h ~addr:0 ~write:false
+    = (Hierarchy.latencies h).Hierarchy.l1_hit)
+
+let test_memory_reads_counted () =
+  let h = Hierarchy.create () in
+  ignore (Hierarchy.data_access h ~addr:0 ~write:false);
+  ignore (Hierarchy.data_access h ~addr:1_000_000 ~write:false);
+  Alcotest.(check int) "two lines from memory" 2 (Hierarchy.memory_reads h)
+
+let test_default_geometry () =
+  let h = Hierarchy.create () in
+  Alcotest.(check int) "L1D 64KB" (64 * 1024)
+    (Cache.config (Hierarchy.l1d h)).Cache.size_bytes;
+  Alcotest.(check int) "L2 1MB" (1024 * 1024)
+    (Cache.config (Hierarchy.l2 h)).Cache.size_bytes;
+  Alcotest.(check int) "L1I 64KB" (64 * 1024)
+    (Cache.config (Hierarchy.l1i h)).Cache.size_bytes;
+  Alcotest.(check int) "L2 line 128B" 128
+    (Cache.config (Hierarchy.l2 h)).Cache.line_bytes
+
+let suite =
+  [
+    Tu.case "tlb hit/miss" test_tlb_hit_miss;
+    Tu.case "tlb capacity (FIFO)" test_tlb_capacity;
+    Tu.case "tlb counters" test_tlb_counters;
+    Tu.case "tlb flush" test_tlb_flush;
+    Tu.case "hierarchy latencies" test_hierarchy_latencies;
+    Tu.case "hierarchy L2 hit latency" test_hierarchy_l2_hit_latency;
+    Tu.case "hierarchy ifetch" test_hierarchy_ifetch;
+    Tu.case "resize L1D writes into L2" test_resize_l1d_writes_into_l2;
+    Tu.case "resize L2 writes to memory" test_resize_l2_writes_to_memory;
+    Tu.case "resize L1D noop" test_resize_l1d_noop;
+    Tu.case "memory reads counted" test_memory_reads_counted;
+    Tu.case "default geometry (Table 2)" test_default_geometry;
+  ]

@@ -1,0 +1,89 @@
+(* Markov next-phase predictor tests. *)
+module Np = Ace_bbv.Next_phase
+
+let test_no_prediction_cold () =
+  let p = Np.create () in
+  Alcotest.(check bool) "cold predictor abstains" true (Np.predict p ~current:0 = None)
+
+let test_learns_deterministic_chain () =
+  let p = Np.create () in
+  (* A -> B -> A -> B ... *)
+  for _ = 1 to 5 do
+    Np.observe p ~prev:0 ~next:1;
+    Np.observe p ~prev:1 ~next:0
+  done;
+  Alcotest.(check (option int)) "after A comes B" (Some 1) (Np.predict p ~current:0);
+  Alcotest.(check (option int)) "after B comes A" (Some 0) (Np.predict p ~current:1)
+
+let test_self_transitions () =
+  let p = Np.create () in
+  for _ = 1 to 4 do
+    Np.observe p ~prev:7 ~next:7
+  done;
+  Alcotest.(check (option int)) "stable phase predicts itself" (Some 7)
+    (Np.predict p ~current:7)
+
+let test_confidence_bar () =
+  let p = Np.create ~min_count:2 ~min_confidence:0.6 () in
+  (* 50/50 successor split: no confident prediction. *)
+  for _ = 1 to 4 do
+    Np.observe p ~prev:0 ~next:1;
+    Np.observe p ~prev:0 ~next:2
+  done;
+  Alcotest.(check (option int)) "ambiguous successors abstain" None
+    (Np.predict p ~current:0)
+
+let test_min_count () =
+  let p = Np.create ~min_count:3 () in
+  Np.observe p ~prev:0 ~next:1;
+  Np.observe p ~prev:0 ~next:1;
+  Alcotest.(check (option int)) "too few observations" None (Np.predict p ~current:0);
+  Np.observe p ~prev:0 ~next:1;
+  Alcotest.(check (option int)) "enough observations" (Some 1) (Np.predict p ~current:0)
+
+let test_accuracy_tracking () =
+  let p = Np.create () in
+  Np.record_outcome p ~predicted:(Some 1) ~actual:1;
+  Np.record_outcome p ~predicted:(Some 1) ~actual:2;
+  Np.record_outcome p ~predicted:None ~actual:5;
+  Alcotest.(check int) "two predictions issued" 2 (Np.predictions p);
+  Alcotest.(check int) "one correct" 1 (Np.correct p);
+  Tu.check_approx "accuracy" 0.5 (Np.accuracy p)
+
+let test_accuracy_empty () =
+  let p = Np.create () in
+  Tu.check_approx "no predictions -> 0" 0.0 (Np.accuracy p)
+
+(* Scheme integration: a strongly alternating program must yield accurate
+   predictions. *)
+let test_scheme_integration () =
+  let w = Ace_workloads.Compress.workload in
+  let r =
+    Ace_harness.Run.run ~scale:0.4 ~bbv_prediction:true w Ace_harness.Scheme.Bbv
+  in
+  match r.Ace_harness.Run.bbv_predictor with
+  | None -> Alcotest.fail "predictor stats missing"
+  | Some (total, correct, accuracy) ->
+      Alcotest.(check bool) "predictions issued" true (total > 5);
+      Alcotest.(check bool) "mostly correct on a regular program" true
+        (accuracy > 0.5);
+      Alcotest.(check bool) "correct <= total" true (correct <= total)
+
+let test_scheme_disabled_by_default () =
+  let w = Ace_workloads.Compress.workload in
+  let r = Ace_harness.Run.run ~scale:0.1 w Ace_harness.Scheme.Bbv in
+  Alcotest.(check bool) "paper baseline has no predictor" true
+    (r.Ace_harness.Run.bbv_predictor = None)
+
+let suite =
+  [
+    Tu.case "cold predictor abstains" test_no_prediction_cold;
+    Tu.case "learns deterministic chain" test_learns_deterministic_chain;
+    Tu.case "self transitions" test_self_transitions;
+    Tu.case "confidence bar" test_confidence_bar;
+    Tu.case "min count" test_min_count;
+    Tu.case "accuracy tracking" test_accuracy_tracking;
+    Tu.case "accuracy empty" test_accuracy_empty;
+    Tu.slow_case "scheme integration" test_scheme_integration;
+    Tu.case "scheme disabled by default" test_scheme_disabled_by_default;
+  ]

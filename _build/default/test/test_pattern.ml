@@ -1,0 +1,105 @@
+module Pattern = Ace_isa.Pattern
+module Rng = Ace_util.Rng
+
+let rng () = Rng.create ~seed:1
+
+let addresses pattern n =
+  let c = Pattern.cursor pattern in
+  let rng = rng () in
+  List.init n (fun _ -> Pattern.next c ~rng)
+
+let test_sequential_walk () =
+  let p = Pattern.Sequential { base = 1000; extent = 64; stride = 16 } in
+  Alcotest.(check (list int)) "walk with wrap"
+    [ 1000; 1016; 1032; 1048; 1000; 1016 ]
+    (addresses p 6)
+
+let test_sequential_stride_one () =
+  let p = Pattern.Sequential { base = 0; extent = 3; stride = 1 } in
+  Alcotest.(check (list int)) "unit stride" [ 0; 1; 2; 0 ] (addresses p 4)
+
+let test_random_in_bounds () =
+  let p = Pattern.Random_in { base = 5000; extent = 256 } in
+  List.iter
+    (fun a -> Alcotest.(check bool) "in region" true (a >= 5000 && a < 5256))
+    (addresses p 500)
+
+let test_chase_in_bounds () =
+  let p = Pattern.Pointer_chase { base = 9000; extent = 1024 } in
+  List.iter
+    (fun a -> Alcotest.(check bool) "in region" true (a >= 9000 && a < 9000 + 1024))
+    (addresses p 500)
+
+let test_chase_deterministic () =
+  let p = Pattern.Pointer_chase { base = 0; extent = 4096 } in
+  Alcotest.(check (list int)) "chase needs no rng" (addresses p 20) (addresses p 20)
+
+let test_chase_covers () =
+  (* The chaotic walk should touch a reasonable number of distinct words. *)
+  let p = Pattern.Pointer_chase { base = 0; extent = 1024 } in
+  let seen = Hashtbl.create 64 in
+  List.iter (fun a -> Hashtbl.replace seen a ()) (addresses p 1000);
+  Alcotest.(check bool) "covers many distinct addresses" true (Hashtbl.length seen > 32)
+
+let test_reset () =
+  let p = Pattern.Sequential { base = 0; extent = 100; stride = 8 } in
+  let c = Pattern.cursor p in
+  let r = rng () in
+  let first = Pattern.next c ~rng:r in
+  ignore (Pattern.next c ~rng:r);
+  Pattern.reset c;
+  Alcotest.(check int) "reset returns to start" first (Pattern.next c ~rng:r)
+
+let test_footprint () =
+  Alcotest.(check int) "sequential footprint" 64
+    (Pattern.footprint (Pattern.Sequential { base = 0; extent = 64; stride = 8 }));
+  Alcotest.(check int) "random footprint" 128
+    (Pattern.footprint (Pattern.Random_in { base = 0; extent = 128 }))
+
+let test_base () =
+  Alcotest.(check int) "base" 42
+    (Pattern.base (Pattern.Random_in { base = 42; extent = 1 }))
+
+let test_validate () =
+  let ok p = Alcotest.(check bool) "valid" true (Pattern.validate p = Ok ()) in
+  let bad p = Alcotest.(check bool) "invalid" true (Result.is_error (Pattern.validate p)) in
+  ok (Pattern.Sequential { base = 0; extent = 1; stride = 1 });
+  bad (Pattern.Sequential { base = 0; extent = 1; stride = 0 });
+  bad (Pattern.Sequential { base = -1; extent = 1; stride = 1 });
+  bad (Pattern.Random_in { base = 0; extent = 0 });
+  ok (Pattern.Pointer_chase { base = 0; extent = 8 })
+
+let prop_all_patterns_in_bounds =
+  QCheck.Test.make ~name:"all patterns stay in their region" ~count:200
+    QCheck.(
+      triple (int_range 0 1_000_000) (int_range 8 65536) (int_range 0 2))
+    (fun (base, extent, kind) ->
+      let pattern =
+        match kind with
+        | 0 -> Pattern.Sequential { base; extent; stride = 8 }
+        | 1 -> Pattern.Random_in { base; extent }
+        | _ -> Pattern.Pointer_chase { base; extent }
+      in
+      let c = Pattern.cursor pattern in
+      let rng = Rng.create ~seed:base in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let a = Pattern.next c ~rng in
+        if a < base || a >= base + extent then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Tu.case "sequential walk" test_sequential_walk;
+    Tu.case "sequential unit stride" test_sequential_stride_one;
+    Tu.case "random in bounds" test_random_in_bounds;
+    Tu.case "chase in bounds" test_chase_in_bounds;
+    Tu.case "chase deterministic" test_chase_deterministic;
+    Tu.case "chase coverage" test_chase_covers;
+    Tu.case "cursor reset" test_reset;
+    Tu.case "footprint" test_footprint;
+    Tu.case "base" test_base;
+    Tu.case "validate" test_validate;
+    Tu.qcheck prop_all_patterns_in_bounds;
+  ]

@@ -1,0 +1,170 @@
+(* Static configuration prediction (the paper's §6 future work). *)
+module Predictor = Ace_core.Predictor
+module Cu = Ace_core.Cu
+module Kit = Ace_workloads.Kit
+module Engine = Ace_vm.Engine
+module Framework = Ace_core.Framework
+
+(* Program with a known working set: one 6 KB hot region + one 96 KB stream
+   + one 512 KB spray, nested under an L2-class phase. *)
+let program () =
+  let k = Kit.create ~name:"pred" ~seed:2 in
+  let hot = Kit.data_region k ~kb:6 in
+  let streambuf = Kit.data_region k ~kb:96 in
+  let spray = Kit.data_region k ~kb:512 in
+  let hot_leaf =
+    Kit.meth k ~name:"hot_leaf"
+      [ Kit.exec (Kit.block k ~instrs:1000 ~mem_frac:0.3 ~access:(Kit.Uniform hot) ()) 1 ]
+  in
+  let stream_leaf =
+    Kit.meth k ~name:"stream_leaf"
+      [
+        Kit.exec
+          (Kit.block k ~instrs:1000 ~mem_frac:0.3 ~access:(Kit.Stream (streambuf, 8)) ())
+          1;
+      ]
+  in
+  let spray_leaf =
+    Kit.meth k ~name:"spray_leaf"
+      [ Kit.exec (Kit.block k ~instrs:1000 ~mem_frac:0.2 ~access:(Kit.Uniform spray) ()) 1 ]
+  in
+  let work =
+    Kit.meth k ~name:"work"
+      [ Kit.call hot_leaf 60; Kit.call stream_leaf 30; Kit.call spray_leaf 10 ]
+  in
+  let phase = Kit.meth k ~name:"phase" [ Kit.call work 6 ] in
+  let main = Kit.meth k ~name:"main" [ Kit.call phase 60 ] in
+  (Kit.finish k ~entry:main, 3 (* work *), 4 (* phase *))
+
+let test_analyze_excludes_streams_and_sprays () =
+  let p, work, _ = program () in
+  let ws = Predictor.analyze p ~meth_id:work in
+  (* L1 set: just the 6 KB hot region (stream excluded as sequential, spray
+     excluded as > 96 KB). *)
+  Alcotest.(check int) "l1 working set" (6 * 1024) ws.Predictor.l1_bytes;
+  (* L2 set: all data regions + code. *)
+  Alcotest.(check bool) "l2 includes everything" true
+    (ws.Predictor.l2_bytes >= (6 + 96 + 512) * 1024)
+
+let test_analyze_inclusive_of_callees () =
+  let p, work, phase = program () in
+  let w1 = Predictor.analyze p ~meth_id:work in
+  let w2 = Predictor.analyze p ~meth_id:phase in
+  Alcotest.(check int) "parent sees the same data" w1.Predictor.l1_bytes
+    w2.Predictor.l1_bytes
+
+let test_union_of_overlapping_windows () =
+  let k = Kit.create ~name:"overlap" ~seed:3 in
+  let big = Kit.data_region k ~kb:32 in
+  let w1 = Kit.sub_region k big ~at_kb:0 ~kb:8 in
+  let w2 = Kit.sub_region k big ~at_kb:4 ~kb:8 in
+  let leaf name w =
+    Kit.meth k ~name
+      [ Kit.exec (Kit.block k ~instrs:500 ~mem_frac:0.3 ~access:(Kit.Uniform w) ()) 1 ]
+  in
+  let a = leaf "a" w1 and b = leaf "b" w2 in
+  let m = Kit.meth k ~name:"m" [ Kit.call a 1; Kit.call b 1 ] in
+  let p = Kit.finish k ~entry:m in
+  let ws = Predictor.analyze p ~meth_id:(Ace_isa.Builder.handle_id m) in
+  (* Windows [0,8K) and [4K,12K) union to 12 KB, not 16 KB. *)
+  Alcotest.(check int) "interval union" (12 * 1024) ws.Predictor.l1_bytes
+
+let mk_l1d () =
+  let e = Engine.create (Tu.tiny_program ()) in
+  Cu.l1d e
+
+let test_pick_setting_small () =
+  let cu = mk_l1d () in
+  Alcotest.(check int) "6KB -> 8KB setting" 3
+    (Predictor.pick_setting cu ~working_set:(6 * 1024));
+  Alcotest.(check int) "10KB -> 16KB setting" 2
+    (Predictor.pick_setting cu ~working_set:(10 * 1024));
+  Alcotest.(check int) "40KB -> 64KB setting" 0
+    (Predictor.pick_setting cu ~working_set:(40 * 1024))
+
+let test_pick_setting_partial_residency () =
+  let cu = mk_l1d () in
+  (* Slightly over the largest: keep the largest. *)
+  Alcotest.(check int) "80KB -> 64KB (largest)" 0
+    (Predictor.pick_setting cu ~working_set:(80 * 1024))
+
+let test_pick_setting_streaming () =
+  let cu = mk_l1d () in
+  (* Far over the largest: misses are unavoidable, take the cheapest. *)
+  Alcotest.(check int) "1MB -> 8KB (smallest)" 3
+    (Predictor.pick_setting cu ~working_set:(1024 * 1024))
+
+let test_predict_end_to_end () =
+  let p, work, phase = program () in
+  let e = Engine.create p in
+  let cus = [| Cu.l1d e; Cu.l2 e |] in
+  (match Predictor.predict p ~cus ~managed:[ 0 ] ~meth_id:work with
+  | Some cfg -> Alcotest.(check (array int)) "work -> 8KB L1D" [| 3 |] cfg
+  | None -> Alcotest.fail "expected a prediction");
+  match Predictor.predict p ~cus ~managed:[ 1 ] ~meth_id:phase with
+  | Some cfg ->
+      (* ~614 KB + code: the 1 MB setting. *)
+      Alcotest.(check (array int)) "phase -> 1MB L2" [| 0 |] cfg
+  | None -> Alcotest.fail "expected a prediction"
+
+let test_predict_refuses_non_cache_cu () =
+  let p, work, _ = program () in
+  let e = Engine.create p in
+  let cus = [| Cu.issue_queue e |] in
+  Alcotest.(check bool) "no static model for the issue queue" true
+    (Predictor.predict p ~cus ~managed:[ 0 ] ~meth_id:work = None)
+
+let test_framework_prediction_skips_tuning () =
+  let p, _, _ = program () in
+  let engine =
+    Engine.create ~config:{ Engine.default_config with hot_threshold = 3 } p
+  in
+  let cus = [| Cu.l1d engine; Cu.l2 engine |] in
+  let fw =
+    Framework.attach
+      ~config:{ Framework.default_config with prediction = true }
+      engine ~cus
+  in
+  Engine.run engine;
+  Framework.finalize fw;
+  let reports = Framework.report fw in
+  Alcotest.(check bool) "hotspots predicted" true
+    (Array.exists (fun r -> r.Framework.predicted_hotspots > 0) reports);
+  Alcotest.(check int) "no tuning trials" 0
+    (Array.fold_left (fun a r -> a + r.Framework.tunings) 0 reports);
+  (* Predicted hotspots count as configured: coverage must be high. *)
+  Alcotest.(check bool) "L1D coverage high" true (reports.(0).Framework.coverage > 0.8);
+  (* And the 6 KB working set must have produced a small L1D. *)
+  List.iter
+    (fun (v : Framework.hotspot_view) ->
+      if v.Framework.meth_name = "work" then
+        Alcotest.(check (list (pair string string))) "predicted selection"
+          [ ("L1D", "8KB") ] v.Framework.selection)
+    (Framework.hotspot_views fw)
+
+let test_tuner_create_configured () =
+  let t =
+    Ace_core.Tuner.create_configured Ace_core.Tuner.default_params
+      ~configs:[| [| 0 |]; [| 1 |] |]
+      ~best:[| 1 |]
+  in
+  Alcotest.(check bool) "starts configured" true (Ace_core.Tuner.is_configured t);
+  Alcotest.(check bool) "selected is the prediction" true
+    (Ace_core.Tuner.selected t = Some [| 1 |]);
+  match Ace_core.Tuner.on_entry t with
+  | Ace_core.Tuner.Set cfg -> Alcotest.(check (array int)) "applies it" [| 1 |] cfg
+  | Ace_core.Tuner.Nothing -> Alcotest.fail "expected Set"
+
+let suite =
+  [
+    Tu.case "analyze excludes streams/sprays" test_analyze_excludes_streams_and_sprays;
+    Tu.case "analyze inclusive of callees" test_analyze_inclusive_of_callees;
+    Tu.case "analyze unions overlapping windows" test_union_of_overlapping_windows;
+    Tu.case "pick_setting small sets" test_pick_setting_small;
+    Tu.case "pick_setting partial residency" test_pick_setting_partial_residency;
+    Tu.case "pick_setting streaming" test_pick_setting_streaming;
+    Tu.case "predict end to end" test_predict_end_to_end;
+    Tu.case "predict refuses non-cache CU" test_predict_refuses_non_cache_cu;
+    Tu.case "framework prediction skips tuning" test_framework_prediction_skips_tuning;
+    Tu.case "tuner create_configured" test_tuner_create_configured;
+  ]

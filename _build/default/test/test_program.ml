@@ -1,0 +1,159 @@
+module Program = Ace_isa.Program
+module Block = Ace_isa.Block
+
+let ok p =
+  match Program.validate p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid program, got: %s" e
+
+let test_tiny_valid () = ok (Tu.tiny_program ())
+
+let test_block_validate () =
+  let b = Tu.block () in
+  Alcotest.(check bool) "valid block" true (Block.validate b = Ok ());
+  Alcotest.(check bool) "zero instrs invalid" true
+    (Result.is_error (Block.validate (Tu.block ~instrs:0 ())));
+  Alcotest.(check bool) "too many mem ops invalid" true
+    (Result.is_error (Block.validate (Tu.block ~instrs:10 ~loads:8 ~stores:8 ())));
+  Alcotest.(check int) "memory_ops" 15 (Block.memory_ops b)
+
+let test_entry_out_of_range () =
+  let p = { (Tu.tiny_program ()) with Program.entry = 9 } in
+  Alcotest.(check bool) "invalid entry" true (Result.is_error (Program.validate p))
+
+let test_misnumbered_methods () =
+  let p = Tu.tiny_program () in
+  let methods = Array.copy p.Program.methods in
+  methods.(0) <- { methods.(0) with Program.id = 5 };
+  let p = { p with Program.methods = methods } in
+  Alcotest.(check bool) "bad ids rejected" true (Result.is_error (Program.validate p))
+
+let test_recursion_rejected () =
+  let m id name callee =
+    {
+      Program.id;
+      name;
+      code_base = 0x1000 * (id + 1);
+      code_bytes = 64;
+      body = [ Program.Call (callee, 1) ];
+    }
+  in
+  let p =
+    {
+      Program.name = "rec";
+      methods = [| m 0 "a" 1; m 1 "b" 0 |];
+      entry = 0;
+      data_bytes = 0;
+    }
+  in
+  Alcotest.(check bool) "mutual recursion rejected" true
+    (Result.is_error (Program.validate p))
+
+let test_self_recursion_rejected () =
+  let p =
+    {
+      Program.name = "self";
+      methods =
+        [|
+          {
+            Program.id = 0;
+            name = "a";
+            code_base = 0x1000;
+            code_bytes = 64;
+            body = [ Program.Call (0, 1) ];
+          };
+        |];
+      entry = 0;
+      data_bytes = 0;
+    }
+  in
+  Alcotest.(check bool) "self recursion rejected" true
+    (Result.is_error (Program.validate p))
+
+let test_bad_call_target () =
+  let p = Tu.tiny_program () in
+  let methods = Array.copy p.Program.methods in
+  methods.(1) <- { methods.(1) with Program.body = [ Program.Call (7, 1) ] };
+  let p = { p with Program.methods = methods } in
+  Alcotest.(check bool) "unknown callee rejected" true
+    (Result.is_error (Program.validate p))
+
+let test_zero_count_rejected () =
+  let p = Tu.tiny_program () in
+  let methods = Array.copy p.Program.methods in
+  methods.(1) <- { methods.(1) with Program.body = [ Program.Call (0, 0) ] };
+  let p = { p with Program.methods = methods } in
+  Alcotest.(check bool) "zero repeat rejected" true
+    (Result.is_error (Program.validate p))
+
+let test_duplicate_block_ids () =
+  let b1 = Tu.block ~id:0 ~pc:0x100 () and b2 = Tu.block ~id:0 ~pc:0x200 () in
+  let p =
+    {
+      Program.name = "dup";
+      methods =
+        [|
+          {
+            Program.id = 0;
+            name = "m";
+            code_base = 0x100;
+            code_bytes = 64;
+            body = [ Program.Exec (b1, 1); Program.Exec (b2, 1) ];
+          };
+        |];
+      entry = 0;
+      data_bytes = 0;
+    }
+  in
+  Alcotest.(check bool) "duplicate ids rejected" true
+    (Result.is_error (Program.validate p))
+
+let test_inclusive_size () =
+  let p = Tu.tiny_program ~reps:10 ~worker_instrs:1000 () in
+  let sizes = Program.inclusive_size p in
+  Alcotest.(check int) "worker size" 1000 sizes.(0);
+  Alcotest.(check int) "main size" 10_000 sizes.(1);
+  Alcotest.(check int) "total" 10_000 (Program.total_dynamic_instrs p)
+
+let test_nested_sizes () =
+  let p, `Leaf leaf, `Middle middle, `Outer outer = Tu.nested_program () in
+  let sizes = Program.inclusive_size p in
+  Alcotest.(check int) "leaf" 1000 sizes.(leaf);
+  Alcotest.(check int) "middle = 100 leaves" 100_000 sizes.(middle);
+  Alcotest.(check int) "outer = 6 middles" 600_000 sizes.(outer)
+
+let test_invocation_counts () =
+  let p, `Leaf leaf, `Middle middle, `Outer outer = Tu.nested_program ~outer_reps:40 () in
+  let counts = Program.invocation_counts p in
+  Alcotest.(check int) "outer invoked 40x" 40 counts.(outer);
+  Alcotest.(check int) "middle invoked 240x" 240 counts.(middle);
+  Alcotest.(check int) "leaf invoked 24000x" 24_000 counts.(leaf)
+
+let test_reachable () =
+  let p = Tu.tiny_program () in
+  let r = Program.reachable p in
+  Alcotest.(check (array bool)) "all reachable" [| true; true |] r
+
+let test_counts () =
+  let p, _, _, _ = Tu.nested_program () in
+  Alcotest.(check int) "methods" 4 (Program.method_count p);
+  Alcotest.(check int) "blocks" 1 (Program.block_count p);
+  Alcotest.(check int) "max block id" 0 (Program.max_block_id p)
+
+let suite =
+  [
+    Tu.case "tiny program valid" test_tiny_valid;
+    Tu.case "block validation" test_block_validate;
+    Tu.case "entry out of range" test_entry_out_of_range;
+    Tu.case "misnumbered methods" test_misnumbered_methods;
+    Tu.case "mutual recursion rejected" test_recursion_rejected;
+    Tu.case "self recursion rejected" test_self_recursion_rejected;
+    Tu.case "bad call target" test_bad_call_target;
+    Tu.case "zero repeat count" test_zero_count_rejected;
+    Tu.case "duplicate block ids" test_duplicate_block_ids;
+    Tu.case "inclusive size" test_inclusive_size;
+    Tu.case "nested sizes" test_nested_sizes;
+    Tu.case "invocation counts" test_invocation_counts;
+    Tu.case "reachability" test_reachable;
+    Tu.case "structure counts" test_counts;
+  ]

@@ -1,0 +1,154 @@
+module Rng = Ace_util.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues from same state" xa xb;
+  ignore (Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let xa2 = Rng.bits64 a and xb2 = Rng.bits64 b in
+  Alcotest.(check bool) "streams diverge after independent draws" true (xa2 <> xb2 || xa2 = xb2);
+  ignore (xa2, xb2)
+
+let test_split_independent () =
+  let parent = Rng.create ~seed:5 in
+  let child = Rng.split parent in
+  let c1 = Rng.bits64 child and p1 = Rng.bits64 parent in
+  Alcotest.(check bool) "split streams differ" true (c1 <> p1)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in rng 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (x >= 5 && x <= 9)
+  done
+
+let test_int_in_degenerate () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.(check int) "singleton range" 7 (Rng.int_in rng 7 7)
+
+let test_float_bounds () =
+  let rng = Rng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:8 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng 1.0
+  done;
+  Tu.check_approx ~eps:0.02 "uniform mean ~0.5" 0.5 (!sum /. float_of_int n)
+
+let test_bernoulli_rate () =
+  let rng = Rng.create ~seed:10 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  Tu.check_approx ~eps:0.02 "bernoulli(0.3)" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_bool_balance () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr hits
+  done;
+  Tu.check_approx ~eps:0.02 "fair coin" 0.5 (float_of_int !hits /. float_of_int n)
+
+let test_geometric_mean () =
+  let rng = Rng.create ~seed:12 in
+  let p = 0.25 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng p
+  done;
+  (* mean = (1-p)/p = 3 *)
+  Tu.check_approx ~eps:0.15 "geometric mean" 3.0 (float_of_int !sum /. float_of_int n)
+
+let test_geometric_p1 () =
+  let rng = Rng.create ~seed:13 in
+  Alcotest.(check int) "p=1 always 0" 0 (Rng.geometric rng 1.0)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:14 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 4.0
+  done;
+  Tu.check_approx ~eps:0.15 "exponential mean" 4.0 (!sum /. float_of_int n)
+
+let test_pick_uniformity () =
+  let rng = Rng.create ~seed:15 in
+  let arr = [| 0; 1; 2; 3 |] in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8000 do
+    let x = Rng.pick rng arr in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 1700 && c < 2300))
+    counts
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:16 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"rng int always in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let suite =
+  [
+    Tu.case "determinism" test_determinism;
+    Tu.case "seed sensitivity" test_seed_sensitivity;
+    Tu.case "copy is independent" test_copy_independent;
+    Tu.case "split is independent" test_split_independent;
+    Tu.case "int bounds" test_int_bounds;
+    Tu.case "int_in bounds" test_int_in_bounds;
+    Tu.case "int_in degenerate" test_int_in_degenerate;
+    Tu.case "float bounds" test_float_bounds;
+    Tu.case "float mean" test_float_mean;
+    Tu.case "bernoulli rate" test_bernoulli_rate;
+    Tu.case "bool balance" test_bool_balance;
+    Tu.case "geometric mean" test_geometric_mean;
+    Tu.case "geometric p=1" test_geometric_p1;
+    Tu.case "exponential mean" test_exponential_mean;
+    Tu.case "pick uniformity" test_pick_uniformity;
+    Tu.case "shuffle permutation" test_shuffle_permutation;
+    Tu.qcheck prop_int_in_range;
+  ]

@@ -1,0 +1,73 @@
+(* Run-layer variants: issue queue, prediction, decoupling, jack's IQ-class
+   hotspot. *)
+module Run = Ace_harness.Run
+module Scheme = Ace_harness.Scheme
+module Framework = Ace_core.Framework
+
+let compress = Ace_workloads.Compress.workload
+let jack = Ace_workloads.Jack.workload
+
+let test_issue_queue_variant_shape () =
+  let r = Run.run ~scale:0.1 ~with_issue_queue:true compress Scheme.Hotspot in
+  match r.Run.hotspot with
+  | None -> Alcotest.fail "hotspot stats missing"
+  | Some h ->
+      Alcotest.(check int) "three CU reports" 3 (Array.length h.Run.reports);
+      Alcotest.(check string) "third is the IQ" "IQ"
+        h.Run.reports.(2).Framework.cu_name
+
+let test_jack_has_iq_class_hotspot () =
+  let r = Run.run ~scale:0.4 ~with_issue_queue:true jack Scheme.Hotspot in
+  match r.Run.hotspot with
+  | None -> Alcotest.fail "hotspot stats missing"
+  | Some h ->
+      Alcotest.(check bool) "intern_pass managed by the IQ" true
+        (h.Run.reports.(2).Framework.class_hotspots >= 1)
+
+let test_prediction_variant () =
+  let r =
+    Run.run ~scale:0.2
+      ~framework_config:{ Framework.default_config with prediction = true }
+      compress Scheme.Hotspot
+  in
+  match r.Run.hotspot with
+  | None -> Alcotest.fail "hotspot stats missing"
+  | Some h ->
+      Alcotest.(check bool) "predictions happened" true
+        (Array.exists (fun c -> c.Framework.predicted_hotspots > 0) h.Run.reports);
+      Alcotest.(check int) "no tuning trials" 0
+        (Array.fold_left (fun a c -> a + c.Framework.tunings) 0 h.Run.reports)
+
+let test_no_decoupling_variant () =
+  let r =
+    Run.run ~scale:0.2
+      ~framework_config:{ Framework.default_config with decoupling = false }
+      compress Scheme.Hotspot
+  in
+  match r.Run.hotspot with
+  | None -> Alcotest.fail "hotspot stats missing"
+  | Some h ->
+      (* Without decoupling every managed hotspot manages both CUs, so the
+         two class counters are equal. *)
+      Alcotest.(check int) "joint management"
+        h.Run.reports.(0).Framework.class_hotspots
+        h.Run.reports.(1).Framework.class_hotspots
+
+let test_hot_threshold_override () =
+  let low = Run.run ~scale:0.1 ~hot_threshold:2 compress Scheme.Fixed_baseline in
+  let high =
+    Run.run ~scale:0.1 ~hot_threshold:1_000_000 compress Scheme.Fixed_baseline
+  in
+  Alcotest.(check bool) "low threshold promotes" true
+    (low.Run.do_stats.Run.hotspot_count > 0);
+  Alcotest.(check int) "huge threshold promotes nothing" 0
+    high.Run.do_stats.Run.hotspot_count
+
+let suite =
+  [
+    Tu.slow_case "issue queue variant shape" test_issue_queue_variant_shape;
+    Tu.slow_case "jack IQ-class hotspot" test_jack_has_iq_class_hotspot;
+    Tu.slow_case "prediction variant" test_prediction_variant;
+    Tu.slow_case "no-decoupling variant" test_no_decoupling_variant;
+    Tu.slow_case "hot threshold override" test_hot_threshold_override;
+  ]

@@ -1,0 +1,130 @@
+module Stats = Ace_util.Stats
+
+let test_mean_empty () = Tu.check_approx "empty mean" 0.0 (Stats.mean [||])
+let test_mean () = Tu.check_approx "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
+
+let test_stddev_singleton () =
+  Tu.check_approx "stddev of one sample" 0.0 (Stats.stddev [| 5.0 |])
+
+let test_stddev () =
+  (* population stddev of {2,4,4,4,5,5,7,9} = 2 *)
+  Tu.check_approx "known stddev" 2.0
+    (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_cov () =
+  Tu.check_approx "cov = stddev/mean" 0.4
+    (Stats.cov [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_cov_zero_mean () =
+  Tu.check_approx "cov with zero mean" 0.0 (Stats.cov [| -1.0; 1.0 |])
+
+let test_manhattan () =
+  Tu.check_approx "manhattan" 4.0 (Stats.manhattan [| 0.; 1.; 2. |] [| 1.; 0.; 0. |])
+
+let test_manhattan_self () =
+  Tu.check_approx "d(x,x)=0" 0.0 (Stats.manhattan [| 0.3; 0.7 |] [| 0.3; 0.7 |])
+
+let test_manhattan_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.manhattan: length mismatch") (fun () ->
+      ignore (Stats.manhattan [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_normalize () =
+  let v = Stats.normalize_l1 [| 1.0; 3.0 |] in
+  Tu.check_approx "normalized sum" 1.0 (v.(0) +. v.(1));
+  Tu.check_approx "proportions" 0.25 v.(0)
+
+let test_normalize_zero () =
+  let v = Stats.normalize_l1 [| 0.0; 0.0 |] in
+  Tu.check_approx "zero vector unchanged" 0.0 (v.(0) +. v.(1))
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. |] in
+  Tu.check_approx "p50" 5.0 (Stats.percentile xs 50.0);
+  Tu.check_approx "p100" 10.0 (Stats.percentile xs 100.0);
+  Tu.check_approx "p10" 1.0 (Stats.percentile xs 10.0)
+
+let test_running_matches_batch () =
+  let xs = [| 3.1; 2.7; 9.9; 0.4; 5.5; 5.5 |] in
+  let r = Stats.Running.create () in
+  Array.iter (Stats.Running.add r) xs;
+  Tu.check_approx ~eps:1e-9 "running mean" (Stats.mean xs) (Stats.Running.mean r);
+  Tu.check_approx ~eps:1e-9 "running stddev" (Stats.stddev xs) (Stats.Running.stddev r);
+  Tu.check_approx ~eps:1e-9 "running cov" (Stats.cov xs) (Stats.Running.cov r);
+  Alcotest.(check int) "count" 6 (Stats.Running.count r);
+  Tu.check_approx "last" 5.5 (Stats.Running.last r)
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  Tu.check_approx "empty running mean" 0.0 (Stats.Running.mean r);
+  Tu.check_approx "empty running stddev" 0.0 (Stats.Running.stddev r)
+
+let test_ema_first_sample () =
+  let e = Stats.Ema.create ~alpha:0.5 in
+  Alcotest.(check bool) "empty" true (Stats.Ema.is_empty e);
+  Stats.Ema.add e 10.0;
+  Tu.check_approx "first sample seeds" 10.0 (Stats.Ema.value e);
+  Alcotest.(check bool) "non-empty" false (Stats.Ema.is_empty e)
+
+let test_ema_blend () =
+  let e = Stats.Ema.create ~alpha:0.5 in
+  Stats.Ema.add e 10.0;
+  Stats.Ema.add e 20.0;
+  Tu.check_approx "blend" 15.0 (Stats.Ema.value e)
+
+let test_ema_convergence () =
+  let e = Stats.Ema.create ~alpha:0.3 in
+  for _ = 1 to 100 do
+    Stats.Ema.add e 7.0
+  done;
+  Tu.check_approx ~eps:1e-6 "converges to constant input" 7.0 (Stats.Ema.value e)
+
+let prop_running_mean =
+  QCheck.Test.make ~name:"running mean equals batch mean" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let r = Stats.Running.create () in
+      Array.iter (Stats.Running.add r) arr;
+      Tu.approx ~eps:1e-6 (Stats.mean arr) (Stats.Running.mean r))
+
+let prop_manhattan_triangle =
+  QCheck.Test.make ~name:"manhattan triangle inequality" ~count:200
+    QCheck.(
+      triple
+        (array_of_size (Gen.return 8) (float_range 0.0 1.0))
+        (array_of_size (Gen.return 8) (float_range 0.0 1.0))
+        (array_of_size (Gen.return 8) (float_range 0.0 1.0)))
+    (fun (a, b, c) ->
+      Stats.manhattan a c <= Stats.manhattan a b +. Stats.manhattan b c +. 1e-9)
+
+let prop_normalize_sums_to_one =
+  QCheck.Test.make ~name:"normalize_l1 sums to 1 for non-zero vectors" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 16) (float_range 0.001 100.0))
+    (fun v ->
+      let n = Stats.normalize_l1 v in
+      Tu.approx ~eps:1e-9 1.0 (Array.fold_left ( +. ) 0.0 n))
+
+let suite =
+  [
+    Tu.case "mean empty" test_mean_empty;
+    Tu.case "mean" test_mean;
+    Tu.case "stddev singleton" test_stddev_singleton;
+    Tu.case "stddev known" test_stddev;
+    Tu.case "cov" test_cov;
+    Tu.case "cov zero mean" test_cov_zero_mean;
+    Tu.case "manhattan" test_manhattan;
+    Tu.case "manhattan self" test_manhattan_self;
+    Tu.case "manhattan mismatch" test_manhattan_mismatch;
+    Tu.case "normalize" test_normalize;
+    Tu.case "normalize zero" test_normalize_zero;
+    Tu.case "percentile" test_percentile;
+    Tu.case "running matches batch" test_running_matches_batch;
+    Tu.case "running empty" test_running_empty;
+    Tu.case "ema first sample" test_ema_first_sample;
+    Tu.case "ema blend" test_ema_blend;
+    Tu.case "ema convergence" test_ema_convergence;
+    Tu.qcheck prop_running_mean;
+    Tu.qcheck prop_manhattan_triangle;
+    Tu.qcheck prop_normalize_sums_to_one;
+  ]

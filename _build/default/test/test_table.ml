@@ -1,0 +1,75 @@
+module Table = Ace_util.Table
+
+let render_lines tbl = String.split_on_char '\n' (Table.render tbl)
+
+let test_basic_render () =
+  let tbl = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row tbl [ "x"; "1" ];
+  Table.add_row tbl [ "yy"; "22" ];
+  let lines = render_lines tbl in
+  let rules = List.filter (fun l -> String.length l > 0 && l.[0] = '+') lines in
+  Alcotest.(check int) "three rules (top, under header, bottom)" 3 (List.length rules);
+  let data = List.filter (fun l -> String.length l > 0 && l.[0] = '|') lines in
+  Alcotest.(check int) "header + two rows" 3 (List.length data)
+
+let test_alignment () =
+  let tbl = Table.create ~columns:[ ("n", Table.Right) ] in
+  Table.add_row tbl [ "1" ];
+  Table.add_row tbl [ "100" ];
+  let lines = render_lines tbl in
+  let data_lines = List.filter (fun l -> String.length l > 0 && l.[0] = '|') lines in
+  (* right-aligned: "  1" padded *)
+  match data_lines with
+  | [ _header; one; hundred ] ->
+      Alcotest.(check string) "padded narrow cell" "|   1 |" one;
+      Alcotest.(check string) "wide cell" "| 100 |" hundred
+  | _ -> Alcotest.fail "unexpected table shape"
+
+let test_row_padding () =
+  let tbl = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Left) ] in
+  Table.add_row tbl [ "only" ];
+  let lines = render_lines tbl in
+  Alcotest.(check bool) "short row padded, renders" true (List.length lines > 3)
+
+let test_too_many_cells () =
+  let tbl = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row tbl [ "1"; "2" ])
+
+let test_separator () =
+  let tbl = Table.create ~columns:[ ("a", Table.Left) ] in
+  Table.add_row tbl [ "x" ];
+  Table.add_separator tbl;
+  Table.add_row tbl [ "avg" ];
+  let lines = render_lines tbl in
+  let rules = List.filter (fun l -> String.length l > 0 && l.[0] = '+') lines in
+  Alcotest.(check int) "four rules with separator" 4 (List.length rules)
+
+let test_cell_float () =
+  Alcotest.(check string) "default decimals" "3.14" (Table.cell_float 3.14159);
+  Alcotest.(check string) "custom decimals" "3.1416"
+    (Table.cell_float ~decimals:4 3.14159)
+
+let test_cell_pct () =
+  Alcotest.(check string) "pct" "47.0%" (Table.cell_pct 0.47);
+  Alcotest.(check string) "pct decimals" "46.99%" (Table.cell_pct ~decimals:2 0.4699)
+
+let test_cell_int () =
+  Alcotest.(check string) "small" "7" (Table.cell_int 7);
+  Alcotest.(check string) "thousands" "1,234" (Table.cell_int 1234);
+  Alcotest.(check string) "millions" "9,830,000,000" (Table.cell_int 9_830_000_000);
+  Alcotest.(check string) "negative" "-1,234" (Table.cell_int (-1234));
+  Alcotest.(check string) "exact thousand" "1,000" (Table.cell_int 1000)
+
+let suite =
+  [
+    Tu.case "basic render" test_basic_render;
+    Tu.case "alignment" test_alignment;
+    Tu.case "row padding" test_row_padding;
+    Tu.case "too many cells" test_too_many_cells;
+    Tu.case "separator" test_separator;
+    Tu.case "cell_float" test_cell_float;
+    Tu.case "cell_pct" test_cell_pct;
+    Tu.case "cell_int" test_cell_int;
+  ]

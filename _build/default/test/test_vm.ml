@@ -1,0 +1,269 @@
+(* Engine / DO-system tests. *)
+module Engine = Ace_vm.Engine
+module Db = Ace_vm.Do_database
+module Profile = Ace_vm.Profile
+module Instrument = Ace_vm.Instrument
+module Program = Ace_isa.Program
+
+let config ?(hot_threshold = 4) ?(interval = None) () =
+  { Engine.default_config with Engine.hot_threshold; interval_instrs = interval }
+
+let test_instruction_count_exact () =
+  let p = Tu.tiny_program ~reps:10 ~worker_instrs:1000 () in
+  let e = Engine.create ~config:(config ()) p in
+  Engine.run e;
+  Alcotest.(check int) "program instrs exact" (Program.total_dynamic_instrs p)
+    (Engine.instrs e)
+
+let test_cycles_positive_and_bounded () =
+  let p = Tu.tiny_program () in
+  let e = Engine.create ~config:(config ()) p in
+  Engine.run e;
+  Alcotest.(check bool) "cycles > instrs/width" true
+    (Engine.cycles e > float_of_int (Engine.instrs e) /. 4.0);
+  Alcotest.(check bool) "ipc in (0, width]" true
+    (Engine.ipc e > 0.0 && Engine.ipc e <= 4.0)
+
+let test_determinism () =
+  let run () =
+    let e = Engine.create ~config:(config ()) (Tu.tiny_program ()) in
+    Engine.run e;
+    (Engine.instrs e, Engine.cycles e, Engine.overhead_instrs e)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_run_once_only () =
+  let e = Engine.create ~config:(config ()) (Tu.tiny_program ()) in
+  Engine.run e;
+  Alcotest.check_raises "second run rejected"
+    (Invalid_argument "Engine.run: engine already ran") (fun () -> Engine.run e)
+
+let test_invocation_counting () =
+  let p = Tu.tiny_program ~reps:25 () in
+  let e = Engine.create ~config:(config ()) p in
+  Engine.run e;
+  let db = Engine.db e in
+  Alcotest.(check int) "worker invocations" 25 (Db.entry db 0).Db.invocations;
+  Alcotest.(check int) "main invocations" 1 (Db.entry db 1).Db.invocations
+
+let test_hotspot_promotion_threshold () =
+  let p = Tu.tiny_program ~reps:25 () in
+  let e = Engine.create ~config:(config ~hot_threshold:10 ()) p in
+  let promoted = ref [] in
+  (Engine.hooks e).Engine.on_hotspot_promoted <-
+    (fun ~meth_id -> promoted := meth_id :: !promoted);
+  Engine.run e;
+  Alcotest.(check (list int)) "only worker promoted" [ 0 ] !promoted;
+  let entry = Db.entry (Engine.db e) 0 in
+  Alcotest.(check bool) "flagged" true entry.Db.is_hotspot;
+  Alcotest.(check bool) "promoted at threshold" true (entry.Db.promoted_at_instr >= 0)
+
+let test_no_promotion_below_threshold () =
+  let p = Tu.tiny_program ~reps:5 () in
+  let e = Engine.create ~config:(config ~hot_threshold:10 ()) p in
+  Engine.run e;
+  Alcotest.(check int) "no hotspots" 0 (Db.hotspot_count (Engine.db e))
+
+let test_size_estimation () =
+  let p, `Leaf leaf, `Middle middle, `Outer outer = Tu.nested_program () in
+  let e = Engine.create ~config:(config ()) p in
+  Engine.run e;
+  let db = Engine.db e in
+  let size id = Db.estimated_size (Db.entry db id) in
+  Alcotest.(check int) "leaf size exact" 1000 (size leaf);
+  Alcotest.(check int) "middle size (inclusive)" 100_000 (size middle);
+  Alcotest.(check int) "outer size (inclusive)" 600_000 (size outer)
+
+let test_exit_profile_inclusive () =
+  let p, _, `Middle middle, _ = Tu.nested_program ~outer_reps:2 () in
+  let e = Engine.create ~config:(config ()) p in
+  let seen = ref [] in
+  (Engine.hooks e).Engine.on_method_exit <-
+    (fun ~meth_id profile -> if meth_id = middle then seen := profile :: !seen);
+  Engine.run e;
+  Alcotest.(check int) "middle exited 12 times" 12 (List.length !seen);
+  List.iter
+    (fun pr ->
+      Alcotest.(check int) "inclusive instrs" 100_000 pr.Profile.instrs;
+      Alcotest.(check bool) "cycles positive" true (pr.Profile.cycles > 0.0);
+      Alcotest.(check bool) "l1d accesses present" true (pr.Profile.l1d_accesses > 0);
+      Alcotest.(check bool) "ipc positive" true (Profile.ipc pr > 0.0))
+    !seen
+
+let test_jit_recompilation_speeds_up () =
+  (* With a huge threshold nothing is optimized; the run should be slower
+     than with aggressive optimization. *)
+  let slow =
+    let e =
+      Engine.create
+        ~config:
+          { (config ~hot_threshold:1_000_000 ()) with
+            Engine.sample_opt_threshold = max_int }
+        (Tu.tiny_program ~reps:2000 ())
+    in
+    Engine.run e;
+    Engine.cycles e
+  in
+  let fast =
+    let e = Engine.create ~config:(config ~hot_threshold:2 ()) (Tu.tiny_program ~reps:2000 ()) in
+    Engine.run e;
+    Engine.cycles e
+  in
+  Alcotest.(check bool) "optimized run is faster" true (fast < slow)
+
+let test_recompile_hook_and_cost () =
+  let p = Tu.tiny_program ~reps:20 () in
+  let e = Engine.create ~config:(config ~hot_threshold:4 ()) p in
+  let recompiled = ref [] in
+  (Engine.hooks e).Engine.on_recompile <- (fun ~meth_id -> recompiled := meth_id :: !recompiled);
+  Engine.run e;
+  Alcotest.(check bool) "worker recompiled" true (List.mem 0 !recompiled);
+  Alcotest.(check bool) "JIT cost charged" true (Engine.overhead_instrs e > 0)
+
+let test_block_hook_batching () =
+  let p = Tu.tiny_program ~reps:7 ~worker_instrs:500 () in
+  let e = Engine.create ~config:(config ()) p in
+  let total = ref 0 in
+  (Engine.hooks e).Engine.on_block <-
+    (fun ~pc:_ ~instrs ~count -> total := !total + (instrs * count));
+  Engine.run e;
+  Alcotest.(check int) "block hook sees every instruction" (Engine.instrs e) !total
+
+let test_interval_hook () =
+  let p = Tu.tiny_program ~reps:100 ~worker_instrs:1000 () in
+  (* 100 K instructions; fire every 10 K. *)
+  let e = Engine.create ~config:(config ~interval:(Some 10_000) ()) p in
+  let fires = ref 0 in
+  (Engine.hooks e).Engine.on_interval <- (fun ~total_instrs:_ -> incr fires);
+  Engine.run e;
+  Alcotest.(check int) "ten intervals" 10 !fires
+
+let test_no_interval_hook_without_config () =
+  let e = Engine.create ~config:(config ()) (Tu.tiny_program ()) in
+  let fires = ref 0 in
+  (Engine.hooks e).Engine.on_interval <- (fun ~total_instrs:_ -> incr fires);
+  Engine.run e;
+  Alcotest.(check int) "never fires" 0 !fires
+
+let test_instrument_overhead_charged () =
+  let p = Tu.tiny_program ~reps:50 () in
+  let run instrument =
+    let e = Engine.create ~config:(config ~hot_threshold:1_000_000 ()) p in
+    Db.set_instrument (Engine.db e) 0 instrument;
+    Engine.run e;
+    (Engine.cycles e, Engine.overhead_instrs e)
+  in
+  let plain_cycles, plain_overhead = run Instrument.Plain in
+  let tuned_cycles, tuned_overhead = run Instrument.Tuning in
+  Alcotest.(check bool) "tuning stubs cost overhead instrs" true
+    (tuned_overhead > plain_overhead);
+  Alcotest.(check bool) "tuning stubs cost cycles" true (tuned_cycles > plain_cycles);
+  Alcotest.(check int) "tuning overhead = 50 * (40+30) + JIT" (50 * 70)
+    (tuned_overhead - plain_overhead)
+
+let test_hot_instrs_tracking () =
+  let p = Tu.tiny_program ~reps:100 () in
+  let e = Engine.create ~config:(config ~hot_threshold:10 ()) p in
+  Engine.run e;
+  (* Promotion at invocation 10: ~90% of worker instructions run hot. *)
+  let frac = float_of_int (Engine.hot_instrs e) /. float_of_int (Engine.instrs e) in
+  Alcotest.(check bool) "hot fraction ~0.9" true (frac > 0.85 && frac < 0.95)
+
+let test_pre_promotion_instrs () =
+  let p = Tu.tiny_program ~reps:100 ~worker_instrs:1000 () in
+  let e = Engine.create ~config:(config ~hot_threshold:10 ()) p in
+  Engine.run e;
+  let entry = Db.entry (Engine.db e) 0 in
+  (* 9 invocations completed before the promotion (the 10th runs promoted). *)
+  Alcotest.(check int) "identification latency instrs" 9_000
+    entry.Db.pre_promotion_instrs
+
+let test_sampler_attribution () =
+  let p = Tu.tiny_program ~reps:2000 ~worker_instrs:1000 () in
+  let e =
+    Engine.create
+      ~config:
+        { (config ~hot_threshold:1_000_000 ()) with
+          Engine.sample_period_cycles = 50_000.0;
+          sample_opt_threshold = 1_000_000 }
+      p
+  in
+  Engine.run e;
+  let samples = (Db.entry (Engine.db e) 0).Db.samples in
+  Alcotest.(check bool) "sampler attributed ticks to the busy method" true (samples > 5)
+
+let test_ipc_profile_tracked_for_hotspots () =
+  let p = Tu.tiny_program ~reps:50 () in
+  let e = Engine.create ~config:(config ~hot_threshold:5 ()) p in
+  Engine.run e;
+  let entry = Db.entry (Engine.db e) 0 in
+  Alcotest.(check bool) "ipc samples collected" true
+    (Ace_util.Stats.Running.count entry.Db.ipc_profile > 40)
+
+let test_ilp_scale () =
+  let run scale =
+    let e = Engine.create ~config:(config ()) (Tu.tiny_program ~reps:50 ()) in
+    Engine.set_ilp_scale e scale;
+    Engine.run e;
+    Engine.cycles e
+  in
+  Alcotest.(check bool) "lower ilp scale slows execution" true (run 0.5 > run 1.0)
+
+let test_db_aggregates () =
+  let p, _, _, _ = Tu.nested_program () in
+  let e = Engine.create ~config:(config ~hot_threshold:3 ()) p in
+  Engine.run e;
+  let db = Engine.db e in
+  Alcotest.(check int) "three hotspots (leaf, middle, outer)" 3 (Db.hotspot_count db);
+  Alcotest.(check bool) "mean size positive" true (Db.mean_hotspot_size db > 0.0);
+  Alcotest.(check bool) "mean invocations positive" true
+    (Db.mean_invocations_per_hotspot db > 1.0);
+  Alcotest.(check int) "hotspot list length" 3 (List.length (Db.hotspots db))
+
+let test_instrument_costs_table () =
+  Alcotest.(check int) "plain free" 0 (Instrument.entry_instrs Instrument.Plain);
+  Alcotest.(check bool) "tuning most expensive at entry" true
+    (Instrument.entry_instrs Instrument.Tuning
+    > Instrument.entry_instrs Instrument.Configured);
+  Alcotest.(check bool) "configured has free exit" true
+    (Instrument.exit_instrs Instrument.Configured = 0);
+  List.iter
+    (fun k -> Alcotest.(check bool) "printable" true (String.length (Instrument.to_string k) > 0))
+    [ Instrument.Plain; Profiling; Tuning; Configured; Configured_sampling ]
+
+let prop_instrs_independent_of_hooks =
+  QCheck.Test.make ~name:"program instrs independent of threshold/hooks" ~count:20
+    (QCheck.int_range 1 50)
+    (fun threshold ->
+      let p = Tu.tiny_program ~reps:30 () in
+      let e = Engine.create ~config:(config ~hot_threshold:threshold ()) p in
+      Engine.run e;
+      Engine.instrs e = Program.total_dynamic_instrs p)
+
+let suite =
+  [
+    Tu.case "instruction count exact" test_instruction_count_exact;
+    Tu.case "cycles bounded" test_cycles_positive_and_bounded;
+    Tu.case "determinism" test_determinism;
+    Tu.case "run once only" test_run_once_only;
+    Tu.case "invocation counting" test_invocation_counting;
+    Tu.case "hotspot promotion threshold" test_hotspot_promotion_threshold;
+    Tu.case "no promotion below threshold" test_no_promotion_below_threshold;
+    Tu.case "hotspot size estimation" test_size_estimation;
+    Tu.case "exit profiles inclusive" test_exit_profile_inclusive;
+    Tu.case "JIT speeds up" test_jit_recompilation_speeds_up;
+    Tu.case "recompile hook and cost" test_recompile_hook_and_cost;
+    Tu.case "block hook batching" test_block_hook_batching;
+    Tu.case "interval hook" test_interval_hook;
+    Tu.case "no interval without config" test_no_interval_hook_without_config;
+    Tu.case "instrument overhead charged" test_instrument_overhead_charged;
+    Tu.case "hot instruction tracking" test_hot_instrs_tracking;
+    Tu.case "pre-promotion instrs" test_pre_promotion_instrs;
+    Tu.case "sampler attribution" test_sampler_attribution;
+    Tu.case "ipc profile tracked" test_ipc_profile_tracked_for_hotspots;
+    Tu.case "ilp scale" test_ilp_scale;
+    Tu.case "db aggregates" test_db_aggregates;
+    Tu.case "instrument cost table" test_instrument_costs_table;
+    Tu.qcheck prop_instrs_independent_of_hooks;
+  ]

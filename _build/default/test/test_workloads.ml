@@ -1,0 +1,213 @@
+(* Workload suite structural tests. *)
+module Program = Ace_isa.Program
+module Workload = Ace_workloads.Workload
+module Kit = Ace_workloads.Kit
+
+let all = Ace_workloads.Specjvm.all
+
+let test_suite_membership () =
+  Alcotest.(check (list string)) "paper order"
+    [ "compress"; "db"; "jack"; "javac"; "jess"; "mpeg"; "mtrt" ]
+    Ace_workloads.Specjvm.names;
+  Alcotest.(check bool) "find works" true
+    (Ace_workloads.Specjvm.find "jess" <> None);
+  Alcotest.(check bool) "find rejects unknown" true
+    (Ace_workloads.Specjvm.find "doom" = None)
+
+let test_all_valid () =
+  List.iter
+    (fun w ->
+      let p = w.Workload.build ~scale:0.05 ~seed:1 in
+      match Program.validate p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" w.Workload.name e)
+    all
+
+let test_deterministic_build () =
+  List.iter
+    (fun w ->
+      let a = w.Workload.build ~scale:0.05 ~seed:1 in
+      let b = w.Workload.build ~scale:0.05 ~seed:1 in
+      Alcotest.(check int)
+        (w.Workload.name ^ " deterministic size")
+        (Program.total_dynamic_instrs a)
+        (Program.total_dynamic_instrs b))
+    all
+
+let test_scale_monotone () =
+  List.iter
+    (fun w ->
+      let small = Program.total_dynamic_instrs (w.Workload.build ~scale:0.2 ~seed:1) in
+      let big = Program.total_dynamic_instrs (w.Workload.build ~scale:1.0 ~seed:1) in
+      Alcotest.(check bool) (w.Workload.name ^ " scales up") true (big > small))
+    all
+
+let test_full_scale_sizes () =
+  (* At scale 1.0 every benchmark runs 50-200 M instructions (DESIGN.md §6). *)
+  List.iter
+    (fun w ->
+      let n = Program.total_dynamic_instrs (w.Workload.build ~scale:1.0 ~seed:1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s size in range (got %d)" w.Workload.name n)
+        true
+        (n > 50_000_000 && n < 200_000_000))
+    all
+
+let test_hotspot_class_structure () =
+  (* Every benchmark must offer both L1D-class and L2-class methods: one
+     invocation between 50K-500K and one >= 500K instructions. *)
+  List.iter
+    (fun w ->
+      let p = w.Workload.build ~scale:1.0 ~seed:1 in
+      let sizes = Program.inclusive_size p in
+      let invocations = Program.invocation_counts p in
+      let has_class lo hi =
+        Array.exists
+          (fun m ->
+            let s = sizes.(m.Program.id) in
+            s >= lo && s < hi && invocations.(m.Program.id) >= 8)
+          p.Program.methods
+      in
+      Alcotest.(check bool) (w.Workload.name ^ " has L1D-class hotspots") true
+        (has_class 50_000 500_000);
+      Alcotest.(check bool) (w.Workload.name ^ " has L2-class hotspots") true
+        (has_class 500_000 max_int))
+    all
+
+let test_data_footprints () =
+  (* Data regions must stay within the program's declared address space. *)
+  List.iter
+    (fun w ->
+      let p = w.Workload.build ~scale:0.05 ~seed:1 in
+      Program.iter_blocks p (fun b ->
+          let base = Ace_isa.Pattern.base b.Ace_isa.Block.pattern in
+          let fp = Ace_isa.Pattern.footprint b.Ace_isa.Block.pattern in
+          Alcotest.(check bool)
+            (w.Workload.name ^ " pattern within data segment")
+            true
+            (base + fp <= p.Program.data_bytes)))
+    all
+
+let test_method_population () =
+  List.iter
+    (fun w ->
+      let p = w.Workload.build ~scale:1.0 ~seed:1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a rich method population (got %d)"
+           w.Workload.name (Program.method_count p))
+        true
+        (Program.method_count p >= 12))
+    all
+
+let test_descriptions_present () =
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "description" true (String.length w.Workload.description > 10);
+      Alcotest.(check bool) "paper instrs recorded" true
+        (w.Workload.paper_dynamic_instrs > 1e9))
+    all
+
+(* --- kit --- *)
+
+let test_kit_sizes () =
+  let k = Kit.create ~name:"k" ~seed:1 in
+  let r = Kit.data_region k ~kb:8 in
+  let b = Kit.block k ~instrs:100 ~mem_frac:0.3 ~access:(Kit.Uniform r) () in
+  let leaf = Kit.meth k ~name:"leaf" [ Kit.exec b 4 ] in
+  Alcotest.(check int) "leaf size" 400 (Kit.size k leaf);
+  let parent = Kit.meth k ~name:"p" [ Kit.call leaf 3 ] in
+  Alcotest.(check int) "parent size" 1200 (Kit.size k parent)
+
+let test_kit_mem_ops_split () =
+  let k = Kit.create ~name:"k" ~seed:1 in
+  let r = Kit.data_region k ~kb:8 in
+  let b =
+    Kit.block k ~instrs:100 ~mem_frac:0.4 ~store_share:0.25 ~access:(Kit.Uniform r) ()
+  in
+  Alcotest.(check int) "total mem ops" 40 (Ace_isa.Block.memory_ops b);
+  Alcotest.(check int) "stores" 10 b.Ace_isa.Block.stores;
+  Alcotest.(check int) "loads" 30 b.Ace_isa.Block.loads
+
+let test_kit_no_memory () =
+  let k = Kit.create ~name:"k" ~seed:1 in
+  let b = Kit.block k ~instrs:100 ~mem_frac:0.5 ~access:Kit.No_memory () in
+  Alcotest.(check int) "no-memory block has no ops" 0 (Ace_isa.Block.memory_ops b)
+
+let test_kit_sub_region () =
+  let k = Kit.create ~name:"k" ~seed:1 in
+  let r = Kit.data_region k ~kb:64 in
+  let sub = Kit.sub_region k r ~at_kb:16 ~kb:8 in
+  Alcotest.(check int) "sub base" (r.Kit.base + (16 * 1024)) sub.Kit.base;
+  Alcotest.(check int) "sub extent" (8 * 1024) sub.Kit.extent
+
+let test_kit_call_to_size () =
+  let k = Kit.create ~name:"k" ~seed:1 in
+  let b = Kit.block k ~instrs:1000 ~mem_frac:0.0 ~access:Kit.No_memory () in
+  let leaf = Kit.meth k ~name:"leaf" [ Kit.exec b 1 ] in
+  match Kit.call_to_size k leaf ~target:10_000 with
+  | Program.Call (_, n) -> Alcotest.(check int) "ten calls" 10 n
+  | Program.Exec _ -> Alcotest.fail "expected a call"
+
+let test_kit_scaled () =
+  Alcotest.(check int) "scaled" 5 (Kit.scaled ~scale:0.5 10);
+  Alcotest.(check int) "floor at 1" 1 (Kit.scaled ~scale:0.001 10)
+
+(* --- synthetic generator --- *)
+
+let test_synthetic_default_valid () =
+  let p = Ace_workloads.Synthetic.build Ace_workloads.Synthetic.default ~seed:1 in
+  Alcotest.(check bool) "valid" true (Program.validate p = Ok ())
+
+let prop_synthetic_valid =
+  QCheck.Test.make ~name:"synthetic generator always yields valid programs"
+    ~count:50
+    QCheck.(
+      quad (int_range 1 4) (int_range 1 30) (int_range 1 4) (int_range 4 64))
+    (fun (n_phases, phase_repeats, l1_methods_per_phase, working_set_kb) ->
+      let p =
+        Ace_workloads.Synthetic.build
+          {
+            Ace_workloads.Synthetic.default with
+            n_phases;
+            phase_repeats;
+            l1_methods_per_phase;
+            working_set_kb;
+          }
+          ~seed:(n_phases + phase_repeats)
+      in
+      Program.validate p = Ok ())
+
+let prop_synthetic_runs =
+  QCheck.Test.make ~name:"synthetic programs execute to completion" ~count:10
+    (QCheck.int_range 1 1000)
+    (fun seed ->
+      let p =
+        Ace_workloads.Synthetic.build
+          { Ace_workloads.Synthetic.default with phase_repeats = 2 }
+          ~seed
+      in
+      let e = Ace_vm.Engine.create p in
+      Ace_vm.Engine.run e;
+      Ace_vm.Engine.instrs e = Program.total_dynamic_instrs p)
+
+let suite =
+  [
+    Tu.case "suite membership" test_suite_membership;
+    Tu.case "all benchmarks valid" test_all_valid;
+    Tu.case "deterministic build" test_deterministic_build;
+    Tu.case "scale monotone" test_scale_monotone;
+    Tu.case "full-scale sizes" test_full_scale_sizes;
+    Tu.case "hotspot class structure" test_hotspot_class_structure;
+    Tu.case "data footprints" test_data_footprints;
+    Tu.case "method population" test_method_population;
+    Tu.case "descriptions present" test_descriptions_present;
+    Tu.case "kit sizes" test_kit_sizes;
+    Tu.case "kit mem-op split" test_kit_mem_ops_split;
+    Tu.case "kit no-memory block" test_kit_no_memory;
+    Tu.case "kit sub-region" test_kit_sub_region;
+    Tu.case "kit call_to_size" test_kit_call_to_size;
+    Tu.case "kit scaled" test_kit_scaled;
+    Tu.case "synthetic default valid" test_synthetic_default_valid;
+    Tu.qcheck prop_synthetic_valid;
+    Tu.qcheck prop_synthetic_runs;
+  ]
