@@ -44,6 +44,31 @@ let bench_engine_1m =
     let engine = Ace_vm.Engine.create program in
     Ace_vm.Engine.run engine)
 
+(* The register-write hot path with and without an active fault injector:
+   [Faults.none] must be indistinguishable from the pre-fault-model guard
+   (a single option match), and even an active injector only adds a few
+   bounded RNG draws. *)
+let bench_hw_request faults name =
+  let engine = Ace_vm.Engine.create (Ace_workloads.Synthetic.build
+      { Ace_workloads.Synthetic.default with phase_repeats = 1 } ~seed:3)
+  in
+  let cu = Ace_core.Cu.l1d engine in
+  let now = ref 0 in
+  let setting = ref 0 in
+  Test.make ~name
+    (Staged.stage @@ fun () ->
+    now := !now + 100_000;
+    setting := (!setting + 1) land 3;
+    ignore (Ace_core.Hw.request ~faults cu ~setting:!setting ~now_instrs:!now))
+
+let bench_hw_request_clean = bench_hw_request Ace_faults.Faults.none
+    "micro: Hw.request (no faults)"
+
+let bench_hw_request_faulty =
+  bench_hw_request
+    (Ace_faults.Faults.create (Ace_faults.Faults.preset ~rate:0.01))
+    "micro: Hw.request (1% faults)"
+
 (* ------------------------------------------------------------------ *)
 (* One Test.make per table/figure: the experiment's real code path on a
    reduced-scale context (fresh context per run so memoization does not
@@ -78,13 +103,17 @@ let experiment_tests =
     experiment_test "ext-issue-queue" Ace_harness.Experiments.extension_issue_queue;
     experiment_test "ext-prediction" Ace_harness.Experiments.extension_prediction;
     experiment_test "ext-bbv-predictor" Ace_harness.Experiments.extension_bbv_predictor;
+    experiment_test "resilience" Ace_harness.Experiments.resilience;
     experiment_test "stability" Ace_harness.Experiments.stability;
   ]
 
 let run_bechamel () =
   let tests =
     Test.make_grouped ~name:"ace"
-      ([ bench_cache_access; bench_cache_resize; bench_engine_1m ]
+      ([
+         bench_cache_access; bench_cache_resize; bench_engine_1m;
+         bench_hw_request_clean; bench_hw_request_faulty;
+       ]
       @ experiment_tests)
   in
   let ols =

@@ -96,9 +96,57 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-hotspot selections.")
   in
-  let action workload scheme scale seed verbose =
-    let r = Ace_harness.Run.run ~scale ~seed workload scheme in
+  let fault_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "faults" ] ~docv:"RATE"
+          ~doc:
+            "Inject hardware faults at the given base rate (e.g. 0.01 = 1% \
+             register-write drop/corrupt probability, plus derived stuck-CU, \
+             measurement-noise and sampler-jitter rates).")
+  in
+  let resilient =
+    Arg.(
+      value & flag
+      & info [ "resilient" ]
+          ~doc:
+            "Enable the framework's resilience machinery (retry/backoff, \
+             quarantine, graceful degradation; hotspot scheme only).")
+  in
+  let action workload scheme scale seed verbose fault_rate resilient =
+    let faults = Option.map (fun rate -> Ace_faults.Faults.preset ~rate) fault_rate in
+    let framework_config =
+      if resilient then
+        {
+          Ace_core.Framework.default_config with
+          resilience = Ace_core.Tuner.default_resilience;
+        }
+      else Ace_core.Framework.default_config
+    in
+    let r = Ace_harness.Run.run ~scale ~seed ~framework_config ?faults workload scheme in
     print_summary r;
+    (match (r.Ace_harness.Run.fault_stats, r.Ace_harness.Run.resilience) with
+    | Some fs, res ->
+        Printf.printf
+          "faults           : %d writes dropped, %d corrupted, %d stuck events, \
+           %d spikes, %d jittered ticks\n"
+          fs.Ace_faults.Faults.writes_dropped fs.Ace_faults.Faults.writes_corrupted
+          fs.Ace_faults.Faults.stuck_events fs.Ace_faults.Faults.spikes
+          fs.Ace_faults.Faults.jittered_ticks;
+        (match res with
+        | Some rr ->
+            Printf.printf
+              "resilience       : %d verify failures, %d retries, %d backoff skips, \
+               %d configs skipped, %d quarantined, %d failed CUs, misconfig %.2f%%\n"
+              rr.Ace_core.Framework.total_verify_failures
+              rr.Ace_core.Framework.tuner_retries
+              rr.Ace_core.Framework.tuner_backoff_skips
+              rr.Ace_core.Framework.tuner_skipped_configs
+              rr.Ace_core.Framework.quarantined rr.Ace_core.Framework.failed_cus
+              (rr.Ace_core.Framework.misconfig_frac *. 100.0)
+        | None -> ())
+    | None, _ -> ());
     if verbose then
       match r.Ace_harness.Run.hotspot with
       | Some h ->
@@ -116,14 +164,18 @@ let run_cmd =
   let info =
     Cmd.info "run" ~doc:"Run one benchmark under one scheme and print a summary."
   in
-  Cmd.v info Term.(const action $ workload $ scheme $ scale_arg $ seed_arg $ verbose)
+  Cmd.v info
+    Term.(
+      const action $ workload $ scheme $ scale_arg $ seed_arg $ verbose
+      $ fault_rate $ resilient)
 
 let exp_cmd =
   let ids =
     [
       "table1"; "table2"; "table3"; "fig1"; "table4"; "table5"; "table6";
       "fig3"; "fig4"; "ablation-decoupling"; "ablation-thresholds";
-      "ext-issue-queue"; "ext-prediction"; "ext-bbv-predictor"; "stability"; "all";
+      "ext-issue-queue"; "ext-prediction"; "ext-bbv-predictor"; "resilience";
+      "stability"; "all";
     ]
   in
   let id =
@@ -160,6 +212,7 @@ let exp_cmd =
         | "ext-issue-queue" -> Ace_harness.Experiments.extension_issue_queue ctx
         | "ext-prediction" -> Ace_harness.Experiments.extension_prediction ctx
         | "ext-bbv-predictor" -> Ace_harness.Experiments.extension_bbv_predictor ctx
+        | "resilience" -> Ace_harness.Experiments.resilience ctx
         | "stability" -> Ace_harness.Experiments.stability ctx
         | _ -> assert false
       in
@@ -180,7 +233,7 @@ let list_cmd =
     print_endline "Experiments: table1 table2 table3 fig1 table4 table5 table6 fig3";
     print_endline "             fig4 ablation-decoupling ablation-thresholds";
     print_endline "             ext-issue-queue ext-prediction ext-bbv-predictor";
-    print_endline "             stability all"
+    print_endline "             resilience stability all"
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments.") Term.(const action $ const ())
 

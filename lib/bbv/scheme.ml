@@ -1,5 +1,6 @@
 module Engine = Ace_vm.Engine
 module Profile = Ace_vm.Profile
+module Faults = Ace_faults.Faults
 module Cu = Ace_core.Cu
 module Hw = Ace_core.Hw
 module Accounting = Ace_power.Accounting
@@ -34,6 +35,7 @@ type t = {
   engine : Engine.t;
   cus : Cu.t array;
   cfg : config;
+  faults : Faults.t;
   vector : Vector.t;
   tracker : Tracker.t;
   configs : int array array;  (* full cartesian space over all CUs *)
@@ -88,7 +90,11 @@ let interval_profile t =
   let p =
     {
       Profile.instrs = Engine.instrs t.engine - t.instrs0;
-      cycles = Engine.cycles t.engine -. t.cycles0;
+      (* Fault model (c): the *observed* interval cycles can carry
+         measurement noise; the snapshots below keep the true clock. *)
+      cycles =
+        Faults.perturb_cycles t.faults
+          ~cycles:(Engine.cycles t.engine -. t.cycles0);
       l1d_accesses = Cache.Stats.accesses l1d - t.l1a0;
       l1d_misses = Cache.Stats.misses l1d - t.l1m0;
       l2_accesses = Cache.Stats.accesses l2 - t.l2a0;
@@ -142,7 +148,7 @@ let apply_config t config ~count_reconfigs =
   let now_instrs = Engine.instrs t.engine in
   Array.iteri
     (fun i _cu ->
-      match Hw.request t.cus.(i) ~setting:config.(i) ~now_instrs with
+      match Hw.request ~faults:t.faults t.cus.(i) ~setting:config.(i) ~now_instrs with
       | Hw.Unchanged -> ()
       | Hw.Denied -> ok := false
       | Hw.Applied { flushed_lines } ->
@@ -237,7 +243,7 @@ let on_interval t =
       ignore (apply_config t (max_config t) ~count_reconfigs:false)
   end
 
-let attach ?(config = default_config) engine ~cus =
+let attach ?(config = default_config) ?(faults = Faults.none) engine ~cus =
   (match (Engine.config engine).Engine.interval_instrs with
   | Some _ -> ()
   | None ->
@@ -247,6 +253,7 @@ let attach ?(config = default_config) engine ~cus =
       engine;
       cus;
       cfg = config;
+      faults;
       vector = Vector.create ~buckets:config.buckets ();
       tracker = Tracker.create ~threshold:config.match_threshold ();
       configs =

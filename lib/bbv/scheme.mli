@@ -36,9 +36,15 @@ val default_config : config
 
 type t
 
-val attach : ?config:config -> Ace_vm.Engine.t -> cus:Ace_core.Cu.t array -> t
+val attach :
+  ?config:config -> ?faults:Ace_faults.Faults.t -> Ace_vm.Engine.t ->
+  cus:Ace_core.Cu.t array -> t
 (** Install the scheme.  The engine must have been created with
-    [interval_instrs = Some n] (the BBV sampling interval).
+    [interval_instrs = Some n] (the BBV sampling interval).  [faults]
+    (default {!Ace_faults.Faults.none}) is applied to every control register
+    write and to the observed interval cycle counts.  The BBV baseline has
+    no resilience machinery — faulty measurements and dropped writes go
+    undetected, as in the hardware-counter-driven original.
     @raise Invalid_argument otherwise. *)
 
 val finalize : t -> unit

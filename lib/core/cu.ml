@@ -16,6 +16,7 @@ type t = {
   mutable last_reconfig_instr : int;
   mutable applied_count : int;
   mutable denied_count : int;
+  mutable invalid_count : int;
 }
 
 let n_settings t = Array.length t.setting_sizes
@@ -39,6 +40,7 @@ let make ~name ~family ~setting_labels ~setting_sizes ~reconfig_interval ~apply
     last_reconfig_instr = 0;
     applied_count = 0;
     denied_count = 0;
+    invalid_count = 0;
   }
 
 let l1d engine =

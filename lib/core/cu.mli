@@ -31,6 +31,9 @@ type t = {
   mutable last_reconfig_instr : int;
   mutable applied_count : int;  (** Accepted requests that changed the setting. *)
   mutable denied_count : int;  (** Requests dropped by the guard counter. *)
+  mutable invalid_count : int;
+      (** Out-of-range register writes rejected at the {!Hw} boundary (a
+          corrupted tuner state must not crash the simulation). *)
 }
 
 val n_settings : t -> int

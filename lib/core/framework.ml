@@ -3,6 +3,7 @@ module Db = Ace_vm.Do_database
 module Profile = Ace_vm.Profile
 module Accounting = Ace_power.Accounting
 module Hierarchy = Ace_mem.Hierarchy
+module Faults = Ace_faults.Faults
 
 type config = {
   tuner : Tuner.params;
@@ -10,6 +11,9 @@ type config = {
   decoupling : bool;
   prediction : bool;
   jit_patch_instrs : int;
+  resilience : Tuner.resilience;
+  cu_failure_threshold : int;
+  cu_probe_interval : int;
 }
 
 let default_config =
@@ -19,6 +23,9 @@ let default_config =
     decoupling = true;
     prediction = false;
     jit_patch_instrs = 2000;
+    resilience = Tuner.no_resilience;
+    cu_failure_threshold = 4;
+    cu_probe_interval = 50;
   }
 
 type hotspot_state = {
@@ -31,6 +38,7 @@ type t = {
   engine : Engine.t;
   cus : Cu.t array;
   cfg : config;
+  faults : Faults.t;
   states : hotspot_state option array;
   accts : Accounting.t option array;
   (* Per-CU-class coverage: instructions executed while inside at least one
@@ -45,6 +53,19 @@ type t = {
   tuned_hotspots : int array;
   retunes : int array;
   predicted : int array;
+  (* Fault-model bookkeeping: [believed] is the setting software last
+     observed or wrote per CU; while it diverges from the hardware's actual
+     setting the CU is misconfigured and [mis_since] holds the divergence
+     start ([-1] = converged). *)
+  believed : int array;
+  mis_since : int array;
+  misconfig : int array;
+  verify_failures : int array;
+  consec_badwrites : int array;
+  failed : bool array;
+  probe_countdown : int array;
+  recoveries : int array;
+  mutable quarantined : int;
   mutable frame_masks : int list;  (* per-frame coverage contributions *)
   mutable unmanaged : int;
   mutable finalized : bool;
@@ -62,11 +83,88 @@ let handle_applied t cu_idx flushed_lines =
         ~accesses_now:(cu.Cu.accesses_now ())
         ~cycles_now:(Engine.cycles t.engine) ~flushed_lines
 
+(* Misconfiguration-time integration (omniscient metric: the simulator knows
+   both what software believes and what the hardware holds). *)
+let mark_divergence t k =
+  if t.mis_since.(k) < 0 then t.mis_since.(k) <- Engine.instrs t.engine
+
+let note_convergence t k =
+  if t.mis_since.(k) >= 0 then begin
+    t.misconfig.(k) <- t.misconfig.(k) + (Engine.instrs t.engine - t.mis_since.(k));
+    t.mis_since.(k) <- -1
+  end
+
+(* Graceful degradation: after [cu_failure_threshold] consecutive writes the
+   hardware claimed to apply but the read-back contradicted, declare the CU
+   failed, pin it once at its safe maximum over the reset line, and stop
+   tuning it.  The rest of the framework keeps optimizing the live CUs. *)
+let maybe_fail_cu t k =
+  if
+    t.cfg.resilience.Tuner.enabled
+    && (not t.failed.(k))
+    && t.consec_badwrites.(k) >= t.cfg.cu_failure_threshold
+  then begin
+    t.failed.(k) <- true;
+    t.probe_countdown.(k) <- t.cfg.cu_probe_interval;
+    (match Hw.force t.cus.(k) ~setting:0 ~now_instrs:(Engine.instrs t.engine) with
+    | Hw.Applied { flushed_lines } -> handle_applied t k flushed_lines
+    | Hw.Unchanged | Hw.Denied -> ());
+    t.believed.(k) <- 0;
+    note_convergence t k
+  end
+
+let live_managed t (st : hotspot_state) =
+  Array.exists (fun k -> not t.failed.(k)) st.managed
+
+(* Failed CUs sit pinned at their safe maximum, but every
+   [cu_probe_interval] entries one probe write checks whether the fault
+   (e.g. a transient latch-up) has cleared; a write that demonstrably lands
+   brings the CU back under management.  Returns [true] when the probe
+   recovered the CU (and resized it, so the invocation is a warming one).
+   Probe failures do not count against the tuner's retry budget: the live
+   CUs' settings are still fine. *)
+let probe_failed t cu_idx ~setting ~now_instrs =
+  t.probe_countdown.(cu_idx) <- t.probe_countdown.(cu_idx) - 1;
+  if t.probe_countdown.(cu_idx) > 0 then false
+  else begin
+    t.probe_countdown.(cu_idx) <- t.cfg.cu_probe_interval;
+    let cu = t.cus.(cu_idx) in
+    match Hw.request ~faults:t.faults cu ~setting ~now_instrs with
+    | Hw.Applied { flushed_lines } when cu.Cu.current = setting ->
+        handle_applied t cu_idx flushed_lines;
+        t.failed.(cu_idx) <- false;
+        t.consec_badwrites.(cu_idx) <- 0;
+        t.believed.(cu_idx) <- setting;
+        t.recoveries.(cu_idx) <- t.recoveries.(cu_idx) + 1;
+        note_convergence t cu_idx;
+        true
+    | Hw.Applied { flushed_lines } ->
+        handle_applied t cu_idx flushed_lines;
+        false
+    | Hw.Unchanged ->
+        (* The CU already holds the requested setting (it was pinned at the
+           maximum and that is what the tuner now wants): there is no
+           divergence left to protect against, so resume managing it.  If
+           the latch-up still holds, the next mismatching write re-fails it
+           within [cu_failure_threshold] entries — a bounded, safe probe. *)
+        t.failed.(cu_idx) <- false;
+        t.consec_badwrites.(cu_idx) <- 0;
+        t.believed.(cu_idx) <- setting;
+        t.recoveries.(cu_idx) <- t.recoveries.(cu_idx) + 1;
+        note_convergence t cu_idx;
+        false
+    | Hw.Denied -> false
+  end
+
 let on_promoted t ~meth_id =
   let db = Engine.db t.engine in
   let e = Db.entry db meth_id in
   let size = Db.estimated_size e in
-  match Decoupling.assign ~cus:t.cus ~size ~decoupling:t.cfg.decoupling with
+  let assigned =
+    Decoupling.assign ~cus:t.cus ~size ~decoupling:t.cfg.decoupling
+    |> List.filter (fun k -> not t.failed.(k))
+  in
+  match assigned with
   | [] ->
       t.unmanaged <- t.unmanaged + 1;
       Db.set_instrument db meth_id Ace_vm.Instrument.Plain
@@ -98,7 +196,9 @@ let on_promoted t ~meth_id =
           t.states.(meth_id) <-
             Some
               {
-                tuner = Tuner.create_configured params ~configs ~best;
+                tuner =
+                  Tuner.create_configured ~resilience:t.cfg.resilience params
+                    ~configs ~best;
                 managed = Array.of_list managed;
                 ever_configured = true;
               };
@@ -112,7 +212,7 @@ let on_promoted t ~meth_id =
           t.states.(meth_id) <-
             Some
               {
-                tuner = Tuner.create params ~configs;
+                tuner = Tuner.create ~resilience:t.cfg.resilience params ~configs;
                 managed = Array.of_list managed;
                 ever_configured = false;
               };
@@ -129,26 +229,59 @@ let on_entry t ~meth_id =
     | Some st ->
         (match Tuner.on_entry st.tuner with
         | Tuner.Nothing -> ()
-        | Tuner.Set cfg ->
-            let applied_all = ref true in
-            let changed_any = ref false in
+        | Tuner.Set cfg when not (live_managed t st) ->
+            (* Every managed CU failed: nothing to request beyond recovery
+               probes; the hotspot runs at the forced safe settings. *)
             let now_instrs = Engine.instrs t.engine in
             Array.iteri
               (fun i cu_idx ->
-                match Hw.request t.cus.(cu_idx) ~setting:cfg.(i) ~now_instrs with
-                | Hw.Unchanged -> ()
-                | Hw.Denied -> applied_all := false
-                | Hw.Applied { flushed_lines } ->
-                    changed_any := true;
-                    handle_applied t cu_idx flushed_lines;
-                    if Tuner.is_configured st.tuner then
-                      t.reconfigs.(cu_idx) <- t.reconfigs.(cu_idx) + 1)
+                ignore (probe_failed t cu_idx ~setting:cfg.(i) ~now_instrs))
+              st.managed
+        | Tuner.Set cfg ->
+            let applied_all = ref true in
+            let changed_any = ref false in
+            let verified_all = ref true in
+            let now_instrs = Engine.instrs t.engine in
+            Array.iteri
+              (fun i cu_idx ->
+                if not t.failed.(cu_idx) then begin
+                  let cu = t.cus.(cu_idx) in
+                  match
+                    Hw.request ~faults:t.faults cu ~setting:cfg.(i) ~now_instrs
+                  with
+                  | Hw.Unchanged ->
+                      (* Requested = actual: software's view is confirmed. *)
+                      t.believed.(cu_idx) <- cfg.(i);
+                      note_convergence t cu_idx
+                  | Hw.Denied -> applied_all := false
+                  | Hw.Applied { flushed_lines } ->
+                      changed_any := true;
+                      t.believed.(cu_idx) <- cfg.(i);
+                      handle_applied t cu_idx flushed_lines;
+                      if Tuner.is_configured st.tuner then
+                        t.reconfigs.(cu_idx) <- t.reconfigs.(cu_idx) + 1;
+                      (* Read-back verification: the hardware claimed success;
+                         did the setting actually land? *)
+                      if cu.Cu.current <> cfg.(i) then begin
+                        verified_all := false;
+                        t.verify_failures.(cu_idx) <-
+                          t.verify_failures.(cu_idx) + 1;
+                        t.consec_badwrites.(cu_idx) <-
+                          t.consec_badwrites.(cu_idx) + 1;
+                        mark_divergence t cu_idx;
+                        maybe_fail_cu t cu_idx
+                      end
+                      else begin
+                        t.consec_badwrites.(cu_idx) <- 0;
+                        note_convergence t cu_idx
+                      end
+                end
+                else if probe_failed t cu_idx ~setting:cfg.(i) ~now_instrs then
+                  changed_any := true)
               st.managed;
-            Tuner.entry_outcome st.tuner ~applied:!applied_all
-              ~changed:!changed_any;
-            if
-              (not (Tuner.is_configured st.tuner))
-              && !applied_all && not !changed_any
+            Tuner.entry_outcome st.tuner ~verified:!verified_all
+              ~applied:!applied_all ~changed:!changed_any;
+            if (not (Tuner.is_configured st.tuner)) && Tuner.measuring st.tuner
             then
               Array.iter
                 (fun k -> t.tunings.(k) <- t.tunings.(k) + 1)
@@ -212,9 +345,15 @@ let on_exit t ~meth_id (profile : Profile.t) =
       | Tuner.Retuning ->
           Array.iter (fun k -> t.retunes.(k) <- t.retunes.(k) + 1) st.managed;
           Db.set_instrument db meth_id Ace_vm.Instrument.Tuning;
+          Engine.charge_software_instrs t.engine t.cfg.jit_patch_instrs
+      | Tuner.Quarantine ->
+          (* Pin the selection and strip the sampling stub: the hotspot
+             stops paying any tuning overhead. *)
+          t.quarantined <- t.quarantined + 1;
+          Db.set_instrument db meth_id Ace_vm.Instrument.Configured;
           Engine.charge_software_instrs t.engine t.cfg.jit_patch_instrs)
 
-let attach ?(config = default_config) engine ~cus =
+let attach ?(config = default_config) ?(faults = Faults.none) engine ~cus =
   let n_methods = Ace_isa.Program.method_count (Engine.program engine) in
   let n_cus = Array.length cus in
   if n_cus > 62 then invalid_arg "Framework.attach: too many CUs";
@@ -223,6 +362,7 @@ let attach ?(config = default_config) engine ~cus =
       engine;
       cus;
       cfg = config;
+      faults;
       states = Array.make n_methods None;
       accts =
         Array.map
@@ -241,6 +381,15 @@ let attach ?(config = default_config) engine ~cus =
       tuned_hotspots = Array.make n_cus 0;
       retunes = Array.make n_cus 0;
       predicted = Array.make n_cus 0;
+      believed = Array.map (fun (cu : Cu.t) -> cu.Cu.current) cus;
+      mis_since = Array.make n_cus (-1);
+      misconfig = Array.make n_cus 0;
+      verify_failures = Array.make n_cus 0;
+      consec_badwrites = Array.make n_cus 0;
+      failed = Array.make n_cus false;
+      probe_countdown = Array.make n_cus 0;
+      recoveries = Array.make n_cus 0;
+      quarantined = 0;
       frame_masks = [];
       unmanaged = 0;
       finalized = false;
@@ -260,6 +409,10 @@ let finalize t =
     if t.class_depth.(k) > 0 then begin
       t.covered.(k) <- t.covered.(k) + (now - t.class_start.(k));
       t.class_depth.(k) <- 0
+    end;
+    if t.mis_since.(k) >= 0 then begin
+      t.misconfig.(k) <- t.misconfig.(k) + (now - t.mis_since.(k));
+      t.mis_since.(k) <- -1
     end
   done;
   Array.iteri
@@ -279,11 +432,15 @@ type cu_report = {
   tunings : int;
   reconfigs : int;
   denied : int;
+  invalid : int;
   retunes : int;
   predicted_hotspots : int;
   coverage : float;
   energy_nj : float option;
   avg_size_bytes : float option;
+  verify_failures : int;
+  misconfig_instrs : int;
+  failed : bool;
 }
 
 let report t =
@@ -298,6 +455,7 @@ let report t =
         tunings = t.tunings.(k);
         reconfigs = t.reconfigs.(k);
         denied = cu.Cu.denied_count;
+        invalid = cu.Cu.invalid_count;
         retunes = t.retunes.(k);
         predicted_hotspots = t.predicted.(k);
         coverage =
@@ -305,6 +463,9 @@ let report t =
            else float_of_int t.covered.(k) /. float_of_int total);
         energy_nj = Option.map Accounting.total_nj t.accts.(k);
         avg_size_bytes = Option.map Accounting.time_weighted_avg_bytes t.accts.(k);
+        verify_failures = t.verify_failures.(k);
+        misconfig_instrs = t.misconfig.(k);
+        failed = t.failed.(k);
       })
     t.cus
 
@@ -312,11 +473,55 @@ let accounting t k = t.accts.(k)
 
 let unmanaged_hotspots t = t.unmanaged
 
+let quarantined_hotspots t = t.quarantined
+
+type resilience_report = {
+  total_verify_failures : int;
+  failed_cus : int;
+  cu_recoveries : int;
+  quarantined : int;
+  tuner_retries : int;
+  tuner_backoff_skips : int;
+  tuner_skipped_configs : int;
+  misconfig_frac : float;
+}
+
+let resilience_report t =
+  let retries = ref 0 and backoffs = ref 0 and skipped = ref 0 in
+  Array.iter
+    (fun state ->
+      match state with
+      | None -> ()
+      | Some st ->
+          let s = Tuner.stats st.tuner in
+          retries := !retries + s.Tuner.retries;
+          backoffs := !backoffs + s.Tuner.backoff_skips;
+          skipped := !skipped + s.Tuner.skipped_configs)
+    t.states;
+  let total = Engine.instrs t.engine in
+  let n_cus = Array.length t.cus in
+  {
+    total_verify_failures = Array.fold_left ( + ) 0 t.verify_failures;
+    failed_cus =
+      Array.fold_left (fun a f -> if f then a + 1 else a) 0 t.failed;
+    cu_recoveries = Array.fold_left ( + ) 0 t.recoveries;
+    quarantined = t.quarantined;
+    tuner_retries = !retries;
+    tuner_backoff_skips = !backoffs;
+    tuner_skipped_configs = !skipped;
+    misconfig_frac =
+      (if total = 0 || n_cus = 0 then 0.0
+       else
+         float_of_int (Array.fold_left ( + ) 0 t.misconfig)
+         /. float_of_int (n_cus * total));
+  }
+
 type hotspot_view = {
   meth_id : int;
   meth_name : string;
   managed_cus : string list;
   configured : bool;
+  quarantined : bool;
   selection : (string * string) list;
   tested : int;
   tuning_rounds : int;
@@ -346,6 +551,7 @@ let hotspot_views t =
               managed_cus =
                 Array.to_list (Array.map (fun k -> t.cus.(k).Cu.name) st.managed);
               configured = Tuner.is_configured st.tuner;
+              quarantined = Tuner.is_quarantined st.tuner;
               selection;
               tested = Tuner.tested_count st.tuner;
               tuning_rounds = Tuner.rounds st.tuner;

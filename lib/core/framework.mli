@@ -14,6 +14,16 @@
       engine clock, flush energy and per-epoch dynamic/leakage energy to each
       cache CU's {!Ace_power.Accounting}.
 
+    With a fault injector attached ([?faults]) and a {!Tuner.resilience}
+    policy enabled, the framework additionally verifies every claimed
+    register write by reading the setting back, retries/backs off/skips
+    configurations whose installation keeps failing, quarantines hotspots
+    that re-tune in storms, and force-pins a CU at its safe maximum once its
+    writes fail persistently (graceful degradation; periodic probe writes
+    recover the CU once a transient fault clears) — while tracking how
+    long each CU spent diverged from what software believed
+    (misconfiguration time, an omniscient simulator-only metric).
+
     Call {!finalize} once after [Engine.run]; then read {!report}. *)
 
 type config = {
@@ -33,21 +43,37 @@ type config = {
   jit_patch_instrs : int;
       (** JIT cost of rewriting a hotspot's boundary stubs (tuning code
           insertion, tuning -> configuration code replacement). *)
+  resilience : Tuner.resilience;
+      (** Fault-tolerance policy threaded into every hotspot's tuner.
+          Disabled by default: with {!Tuner.no_resilience} the framework
+          behaves bit-for-bit as before the fault model existed. *)
+  cu_failure_threshold : int;
+      (** Consecutive verify-failed writes to one CU before it is declared
+          failed and pinned at its safe maximum. *)
+  cu_probe_interval : int;
+      (** Entries between recovery probes of a failed CU: one probe write
+          checks whether the fault (e.g. a transient latch-up) has cleared,
+          and a verified landing brings the CU back under management. *)
 }
 
 val default_config : config
 (** Decoupling on, default tuner parameters (2 invocations per configuration
-    for coarse hotspots), 2000-instruction JIT patches. *)
+    for coarse hotspots), 2000-instruction JIT patches, resilience off. *)
 
 type t
 
-val attach : ?config:config -> Ace_vm.Engine.t -> cus:Cu.t array -> t
+val attach :
+  ?config:config -> ?faults:Ace_faults.Faults.t -> Ace_vm.Engine.t ->
+  cus:Cu.t array -> t
 (** Install the framework on the engine.  The engine's hotspot/entry/exit
-    hooks are taken over (previously installed hooks are replaced). *)
+    hooks are taken over (previously installed hooks are replaced).
+    [faults] (default {!Ace_faults.Faults.none}) is applied to every control
+    register write issued through {!Hw.request}. *)
 
 val finalize : t -> unit
-(** Close coverage windows and energy-accounting epochs at the engine's
-    final counters.  Must be called exactly once, after the run. *)
+(** Close coverage windows, misconfiguration windows and energy-accounting
+    epochs at the engine's final counters.  Must be called exactly once,
+    after the run. *)
 
 (** Per-CU outcome of a run (rows of Tables 5 and 6). *)
 type cu_report = {
@@ -59,6 +85,7 @@ type cu_report = {
       (** Times the selected most-energy-efficient configuration was applied
           (actual setting changes in the configured phase). *)
   denied : int;  (** Requests dropped by the hardware guard. *)
+  invalid : int;  (** Out-of-range requests rejected at the {!Hw} boundary. *)
   retunes : int;  (** Re-tuning rounds triggered by exit sampling. *)
   predicted_hotspots : int;
       (** Hotspots configured by static prediction (no tuning ran). *)
@@ -67,6 +94,12 @@ type cu_report = {
           hotspots of this CU's class. *)
   energy_nj : float option;  (** Total energy (cache CUs only). *)
   avg_size_bytes : float option;  (** Time-weighted average configured size. *)
+  verify_failures : int;
+      (** Writes the hardware claimed to apply whose read-back mismatched. *)
+  misconfig_instrs : int;
+      (** Instructions executed while the CU's actual setting diverged from
+          what software believed (omniscient metric). *)
+  failed : bool;  (** CU was declared failed and pinned at its maximum. *)
 }
 
 val report : t -> cu_report array
@@ -78,12 +111,33 @@ val accounting : t -> int -> Ace_power.Accounting.t option
 val unmanaged_hotspots : t -> int
 (** Hotspots too small for any CU class. *)
 
+val quarantined_hotspots : t -> int
+(** Hotspots pinned by the re-tune-storm detector. *)
+
+(** Aggregate fault-handling outcome of a run. *)
+type resilience_report = {
+  total_verify_failures : int;
+  failed_cus : int;  (** CUs still pinned at their maximum at run end. *)
+  cu_recoveries : int;
+      (** Failed CUs brought back by a successful recovery probe. *)
+  quarantined : int;
+  tuner_retries : int;
+  tuner_backoff_skips : int;
+  tuner_skipped_configs : int;
+  misconfig_frac : float;
+      (** Mean over CUs of the fraction of program instructions spent
+          misconfigured. *)
+}
+
+val resilience_report : t -> resilience_report
+
 (** Per-hotspot diagnostic snapshot (examples and debugging). *)
 type hotspot_view = {
   meth_id : int;
   meth_name : string;
   managed_cus : string list;
   configured : bool;
+  quarantined : bool;
   selection : (string * string) list;
       (** (CU name, chosen setting label) once configured. *)
   tested : int;  (** Configurations measured in the current/last round. *)

@@ -1,3 +1,5 @@
+module Faults = Ace_faults.Faults
+
 type outcome = Unchanged | Denied | Applied of { flushed_lines : int }
 
 let do_apply (cu : Cu.t) ~setting ~now_instrs =
@@ -7,19 +9,38 @@ let do_apply (cu : Cu.t) ~setting ~now_instrs =
   cu.Cu.applied_count <- cu.Cu.applied_count + 1;
   Applied { flushed_lines }
 
-let check_range (cu : Cu.t) setting =
-  if setting < 0 || setting >= Cu.n_settings cu then
-    invalid_arg (Printf.sprintf "Hw.request: setting %d out of range for %s" setting cu.Cu.name)
+(* A write the guard accepted but the fault layer diverted: hardware still
+   reports success and latches the guard counter, but nothing was flushed at
+   the setting software asked for. *)
+let phantom_apply (cu : Cu.t) ~now_instrs =
+  cu.Cu.last_reconfig_instr <- now_instrs;
+  cu.Cu.applied_count <- cu.Cu.applied_count + 1;
+  Applied { flushed_lines = 0 }
 
-let request cu ~setting ~now_instrs =
-  check_range cu setting;
-  if setting = cu.Cu.current then Unchanged
+let request ?(faults = Faults.none) cu ~setting ~now_instrs =
+  if setting < 0 || setting >= Cu.n_settings cu then begin
+    cu.Cu.invalid_count <- cu.Cu.invalid_count + 1;
+    Denied
+  end
+  else if setting = cu.Cu.current then Unchanged
   else if now_instrs - cu.Cu.last_reconfig_instr < cu.Cu.reconfig_interval then begin
     cu.Cu.denied_count <- cu.Cu.denied_count + 1;
     Denied
   end
-  else do_apply cu ~setting ~now_instrs
+  else
+    match
+      Faults.on_reg_write faults ~cu:cu.Cu.name ~now_instrs ~setting
+        ~n_settings:(Cu.n_settings cu)
+    with
+    | Faults.Landed -> do_apply cu ~setting ~now_instrs
+    | Faults.Dropped -> phantom_apply cu ~now_instrs
+    | Faults.Corrupted wrong ->
+        if wrong = cu.Cu.current then phantom_apply cu ~now_instrs
+        else do_apply cu ~setting:wrong ~now_instrs
 
 let force cu ~setting ~now_instrs =
-  check_range cu setting;
+  if setting < 0 || setting >= Cu.n_settings cu then
+    invalid_arg
+      (Printf.sprintf "Hw.force: setting %d out of range for %s" setting
+         cu.Cu.name);
   if setting = cu.Cu.current then Unchanged else do_apply cu ~setting ~now_instrs

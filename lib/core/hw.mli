@@ -3,20 +3,37 @@
     Each CU has a control register and a hardware counter holding its most
     recent reconfiguration time.  A write request arriving before the CU's
     reconfiguration interval has elapsed is silently ignored, freeing the
-    software framework from tracking minimum residencies itself. *)
+    software framework from tracking minimum residencies itself.
+
+    [request] never raises: an out-of-range setting (e.g. from a corrupted
+    tuner state) is rejected as {!Denied} and counted on the CU's
+    [invalid_count], so a fault mid-simulation degrades instead of crashing
+    the run.  With a fault injector attached, a write the guard accepted can
+    still be lost, land bit-flipped, or bounce off a latched-up CU — in every
+    such case the hardware {e reports} [Applied] exactly as real stuck
+    hardware would, and only a read-back of [cu.current] reveals the
+    divergence. *)
 
 type outcome =
   | Unchanged  (** Requested setting is already current — no register write. *)
-  | Denied  (** Guard counter dropped the request (interval not elapsed). *)
+  | Denied
+      (** Guard counter dropped the request (interval not elapsed), or the
+          setting was out of range. *)
   | Applied of { flushed_lines : int }
-      (** Setting changed; [flushed_lines] dirty lines were written back. *)
+      (** Setting changed; [flushed_lines] dirty lines were written back.
+          Under fault injection this is what the hardware {e claims}: the
+          actual setting may differ — read back [cu.current] to verify. *)
 
-val request : Cu.t -> setting:int -> now_instrs:int -> outcome
+val request :
+  ?faults:Ace_faults.Faults.t -> Cu.t -> setting:int -> now_instrs:int ->
+  outcome
 (** Attempt to switch [cu] to [setting] at global instruction count
-    [now_instrs].  Updates the CU's guard counter and applied/denied
-    statistics.
-    @raise Invalid_argument if [setting] is out of range. *)
+    [now_instrs].  Updates the CU's guard counter and
+    applied/denied/invalid statistics.  Never raises. *)
 
 val force : Cu.t -> setting:int -> now_instrs:int -> outcome
-(** Like {!request} but bypasses the guard (used to restore the maximum
-    configuration at scheme start; never available to tuning code). *)
+(** Like {!request} but bypasses the guard and the fault layer (a privileged
+    maintenance write over the CU's reset line: used to restore the maximum
+    configuration at scheme start and to pin a failed CU at its safe setting;
+    never available to tuning code).
+    @raise Invalid_argument if [setting] is out of range. *)

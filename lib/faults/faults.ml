@@ -1,0 +1,201 @@
+module Rng = Ace_util.Rng
+
+type config = {
+  reg_write_drop_p : float;
+  reg_write_corrupt_p : float;
+  stuck_transient_p : float;
+  stuck_transient_instrs : int;
+  stuck_permanent_p : float;
+  profile_noise_cov : float;
+  profile_spike_p : float;
+  profile_spike_mag : float;
+  sampler_jitter_frac : float;
+}
+
+let no_faults =
+  {
+    reg_write_drop_p = 0.0;
+    reg_write_corrupt_p = 0.0;
+    stuck_transient_p = 0.0;
+    stuck_transient_instrs = 0;
+    stuck_permanent_p = 0.0;
+    profile_noise_cov = 0.0;
+    profile_spike_p = 0.0;
+    profile_spike_mag = 0.0;
+    sampler_jitter_frac = 0.0;
+  }
+
+let preset ~rate =
+  {
+    reg_write_drop_p = rate;
+    reg_write_corrupt_p = rate;
+    (* Latch-ups are mostly transient (a permanent one is an order of
+       magnitude rarer): the interesting regime is a CU that stops taking
+       writes for a few million instructions and then comes back, which
+       rewards recovery probing over writing the CU off.  Measurement
+       spikes dominate the profile channel: a single spiked sample reads as
+       a large behaviour change, so an unconfirmed drift check re-tunes in
+       storms while a confirming one shrugs it off. *)
+    stuck_transient_p = rate;
+    stuck_transient_instrs = 5_000_000;
+    stuck_permanent_p = rate /. 20.0;
+    profile_noise_cov = 2.0 *. rate;
+    profile_spike_p = 5.0 *. rate;
+    profile_spike_mag = 1.5;
+    sampler_jitter_frac = 5.0 *. rate;
+  }
+
+type latch = Stuck_until of int | Stuck_forever
+
+type stats = {
+  writes_dropped : int;
+  writes_corrupted : int;
+  stuck_events : int;
+  spikes : int;
+  jittered_ticks : int;
+}
+
+type active = {
+  cfg : config;
+  rng : Rng.t;
+  latched : (string, latch) Hashtbl.t;
+  mutable writes_dropped : int;
+  mutable writes_corrupted : int;
+  mutable stuck_events : int;
+  mutable spikes : int;
+  mutable jittered_ticks : int;
+}
+
+type t = active option
+
+let none = None
+let is_none t = Option.is_none t
+
+let create ?(seed = 2005) cfg =
+  Some
+    {
+      cfg;
+      rng = Rng.create ~seed;
+      latched = Hashtbl.create 8;
+      writes_dropped = 0;
+      writes_corrupted = 0;
+      stuck_events = 0;
+      spikes = 0;
+      jittered_ticks = 0;
+    }
+
+let config t = match t with None -> no_faults | Some a -> a.cfg
+
+let latched a ~cu ~now_instrs =
+  match Hashtbl.find_opt a.latched cu with
+  | None -> false
+  | Some Stuck_forever -> true
+  | Some (Stuck_until until) ->
+      if now_instrs < until then true
+      else begin
+        Hashtbl.remove a.latched cu;
+        false
+      end
+
+let cu_stuck t ~cu ~now_instrs =
+  match t with None -> false | Some a -> latched a ~cu ~now_instrs
+
+type write_outcome = Landed | Dropped | Corrupted of int
+
+(* A corrupted write lands at a uniformly chosen *other* valid setting. *)
+let corrupt_setting rng ~setting ~n_settings =
+  let other = Rng.int rng (n_settings - 1) in
+  if other >= setting then other + 1 else other
+
+let maybe_latch a ~cu ~now_instrs =
+  if a.cfg.stuck_permanent_p > 0.0 && Rng.bernoulli a.rng a.cfg.stuck_permanent_p
+  then begin
+    Hashtbl.replace a.latched cu Stuck_forever;
+    a.stuck_events <- a.stuck_events + 1
+  end
+  else if
+    a.cfg.stuck_transient_p > 0.0 && Rng.bernoulli a.rng a.cfg.stuck_transient_p
+  then begin
+    Hashtbl.replace a.latched cu
+      (Stuck_until (now_instrs + a.cfg.stuck_transient_instrs));
+    a.stuck_events <- a.stuck_events + 1
+  end
+
+let on_reg_write t ~cu ~now_instrs ~setting ~n_settings =
+  match t with
+  | None -> Landed
+  | Some a ->
+      if latched a ~cu ~now_instrs then begin
+        a.writes_dropped <- a.writes_dropped + 1;
+        Dropped
+      end
+      else if
+        a.cfg.reg_write_drop_p > 0.0 && Rng.bernoulli a.rng a.cfg.reg_write_drop_p
+      then begin
+        a.writes_dropped <- a.writes_dropped + 1;
+        Dropped
+      end
+      else if
+        a.cfg.reg_write_corrupt_p > 0.0
+        && n_settings > 1
+        && Rng.bernoulli a.rng a.cfg.reg_write_corrupt_p
+      then begin
+        a.writes_corrupted <- a.writes_corrupted + 1;
+        let wrong = corrupt_setting a.rng ~setting ~n_settings in
+        maybe_latch a ~cu ~now_instrs;
+        Corrupted wrong
+      end
+      else begin
+        maybe_latch a ~cu ~now_instrs;
+        Landed
+      end
+
+let perturb_cycles t ~cycles =
+  match t with
+  | None -> cycles
+  | Some a ->
+      let cycles =
+        if a.cfg.profile_noise_cov <= 0.0 then cycles
+        else begin
+          (* Uniform multiplicative noise with the requested CoV: a uniform
+             on [-h, h] has sigma = h/sqrt(3). *)
+          let h = a.cfg.profile_noise_cov *. sqrt 3.0 in
+          cycles *. (1.0 +. ((Rng.float a.rng 2.0 -. 1.0) *. h))
+        end
+      in
+      if a.cfg.profile_spike_p > 0.0 && Rng.bernoulli a.rng a.cfg.profile_spike_p
+      then begin
+        a.spikes <- a.spikes + 1;
+        cycles *. (1.0 +. a.cfg.profile_spike_mag)
+      end
+      else cycles
+
+let jitter_period t ~period =
+  match t with
+  | None -> period
+  | Some a ->
+      if a.cfg.sampler_jitter_frac <= 0.0 then period
+      else begin
+        a.jittered_ticks <- a.jittered_ticks + 1;
+        period
+        *. (1.0 +. ((Rng.float a.rng 2.0 -. 1.0) *. a.cfg.sampler_jitter_frac))
+      end
+
+let stats t =
+  match t with
+  | None ->
+      {
+        writes_dropped = 0;
+        writes_corrupted = 0;
+        stuck_events = 0;
+        spikes = 0;
+        jittered_ticks = 0;
+      }
+  | Some a ->
+      {
+        writes_dropped = a.writes_dropped;
+        writes_corrupted = a.writes_corrupted;
+        stuck_events = a.stuck_events;
+        spikes = a.spikes;
+        jittered_ticks = a.jittered_ticks;
+      }

@@ -7,6 +7,7 @@ type variant =
   | With_issue_queue
   | With_prediction
   | Bbv_with_predictor
+  | Faulty of { scheme : Scheme.t; rate : float; resilient : bool }
 
 type t = {
   scale : float;
@@ -43,6 +44,17 @@ let run_variant t w variant =
               w Scheme.Hotspot
         | Bbv_with_predictor ->
             Run.run ~scale:t.scale ~seed:t.seed ~bbv_prediction:true w Scheme.Bbv
+        | Faulty { scheme; rate; resilient } ->
+            let framework_config =
+              if resilient then
+                {
+                  Ace_core.Framework.default_config with
+                  resilience = Ace_core.Tuner.default_resilience;
+                }
+              else Ace_core.Framework.default_config
+            in
+            Run.run ~scale:t.scale ~seed:t.seed ~framework_config
+              ~faults:(Ace_faults.Faults.preset ~rate) w scheme
       in
       Hashtbl.replace t.cache key r;
       r
@@ -570,6 +582,94 @@ let extension_bbv_predictor t =
     t.workloads;
   tbl
 
+(* ------------------------------------------------------------------ *)
+(* Resilience under injected hardware faults.                          *)
+
+let resilience t =
+  let tbl =
+    Table.create
+      ~columns:
+        [
+          ("Variant", Table.Left);
+          ("L1D saving", Table.Right);
+          ("L2 saving", Table.Right);
+          ("Slowdown", Table.Right);
+          ("Misconfig time", Table.Right);
+          ("Quarantined", Table.Right);
+          ("Failed CUs", Table.Right);
+          ("L1D retention", Table.Right);
+        ]
+  in
+  (* All savings are measured against the fault-free fixed-maximum baseline:
+     a faulty environment must not be allowed to redefine "100%". *)
+  let avg_over f = mean (List.map f t.workloads) in
+  let l1_saving v =
+    avg_over (fun w ->
+        let base = result t w Scheme.Fixed_baseline in
+        1.0 -. ((run_variant t w v).Run.l1d_energy_nj /. base.Run.l1d_energy_nj))
+  in
+  let l2_saving v =
+    avg_over (fun w ->
+        let base = result t w Scheme.Fixed_baseline in
+        1.0 -. ((run_variant t w v).Run.l2_energy_nj /. base.Run.l2_energy_nj))
+  in
+  let slow v =
+    avg_over (fun w ->
+        let base = result t w Scheme.Fixed_baseline in
+        ((run_variant t w v).Run.cycles /. base.Run.cycles) -. 1.0)
+  in
+  let misconfig v =
+    avg_over (fun w ->
+        match (run_variant t w v).Run.resilience with
+        | Some r -> r.Ace_core.Framework.misconfig_frac
+        | None -> 0.0)
+  in
+  let sum_res v f =
+    List.fold_left
+      (fun acc w ->
+        match (run_variant t w v).Run.resilience with
+        | Some r -> acc + f r
+        | None -> acc)
+      0 t.workloads
+  in
+  let free_l1 = l1_saving (Standard Scheme.Hotspot) in
+  let row name v ~hotspot =
+    let l1 = l1_saving v in
+    Table.add_row tbl
+      [
+        name;
+        pct l1;
+        pct (l2_saving v);
+        pct ~decimals:2 (slow v);
+        (if hotspot then pct ~decimals:2 (misconfig v) else "-");
+        (if hotspot then
+           string_of_int
+             (sum_res v (fun r -> r.Ace_core.Framework.quarantined))
+         else "-");
+        (if hotspot then
+           string_of_int (sum_res v (fun r -> r.Ace_core.Framework.failed_cus))
+         else "-");
+        (if free_l1 <= 0.0 then "-" else pct (l1 /. free_l1));
+      ]
+  in
+  row "hotspot, fault-free" (Standard Scheme.Hotspot) ~hotspot:true;
+  Table.add_separator tbl;
+  List.iter
+    (fun rate ->
+      row
+        (Printf.sprintf "hotspot resilient @%.1f%%" (rate *. 100.0))
+        (Faulty { scheme = Scheme.Hotspot; rate; resilient = true })
+        ~hotspot:true)
+    [ 0.005; 0.01; 0.05 ];
+  Table.add_separator tbl;
+  row "hotspot non-resilient @1.0%"
+    (Faulty { scheme = Scheme.Hotspot; rate = 0.01; resilient = false })
+    ~hotspot:true;
+  row "BBV @1.0%"
+    (Faulty { scheme = Scheme.Bbv; rate = 0.01; resilient = false })
+    ~hotspot:false;
+  tbl
+
 let stability t =
   let seeds = [ 1; 2; 3 ] in
   let tbl =
@@ -620,5 +720,6 @@ let all t =
     ("ext-issue-queue", extension_issue_queue t);
     ("ext-prediction", extension_prediction t);
     ("ext-bbv-predictor", extension_bbv_predictor t);
+    ("resilience", resilience t);
     ("stability", stability t);
   ]

@@ -73,6 +73,13 @@ val extension_bbv_predictor : t -> Ace_util.Table.t
 (** The BBV baseline with the next-phase predictor the paper deliberately
     omitted ([20]/[24]): coverage and savings with vs without it. *)
 
+val resilience : t -> Ace_util.Table.t
+(** Hotspot and BBV schemes under injected hardware faults
+    ({!Ace_faults.Faults.preset}) at increasing rates, with and without the
+    framework's resilience machinery.  Savings are measured against the
+    fault-free fixed-maximum baseline; the "L1D retention" column is each
+    row's saving as a fraction of the fault-free hotspot saving. *)
+
 val stability : t -> Ace_util.Table.t
 (** Suite-average savings and slowdowns across three construction seeds —
     evidence the reproduction's conclusions are not seed artifacts. *)

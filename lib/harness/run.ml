@@ -1,5 +1,6 @@
 module Engine = Ace_vm.Engine
 module Db = Ace_vm.Do_database
+module Faults = Ace_faults.Faults
 module Cu = Ace_core.Cu
 module Framework = Ace_core.Framework
 module Accounting = Ace_power.Accounting
@@ -50,6 +51,8 @@ type result = {
   hotspot : hotspot_stats option;
   bbv : bbv_stats option;
   bbv_predictor : (int * int * float) option;
+  resilience : Framework.resilience_report option;
+  fault_stats : Faults.stats option;
 }
 
 let default_hot_threshold = 2
@@ -97,7 +100,8 @@ let fixed_accounting engine =
       ~cycles_now:(Engine.cycles engine);
     (acct_l1d, acct_l2)
 
-let summarize ~workload ~scheme ~engine ~accts ~hotspot ~bbv ~bbv_predictor =
+let summarize ~workload ~scheme ~engine ~accts ~hotspot ~bbv ~bbv_predictor
+    ~resilience ~fault_stats =
   let acct_l1d, acct_l2 = accts in
   let hier = Engine.hierarchy engine in
   {
@@ -117,30 +121,41 @@ let summarize ~workload ~scheme ~engine ~accts ~hotspot ~bbv ~bbv_predictor =
     hotspot;
     bbv;
     bbv_predictor;
+    resilience;
+    fault_stats;
   }
 
 let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
     ?(framework_config = Framework.default_config) ?(with_issue_queue = false)
-    ?(bbv_prediction = false) workload scheme =
+    ?(bbv_prediction = false) ?faults workload scheme =
   let program = workload.Ace_workloads.Workload.build ~scale ~seed in
   let name = workload.Ace_workloads.Workload.name in
+  (* One injector per run, seeded off the run seed so fault sequences are
+     reproducible but decorrelated from the engine's own stream. *)
+  let faults =
+    match faults with
+    | None -> Faults.none
+    | Some cfg -> Faults.create ~seed:((seed * 1000) + 7) cfg
+  in
+  let fault_stats () = if Faults.is_none faults then None else Some (Faults.stats faults) in
   match scheme with
   | Scheme.Fixed_baseline ->
       let cfg = engine_config ~hot_threshold ~seed ~interval:None in
-      let engine = Engine.create ~config:cfg program in
+      let engine = Engine.create ~config:cfg ~faults program in
       let finish = fixed_accounting engine in
       Engine.run engine;
       summarize ~workload:name ~scheme ~engine ~accts:(finish ()) ~hotspot:None
-        ~bbv:None ~bbv_predictor:None
+        ~bbv:None ~bbv_predictor:None ~resilience:None
+        ~fault_stats:(fault_stats ())
   | Scheme.Hotspot ->
       let cfg = engine_config ~hot_threshold ~seed ~interval:None in
-      let engine = Engine.create ~config:cfg program in
+      let engine = Engine.create ~config:cfg ~faults program in
       let cus =
         if with_issue_queue then
           [| Cu.l1d engine; Cu.l2 engine; Cu.issue_queue engine |]
         else [| Cu.l1d engine; Cu.l2 engine |]
       in
-      let fw = Framework.attach ~config:framework_config engine ~cus in
+      let fw = Framework.attach ~config:framework_config ~faults engine ~cus in
       Engine.run engine;
       Framework.finalize fw;
       let accts =
@@ -157,10 +172,11 @@ let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
           }
       in
       summarize ~workload:name ~scheme ~engine ~accts ~hotspot ~bbv:None
-        ~bbv_predictor:None
+        ~bbv_predictor:None ~resilience:(Some (Framework.resilience_report fw))
+        ~fault_stats:(fault_stats ())
   | Scheme.Bbv ->
       let cfg = engine_config ~hot_threshold ~seed ~interval:(Some bbv_interval) in
-      let engine = Engine.create ~config:cfg program in
+      let engine = Engine.create ~config:cfg ~faults program in
       let cus = [| Cu.l1d engine; Cu.l2 engine |] in
       let sch =
         Ace_bbv.Scheme.attach
@@ -169,7 +185,7 @@ let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
               Ace_bbv.Scheme.default_config with
               next_phase_prediction = bbv_prediction;
             }
-          engine ~cus
+          ~faults engine ~cus
       in
       Engine.run engine;
       Ace_bbv.Scheme.finalize sch;
@@ -192,4 +208,5 @@ let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
           }
       in
       summarize ~workload:name ~scheme ~engine ~accts ~hotspot:None ~bbv
-        ~bbv_predictor:(Ace_bbv.Scheme.predictor_stats sch)
+        ~bbv_predictor:(Ace_bbv.Scheme.predictor_stats sch) ~resilience:None
+        ~fault_stats:(fault_stats ())

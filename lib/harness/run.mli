@@ -51,6 +51,10 @@ type result = {
   bbv_predictor : (int * int * float) option;
       (** (predictions, correct, accuracy) when the BBV next-phase predictor
           ran. *)
+  resilience : Ace_core.Framework.resilience_report option;
+      (** [Some] iff scheme = Hotspot (all-zero without faults). *)
+  fault_stats : Ace_faults.Faults.stats option;
+      (** Injector event counts; [Some] iff faults were requested. *)
 }
 
 val default_hot_threshold : int
@@ -66,8 +70,11 @@ val run :
   ?framework_config:Ace_core.Framework.config ->
   ?with_issue_queue:bool ->
   ?bbv_prediction:bool ->
+  ?faults:Ace_faults.Faults.config ->
   Ace_workloads.Workload.t ->
   Scheme.t ->
   result
 (** Build the workload, create a fresh engine, attach the scheme, execute,
-    finalize, and summarize. *)
+    finalize, and summarize.  [faults] (off by default) attaches a seeded
+    fault injector — derived deterministically from [seed] — to the engine's
+    measurement path and to every control register write the scheme issues. *)

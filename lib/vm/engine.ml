@@ -1,4 +1,5 @@
 module Rng = Ace_util.Rng
+module Faults = Ace_faults.Faults
 module Program = Ace_isa.Program
 module Block = Ace_isa.Block
 module Pattern = Ace_isa.Pattern
@@ -55,6 +56,7 @@ type t = {
   db : Do_database.t;
   hooks : hooks;
   rng : Rng.t;
+  faults : Faults.t;
   cursors : Pattern.cursor array;  (* indexed by block id *)
   (* counters *)
   mutable n_instrs : int;
@@ -72,7 +74,7 @@ type t = {
   mutable ran : bool;
 }
 
-let create ?(config = default_config) program =
+let create ?(config = default_config) ?(faults = Faults.none) program =
   (match Program.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
@@ -86,6 +88,7 @@ let create ?(config = default_config) program =
     db = Do_database.create ~methods:(Program.method_count program);
     hooks = no_hooks ();
     rng = Rng.create ~seed:config.seed;
+    faults;
     cursors;
     n_instrs = 0;
     n_cycles = 0.0;
@@ -144,7 +147,11 @@ let promote t entry =
 (* Timer sampler: attribute a tick to the currently executing method and
    recompile long-runners, mirroring Jikes' 10 ms sampling recompilation. *)
 let sampler_tick t =
-  t.next_sample_at <- t.next_sample_at +. t.cfg.sample_period_cycles;
+  (* A fault injector can jitter the timer period (model (d)); with
+     [Faults.none] this is exactly [sample_period_cycles]. *)
+  t.next_sample_at <-
+    t.next_sample_at
+    +. Faults.jitter_period t.faults ~period:t.cfg.sample_period_cycles;
   let entry = Do_database.entry t.db t.current_meth in
   entry.Do_database.samples <- entry.Do_database.samples + 1;
   if
@@ -225,10 +232,15 @@ let rec run_method t meth_id =
     t.program.Program.methods.(meth_id).Program.body;
   t.current_meth <- saved_meth;
   if was_hotspot_at_entry then t.hotspot_depth <- t.hotspot_depth - 1;
+  (* Measurement-path fault model (c): the invocation's *observed* cycle
+     count can carry multiplicative noise and outlier spikes.  Only the
+     profile handed to instrumentation consumers is perturbed; the global
+     clock stays truthful. *)
+  let observed_cycles = Faults.perturb_cycles t.faults ~cycles:(t.n_cycles -. cycles0) in
   let profile =
     {
       Profile.instrs = t.n_instrs - instrs0;
-      cycles = t.n_cycles -. cycles0;
+      cycles = observed_cycles;
       l1d_accesses = Cache.Stats.accesses l1d - l1a0;
       l1d_misses = Cache.Stats.misses l1d - l1m0;
       l2_accesses = Cache.Stats.accesses l2 - l2a0;

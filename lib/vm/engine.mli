@@ -50,8 +50,12 @@ type hooks = {
 
 type t
 
-val create : ?config:config -> Ace_isa.Program.t -> t
-(** Build an engine for one run.
+val create :
+  ?config:config -> ?faults:Ace_faults.Faults.t -> Ace_isa.Program.t -> t
+(** Build an engine for one run.  [faults] (default
+    {!Ace_faults.Faults.none}) injects measurement noise/spikes into the
+    per-invocation profiles handed to [on_method_exit] and jitter into the
+    timer sampler; the engine's true clock and counters stay unperturbed.
     @raise Invalid_argument if the program fails validation. *)
 
 val config : t -> config

@@ -27,6 +27,7 @@ let test_cu ?(interval = 100) () =
       last_reconfig_instr = 0;
       applied_count = 0;
       denied_count = 0;
+      invalid_count = 0;
     }
   in
   (cu, applied)
@@ -68,10 +69,19 @@ let test_hw_force_bypasses_guard () =
     | Hw.Unchanged | Hw.Denied -> false)
 
 let test_hw_range_check () =
-  let cu, _ = test_cu () in
-  Alcotest.check_raises "out of range"
-    (Invalid_argument "Hw.request: setting 9 out of range for test") (fun () ->
-      ignore (Hw.request cu ~setting:9 ~now_instrs:0))
+  let cu, applied = test_cu () in
+  Alcotest.(check bool) "out of range is denied, not a crash" true
+    (Hw.request cu ~setting:9 ~now_instrs:0 = Hw.Denied);
+  Alcotest.(check bool) "negative too" true
+    (Hw.request cu ~setting:(-1) ~now_instrs:0 = Hw.Denied);
+  Alcotest.(check int) "counted separately from guard denials" 2
+    cu.Cu.invalid_count;
+  Alcotest.(check int) "guard stat untouched" 0 cu.Cu.denied_count;
+  Alcotest.(check (list int)) "apply never called" [] !applied;
+  (* [force] is the privileged path and still range-checks loudly. *)
+  Alcotest.check_raises "force raises"
+    (Invalid_argument "Hw.force: setting 9 out of range for test") (fun () ->
+      ignore (Hw.force cu ~setting:9 ~now_instrs:0))
 
 (* --- decoupling --- *)
 
@@ -196,7 +206,7 @@ let test_tuner_full_sweep_selects_min_energy () =
     (fun i e ->
       match step t ~energy:e ~ipc:1.5 with
       | Tuner.Finished cfg -> finished := Some (i, cfg)
-      | Tuner.Continue | Tuner.Retuning -> ())
+      | Tuner.Continue | Tuner.Retuning | Tuner.Quarantine -> ())
     energies;
   (match !finished with
   | Some (3, cfg) -> Alcotest.(check (array int)) "smallest selected" [| 3 |] cfg
@@ -212,7 +222,8 @@ let test_tuner_perf_threshold_filters () =
   ignore (step t ~energy:4.0 ~ipc:1.99);
   (match step t ~energy:2.0 ~ipc:1.5 with
   | Tuner.Finished cfg -> Alcotest.(check (array int)) "config 1 selected" [| 1 |] cfg
-  | Tuner.Continue | Tuner.Retuning -> Alcotest.fail "early exit expected");
+  | Tuner.Continue | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "early exit expected");
   Alcotest.(check int) "stopped after 3 tests" 3 (Tuner.tested_count t)
 
 let test_tuner_early_exit_on_degradation () =
@@ -222,7 +233,8 @@ let test_tuner_early_exit_on_degradation () =
   | Tuner.Finished cfg ->
       (* Config 1 violates the threshold; the best within it is config 0. *)
       Alcotest.(check (array int)) "falls back to max config" [| 0 |] cfg
-  | Tuner.Continue | Tuner.Retuning -> Alcotest.fail "should stop early"
+  | Tuner.Continue | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "should stop early"
 
 let test_tuner_denied_retries () =
   let t = Tuner.create (params ()) ~configs:l1d_configs in
@@ -279,14 +291,16 @@ let test_tuner_sampling_and_retune () =
   Alcotest.(check bool) "sampling exit measures" true (Tuner.measuring t);
   (match Tuner.on_exit t ~energy:1.0 ~ipc:1.5 with
   | Tuner.Continue -> ()
-  | Tuner.Finished _ | Tuner.Retuning -> Alcotest.fail "stable ipc: no retune");
+  | Tuner.Finished _ | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "stable ipc: no retune");
   (* Now a big drift on the next sampling exit triggers re-tuning. *)
   ignore (Tuner.on_entry t);
   ignore (Tuner.on_exit t ~energy:1.0 ~ipc:1.5);
   ignore (Tuner.on_entry t);
   (match Tuner.on_exit t ~energy:1.0 ~ipc:0.5 with
   | Tuner.Retuning -> ()
-  | Tuner.Continue | Tuner.Finished _ -> Alcotest.fail "drift should retune");
+  | Tuner.Continue | Tuner.Finished _ | Tuner.Quarantine ->
+      Alcotest.fail "drift should retune");
   Alcotest.(check int) "round counter" 2 (Tuner.rounds t);
   Alcotest.(check bool) "back in tuning" false (Tuner.is_configured t)
 
@@ -301,6 +315,251 @@ let test_tuner_empty_configs_rejected () =
     (Invalid_argument "Tuner.create: empty configuration list") (fun () ->
       ignore (Tuner.create (params ()) ~configs:[||]))
 
+(* --- §3.4 guard counter properties (fuzzed) --- *)
+
+let prop_guard_min_spacing =
+  QCheck.Test.make
+    ~name:"no two applied requests closer than the reconfig interval" ~count:200
+    QCheck.(pair small_int (int_range 1 500))
+    (fun (seed, interval) ->
+      let rng = Ace_util.Rng.create ~seed in
+      let cu, _ = test_cu ~interval () in
+      let now = ref 0 in
+      let last_applied = ref None in
+      let ok = ref true in
+      for _ = 1 to 300 do
+        now := !now + Ace_util.Rng.int rng (interval * 2);
+        let setting = Ace_util.Rng.int rng (Cu.n_settings cu) in
+        match Hw.request cu ~setting ~now_instrs:!now with
+        | Hw.Applied _ ->
+            (match !last_applied with
+            | Some prev when !now - prev < interval -> ok := false
+            | _ -> ());
+            last_applied := Some !now
+        | Hw.Unchanged | Hw.Denied -> ()
+      done;
+      !ok)
+
+let prop_force_leaves_denied_stats =
+  QCheck.Test.make
+    ~name:"force never bumps the denied/invalid counters" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let rng = Ace_util.Rng.create ~seed in
+      let cu, _ = test_cu ~interval:100 () in
+      let ok = ref true in
+      for i = 1 to 200 do
+        let setting = Ace_util.Rng.int rng (Cu.n_settings cu) in
+        let now_instrs = i * Ace_util.Rng.int rng 120 in
+        if Ace_util.Rng.bernoulli rng 0.5 then begin
+          (* Snapshot around the privileged path: whatever it does, it must
+             not be accounted as a guard denial or a range rejection. *)
+          let denied0 = cu.Cu.denied_count and invalid0 = cu.Cu.invalid_count in
+          ignore (Hw.force cu ~setting ~now_instrs);
+          if cu.Cu.denied_count <> denied0 || cu.Cu.invalid_count <> invalid0
+          then ok := false
+        end
+        else ignore (Hw.request cu ~setting ~now_instrs)
+      done;
+      !ok)
+
+(* --- tuner edge cases --- *)
+
+let test_tuner_single_config () =
+  let t = Tuner.create (params ()) ~configs:[| [| 0 |] |] in
+  (match step t ~energy:5.0 ~ipc:2.0 with
+  | Tuner.Finished cfg ->
+      Alcotest.(check (array int)) "the only config wins" [| 0 |] cfg
+  | Tuner.Continue | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "one config, one measurement: tuning must finish");
+  Alcotest.(check bool) "configured" true (Tuner.is_configured t);
+  Alcotest.(check int) "tested one" 1 (Tuner.tested_count t)
+
+let test_tuner_misprediction_retunes () =
+  (* A statically predicted configuration whose behaviour does not match the
+     prediction must fall back to measurement-based tuning. *)
+  let t =
+    Tuner.create_configured (params ~sample_every:1 ()) ~configs:l1d_configs
+      ~best:[| 2 |]
+  in
+  Alcotest.(check bool) "born configured" true (Tuner.is_configured t);
+  (* First sample only establishes the reference IPC. *)
+  (match Tuner.on_entry t with
+  | Tuner.Set cfg -> Alcotest.(check (array int)) "re-applies best" [| 2 |] cfg
+  | Tuner.Nothing -> Alcotest.fail "expected Set");
+  Tuner.entry_outcome t ~applied:true ~changed:false;
+  (match Tuner.on_exit t ~energy:1.0 ~ipc:2.0 with
+  | Tuner.Continue -> ()
+  | Tuner.Finished _ | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "first sample is only a reference");
+  (* The hotspot actually runs far from the reference: re-tune. *)
+  ignore (Tuner.on_entry t);
+  Tuner.entry_outcome t ~applied:true ~changed:false;
+  (match Tuner.on_exit t ~energy:1.0 ~ipc:0.5 with
+  | Tuner.Retuning -> ()
+  | Tuner.Continue | Tuner.Finished _ | Tuner.Quarantine ->
+      Alcotest.fail "misprediction should trigger re-tuning");
+  Alcotest.(check bool) "back to measuring" false (Tuner.is_configured t);
+  match Tuner.on_entry t with
+  | Tuner.Set cfg -> Alcotest.(check (array int)) "sweep restarts" [| 0 |] cfg
+  | Tuner.Nothing -> Alcotest.fail "expected tuning to restart"
+
+let resilience ?(max_entry_retries = 1) ?(backoff_base = 2) ?(backoff_max = 4)
+    ?(quarantine_retunes = 2) ?(quarantine_window = 1000) () =
+  {
+    Tuner.enabled = true;
+    max_entry_retries;
+    backoff_base;
+    backoff_max;
+    quarantine_retunes;
+    quarantine_window;
+  }
+
+let test_tuner_retry_backoff_skip () =
+  let t =
+    Tuner.create ~resilience:(resilience ()) (params ()) ~configs:l1d_configs
+  in
+  (* First verify failure: retried after a 2-invocation backoff. *)
+  ignore (Tuner.on_entry t);
+  Tuner.entry_outcome ~verified:false t ~applied:true ~changed:true;
+  Alcotest.(check bool) "failed entry not measured" false (Tuner.measuring t);
+  ignore (Tuner.on_exit t ~energy:0.0 ~ipc:0.0);
+  Alcotest.(check bool) "backing off" true (Tuner.on_entry t = Tuner.Nothing);
+  ignore (Tuner.on_exit t ~energy:0.0 ~ipc:0.0);
+  Alcotest.(check bool) "still backing off" true (Tuner.on_entry t = Tuner.Nothing);
+  ignore (Tuner.on_exit t ~energy:0.0 ~ipc:0.0);
+  (* Second verify failure exhausts the retry budget: the configuration is
+     skipped and the sweep moves on. *)
+  (match Tuner.on_entry t with
+  | Tuner.Set cfg -> Alcotest.(check (array int)) "same config retried" [| 0 |] cfg
+  | Tuner.Nothing -> Alcotest.fail "backoff should be over");
+  Tuner.entry_outcome ~verified:false t ~applied:true ~changed:true;
+  ignore (Tuner.on_exit t ~energy:0.0 ~ipc:0.0);
+  (match Tuner.on_entry t with
+  | Tuner.Set cfg -> Alcotest.(check (array int)) "config abandoned" [| 1 |] cfg
+  | Tuner.Nothing -> Alcotest.fail "expected the next configuration");
+  let s = Tuner.stats t in
+  Alcotest.(check int) "one retry" 1 s.Tuner.retries;
+  Alcotest.(check int) "two backoff skips" 2 s.Tuner.backoff_skips;
+  Alcotest.(check int) "one skipped config" 1 s.Tuner.skipped_configs;
+  Alcotest.(check int) "two verify failures" 2 s.Tuner.verify_failures
+
+let test_tuner_all_skipped_falls_back_to_max () =
+  (* Zero retry budget: every verify failure skips immediately.  When the
+     whole list is exhausted without one clean measurement, the tuner must
+     configure the safe maximum rather than wedge. *)
+  let t =
+    Tuner.create
+      ~resilience:(resilience ~max_entry_retries:0 ())
+      (params ()) ~configs:l1d_configs
+  in
+  let finished = ref None in
+  for _ = 1 to 4 do
+    (match Tuner.on_entry t with
+    | Tuner.Set _ -> ()
+    | Tuner.Nothing -> Alcotest.fail "no backoff with a zero budget");
+    Tuner.entry_outcome ~verified:false t ~applied:true ~changed:true;
+    match Tuner.on_exit t ~energy:0.0 ~ipc:0.0 with
+    | Tuner.Finished cfg -> finished := Some cfg
+    | Tuner.Continue | Tuner.Retuning | Tuner.Quarantine -> ()
+  done;
+  (match !finished with
+  | Some cfg -> Alcotest.(check (array int)) "safe maximum" [| 0 |] cfg
+  | None -> Alcotest.fail "exhausted sweep must still configure");
+  Alcotest.(check int) "all four skipped" 4 (Tuner.stats t).Tuner.skipped_configs
+
+let test_tuner_median_absorbs_spike () =
+  (* One spiked invocation out of three must not mislabel the configuration
+     as degraded (the mean would: (2+2+0.5)/3 = 1.5 < 2*0.98). *)
+  let t =
+    Tuner.create ~resilience:(resilience ())
+      (params ~invocations_per_config:3 ())
+      ~configs:l1d_configs
+  in
+  for _ = 1 to 3 do
+    ignore (step t ~energy:8.0 ~ipc:2.0)
+  done;
+  Alcotest.(check int) "config 0 recorded" 1 (Tuner.tested_count t);
+  ignore (step t ~energy:4.0 ~ipc:2.0);
+  ignore (step t ~energy:4.0 ~ipc:0.5);
+  (match step t ~energy:4.0 ~ipc:2.0 with
+  | Tuner.Continue -> ()
+  | Tuner.Finished _ | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "median should absorb the spike and keep sweeping");
+  Alcotest.(check int) "config 1 recorded, not degraded" 2 (Tuner.tested_count t)
+
+let test_tuner_degradation_confirmed_before_early_exit () =
+  let t =
+    Tuner.create ~resilience:(resilience ()) (params ()) ~configs:l1d_configs
+  in
+  ignore (step t ~energy:8.0 ~ipc:2.0);
+  (* A single below-threshold reading is re-measured, not trusted. *)
+  (match step t ~energy:4.0 ~ipc:1.0 with
+  | Tuner.Continue -> ()
+  | Tuner.Finished _ | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "first degraded reading must be re-measured");
+  Alcotest.(check int) "reading discarded" 1 (Tuner.tested_count t);
+  (* The re-measurement comes back clean: the sweep continues. *)
+  (match step t ~energy:4.0 ~ipc:2.0 with
+  | Tuner.Continue -> ()
+  | Tuner.Finished _ | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "clean re-measurement should continue the sweep");
+  Alcotest.(check int) "now recorded" 2 (Tuner.tested_count t);
+  (* Degradation that repeats is real: the sweep stops. *)
+  ignore (step t ~energy:2.0 ~ipc:1.0);
+  match step t ~energy:2.0 ~ipc:1.0 with
+  | Tuner.Finished _ -> ()
+  | Tuner.Continue | Tuner.Retuning | Tuner.Quarantine ->
+      Alcotest.fail "confirmed degradation should finish the sweep"
+
+let test_tuner_drift_confirmation_and_quarantine () =
+  let t =
+    Tuner.create
+      ~resilience:(resilience ~quarantine_retunes:2 ())
+      (params ~sample_every:1 ())
+      ~configs:l1d_configs
+  in
+  finish_quickly t;
+  Alcotest.(check bool) "configured" true (Tuner.is_configured t);
+  let sample ipc =
+    ignore (Tuner.on_entry t);
+    Tuner.entry_outcome t ~applied:true ~changed:false;
+    Tuner.on_exit t ~energy:1.0 ~ipc
+  in
+  (* A single drifted sample is confirmed on the next exit; when the next
+     sample is back to normal, nothing happens. *)
+  (match sample 0.5 with
+  | Tuner.Continue -> ()
+  | _ -> Alcotest.fail "first drift reading must be re-sampled");
+  (match sample 1.5 with
+  | Tuner.Continue -> ()
+  | _ -> Alcotest.fail "unconfirmed drift must not retune");
+  Alcotest.(check bool) "still configured" true (Tuner.is_configured t);
+  (* Confirmed drift re-tunes (first storm strike)... *)
+  ignore (sample 0.5);
+  (match sample 0.5 with
+  | Tuner.Retuning -> ()
+  | _ -> Alcotest.fail "confirmed drift should retune");
+  finish_quickly t;
+  (* ...and a second confirmed drift within the window quarantines. *)
+  ignore (sample 0.45);
+  (match sample 0.45 with
+  | Tuner.Quarantine -> ()
+  | _ -> Alcotest.fail "re-tune storm should quarantine");
+  Alcotest.(check bool) "quarantined" true (Tuner.is_quarantined t);
+  Alcotest.(check bool) "selection pinned" true (Tuner.selected t <> None);
+  Alcotest.(check bool) "stats agree" true (Tuner.stats t).Tuner.quarantined;
+  (* A quarantined hotspot keeps re-asserting its pinned configuration and
+     never measures again. *)
+  (match Tuner.on_entry t with
+  | Tuner.Set _ -> ()
+  | Tuner.Nothing -> Alcotest.fail "pinned config still re-applied");
+  Tuner.entry_outcome t ~applied:true ~changed:false;
+  Alcotest.(check bool) "no more sampling" false (Tuner.measuring t);
+  match Tuner.on_exit t ~energy:1.0 ~ipc:9.9 with
+  | Tuner.Continue -> ()
+  | _ -> Alcotest.fail "quarantine is terminal"
+
 let prop_tuner_always_terminates =
   QCheck.Test.make ~name:"tuner reaches Configured within |configs| tests" ~count:100
     QCheck.(pair small_int (list_of_size (Gen.return 16) (float_range 0.1 4.0)))
@@ -314,7 +573,7 @@ let prop_tuner_always_terminates =
           if not !finished then
             match step t ~energy:(Ace_util.Rng.float rng 10.0) ~ipc with
             | Tuner.Finished _ -> finished := true
-            | Tuner.Continue | Tuner.Retuning -> ())
+            | Tuner.Continue | Tuner.Retuning | Tuner.Quarantine -> ())
         ipcs;
       !finished)
 
@@ -343,5 +602,16 @@ let suite =
     Tu.case "tuner sampling and retune" test_tuner_sampling_and_retune;
     Tu.case "tuner selected" test_tuner_selected;
     Tu.case "tuner empty configs" test_tuner_empty_configs_rejected;
+    Tu.case "tuner single config" test_tuner_single_config;
+    Tu.case "tuner misprediction retunes" test_tuner_misprediction_retunes;
+    Tu.case "tuner retry/backoff/skip" test_tuner_retry_backoff_skip;
+    Tu.case "tuner all-skipped fallback" test_tuner_all_skipped_falls_back_to_max;
+    Tu.case "tuner median absorbs spike" test_tuner_median_absorbs_spike;
+    Tu.case "tuner degradation confirmed"
+      test_tuner_degradation_confirmed_before_early_exit;
+    Tu.case "tuner drift confirm + quarantine"
+      test_tuner_drift_confirmation_and_quarantine;
     Tu.qcheck prop_tuner_always_terminates;
+    Tu.qcheck prop_guard_min_spacing;
+    Tu.qcheck prop_force_leaves_denied_stats;
   ]

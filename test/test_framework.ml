@@ -191,6 +191,105 @@ let test_issue_queue_cu () =
       Alcotest.(check (list string)) "managed by the issue queue" [ "IQ" ] v.managed_cus
   | None -> Alcotest.fail "work should be IQ-managed"
 
+(* --- resilience under injected faults --- *)
+
+module Faults = Ace_faults.Faults
+
+let resilient_config =
+  {
+    Framework.default_config with
+    resilience = Ace_core.Tuner.default_resilience;
+  }
+
+let attach_and_run_faulty ?(fw_config = resilient_config) ~faults program =
+  let engine = Engine.create ~config:(config ()) ~faults program in
+  let cus = [| Cu.l1d engine; Cu.l2 engine |] in
+  let fw = Framework.attach ~config:fw_config ~faults engine ~cus in
+  Engine.run engine;
+  Framework.finalize fw;
+  (engine, fw)
+
+let test_no_faults_identical_run () =
+  (* The entire fault/resilience machinery must be invisible when disabled:
+     an engine with [Faults.none] and the default (no-resilience) config
+     reproduces the plain run bit for bit. *)
+  let run faulty =
+    let engine, fw =
+      if faulty then
+        attach_and_run_faulty ~fw_config:Framework.default_config
+          ~faults:Faults.none
+          (small_ws_program ())
+      else attach_and_run (small_ws_program ())
+    in
+    let r = (Framework.report fw).(0) in
+    (Engine.cycles engine, r.Framework.tunings, r.Framework.energy_nj)
+  in
+  Alcotest.(check bool) "bit-for-bit" true (run false = run true)
+
+let test_graceful_degradation_pins_failed_cu () =
+  (* Every register write is silently dropped: the resilient framework must
+     notice via read-back, declare the CU failed and pin it at the maximum;
+     the run still completes and reports. *)
+  let faults =
+    Faults.create { Faults.no_faults with Faults.reg_write_drop_p = 1.0 }
+  in
+  let _, fw = attach_and_run_faulty ~faults (small_ws_program ~reps:100 ()) in
+  let r = (Framework.report fw).(0) in
+  Alcotest.(check bool) "CU declared failed" true r.Framework.failed;
+  Alcotest.(check bool) "verify failures recorded" true
+    (r.Framework.verify_failures > 0);
+  let rr = Framework.resilience_report fw in
+  Alcotest.(check int) "one failed CU" 1 rr.Framework.failed_cus;
+  Alcotest.(check bool) "misconfiguration time bounded" true
+    (rr.Framework.misconfig_frac < 0.5)
+
+let test_non_resilient_ignores_bad_writes () =
+  (* Same all-drops environment without resilience: no verification runs, so
+     nothing is failed — the framework silently believes the phantom
+     applies (that is the vulnerability the resilient mode closes). *)
+  let faults =
+    Faults.create { Faults.no_faults with Faults.reg_write_drop_p = 1.0 }
+  in
+  let _, fw =
+    attach_and_run_faulty ~fw_config:Framework.default_config ~faults
+      (small_ws_program ~reps:100 ())
+  in
+  let rr = Framework.resilience_report fw in
+  (* The simulator's omniscient bookkeeping still records the divergence,
+     but without resilience no action follows from it. *)
+  Alcotest.(check int) "nothing failed" 0 rr.Framework.failed_cus;
+  Alcotest.(check int) "no retries" 0 rr.Framework.tuner_retries;
+  Alcotest.(check int) "no configs skipped" 0 rr.Framework.tuner_skipped_configs;
+  Alcotest.(check bool) "divergence still visible to the simulator" true
+    (rr.Framework.total_verify_failures > 0)
+
+let test_recovery_probe_unpins_transient () =
+  (* A transient latch-up: writes are swallowed for a fixed window, then the
+     CU comes back.  The resilient framework fails it during the window and
+     the periodic probe recovers it afterwards. *)
+  let faults =
+    Faults.create
+      {
+        Faults.no_faults with
+        Faults.stuck_transient_p = 1.0;
+        (* Long enough for [cu_failure_threshold] guard-spaced writes (the
+           L1D guard admits one write per 100 K instructions) to fail while
+           the latch holds, short enough that the run has ample time left
+           after it clears. *)
+        stuck_transient_instrs = 2_000_000;
+      }
+  in
+  let fw_config = { resilient_config with cu_probe_interval = 5 } in
+  let _, fw =
+    attach_and_run_faulty ~fw_config ~faults (small_ws_program ~reps:400 ())
+  in
+  let rr = Framework.resilience_report fw in
+  Alcotest.(check bool)
+    (Printf.sprintf "probes recovered the CU (%d recoveries)"
+       rr.Framework.cu_recoveries)
+    true
+    (rr.Framework.cu_recoveries > 0)
+
 let suite =
   [
     Tu.case "small working set downsizes" test_small_ws_downsizes;
@@ -203,4 +302,10 @@ let suite =
     Tu.case "finalize protocol" test_finalize_required_and_once;
     Tu.case "decoupling ablation" test_decoupling_off_tests_more_configs;
     Tu.case "issue queue CU" test_issue_queue_cu;
+    Tu.case "no faults = identical run" test_no_faults_identical_run;
+    Tu.case "graceful degradation pins failed CU"
+      test_graceful_degradation_pins_failed_cu;
+    Tu.case "non-resilient ignores bad writes"
+      test_non_resilient_ignores_bad_writes;
+    Tu.case "recovery probe unpins transient" test_recovery_probe_unpins_transient;
   ]

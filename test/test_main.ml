@@ -11,6 +11,7 @@ let () =
       ("mem", Test_mem.suite);
       ("cpu+power", Test_cpu_power.suite);
       ("vm", Test_vm.suite);
+      ("faults", Test_faults.suite);
       ("core", Test_core_lib.suite);
       ("framework", Test_framework.suite);
       ("predictor", Test_predictor.suite);
