@@ -69,6 +69,37 @@ let bench_hw_request_faulty =
     (Ace_faults.Faults.create (Ace_faults.Faults.preset ~rate:0.01))
     "micro: Hw.request (1% faults)"
 
+(* Snapshot serialize/deserialize: the per-checkpoint cost a run pays at
+   every cadence boundary, measured on a real mid-run hotspot snapshot. *)
+let checkpoint_sample =
+  lazy
+    (let path = Filename.temp_file "ace_bench" ".snap" in
+     let snap = ref None in
+     (match
+        Ace_harness.Run.run_checkpointed ~scale:0.1 ~seed:3
+          ~on_snapshot:(fun s -> if !snap = None then snap := Some s)
+          ~checkpoint_every:2_000_000 ~path
+          (Option.get (Ace_workloads.Specjvm.find "compress"))
+          Ace_harness.Scheme.Hotspot
+      with
+     | Ace_harness.Run.Completed _ -> ()
+     | Ace_harness.Run.Killed_at _ -> assert false);
+     List.iter
+       (fun p -> if Sys.file_exists p then Sys.remove p)
+       [ path; path ^ ".1" ];
+     Option.get !snap)
+
+let bench_snapshot_encode =
+  Test.make ~name:"micro: snapshot encode"
+    (Staged.stage @@ fun () ->
+    ignore (Ace_ckpt.Snapshot.encode (Lazy.force checkpoint_sample)))
+
+let bench_snapshot_decode =
+  let data = lazy (Ace_ckpt.Snapshot.encode (Lazy.force checkpoint_sample)) in
+  Test.make ~name:"micro: snapshot decode"
+    (Staged.stage @@ fun () ->
+    ignore (Ace_ckpt.Snapshot.decode (Lazy.force data)))
+
 (* ------------------------------------------------------------------ *)
 (* One Test.make per table/figure: the experiment's real code path on a
    reduced-scale context (fresh context per run so memoization does not
@@ -113,6 +144,7 @@ let run_bechamel () =
       ([
          bench_cache_access; bench_cache_resize; bench_engine_1m;
          bench_hw_request_clean; bench_hw_request_faulty;
+         bench_snapshot_encode; bench_snapshot_decode;
        ]
       @ experiment_tests)
   in

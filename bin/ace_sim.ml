@@ -37,6 +37,20 @@ let scheme_conv =
   in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Ace_harness.Scheme.name s))
 
+(* A probability: rejected at parse time so an out-of-range rate fails with
+   a usage error instead of silently scaling the whole fault model. *)
+let rate_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid fault rate %S" s))
+    | Some r when not (r >= 0.0 && r <= 1.0) ->
+        Error
+          (`Msg
+            (Printf.sprintf "fault rate %g is outside [0, 1] (a probability)" r))
+    | Some r -> Ok r
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 let print_summary (r : Ace_harness.Run.result) =
   let open Ace_harness.Run in
   Printf.printf "benchmark        : %s\n" r.workload;
@@ -79,12 +93,37 @@ let print_summary (r : Ace_harness.Run.result) =
         (b.stable_frac *. 100.0)
   | None -> ()
 
+let print_fault_stats (r : Ace_harness.Run.result) =
+  match (r.Ace_harness.Run.fault_stats, r.Ace_harness.Run.resilience) with
+  | Some fs, res -> (
+      Printf.printf
+        "faults           : %d writes dropped, %d corrupted, %d stuck events, \
+         %d spikes, %d jittered ticks, %d snapshots corrupted\n"
+        fs.Ace_faults.Faults.writes_dropped fs.Ace_faults.Faults.writes_corrupted
+        fs.Ace_faults.Faults.stuck_events fs.Ace_faults.Faults.spikes
+        fs.Ace_faults.Faults.jittered_ticks
+        fs.Ace_faults.Faults.snapshots_corrupted;
+      match res with
+      | Some rr ->
+          Printf.printf
+            "resilience       : %d verify failures, %d retries, %d backoff skips, \
+             %d configs skipped, %d quarantined, %d failed CUs, misconfig %.2f%%\n"
+            rr.Ace_core.Framework.total_verify_failures
+            rr.Ace_core.Framework.tuner_retries
+            rr.Ace_core.Framework.tuner_backoff_skips
+            rr.Ace_core.Framework.tuner_skipped_configs
+            rr.Ace_core.Framework.quarantined rr.Ace_core.Framework.failed_cus
+            (rr.Ace_core.Framework.misconfig_frac *. 100.0)
+      | None -> ())
+  | None, _ -> ()
+
 let run_cmd =
   let workload =
     Arg.(
-      required
+      value
       & pos 0 (some workload_conv) None
-      & info [] ~docv:"BENCHMARK" ~doc:"SPECjvm98 benchmark name.")
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"SPECjvm98 benchmark name (optional with $(b,--resume)).")
   in
   let scheme =
     Arg.(
@@ -99,12 +138,13 @@ let run_cmd =
   let fault_rate =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some rate_conv) None
       & info [ "faults" ] ~docv:"RATE"
           ~doc:
-            "Inject hardware faults at the given base rate (e.g. 0.01 = 1% \
-             register-write drop/corrupt probability, plus derived stuck-CU, \
-             measurement-noise and sampler-jitter rates).")
+            "Inject hardware faults at the given base rate in [0, 1] (e.g. \
+             0.01 = 1% register-write drop/corrupt probability, plus derived \
+             stuck-CU, measurement-noise, sampler-jitter and \
+             snapshot-corruption rates).")
   in
   let resilient =
     Arg.(
@@ -114,52 +154,111 @@ let run_cmd =
             "Enable the framework's resilience machinery (retry/backoff, \
              quarantine, graceful degradation; hotspot scheme only).")
   in
-  let action workload scheme scale seed verbose fault_rate resilient =
-    let faults = Option.map (fun rate -> Ace_faults.Faults.preset ~rate) fault_rate in
-    let framework_config =
-      if resilient then
-        {
-          Ace_core.Framework.default_config with
-          resilience = Ace_core.Tuner.default_resilience;
-        }
-      else Ace_core.Framework.default_config
-    in
-    let r = Ace_harness.Run.run ~scale ~seed ~framework_config ?faults workload scheme in
-    print_summary r;
-    (match (r.Ace_harness.Run.fault_stats, r.Ace_harness.Run.resilience) with
-    | Some fs, res ->
-        Printf.printf
-          "faults           : %d writes dropped, %d corrupted, %d stuck events, \
-           %d spikes, %d jittered ticks\n"
-          fs.Ace_faults.Faults.writes_dropped fs.Ace_faults.Faults.writes_corrupted
-          fs.Ace_faults.Faults.stuck_events fs.Ace_faults.Faults.spikes
-          fs.Ace_faults.Faults.jittered_ticks;
-        (match res with
-        | Some rr ->
-            Printf.printf
-              "resilience       : %d verify failures, %d retries, %d backoff skips, \
-               %d configs skipped, %d quarantined, %d failed CUs, misconfig %.2f%%\n"
-              rr.Ace_core.Framework.total_verify_failures
-              rr.Ace_core.Framework.tuner_retries
-              rr.Ace_core.Framework.tuner_backoff_skips
-              rr.Ace_core.Framework.tuner_skipped_configs
-              rr.Ace_core.Framework.quarantined rr.Ace_core.Framework.failed_cus
-              (rr.Ace_core.Framework.misconfig_frac *. 100.0)
-        | None -> ())
-    | None, _ -> ());
-    if verbose then
-      match r.Ace_harness.Run.hotspot with
-      | Some h ->
-          List.iter
-            (fun (v : Ace_core.Framework.hotspot_view) ->
-              Printf.printf "  %-24s %-12s %s\n" v.meth_name
-                (String.concat "+" v.managed_cus)
-                (if v.configured then
-                   String.concat ", "
-                     (List.map (fun (c, s) -> c ^ "=" ^ s) v.selection)
-                 else "still tuning"))
-            h.Ace_harness.Run.views
-      | None -> ()
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically snapshot the full simulator state to $(docv) \
+             (previous snapshot rotated to $(docv).1).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt int 10_000_000
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint cadence in program instructions.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from the snapshot at $(docv) instead of starting fresh \
+             (falls back to $(docv).1 if the newest snapshot is corrupted); \
+             the benchmark and scheme come from the snapshot's metadata.")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "Simulate a crash: stop (exit 3) at the first checkpoint \
+             boundary at or past $(docv) instructions, leaving the last \
+             snapshot on disk.")
+  in
+  let finish_outcome = function
+    | Ace_harness.Run.Completed r ->
+        print_summary r;
+        print_fault_stats r
+    | Ace_harness.Run.Killed_at n ->
+        Printf.printf "killed at %s instructions (snapshot retained)\n"
+          (Ace_util.Table.cell_int n);
+        exit 3
+  in
+  let action workload scheme scale seed verbose fault_rate resilient checkpoint
+      checkpoint_every resume kill_after =
+    match resume with
+    | Some path -> (
+        match Ace_harness.Run.resume_run ?kill_after ~path () with
+        | None ->
+            Printf.eprintf
+              "ace_sim: no usable snapshot at %s (nor at %s.1)\n" path path;
+            exit 1
+        | Some (outcome, which) ->
+            if which = `Fallback then
+              Printf.eprintf
+                "ace_sim: newest snapshot unreadable, resumed from %s.1\n" path;
+            finish_outcome outcome)
+    | None -> (
+        let workload =
+          match workload with
+          | Some w -> w
+          | None ->
+              Printf.eprintf
+                "ace_sim: a BENCHMARK is required unless --resume is given\n";
+              exit 2
+        in
+        match checkpoint with
+        | Some path ->
+            finish_outcome
+              (Ace_harness.Run.run_checkpointed ~scale ~seed ~resilient
+                 ?fault_rate ?kill_after ~checkpoint_every ~path workload
+                 scheme)
+        | None ->
+            let faults =
+              Option.map (fun rate -> Ace_faults.Faults.preset ~rate) fault_rate
+            in
+            let framework_config =
+              if resilient then
+                {
+                  Ace_core.Framework.default_config with
+                  resilience = Ace_core.Tuner.default_resilience;
+                }
+              else Ace_core.Framework.default_config
+            in
+            let r =
+              Ace_harness.Run.run ~scale ~seed ~framework_config ?faults
+                workload scheme
+            in
+            print_summary r;
+            print_fault_stats r;
+            if verbose then
+              match r.Ace_harness.Run.hotspot with
+              | Some h ->
+                  List.iter
+                    (fun (v : Ace_core.Framework.hotspot_view) ->
+                      Printf.printf "  %-24s %-12s %s\n" v.meth_name
+                        (String.concat "+" v.managed_cus)
+                        (if v.configured then
+                           String.concat ", "
+                             (List.map (fun (c, s) -> c ^ "=" ^ s) v.selection)
+                         else "still tuning"))
+                    h.Ace_harness.Run.views
+              | None -> ())
   in
   let info =
     Cmd.info "run" ~doc:"Run one benchmark under one scheme and print a summary."
@@ -167,7 +266,8 @@ let run_cmd =
   Cmd.v info
     Term.(
       const action $ workload $ scheme $ scale_arg $ seed_arg $ verbose
-      $ fault_rate $ resilient)
+      $ fault_rate $ resilient $ checkpoint $ checkpoint_every $ resume
+      $ kill_after)
 
 let exp_cmd =
   let ids =
@@ -175,7 +275,7 @@ let exp_cmd =
       "table1"; "table2"; "table3"; "fig1"; "table4"; "table5"; "table6";
       "fig3"; "fig4"; "ablation-decoupling"; "ablation-thresholds";
       "ext-issue-queue"; "ext-prediction"; "ext-bbv-predictor"; "resilience";
-      "stability"; "all";
+      "stability"; "soak"; "all";
     ]
   in
   let id =
@@ -214,6 +314,7 @@ let exp_cmd =
         | "ext-bbv-predictor" -> Ace_harness.Experiments.extension_bbv_predictor ctx
         | "resilience" -> Ace_harness.Experiments.resilience ctx
         | "stability" -> Ace_harness.Experiments.stability ctx
+        | "soak" -> Ace_harness.Experiments.soak ctx
         | _ -> assert false
       in
       print (id, tbl)
@@ -233,7 +334,7 @@ let list_cmd =
     print_endline "Experiments: table1 table2 table3 fig1 table4 table5 table6 fig3";
     print_endline "             fig4 ablation-decoupling ablation-thresholds";
     print_endline "             ext-issue-queue ext-prediction ext-bbv-predictor";
-    print_endline "             resilience stability all"
+    print_endline "             resilience stability soak all"
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments.") Term.(const action $ const ())
 

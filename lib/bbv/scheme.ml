@@ -363,3 +363,113 @@ let predictor_stats t =
         Next_phase.correct t.predictor,
         Next_phase.accuracy t.predictor )
   else None
+
+(* {2 Checkpoint capture / restore} *)
+
+type measurement_state = { ms_config : int array; ms_energy : float; ms_ipc : float }
+
+type phase_state_state = {
+  ps_next : int;
+  ps_measurements : measurement_state list;
+  ps_best : int array option;
+  ps_ipc_stats : Ace_util.Stats.Running.state;
+}
+
+type state = {
+  s_vector : Vector.state;
+  s_tracker : Tracker.state;
+  s_phases : phase_state_state array;  (* live phases only *)
+  s_accts : Accounting.state option array;
+  s_cus : Cu.state array;
+  s_pending : (int * int * [ `Warm | `Measure ]) option;
+  s_instrs0 : int;
+  s_cycles0 : float;
+  s_l1a0 : int;
+  s_l1m0 : int;
+  s_l2a0 : int;
+  s_l2m0 : int;
+  s_predictor : Next_phase.state;
+  s_prev_phase : int;
+  s_pending_prediction : int option;
+  s_n_tunings : int;
+  s_reconfigs : int array;
+  s_finalized : bool;
+}
+
+let capture t =
+  {
+    s_vector = Vector.capture t.vector;
+    s_tracker = Tracker.capture t.tracker;
+    s_phases =
+      Array.init t.n_phases (fun i ->
+          let ps = t.phases.(i) in
+          {
+            ps_next = ps.next;
+            ps_measurements =
+              List.map
+                (fun m ->
+                  { ms_config = Array.copy m.config; ms_energy = m.energy; ms_ipc = m.ipc })
+                ps.measurements;
+            ps_best = Option.map Array.copy ps.best;
+            ps_ipc_stats = Ace_util.Stats.Running.capture ps.ipc_stats;
+          });
+    s_accts = Array.map (Option.map Accounting.capture) t.accts;
+    s_cus = Array.map Cu.capture t.cus;
+    s_pending = t.pending;
+    s_instrs0 = t.instrs0;
+    s_cycles0 = t.cycles0;
+    s_l1a0 = t.l1a0;
+    s_l1m0 = t.l1m0;
+    s_l2a0 = t.l2a0;
+    s_l2m0 = t.l2m0;
+    s_predictor = Next_phase.capture t.predictor;
+    s_prev_phase = t.prev_phase;
+    s_pending_prediction = t.pending_prediction;
+    s_n_tunings = t.n_tunings;
+    s_reconfigs = Array.copy t.reconfigs;
+    s_finalized = t.finalized;
+  }
+
+let restore t s =
+  let n_cus = Array.length t.cus in
+  if Array.length s.s_cus <> n_cus then
+    invalid_arg "Bbv.Scheme.restore: CU count mismatch";
+  Vector.restore t.vector s.s_vector;
+  Tracker.restore t.tracker s.s_tracker;
+  let n = Array.length s.s_phases in
+  t.phases <- Array.make (max 16 n) (fresh_phase ());
+  for i = 0 to n - 1 do
+    let ps = s.s_phases.(i) in
+    let st = fresh_phase () in
+    st.next <- ps.ps_next;
+    st.measurements <-
+      List.map
+        (fun m ->
+          { config = Array.copy m.ms_config; energy = m.ms_energy; ipc = m.ms_ipc })
+        ps.ps_measurements;
+    st.best <- Option.map Array.copy ps.ps_best;
+    Ace_util.Stats.Running.restore st.ipc_stats ps.ps_ipc_stats;
+    t.phases.(i) <- st
+  done;
+  t.n_phases <- n;
+  Array.iteri
+    (fun k acct ->
+      match (acct, s.s_accts.(k)) with
+      | Some a, Some sa -> Accounting.restore a sa
+      | None, None -> ()
+      | _ -> invalid_arg "Bbv.Scheme.restore: accounting shape mismatch")
+    t.accts;
+  Array.iteri (fun k cs -> Cu.restore t.cus.(k) cs) s.s_cus;
+  t.pending <- s.s_pending;
+  t.instrs0 <- s.s_instrs0;
+  t.cycles0 <- s.s_cycles0;
+  t.l1a0 <- s.s_l1a0;
+  t.l1m0 <- s.s_l1m0;
+  t.l2a0 <- s.s_l2a0;
+  t.l2m0 <- s.s_l2m0;
+  Next_phase.restore t.predictor s.s_predictor;
+  t.prev_phase <- s.s_prev_phase;
+  t.pending_prediction <- s.s_pending_prediction;
+  t.n_tunings <- s.s_n_tunings;
+  Array.blit s.s_reconfigs 0 t.reconfigs 0 n_cus;
+  t.finalized <- s.s_finalized

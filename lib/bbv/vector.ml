@@ -27,3 +27,13 @@ let clear t =
   t.total <- 0
 
 let is_empty t = t.total = 0
+
+type state = { s_counters : int array; s_total : int }
+
+let capture t = { s_counters = Array.copy t.counters; s_total = t.total }
+
+let restore t s =
+  if Array.length s.s_counters <> Array.length t.counters then
+    invalid_arg "Vector.restore: bucket count mismatch";
+  Array.blit s.s_counters 0 t.counters 0 (Array.length t.counters);
+  t.total <- s.s_total

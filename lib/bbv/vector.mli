@@ -22,3 +22,11 @@ val snapshot : t -> float array
 val clear : t -> unit
 
 val is_empty : t -> bool
+
+(** Accumulator contents, for checkpoint serialization. *)
+type state = { s_counters : int array; s_total : int }
+
+val capture : t -> state
+
+val restore : t -> state -> unit
+(** @raise Invalid_argument if the bucket counts differ. *)

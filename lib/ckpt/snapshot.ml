@@ -1,0 +1,907 @@
+module Codec = Ace_util.Codec
+module Crc32 = Ace_util.Crc32
+module Enc = Codec.Enc
+module Dec = Codec.Dec
+module Stats = Ace_util.Stats
+module Pattern = Ace_isa.Pattern
+module Cache = Ace_mem.Cache
+module Tlb = Ace_mem.Tlb
+module Hierarchy = Ace_mem.Hierarchy
+module Accounting = Ace_power.Accounting
+module Db = Ace_vm.Do_database
+module Engine = Ace_vm.Engine
+module Cu = Ace_core.Cu
+module Tuner = Ace_core.Tuner
+module Framework = Ace_core.Framework
+module Bbv_scheme = Ace_bbv.Scheme
+module Vector = Ace_bbv.Vector
+module Tracker = Ace_bbv.Tracker
+module Next_phase = Ace_bbv.Next_phase
+module Faults = Ace_faults.Faults
+
+exception Error of string
+
+type scheme = Baseline | Hotspot | Bbv
+
+type meta = {
+  workload : string;
+  scheme : scheme;
+  scale : float;
+  seed : int;
+  hot_threshold : int;
+  with_issue_queue : bool;
+  bbv_prediction : bool;
+  resilient : bool;
+  fault_rate : float option;
+  checkpoint_every : int;
+}
+
+type scheme_state =
+  | S_baseline
+  | S_hotspot of Framework.state
+  | S_bbv of Bbv_scheme.state
+
+type t = {
+  meta : meta;
+  engine : Engine.state;
+  faults : Faults.state option;
+  scheme_state : scheme_state;
+}
+
+(* {2 Payload encoders/decoders}
+
+   Every encoder has a decoder reading the exact same field order.  The
+   layout is the snapshot format: changing any of these (or the state types
+   they serialize) requires bumping {!version} below. *)
+
+let enc_running e (s : Stats.Running.state) =
+  Enc.int e s.Stats.Running.s_n;
+  Enc.f64 e s.Stats.Running.s_mean;
+  Enc.f64 e s.Stats.Running.s_m2;
+  Enc.f64 e s.Stats.Running.s_last
+
+let dec_running d =
+  let s_n = Dec.int d in
+  let s_mean = Dec.f64 d in
+  let s_m2 = Dec.f64 d in
+  let s_last = Dec.f64 d in
+  { Stats.Running.s_n; s_mean; s_m2; s_last }
+
+let enc_ema e (s : Stats.Ema.state) =
+  Enc.f64 e s.Stats.Ema.s_value;
+  Enc.bool e s.Stats.Ema.s_seeded
+
+let dec_ema d =
+  let s_value = Dec.f64 d in
+  let s_seeded = Dec.bool d in
+  { Stats.Ema.s_value; s_seeded }
+
+let enc_cursor e (s : Pattern.cursor_state) =
+  Enc.int e s.Pattern.s_offset;
+  Enc.int e s.Pattern.s_steps
+
+let dec_cursor d =
+  let s_offset = Dec.int d in
+  let s_steps = Dec.int d in
+  { Pattern.s_offset; s_steps }
+
+let enc_cache e (s : Cache.state) =
+  Enc.int e s.Cache.s_size_bytes;
+  Enc.int_arr e s.Cache.s_tags;
+  Enc.bool_arr e s.Cache.s_dirty;
+  Enc.int_arr e s.Cache.s_stamp;
+  Enc.int e s.Cache.s_clock;
+  Enc.int e s.Cache.s_last_victim;
+  Enc.int e s.Cache.s_accesses;
+  Enc.int e s.Cache.s_hits;
+  Enc.int e s.Cache.s_writebacks;
+  Enc.int e s.Cache.s_flush_writebacks;
+  Enc.int e s.Cache.s_resizes
+
+let dec_cache d =
+  let s_size_bytes = Dec.int d in
+  let s_tags = Dec.int_arr d in
+  let s_dirty = Dec.bool_arr d in
+  let s_stamp = Dec.int_arr d in
+  let s_clock = Dec.int d in
+  let s_last_victim = Dec.int d in
+  let s_accesses = Dec.int d in
+  let s_hits = Dec.int d in
+  let s_writebacks = Dec.int d in
+  let s_flush_writebacks = Dec.int d in
+  let s_resizes = Dec.int d in
+  {
+    Cache.s_size_bytes;
+    s_tags;
+    s_dirty;
+    s_stamp;
+    s_clock;
+    s_last_victim;
+    s_accesses;
+    s_hits;
+    s_writebacks;
+    s_flush_writebacks;
+    s_resizes;
+  }
+
+let enc_tlb e (s : Tlb.state) =
+  Enc.int_arr e s.Tlb.s_resident;
+  Enc.int_arr e s.Tlb.s_fifo;
+  Enc.int e s.Tlb.s_head;
+  Enc.int e s.Tlb.s_filled;
+  Enc.int e s.Tlb.s_accesses;
+  Enc.int e s.Tlb.s_misses
+
+let dec_tlb d =
+  let s_resident = Dec.int_arr d in
+  let s_fifo = Dec.int_arr d in
+  let s_head = Dec.int d in
+  let s_filled = Dec.int d in
+  let s_accesses = Dec.int d in
+  let s_misses = Dec.int d in
+  { Tlb.s_resident; s_fifo; s_head; s_filled; s_accesses; s_misses }
+
+let enc_hier e (s : Hierarchy.state) =
+  enc_cache e s.Hierarchy.s_l1i;
+  enc_cache e s.Hierarchy.s_l1d;
+  enc_cache e s.Hierarchy.s_l2;
+  enc_tlb e s.Hierarchy.s_dtlb;
+  Enc.int e s.Hierarchy.s_mem_reads;
+  Enc.int e s.Hierarchy.s_mem_writebacks
+
+let dec_hier d =
+  let s_l1i = dec_cache d in
+  let s_l1d = dec_cache d in
+  let s_l2 = dec_cache d in
+  let s_dtlb = dec_tlb d in
+  let s_mem_reads = Dec.int d in
+  let s_mem_writebacks = Dec.int d in
+  { Hierarchy.s_l1i; s_l1d; s_l2; s_dtlb; s_mem_reads; s_mem_writebacks }
+
+let enc_db_entry e (s : Db.entry_state) =
+  Enc.int e s.Db.s_invocations;
+  Enc.int e s.Db.s_samples;
+  Enc.u8 e (match s.Db.s_compile_state with Db.Baseline -> 0 | Db.Optimized -> 1);
+  Enc.bool e s.Db.s_is_hotspot;
+  Enc.int e s.Db.s_promoted_at_instr;
+  Enc.int e s.Db.s_pre_promotion_instrs;
+  enc_ema e s.Db.s_size_ema;
+  enc_running e s.Db.s_ipc_profile;
+  Enc.int e s.Db.s_entry_overhead;
+  Enc.int e s.Db.s_exit_overhead
+
+let dec_db_entry d =
+  let s_invocations = Dec.int d in
+  let s_samples = Dec.int d in
+  let s_compile_state =
+    match Dec.u8 d with
+    | 0 -> Db.Baseline
+    | 1 -> Db.Optimized
+    | n -> raise (Codec.Error (Printf.sprintf "bad compile_state tag %d" n))
+  in
+  let s_is_hotspot = Dec.bool d in
+  let s_promoted_at_instr = Dec.int d in
+  let s_pre_promotion_instrs = Dec.int d in
+  let s_size_ema = dec_ema d in
+  let s_ipc_profile = dec_running d in
+  let s_entry_overhead = Dec.int d in
+  let s_exit_overhead = Dec.int d in
+  {
+    Db.s_invocations;
+    s_samples;
+    s_compile_state;
+    s_is_hotspot;
+    s_promoted_at_instr;
+    s_pre_promotion_instrs;
+    s_size_ema;
+    s_ipc_profile;
+    s_entry_overhead;
+    s_exit_overhead;
+  }
+
+let enc_frame e (s : Engine.frame_state) =
+  Enc.int e s.Engine.fs_meth;
+  Enc.f64 e s.Engine.fs_quality;
+  Enc.bool e s.Engine.fs_was_hotspot;
+  Enc.int e s.Engine.fs_saved_meth;
+  Enc.int e s.Engine.fs_instrs0;
+  Enc.f64 e s.Engine.fs_cycles0;
+  Enc.int e s.Engine.fs_l1a0;
+  Enc.int e s.Engine.fs_l1m0;
+  Enc.int e s.Engine.fs_l2a0;
+  Enc.int e s.Engine.fs_l2m0;
+  Enc.int e s.Engine.fs_pos;
+  Enc.int e s.Engine.fs_calls_left
+
+let dec_frame d =
+  let fs_meth = Dec.int d in
+  let fs_quality = Dec.f64 d in
+  let fs_was_hotspot = Dec.bool d in
+  let fs_saved_meth = Dec.int d in
+  let fs_instrs0 = Dec.int d in
+  let fs_cycles0 = Dec.f64 d in
+  let fs_l1a0 = Dec.int d in
+  let fs_l1m0 = Dec.int d in
+  let fs_l2a0 = Dec.int d in
+  let fs_l2m0 = Dec.int d in
+  let fs_pos = Dec.int d in
+  let fs_calls_left = Dec.int d in
+  {
+    Engine.fs_meth;
+    fs_quality;
+    fs_was_hotspot;
+    fs_saved_meth;
+    fs_instrs0;
+    fs_cycles0;
+    fs_l1a0;
+    fs_l1m0;
+    fs_l2a0;
+    fs_l2m0;
+    fs_pos;
+    fs_calls_left;
+  }
+
+let enc_engine e (s : Engine.state) =
+  Enc.int e s.Engine.s_instrs;
+  Enc.f64 e s.Engine.s_cycles;
+  Enc.int e s.Engine.s_overhead_instrs;
+  Enc.int e s.Engine.s_hot_instrs;
+  Enc.f64 e s.Engine.s_next_sample_at;
+  Enc.int e s.Engine.s_next_interval_at;
+  Enc.int e s.Engine.s_current_meth;
+  Enc.int e s.Engine.s_hotspot_depth;
+  Enc.f64 e s.Engine.s_ilp_scale;
+  Enc.f64 e s.Engine.s_exposure_scale;
+  Enc.arr enc_frame e s.Engine.s_stack;
+  Enc.i64 e s.Engine.s_rng;
+  Enc.arr enc_cursor e s.Engine.s_cursors;
+  Enc.arr enc_db_entry e s.Engine.s_db;
+  enc_hier e s.Engine.s_hier
+
+let dec_engine d =
+  let s_instrs = Dec.int d in
+  let s_cycles = Dec.f64 d in
+  let s_overhead_instrs = Dec.int d in
+  let s_hot_instrs = Dec.int d in
+  let s_next_sample_at = Dec.f64 d in
+  let s_next_interval_at = Dec.int d in
+  let s_current_meth = Dec.int d in
+  let s_hotspot_depth = Dec.int d in
+  let s_ilp_scale = Dec.f64 d in
+  let s_exposure_scale = Dec.f64 d in
+  let s_stack = Dec.arr dec_frame d in
+  let s_rng = Dec.i64 d in
+  let s_cursors = Dec.arr dec_cursor d in
+  let s_db = Dec.arr dec_db_entry d in
+  let s_hier = dec_hier d in
+  {
+    Engine.s_instrs;
+    s_cycles;
+    s_overhead_instrs;
+    s_hot_instrs;
+    s_next_sample_at;
+    s_next_interval_at;
+    s_current_meth;
+    s_hotspot_depth;
+    s_ilp_scale;
+    s_exposure_scale;
+    s_stack;
+    s_rng;
+    s_cursors;
+    s_db;
+    s_hier;
+  }
+
+let enc_faults e (s : Faults.state) =
+  Enc.i64 e s.Faults.s_rng;
+  Enc.i64 e s.Faults.s_ckpt_rng;
+  Enc.arr
+    (fun e (l : Faults.latch_state) ->
+      Enc.str e l.Faults.ls_cu;
+      Enc.opt Enc.int e l.Faults.ls_until)
+    e s.Faults.s_latched;
+  Enc.int e s.Faults.s_writes_dropped;
+  Enc.int e s.Faults.s_writes_corrupted;
+  Enc.int e s.Faults.s_stuck_events;
+  Enc.int e s.Faults.s_spikes;
+  Enc.int e s.Faults.s_jittered_ticks;
+  Enc.int e s.Faults.s_snapshots_corrupted
+
+let dec_faults d =
+  let s_rng = Dec.i64 d in
+  let s_ckpt_rng = Dec.i64 d in
+  let s_latched =
+    Dec.arr
+      (fun d ->
+        let ls_cu = Dec.str d in
+        let ls_until = Dec.opt Dec.int d in
+        { Faults.ls_cu; ls_until })
+      d
+  in
+  let s_writes_dropped = Dec.int d in
+  let s_writes_corrupted = Dec.int d in
+  let s_stuck_events = Dec.int d in
+  let s_spikes = Dec.int d in
+  let s_jittered_ticks = Dec.int d in
+  let s_snapshots_corrupted = Dec.int d in
+  {
+    Faults.s_rng;
+    s_ckpt_rng;
+    s_latched;
+    s_writes_dropped;
+    s_writes_corrupted;
+    s_stuck_events;
+    s_spikes;
+    s_jittered_ticks;
+    s_snapshots_corrupted;
+  }
+
+let enc_cu e (s : Cu.state) =
+  Enc.int e s.Cu.s_current;
+  Enc.int e s.Cu.s_last_reconfig_instr;
+  Enc.int e s.Cu.s_applied;
+  Enc.int e s.Cu.s_denied;
+  Enc.int e s.Cu.s_invalid
+
+let dec_cu d =
+  let s_current = Dec.int d in
+  let s_last_reconfig_instr = Dec.int d in
+  let s_applied = Dec.int d in
+  let s_denied = Dec.int d in
+  let s_invalid = Dec.int d in
+  { Cu.s_current; s_last_reconfig_instr; s_applied; s_denied; s_invalid }
+
+let enc_acct e (s : Accounting.state) =
+  Enc.int e s.Accounting.s_size;
+  Enc.int e s.Accounting.s_epoch_accesses;
+  Enc.f64 e s.Accounting.s_epoch_cycles;
+  Enc.f64 e s.Accounting.s_dynamic_nj;
+  Enc.f64 e s.Accounting.s_leakage_nj;
+  Enc.f64 e s.Accounting.s_reconfig_nj;
+  Enc.int e s.Accounting.s_reconfigs;
+  Enc.f64 e s.Accounting.s_weighted_size_cycles;
+  Enc.f64 e s.Accounting.s_closed_cycles
+
+let dec_acct d =
+  let s_size = Dec.int d in
+  let s_epoch_accesses = Dec.int d in
+  let s_epoch_cycles = Dec.f64 d in
+  let s_dynamic_nj = Dec.f64 d in
+  let s_leakage_nj = Dec.f64 d in
+  let s_reconfig_nj = Dec.f64 d in
+  let s_reconfigs = Dec.int d in
+  let s_weighted_size_cycles = Dec.f64 d in
+  let s_closed_cycles = Dec.f64 d in
+  {
+    Accounting.s_size;
+    s_epoch_accesses;
+    s_epoch_cycles;
+    s_dynamic_nj;
+    s_leakage_nj;
+    s_reconfig_nj;
+    s_reconfigs;
+    s_weighted_size_cycles;
+    s_closed_cycles;
+  }
+
+let enc_tuner_measurement e (m : Tuner.measurement_state) =
+  Enc.int_arr e m.Tuner.ms_config;
+  Enc.f64 e m.Tuner.ms_energy;
+  Enc.f64 e m.Tuner.ms_ipc
+
+let dec_tuner_measurement d =
+  let ms_config = Dec.int_arr d in
+  let ms_energy = Dec.f64 d in
+  let ms_ipc = Dec.f64 d in
+  { Tuner.ms_config; ms_energy; ms_ipc }
+
+let enc_sample e (energy, ipc) =
+  Enc.f64 e energy;
+  Enc.f64 e ipc
+
+let dec_sample d =
+  let energy = Dec.f64 d in
+  let ipc = Dec.f64 d in
+  (energy, ipc)
+
+let enc_tuner_phase e (p : Tuner.phase_state) =
+  match p with
+  | Tuner.S_tuning ts ->
+      Enc.u8 e 0;
+      Enc.int e ts.Tuner.ts_next;
+      Enc.bool e ts.Tuner.ts_pending;
+      Enc.list enc_tuner_measurement e ts.Tuner.ts_measurements;
+      Enc.f64 e ts.Tuner.ts_acc_energy;
+      Enc.f64 e ts.Tuner.ts_acc_ipc;
+      Enc.int e ts.Tuner.ts_acc_n;
+      Enc.list enc_sample e ts.Tuner.ts_acc_samples;
+      Enc.int e ts.Tuner.ts_warmup_left;
+      Enc.int e ts.Tuner.ts_attempts;
+      Enc.int e ts.Tuner.ts_backoff_left;
+      Enc.bool e ts.Tuner.ts_degrade_flagged
+  | Tuner.S_configured { cs_best; cs_ref_ipc; cs_exits; cs_sampling; cs_confirming }
+    ->
+      Enc.u8 e 1;
+      Enc.int_arr e cs_best;
+      Enc.f64 e cs_ref_ipc;
+      Enc.int e cs_exits;
+      Enc.bool e cs_sampling;
+      Enc.bool e cs_confirming
+  | Tuner.S_quarantined { qs_best } ->
+      Enc.u8 e 2;
+      Enc.int_arr e qs_best
+
+let dec_tuner_phase d =
+  match Dec.u8 d with
+  | 0 ->
+      let ts_next = Dec.int d in
+      let ts_pending = Dec.bool d in
+      let ts_measurements = Dec.list dec_tuner_measurement d in
+      let ts_acc_energy = Dec.f64 d in
+      let ts_acc_ipc = Dec.f64 d in
+      let ts_acc_n = Dec.int d in
+      let ts_acc_samples = Dec.list dec_sample d in
+      let ts_warmup_left = Dec.int d in
+      let ts_attempts = Dec.int d in
+      let ts_backoff_left = Dec.int d in
+      let ts_degrade_flagged = Dec.bool d in
+      Tuner.S_tuning
+        {
+          Tuner.ts_next;
+          ts_pending;
+          ts_measurements;
+          ts_acc_energy;
+          ts_acc_ipc;
+          ts_acc_n;
+          ts_acc_samples;
+          ts_warmup_left;
+          ts_attempts;
+          ts_backoff_left;
+          ts_degrade_flagged;
+        }
+  | 1 ->
+      let cs_best = Dec.int_arr d in
+      let cs_ref_ipc = Dec.f64 d in
+      let cs_exits = Dec.int d in
+      let cs_sampling = Dec.bool d in
+      let cs_confirming = Dec.bool d in
+      Tuner.S_configured { cs_best; cs_ref_ipc; cs_exits; cs_sampling; cs_confirming }
+  | 2 ->
+      let qs_best = Dec.int_arr d in
+      Tuner.S_quarantined { qs_best }
+  | n -> raise (Codec.Error (Printf.sprintf "bad tuner phase tag %d" n))
+
+let enc_tuner e (s : Tuner.state) =
+  enc_tuner_phase e s.Tuner.s_phase;
+  Enc.int e s.Tuner.s_rounds;
+  Enc.int e s.Tuner.s_tested_last_round;
+  Enc.int e s.Tuner.s_total_exits;
+  Enc.list Enc.int e s.Tuner.s_retune_exits;
+  Enc.int e s.Tuner.s_retries;
+  Enc.int e s.Tuner.s_backoff_skips;
+  Enc.int e s.Tuner.s_skipped_configs;
+  Enc.int e s.Tuner.s_verify_failures
+
+let dec_tuner d =
+  let s_phase = dec_tuner_phase d in
+  let s_rounds = Dec.int d in
+  let s_tested_last_round = Dec.int d in
+  let s_total_exits = Dec.int d in
+  let s_retune_exits = Dec.list Dec.int d in
+  let s_retries = Dec.int d in
+  let s_backoff_skips = Dec.int d in
+  let s_skipped_configs = Dec.int d in
+  let s_verify_failures = Dec.int d in
+  {
+    Tuner.s_phase;
+    s_rounds;
+    s_tested_last_round;
+    s_total_exits;
+    s_retune_exits;
+    s_retries;
+    s_backoff_skips;
+    s_skipped_configs;
+    s_verify_failures;
+  }
+
+let enc_framework e (s : Framework.state) =
+  Enc.arr
+    (Enc.opt (fun e (hs : Framework.hotspot_state_state) ->
+         enc_tuner e hs.Framework.hs_tuner;
+         Enc.int_arr e hs.Framework.hs_managed;
+         Enc.bool e hs.Framework.hs_ever_configured))
+    e s.Framework.s_states;
+  Enc.arr (Enc.opt enc_acct) e s.Framework.s_accts;
+  Enc.arr enc_cu e s.Framework.s_cus;
+  Enc.int_arr e s.Framework.s_class_depth;
+  Enc.int_arr e s.Framework.s_class_start;
+  Enc.int_arr e s.Framework.s_covered;
+  Enc.int_arr e s.Framework.s_tunings;
+  Enc.int_arr e s.Framework.s_reconfigs;
+  Enc.int_arr e s.Framework.s_class_hotspots;
+  Enc.int_arr e s.Framework.s_tuned_hotspots;
+  Enc.int_arr e s.Framework.s_retunes;
+  Enc.int_arr e s.Framework.s_predicted;
+  Enc.int_arr e s.Framework.s_believed;
+  Enc.int_arr e s.Framework.s_mis_since;
+  Enc.int_arr e s.Framework.s_misconfig;
+  Enc.int_arr e s.Framework.s_verify_failures;
+  Enc.int_arr e s.Framework.s_consec_badwrites;
+  Enc.bool_arr e s.Framework.s_failed;
+  Enc.int_arr e s.Framework.s_probe_countdown;
+  Enc.int_arr e s.Framework.s_recoveries;
+  Enc.int e s.Framework.s_quarantined;
+  Enc.list Enc.int e s.Framework.s_frame_masks;
+  Enc.int e s.Framework.s_unmanaged;
+  Enc.bool e s.Framework.s_finalized
+
+let dec_framework d =
+  let s_states =
+    Dec.arr
+      (Dec.opt (fun d ->
+           let hs_tuner = dec_tuner d in
+           let hs_managed = Dec.int_arr d in
+           let hs_ever_configured = Dec.bool d in
+           { Framework.hs_tuner; hs_managed; hs_ever_configured }))
+      d
+  in
+  let s_accts = Dec.arr (Dec.opt dec_acct) d in
+  let s_cus = Dec.arr dec_cu d in
+  let s_class_depth = Dec.int_arr d in
+  let s_class_start = Dec.int_arr d in
+  let s_covered = Dec.int_arr d in
+  let s_tunings = Dec.int_arr d in
+  let s_reconfigs = Dec.int_arr d in
+  let s_class_hotspots = Dec.int_arr d in
+  let s_tuned_hotspots = Dec.int_arr d in
+  let s_retunes = Dec.int_arr d in
+  let s_predicted = Dec.int_arr d in
+  let s_believed = Dec.int_arr d in
+  let s_mis_since = Dec.int_arr d in
+  let s_misconfig = Dec.int_arr d in
+  let s_verify_failures = Dec.int_arr d in
+  let s_consec_badwrites = Dec.int_arr d in
+  let s_failed = Dec.bool_arr d in
+  let s_probe_countdown = Dec.int_arr d in
+  let s_recoveries = Dec.int_arr d in
+  let s_quarantined = Dec.int d in
+  let s_frame_masks = Dec.list Dec.int d in
+  let s_unmanaged = Dec.int d in
+  let s_finalized = Dec.bool d in
+  {
+    Framework.s_states;
+    s_accts;
+    s_cus;
+    s_class_depth;
+    s_class_start;
+    s_covered;
+    s_tunings;
+    s_reconfigs;
+    s_class_hotspots;
+    s_tuned_hotspots;
+    s_retunes;
+    s_predicted;
+    s_believed;
+    s_mis_since;
+    s_misconfig;
+    s_verify_failures;
+    s_consec_badwrites;
+    s_failed;
+    s_probe_countdown;
+    s_recoveries;
+    s_quarantined;
+    s_frame_masks;
+    s_unmanaged;
+    s_finalized;
+  }
+
+let enc_bbv_measurement e (m : Bbv_scheme.measurement_state) =
+  Enc.int_arr e m.Bbv_scheme.ms_config;
+  Enc.f64 e m.Bbv_scheme.ms_energy;
+  Enc.f64 e m.Bbv_scheme.ms_ipc
+
+let dec_bbv_measurement d =
+  let ms_config = Dec.int_arr d in
+  let ms_energy = Dec.f64 d in
+  let ms_ipc = Dec.f64 d in
+  { Bbv_scheme.ms_config; ms_energy; ms_ipc }
+
+let enc_bbv e (s : Bbv_scheme.state) =
+  Enc.int_arr e s.Bbv_scheme.s_vector.Vector.s_counters;
+  Enc.int e s.Bbv_scheme.s_vector.Vector.s_total;
+  (let tr = s.Bbv_scheme.s_tracker in
+   Enc.arr Enc.f64_arr e tr.Tracker.s_signatures;
+   Enc.int_arr e tr.Tracker.s_counts;
+   Enc.int e tr.Tracker.s_n_intervals;
+   Enc.int e tr.Tracker.s_n_stable;
+   Enc.int e tr.Tracker.s_cur_phase;
+   Enc.int e tr.Tracker.s_cur_run);
+  Enc.arr
+    (fun e (ps : Bbv_scheme.phase_state_state) ->
+      Enc.int e ps.Bbv_scheme.ps_next;
+      Enc.list enc_bbv_measurement e ps.Bbv_scheme.ps_measurements;
+      Enc.opt Enc.int_arr e ps.Bbv_scheme.ps_best;
+      enc_running e ps.Bbv_scheme.ps_ipc_stats)
+    e s.Bbv_scheme.s_phases;
+  Enc.arr (Enc.opt enc_acct) e s.Bbv_scheme.s_accts;
+  Enc.arr enc_cu e s.Bbv_scheme.s_cus;
+  Enc.opt
+    (fun e (phase, idx, stage) ->
+      Enc.int e phase;
+      Enc.int e idx;
+      Enc.u8 e (match stage with `Warm -> 0 | `Measure -> 1))
+    e s.Bbv_scheme.s_pending;
+  Enc.int e s.Bbv_scheme.s_instrs0;
+  Enc.f64 e s.Bbv_scheme.s_cycles0;
+  Enc.int e s.Bbv_scheme.s_l1a0;
+  Enc.int e s.Bbv_scheme.s_l1m0;
+  Enc.int e s.Bbv_scheme.s_l2a0;
+  Enc.int e s.Bbv_scheme.s_l2m0;
+  (let p = s.Bbv_scheme.s_predictor in
+   Enc.arr
+     (fun e (prev, succs) ->
+       Enc.int e prev;
+       Enc.arr
+         (fun e (next, count) ->
+           Enc.int e next;
+           Enc.int e count)
+         e succs)
+     e p.Next_phase.s_transitions;
+   Enc.int e p.Next_phase.s_n_predictions;
+   Enc.int e p.Next_phase.s_n_correct);
+  Enc.int e s.Bbv_scheme.s_prev_phase;
+  Enc.opt Enc.int e s.Bbv_scheme.s_pending_prediction;
+  Enc.int e s.Bbv_scheme.s_n_tunings;
+  Enc.int_arr e s.Bbv_scheme.s_reconfigs;
+  Enc.bool e s.Bbv_scheme.s_finalized
+
+let dec_bbv d =
+  let s_counters = Dec.int_arr d in
+  let s_total = Dec.int d in
+  let s_vector = { Vector.s_counters; s_total } in
+  let s_signatures = Dec.arr Dec.f64_arr d in
+  let s_counts = Dec.int_arr d in
+  let s_n_intervals = Dec.int d in
+  let s_n_stable = Dec.int d in
+  let s_cur_phase = Dec.int d in
+  let s_cur_run = Dec.int d in
+  let s_tracker =
+    { Tracker.s_signatures; s_counts; s_n_intervals; s_n_stable; s_cur_phase; s_cur_run }
+  in
+  let s_phases =
+    Dec.arr
+      (fun d ->
+        let ps_next = Dec.int d in
+        let ps_measurements = Dec.list dec_bbv_measurement d in
+        let ps_best = Dec.opt Dec.int_arr d in
+        let ps_ipc_stats = dec_running d in
+        { Bbv_scheme.ps_next; ps_measurements; ps_best; ps_ipc_stats })
+      d
+  in
+  let s_accts = Dec.arr (Dec.opt dec_acct) d in
+  let s_cus = Dec.arr dec_cu d in
+  let s_pending =
+    Dec.opt
+      (fun d ->
+        let phase = Dec.int d in
+        let idx = Dec.int d in
+        let stage =
+          match Dec.u8 d with
+          | 0 -> `Warm
+          | 1 -> `Measure
+          | n -> raise (Codec.Error (Printf.sprintf "bad pending stage tag %d" n))
+        in
+        (phase, idx, stage))
+      d
+  in
+  let s_instrs0 = Dec.int d in
+  let s_cycles0 = Dec.f64 d in
+  let s_l1a0 = Dec.int d in
+  let s_l1m0 = Dec.int d in
+  let s_l2a0 = Dec.int d in
+  let s_l2m0 = Dec.int d in
+  let s_transitions =
+    Dec.arr
+      (fun d ->
+        let prev = Dec.int d in
+        let succs =
+          Dec.arr
+            (fun d ->
+              let next = Dec.int d in
+              let count = Dec.int d in
+              (next, count))
+            d
+        in
+        (prev, succs))
+      d
+  in
+  let s_n_predictions = Dec.int d in
+  let s_n_correct = Dec.int d in
+  let s_predictor = { Next_phase.s_transitions; s_n_predictions; s_n_correct } in
+  let s_prev_phase = Dec.int d in
+  let s_pending_prediction = Dec.opt Dec.int d in
+  let s_n_tunings = Dec.int d in
+  let s_reconfigs = Dec.int_arr d in
+  let s_finalized = Dec.bool d in
+  {
+    Bbv_scheme.s_vector;
+    s_tracker;
+    s_phases;
+    s_accts;
+    s_cus;
+    s_pending;
+    s_instrs0;
+    s_cycles0;
+    s_l1a0;
+    s_l1m0;
+    s_l2a0;
+    s_l2m0;
+    s_predictor;
+    s_prev_phase;
+    s_pending_prediction;
+    s_n_tunings;
+    s_reconfigs;
+    s_finalized;
+  }
+
+let enc_meta e m =
+  Enc.str e m.workload;
+  Enc.u8 e (match m.scheme with Baseline -> 0 | Hotspot -> 1 | Bbv -> 2);
+  Enc.f64 e m.scale;
+  Enc.int e m.seed;
+  Enc.int e m.hot_threshold;
+  Enc.bool e m.with_issue_queue;
+  Enc.bool e m.bbv_prediction;
+  Enc.bool e m.resilient;
+  Enc.opt Enc.f64 e m.fault_rate;
+  Enc.int e m.checkpoint_every
+
+let dec_meta d =
+  let workload = Dec.str d in
+  let scheme =
+    match Dec.u8 d with
+    | 0 -> Baseline
+    | 1 -> Hotspot
+    | 2 -> Bbv
+    | n -> raise (Codec.Error (Printf.sprintf "bad scheme tag %d" n))
+  in
+  let scale = Dec.f64 d in
+  let seed = Dec.int d in
+  let hot_threshold = Dec.int d in
+  let with_issue_queue = Dec.bool d in
+  let bbv_prediction = Dec.bool d in
+  let resilient = Dec.bool d in
+  let fault_rate = Dec.opt Dec.f64 d in
+  let checkpoint_every = Dec.int d in
+  {
+    workload;
+    scheme;
+    scale;
+    seed;
+    hot_threshold;
+    with_issue_queue;
+    bbv_prediction;
+    resilient;
+    fault_rate;
+    checkpoint_every;
+  }
+
+let enc_snapshot e t =
+  enc_meta e t.meta;
+  enc_engine e t.engine;
+  Enc.opt enc_faults e t.faults;
+  match t.scheme_state with
+  | S_baseline -> Enc.u8 e 0
+  | S_hotspot fw ->
+      Enc.u8 e 1;
+      enc_framework e fw
+  | S_bbv sch ->
+      Enc.u8 e 2;
+      enc_bbv e sch
+
+let dec_snapshot d =
+  let meta = dec_meta d in
+  let engine = dec_engine d in
+  let faults = Dec.opt dec_faults d in
+  let scheme_state =
+    match Dec.u8 d with
+    | 0 -> S_baseline
+    | 1 -> S_hotspot (dec_framework d)
+    | 2 -> S_bbv (dec_bbv d)
+    | n -> raise (Codec.Error (Printf.sprintf "bad scheme state tag %d" n))
+  in
+  if not (Dec.at_end d) then
+    raise (Codec.Error (Printf.sprintf "%d trailing bytes" (Dec.remaining d)));
+  { meta; engine; faults; scheme_state }
+
+(* {2 Container format}
+
+   magic "ACESNAP1" (8 bytes) | version u16 LE | payload length i64 LE |
+   CRC-32 (IEEE) of the payload, i64 LE | payload bytes.
+
+   The header is fixed-width so a truncated file is detected before any
+   payload parsing, and the CRC covers exactly the bytes the decoder will
+   read. *)
+
+let magic = "ACESNAP1"
+let version = 1
+let header_len = 8 + 2 + 8 + 8
+
+let encode t =
+  let e = Enc.create () in
+  enc_snapshot e t;
+  let payload = Enc.contents e in
+  let crc = Crc32.string payload in
+  let h = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string h magic;
+  Buffer.add_uint16_le h version;
+  Buffer.add_int64_le h (Int64.of_int (String.length payload));
+  Buffer.add_int64_le h (Int64.of_int crc);
+  Buffer.add_string h payload;
+  Buffer.contents h
+
+let decode s =
+  if String.length s < header_len then
+    raise (Error (Printf.sprintf "truncated header (%d bytes)" (String.length s)));
+  if String.sub s 0 8 <> magic then raise (Error "bad magic");
+  let v = Char.code s.[8] lor (Char.code s.[9] lsl 8) in
+  if v <> version then
+    raise (Error (Printf.sprintf "snapshot version %d, expected %d" v version));
+  let payload_len = Int64.to_int (String.get_int64_le s 10) in
+  if payload_len < 0 || String.length s <> header_len + payload_len then
+    raise
+      (Error
+         (Printf.sprintf "payload length %d does not match file size %d"
+            payload_len (String.length s)));
+  let crc_stored = Int64.to_int (String.get_int64_le s 18) in
+  let payload = String.sub s header_len payload_len in
+  let crc = Crc32.string payload in
+  if crc <> crc_stored then
+    raise (Error (Printf.sprintf "CRC mismatch: stored %08x, computed %08x" crc_stored crc));
+  try dec_snapshot (Dec.create payload)
+  with Codec.Error msg -> raise (Error ("malformed payload: " ^ msg))
+
+(* {2 File I/O} *)
+
+let fallback_path path = path ^ ".1"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc data)
+
+let write ?(faults = Faults.none) ~path t =
+  let data = Bytes.of_string (encode t) in
+  (* Storage-channel fault injection damages the bytes on their way to disk;
+     the CRC then refuses them at read time and the reader falls back. *)
+  ignore (Faults.maybe_corrupt_snapshot faults data);
+  let tmp = path ^ ".tmp" in
+  write_file tmp data;
+  (* Rotate: the previous snapshot survives as [path.1] so a corrupted or
+     torn write of the newest snapshot never strands the run. *)
+  if Sys.file_exists path then Sys.rename path (fallback_path path);
+  Sys.rename tmp path
+
+let read ~path =
+  let data =
+    try read_file path
+    with Sys_error msg -> raise (Error ("cannot read snapshot: " ^ msg))
+  in
+  decode data
+
+let read_with_fallback ~path =
+  match read ~path with
+  | snap -> Some (snap, `Primary)
+  | exception Error _ -> (
+      let fb = fallback_path path in
+      if not (Sys.file_exists fb) then None
+      else match read ~path:fb with
+        | snap -> Some (snap, `Fallback)
+        | exception Error _ -> None)

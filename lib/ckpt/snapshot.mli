@@ -1,0 +1,75 @@
+(** Versioned, CRC-checked binary snapshots of the full simulator state.
+
+    A snapshot captures everything a run needs to continue bit-identically:
+    the engine (counters, frame stack, RNG, pattern cursors, DO database,
+    memory hierarchy), the fault injector's RNG and latch table, and the
+    attached scheme's tuning state.  Construction-time inputs — program,
+    configs, thresholds, CU families — are deliberately {e not} serialized;
+    they are recomputed deterministically from {!meta} at restore time, which
+    keeps the format small and makes version skew loud instead of silent.
+
+    Container layout (see DESIGN.md §Checkpointing): magic ["ACESNAP1"],
+    format {!version} (u16 LE), payload length (i64 LE), CRC-32 of the
+    payload (i64 LE), payload.  {!decode} refuses bad magic, unknown
+    versions, truncation and CRC mismatches, so a torn or corrupted write is
+    always detected; {!write} rotates the previous file to [path.1] so
+    {!read_with_fallback} can fall back to the last good snapshot. *)
+
+exception Error of string
+(** Raised by {!decode}/{!read} on any malformed snapshot: truncation, bad
+    magic, version skew, CRC mismatch, or undecodable payload. *)
+
+(** Which adaptation scheme the checkpointed run was using. *)
+type scheme = Baseline | Hotspot | Bbv
+
+(** Everything needed to rebuild the run's construction-time inputs:
+    workload program, engine config, CU family, scheme wiring. *)
+type meta = {
+  workload : string;  (** Workload registry name. *)
+  scheme : scheme;
+  scale : float;  (** Workload scale factor. *)
+  seed : int;
+  hot_threshold : int;
+  with_issue_queue : bool;  (** Hotspot scheme: manage the issue queue CU. *)
+  bbv_prediction : bool;  (** BBV scheme: enable next-phase prediction. *)
+  resilient : bool;  (** Hotspot scheme: resilient tuner policy. *)
+  fault_rate : float option;  (** [Faults.preset] rate, if faults are on. *)
+  checkpoint_every : int;  (** Snapshot cadence in instructions. *)
+}
+
+type scheme_state =
+  | S_baseline  (** Fixed baseline needs no state beyond the engine's. *)
+  | S_hotspot of Ace_core.Framework.state
+  | S_bbv of Ace_bbv.Scheme.state
+
+type t = {
+  meta : meta;
+  engine : Ace_vm.Engine.state;
+  faults : Ace_faults.Faults.state option;
+  scheme_state : scheme_state;
+}
+
+val version : int
+(** Current snapshot format version.  Bump whenever any serialized state
+    type or field order changes. *)
+
+val encode : t -> string
+(** The full container: header plus CRC-protected payload. *)
+
+val decode : string -> t
+(** @raise Error on truncation, bad magic, version skew, CRC mismatch or a
+    malformed payload. *)
+
+val write : ?faults:Ace_faults.Faults.t -> path:string -> t -> unit
+(** Atomically write a snapshot: encode, optionally damage the bytes via
+    [Faults.maybe_corrupt_snapshot] (storage-channel fault injection), write
+    to [path.tmp], rotate any existing [path] to [path.1], rename into
+    place.  The rotation guarantees that at most one of the two most recent
+    snapshots can be lost to corruption or a torn write. *)
+
+val read : path:string -> t
+(** @raise Error if the file is unreadable or fails {!decode}. *)
+
+val read_with_fallback : path:string -> (t * [ `Primary | `Fallback ]) option
+(** Read [path]; if it is missing or malformed, fall back to [path.1].
+    [None] when neither holds a good snapshot. *)

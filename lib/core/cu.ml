@@ -103,3 +103,32 @@ let issue_queue engine =
     ~energy_proxy:(fun profile ~setting ->
       (float_of_int profile.Ace_vm.Profile.instrs *. access_nj setting)
       +. (profile.Ace_vm.Profile.cycles *. leak_nj setting))
+
+type state = {
+  s_current : int;
+  s_last_reconfig_instr : int;
+  s_applied : int;
+  s_denied : int;
+  s_invalid : int;
+}
+
+let capture t =
+  {
+    s_current = t.current;
+    s_last_reconfig_instr = t.last_reconfig_instr;
+    s_applied = t.applied_count;
+    s_denied = t.denied_count;
+    s_invalid = t.invalid_count;
+  }
+
+(* The hardware behind the CU (cache sizes, ILP/exposure scales) is restored
+   separately via [Engine.restore]; only the register/guard state and request
+   counters live here, so no [apply] is performed. *)
+let restore t s =
+  if s.s_current < 0 || s.s_current >= n_settings t then
+    invalid_arg "Cu.restore: setting index out of range";
+  t.current <- s.s_current;
+  t.last_reconfig_instr <- s.s_last_reconfig_instr;
+  t.applied_count <- s.s_applied;
+  t.denied_count <- s.s_denied;
+  t.invalid_count <- s.s_invalid

@@ -559,3 +559,144 @@ let hotspot_views t =
             :: !views)
     t.states;
   List.rev !views
+
+(* {2 Checkpoint capture / restore} *)
+
+type hotspot_state_state = {
+  hs_tuner : Tuner.state;
+  hs_managed : int array;
+  hs_ever_configured : bool;
+}
+
+type state = {
+  s_states : hotspot_state_state option array;
+  s_accts : Accounting.state option array;
+  s_cus : Cu.state array;
+  s_class_depth : int array;
+  s_class_start : int array;
+  s_covered : int array;
+  s_tunings : int array;
+  s_reconfigs : int array;
+  s_class_hotspots : int array;
+  s_tuned_hotspots : int array;
+  s_retunes : int array;
+  s_predicted : int array;
+  s_believed : int array;
+  s_mis_since : int array;
+  s_misconfig : int array;
+  s_verify_failures : int array;
+  s_consec_badwrites : int array;
+  s_failed : bool array;
+  s_probe_countdown : int array;
+  s_recoveries : int array;
+  s_quarantined : int;
+  s_frame_masks : int list;
+  s_unmanaged : int;
+  s_finalized : bool;
+}
+
+let capture t =
+  {
+    s_states =
+      Array.map
+        (Option.map (fun st ->
+             {
+               hs_tuner = Tuner.capture st.tuner;
+               hs_managed = Array.copy st.managed;
+               hs_ever_configured = st.ever_configured;
+             }))
+        t.states;
+    s_accts = Array.map (Option.map Accounting.capture) t.accts;
+    s_cus = Array.map Cu.capture t.cus;
+    s_class_depth = Array.copy t.class_depth;
+    s_class_start = Array.copy t.class_start;
+    s_covered = Array.copy t.covered;
+    s_tunings = Array.copy t.tunings;
+    s_reconfigs = Array.copy t.reconfigs;
+    s_class_hotspots = Array.copy t.class_hotspots;
+    s_tuned_hotspots = Array.copy t.tuned_hotspots;
+    s_retunes = Array.copy t.retunes;
+    s_predicted = Array.copy t.predicted;
+    s_believed = Array.copy t.believed;
+    s_mis_since = Array.copy t.mis_since;
+    s_misconfig = Array.copy t.misconfig;
+    s_verify_failures = Array.copy t.verify_failures;
+    s_consec_badwrites = Array.copy t.consec_badwrites;
+    s_failed = Array.copy t.failed;
+    s_probe_countdown = Array.copy t.probe_countdown;
+    s_recoveries = Array.copy t.recoveries;
+    s_quarantined = t.quarantined;
+    s_frame_masks = t.frame_masks;
+    s_unmanaged = t.unmanaged;
+    s_finalized = t.finalized;
+  }
+
+(* Tuner construction inputs (configuration list, coarse-vs-fine params) are
+   not serialized; they are recomputed here exactly as [on_promoted] derived
+   them, from the restored CU array and the framework config. *)
+let tuner_inputs t managed =
+  let configs = Decoupling.configurations ~cus:t.cus ~managed in
+  let coarse =
+    List.exists (fun k -> t.cus.(k).Cu.reconfig_interval >= 500_000) managed
+  in
+  let params =
+    if coarse then
+      {
+        t.cfg.tuner with
+        Tuner.invocations_per_config = t.cfg.coarse_invocations_per_config;
+      }
+    else t.cfg.tuner
+  in
+  (params, configs)
+
+let restore t s =
+  let n_cus = Array.length t.cus in
+  if Array.length s.s_states <> Array.length t.states then
+    invalid_arg "Framework.restore: method count mismatch";
+  if Array.length s.s_cus <> n_cus then
+    invalid_arg "Framework.restore: CU count mismatch";
+  Array.iteri (fun k cs -> Cu.restore t.cus.(k) cs) s.s_cus;
+  Array.iteri
+    (fun meth_id hs_opt ->
+      t.states.(meth_id) <-
+        Option.map
+          (fun hs ->
+            let params, configs = tuner_inputs t (Array.to_list hs.hs_managed) in
+            {
+              tuner =
+                Tuner.restore ~resilience:t.cfg.resilience params ~configs
+                  hs.hs_tuner;
+              managed = Array.copy hs.hs_managed;
+              ever_configured = hs.hs_ever_configured;
+            })
+          hs_opt)
+    s.s_states;
+  Array.iteri
+    (fun k acct ->
+      match (acct, s.s_accts.(k)) with
+      | Some a, Some sa -> Accounting.restore a sa
+      | None, None -> ()
+      | _ -> invalid_arg "Framework.restore: accounting shape mismatch")
+    t.accts;
+  let blit src dst = Array.blit src 0 dst 0 n_cus in
+  blit s.s_class_depth t.class_depth;
+  blit s.s_class_start t.class_start;
+  blit s.s_covered t.covered;
+  blit s.s_tunings t.tunings;
+  blit s.s_reconfigs t.reconfigs;
+  blit s.s_class_hotspots t.class_hotspots;
+  blit s.s_tuned_hotspots t.tuned_hotspots;
+  blit s.s_retunes t.retunes;
+  blit s.s_predicted t.predicted;
+  blit s.s_believed t.believed;
+  blit s.s_mis_since t.mis_since;
+  blit s.s_misconfig t.misconfig;
+  blit s.s_verify_failures t.verify_failures;
+  blit s.s_consec_badwrites t.consec_badwrites;
+  Array.blit s.s_failed 0 t.failed 0 n_cus;
+  blit s.s_probe_countdown t.probe_countdown;
+  blit s.s_recoveries t.recoveries;
+  t.quarantined <- s.s_quarantined;
+  t.frame_masks <- s.s_frame_masks;
+  t.unmanaged <- s.s_unmanaged;
+  t.finalized <- s.s_finalized

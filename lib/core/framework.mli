@@ -146,3 +146,51 @@ type hotspot_view = {
 
 val hotspot_views : t -> hotspot_view list
 (** All managed hotspots, in method-id order. *)
+
+(** {2 Checkpoint capture / restore}
+
+    Pure-data image of the framework's mutable state, including its CUs'
+    register/counter state, per-hotspot tuner FSMs and energy accounting.
+    Tuner construction inputs (configuration lists, coarse-vs-fine params)
+    are recomputed at restore time from the framework config, not
+    serialized. *)
+
+type hotspot_state_state = {
+  hs_tuner : Tuner.state;
+  hs_managed : int array;
+  hs_ever_configured : bool;
+}
+
+type state = {
+  s_states : hotspot_state_state option array;  (** Indexed by method id. *)
+  s_accts : Ace_power.Accounting.state option array;
+  s_cus : Cu.state array;
+  s_class_depth : int array;
+  s_class_start : int array;
+  s_covered : int array;
+  s_tunings : int array;
+  s_reconfigs : int array;
+  s_class_hotspots : int array;
+  s_tuned_hotspots : int array;
+  s_retunes : int array;
+  s_predicted : int array;
+  s_believed : int array;
+  s_mis_since : int array;
+  s_misconfig : int array;
+  s_verify_failures : int array;
+  s_consec_badwrites : int array;
+  s_failed : bool array;
+  s_probe_countdown : int array;
+  s_recoveries : int array;
+  s_quarantined : int;
+  s_frame_masks : int list;
+  s_unmanaged : int;
+  s_finalized : bool;
+}
+
+val capture : t -> state
+
+val restore : t -> state -> unit
+(** Overwrite a freshly [attach]ed framework (same program, CU array and
+    config) with a captured state.
+    @raise Invalid_argument on a shape mismatch. *)

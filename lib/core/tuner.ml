@@ -438,3 +438,145 @@ let stats (t : t) =
     verify_failures = t.verify_failures;
     quarantined = is_quarantined t;
   }
+
+(* {2 Checkpoint capture / restore} *)
+
+type measurement_state = { ms_config : int array; ms_energy : float; ms_ipc : float }
+
+type tuning_phase_state = {
+  ts_next : int;
+  ts_pending : bool;
+  ts_measurements : measurement_state list;
+  ts_acc_energy : float;
+  ts_acc_ipc : float;
+  ts_acc_n : int;
+  ts_acc_samples : (float * float) list;
+  ts_warmup_left : int;
+  ts_attempts : int;
+  ts_backoff_left : int;
+  ts_degrade_flagged : bool;
+}
+
+type phase_state =
+  | S_tuning of tuning_phase_state
+  | S_configured of {
+      cs_best : int array;
+      cs_ref_ipc : float;
+      cs_exits : int;
+      cs_sampling : bool;
+      cs_confirming : bool;
+    }
+  | S_quarantined of { qs_best : int array }
+
+type state = {
+  s_phase : phase_state;
+  s_rounds : int;
+  s_tested_last_round : int;
+  s_total_exits : int;
+  s_retune_exits : int list;
+  s_retries : int;
+  s_backoff_skips : int;
+  s_skipped_configs : int;
+  s_verify_failures : int;
+}
+
+let capture t =
+  let phase =
+    match t.phase with
+    | Tuning ts ->
+        S_tuning
+          {
+            ts_next = ts.next;
+            ts_pending = ts.pending;
+            ts_measurements =
+              List.map
+                (fun m ->
+                  { ms_config = Array.copy m.config; ms_energy = m.energy; ms_ipc = m.ipc })
+                ts.measurements;
+            ts_acc_energy = ts.acc_energy;
+            ts_acc_ipc = ts.acc_ipc;
+            ts_acc_n = ts.acc_n;
+            ts_acc_samples = ts.acc_samples;
+            ts_warmup_left = ts.warmup_left;
+            ts_attempts = ts.attempts;
+            ts_backoff_left = ts.backoff_left;
+            ts_degrade_flagged = ts.degrade_flagged;
+          }
+    | Configured cs ->
+        S_configured
+          {
+            cs_best = Array.copy cs.best;
+            cs_ref_ipc = cs.ref_ipc;
+            cs_exits = cs.exits;
+            cs_sampling = cs.sampling;
+            cs_confirming = cs.confirming;
+          }
+    | Quarantined q -> S_quarantined { qs_best = Array.copy q.best }
+  in
+  {
+    s_phase = phase;
+    s_rounds = t.rounds;
+    s_tested_last_round = t.tested_last_round;
+    s_total_exits = t.total_exits;
+    s_retune_exits = t.retune_exits;
+    s_retries = t.retries;
+    s_backoff_skips = t.backoff_skips;
+    s_skipped_configs = t.skipped_configs;
+    s_verify_failures = t.verify_failures;
+  }
+
+(* Rebuild a tuner from a captured state.  [params], [resilience] and
+   [configs] are construction-time inputs the caller recomputes
+   deterministically from the run's metadata (they are not serialized, which
+   keeps the snapshot format independent of the configuration-space
+   encoding). *)
+let restore ?(resilience = no_resilience) params ~configs s =
+  if Array.length configs = 0 then invalid_arg "Tuner.restore: empty configuration list";
+  let phase =
+    match s.s_phase with
+    | S_tuning ts ->
+        (if ts.ts_next < 0 || ts.ts_next > Array.length configs then
+           invalid_arg "Tuner.restore: tuning index out of range");
+        Tuning
+          {
+            next = ts.ts_next;
+            pending = ts.ts_pending;
+            measurements =
+              List.map
+                (fun m ->
+                  { config = Array.copy m.ms_config; energy = m.ms_energy; ipc = m.ms_ipc })
+                ts.ts_measurements;
+            acc_energy = ts.ts_acc_energy;
+            acc_ipc = ts.ts_acc_ipc;
+            acc_n = ts.ts_acc_n;
+            acc_samples = ts.ts_acc_samples;
+            warmup_left = ts.ts_warmup_left;
+            attempts = ts.ts_attempts;
+            backoff_left = ts.ts_backoff_left;
+            degrade_flagged = ts.ts_degrade_flagged;
+          }
+    | S_configured cs ->
+        Configured
+          {
+            best = Array.copy cs.cs_best;
+            ref_ipc = cs.cs_ref_ipc;
+            exits = cs.cs_exits;
+            sampling = cs.cs_sampling;
+            confirming = cs.cs_confirming;
+          }
+    | S_quarantined q -> Quarantined { best = Array.copy q.qs_best }
+  in
+  {
+    params;
+    res = resilience;
+    configs;
+    phase;
+    rounds = s.s_rounds;
+    tested_last_round = s.s_tested_last_round;
+    total_exits = s.s_total_exits;
+    retune_exits = s.s_retune_exits;
+    retries = s.s_retries;
+    backoff_skips = s.s_backoff_skips;
+    skipped_configs = s.s_skipped_configs;
+    verify_failures = s.s_verify_failures;
+  }

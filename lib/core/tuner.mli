@@ -146,3 +146,56 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {2 Checkpoint capture / restore}
+
+    Pure-data image of the tuner's FSM.  [params], [resilience] and the
+    configuration list are construction-time inputs, recomputed by the caller
+    at restore time rather than serialized. *)
+
+type measurement_state = { ms_config : int array; ms_energy : float; ms_ipc : float }
+
+type tuning_phase_state = {
+  ts_next : int;
+  ts_pending : bool;
+  ts_measurements : measurement_state list;
+  ts_acc_energy : float;
+  ts_acc_ipc : float;
+  ts_acc_n : int;
+  ts_acc_samples : (float * float) list;
+  ts_warmup_left : int;
+  ts_attempts : int;
+  ts_backoff_left : int;
+  ts_degrade_flagged : bool;
+}
+
+type phase_state =
+  | S_tuning of tuning_phase_state
+  | S_configured of {
+      cs_best : int array;
+      cs_ref_ipc : float;
+      cs_exits : int;
+      cs_sampling : bool;
+      cs_confirming : bool;
+    }
+  | S_quarantined of { qs_best : int array }
+
+type state = {
+  s_phase : phase_state;
+  s_rounds : int;
+  s_tested_last_round : int;
+  s_total_exits : int;
+  s_retune_exits : int list;
+  s_retries : int;
+  s_backoff_skips : int;
+  s_skipped_configs : int;
+  s_verify_failures : int;
+}
+
+val capture : t -> state
+
+val restore :
+  ?resilience:resilience -> params -> configs:int array array -> state -> t
+(** Rebuild a tuner from a captured state.
+    @raise Invalid_argument if [configs] is empty or the state's indices fall
+    outside it. *)

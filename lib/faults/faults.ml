@@ -10,6 +10,7 @@ type config = {
   profile_spike_p : float;
   profile_spike_mag : float;
   sampler_jitter_frac : float;
+  ckpt_corrupt_p : float;
 }
 
 let no_faults =
@@ -23,9 +24,13 @@ let no_faults =
     profile_spike_p = 0.0;
     profile_spike_mag = 0.0;
     sampler_jitter_frac = 0.0;
+    ckpt_corrupt_p = 0.0;
   }
 
 let preset ~rate =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Faults.preset: rate %g outside [0, 1]" rate);
   {
     reg_write_drop_p = rate;
     reg_write_corrupt_p = rate;
@@ -43,6 +48,9 @@ let preset ~rate =
     profile_spike_p = 5.0 *. rate;
     profile_spike_mag = 1.5;
     sampler_jitter_frac = 5.0 *. rate;
+    (* Snapshot corruption is a storage-channel fault: much rarer per event
+       than a register glitch, but each one costs a whole checkpoint. *)
+    ckpt_corrupt_p = 2.0 *. rate;
   }
 
 type latch = Stuck_until of int | Stuck_forever
@@ -53,17 +61,23 @@ type stats = {
   stuck_events : int;
   spikes : int;
   jittered_ticks : int;
+  snapshots_corrupted : int;
 }
 
 type active = {
   cfg : config;
   rng : Rng.t;
+  ckpt_rng : Rng.t;
+      (* The storage channel draws from its own stream: snapshot writes must
+         not advance [rng], or checkpointing would perturb the engine-visible
+         fault schedule and break resume determinism. *)
   latched : (string, latch) Hashtbl.t;
   mutable writes_dropped : int;
   mutable writes_corrupted : int;
   mutable stuck_events : int;
   mutable spikes : int;
   mutable jittered_ticks : int;
+  mutable snapshots_corrupted : int;
 }
 
 type t = active option
@@ -76,12 +90,14 @@ let create ?(seed = 2005) cfg =
     {
       cfg;
       rng = Rng.create ~seed;
+      ckpt_rng = Rng.create ~seed:(seed + 7919);
       latched = Hashtbl.create 8;
       writes_dropped = 0;
       writes_corrupted = 0;
       stuck_events = 0;
       spikes = 0;
       jittered_ticks = 0;
+      snapshots_corrupted = 0;
     }
 
 let config t = match t with None -> no_faults | Some a -> a.cfg
@@ -190,6 +206,7 @@ let stats t =
         stuck_events = 0;
         spikes = 0;
         jittered_ticks = 0;
+        snapshots_corrupted = 0;
       }
   | Some a ->
       {
@@ -198,4 +215,91 @@ let stats t =
         stuck_events = a.stuck_events;
         spikes = a.spikes;
         jittered_ticks = a.jittered_ticks;
+        snapshots_corrupted = a.snapshots_corrupted;
       }
+
+let maybe_corrupt_snapshot t buf =
+  match t with
+  | None -> false
+  | Some a ->
+      if
+        a.cfg.ckpt_corrupt_p > 0.0
+        && Bytes.length buf > 0
+        && Rng.bernoulli a.ckpt_rng a.cfg.ckpt_corrupt_p
+      then begin
+        let pos = Rng.int a.ckpt_rng (Bytes.length buf) in
+        (* XOR with a nonzero mask so the byte is guaranteed to change. *)
+        Bytes.set buf pos
+          (Char.chr (Char.code (Bytes.get buf pos) lxor 0x55));
+        a.snapshots_corrupted <- a.snapshots_corrupted + 1;
+        true
+      end
+      else false
+
+(* {2 Checkpoint capture / restore} *)
+
+type latch_state = { ls_cu : string; ls_until : int option }
+
+type state = {
+  s_rng : int64;
+  s_ckpt_rng : int64;
+  s_latched : latch_state array;  (* sorted by CU name *)
+  s_writes_dropped : int;
+  s_writes_corrupted : int;
+  s_stuck_events : int;
+  s_spikes : int;
+  s_jittered_ticks : int;
+  s_snapshots_corrupted : int;
+}
+
+let capture t =
+  Option.map
+    (fun a ->
+      let latched =
+        Hashtbl.fold
+          (fun cu latch acc ->
+            {
+              ls_cu = cu;
+              ls_until =
+                (match latch with
+                | Stuck_forever -> None
+                | Stuck_until n -> Some n);
+            }
+            :: acc)
+          a.latched []
+        |> List.sort compare |> Array.of_list
+      in
+      {
+        s_rng = Rng.to_state a.rng;
+        s_ckpt_rng = Rng.to_state a.ckpt_rng;
+        s_latched = latched;
+        s_writes_dropped = a.writes_dropped;
+        s_writes_corrupted = a.writes_corrupted;
+        s_stuck_events = a.stuck_events;
+        s_spikes = a.spikes;
+        s_jittered_ticks = a.jittered_ticks;
+        s_snapshots_corrupted = a.snapshots_corrupted;
+      })
+    t
+
+let restore t s =
+  match (t, s) with
+  | None, None -> ()
+  | Some a, Some s ->
+      Rng.set_state a.rng s.s_rng;
+      Rng.set_state a.ckpt_rng s.s_ckpt_rng;
+      Hashtbl.reset a.latched;
+      Array.iter
+        (fun l ->
+          Hashtbl.replace a.latched l.ls_cu
+            (match l.ls_until with
+            | None -> Stuck_forever
+            | Some n -> Stuck_until n))
+        s.s_latched;
+      a.writes_dropped <- s.s_writes_dropped;
+      a.writes_corrupted <- s.s_writes_corrupted;
+      a.stuck_events <- s.s_stuck_events;
+      a.spikes <- s.s_spikes;
+      a.jittered_ticks <- s.s_jittered_ticks;
+      a.snapshots_corrupted <- s.s_snapshots_corrupted
+  | _ -> invalid_arg "Faults.restore: injector/state noneness mismatch"

@@ -39,6 +39,10 @@ type config = {
   sampler_jitter_frac : float;
       (** Relative jitter of the VM sampler period: each tick's period is
           scaled uniformly within [1 +- sampler_jitter_frac]. *)
+  ckpt_corrupt_p : float;
+      (** Probability that a checkpoint snapshot written to storage is
+          corrupted (one byte flipped), exercising the reader's CRC check
+          and fallback path. *)
 }
 
 val no_faults : config
@@ -49,8 +53,9 @@ val preset : rate:float -> config
     the other fault classes are scaled from it (corruption at [rate],
     transient latch-up at [rate/2] for 5 M instructions, permanent latch-up
     at [rate/20], measurement spikes at [2*rate] of magnitude 1.5, noise CoV
-    [2*rate], sampler jitter [5*rate]).  [preset ~rate:0.0] equals
-    {!no_faults}. *)
+    [2*rate], sampler jitter [5*rate], snapshot corruption at [2*rate]).
+    [preset ~rate:0.0] equals {!no_faults}.
+    @raise Invalid_argument if [rate] is outside [0, 1] (including NaN). *)
 
 type t
 (** A fault injector: a configuration plus a private RNG stream and the
@@ -104,7 +109,42 @@ type stats = {
   stuck_events : int;  (** Latch-ups entered (transient or permanent). *)
   spikes : int;
   jittered_ticks : int;
+  snapshots_corrupted : int;  (** Snapshots damaged on the storage channel. *)
 }
 
 val stats : t -> stats
 (** All-zero for {!none}. *)
+
+val maybe_corrupt_snapshot : t -> bytes -> bool
+(** With probability [ckpt_corrupt_p], flip one byte of [buf] in place
+    (uniformly chosen position) and return [true].  Identity and draw-free
+    under {!none} or a zero probability.  Draws from a dedicated
+    storage-channel RNG stream, so writing (or not writing) checkpoints
+    never changes the engine-visible fault schedule. *)
+
+(** {2 Checkpoint capture / restore}
+
+    The injector's own RNG stream and latch table are part of the simulator
+    state: a resumed run must see the identical fault schedule. *)
+
+type latch_state = { ls_cu : string; ls_until : int option }
+(** One latched CU; [ls_until = None] means a permanent latch-up. *)
+
+type state = {
+  s_rng : int64;
+  s_ckpt_rng : int64;  (** The storage-channel stream. *)
+  s_latched : latch_state array;  (** Sorted by CU name. *)
+  s_writes_dropped : int;
+  s_writes_corrupted : int;
+  s_stuck_events : int;
+  s_spikes : int;
+  s_jittered_ticks : int;
+  s_snapshots_corrupted : int;
+}
+
+val capture : t -> state option
+(** [None] for {!none}. *)
+
+val restore : t -> state option -> unit
+(** @raise Invalid_argument if exactly one of injector and state is the
+    fault-free [None]. *)

@@ -704,6 +704,53 @@ let stability t =
   row "slowdown, BBV (avg)" (fun c -> average_slowdown c Scheme.Bbv);
   tbl
 
+(* Chaos-soak supervisor: kill/resume each scheme under 1% faults and check
+   the survivor's table against the uninterrupted baseline.  Not part of
+   [all] — it is a robustness check of the checkpoint subsystem, not one of
+   the paper's tables. *)
+let soak ?(cycles = 20) t =
+  let tbl =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("Scheme", Table.Left);
+          ("Kills", Table.Right);
+          ("Restarts", Table.Right);
+          ("Fallbacks", Table.Right);
+          ("Corrupted", Table.Right);
+          ("Tables match", Table.Left);
+        ]
+  in
+  let w =
+    match List.find_opt (fun w -> w.Workload.name = "compress") t.workloads with
+    | Some w -> w
+    | None -> List.hd t.workloads
+  in
+  List.iter
+    (fun scheme ->
+      let path = Filename.temp_file "ace_soak" ".snap" in
+      let r =
+        Soak.chaos_soak ~scale:t.scale ~seed:t.seed ~fault_rate:0.01 ~cycles
+          ~checkpoint_every:(max 1 (int_of_float (float_of_int 2_000_000 *. t.scale)))
+          ~path w scheme
+      in
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".1"; path ^ ".baseline"; path ^ ".baseline.1" ];
+      Table.add_row tbl
+        [
+          w.Workload.name;
+          Scheme.name scheme;
+          string_of_int r.Soak.kills;
+          string_of_int r.Soak.restarts;
+          string_of_int r.Soak.fallbacks;
+          string_of_int r.Soak.snapshots_corrupted;
+          (if r.Soak.matched then "yes" else "NO");
+        ])
+    [ Scheme.Fixed_baseline; Scheme.Hotspot; Scheme.Bbv ];
+  tbl
+
 let all t =
   [
     ("table1", table1 t);

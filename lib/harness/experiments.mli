@@ -84,6 +84,12 @@ val stability : t -> Ace_util.Table.t
 (** Suite-average savings and slowdowns across three construction seeds —
     evidence the reproduction's conclusions are not seed artifacts. *)
 
+val soak : ?cycles:int -> t -> Ace_util.Table.t
+(** {!Soak.chaos_soak} on one benchmark under every scheme: [cycles]
+    (default 20) seeded kill/resume rounds at 1% injected faults, including
+    storage-channel snapshot corruption.  The "Tables match" column must
+    read "yes" on every row.  Not included in {!all}. *)
+
 (** {2 Aggregates (used by benches and tests)} *)
 
 val energy_reduction :

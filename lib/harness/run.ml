@@ -125,38 +125,43 @@ let summarize ~workload ~scheme ~engine ~accts ~hotspot ~bbv ~bbv_predictor
     fault_stats;
   }
 
-let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
-    ?(framework_config = Framework.default_config) ?(with_issue_queue = false)
-    ?(bbv_prediction = false) ?faults workload scheme =
-  let program = workload.Ace_workloads.Workload.build ~scale ~seed in
-  let name = workload.Ace_workloads.Workload.name in
-  (* One injector per run, seeded off the run seed so fault sequences are
-     reproducible but decorrelated from the engine's own stream. *)
-  let faults =
-    match faults with
-    | None -> Faults.none
-    | Some cfg -> Faults.create ~seed:((seed * 1000) + 7) cfg
-  in
-  let fault_stats () = if Faults.is_none faults then None else Some (Faults.stats faults) in
+(* The scheme handle held between attach and finalize. *)
+type attached =
+  | A_baseline
+  | A_hotspot of Framework.t
+  | A_bbv of Ace_bbv.Scheme.t
+
+let attach_scheme ~framework_config ~with_issue_queue ~bbv_prediction ~faults
+    engine scheme =
   match scheme with
-  | Scheme.Fixed_baseline ->
-      let cfg = engine_config ~hot_threshold ~seed ~interval:None in
-      let engine = Engine.create ~config:cfg ~faults program in
-      let finish = fixed_accounting engine in
-      Engine.run engine;
-      summarize ~workload:name ~scheme ~engine ~accts:(finish ()) ~hotspot:None
-        ~bbv:None ~bbv_predictor:None ~resilience:None
-        ~fault_stats:(fault_stats ())
+  | Scheme.Fixed_baseline -> A_baseline
   | Scheme.Hotspot ->
-      let cfg = engine_config ~hot_threshold ~seed ~interval:None in
-      let engine = Engine.create ~config:cfg ~faults program in
       let cus =
         if with_issue_queue then
           [| Cu.l1d engine; Cu.l2 engine; Cu.issue_queue engine |]
         else [| Cu.l1d engine; Cu.l2 engine |]
       in
-      let fw = Framework.attach ~config:framework_config ~faults engine ~cus in
-      Engine.run engine;
+      A_hotspot (Framework.attach ~config:framework_config ~faults engine ~cus)
+  | Scheme.Bbv ->
+      let cus = [| Cu.l1d engine; Cu.l2 engine |] in
+      A_bbv
+        (Ace_bbv.Scheme.attach
+           ~config:
+             {
+               Ace_bbv.Scheme.default_config with
+               next_phase_prediction = bbv_prediction;
+             }
+           ~faults engine ~cus)
+
+let finish_run ~name ~scheme ~engine ~faults ~attached =
+  let fault_stats =
+    if Faults.is_none faults then None else Some (Faults.stats faults)
+  in
+  match attached with
+  | A_baseline ->
+      summarize ~workload:name ~scheme ~engine ~accts:(fixed_accounting engine ())
+        ~hotspot:None ~bbv:None ~bbv_predictor:None ~resilience:None ~fault_stats
+  | A_hotspot fw ->
       Framework.finalize fw;
       let accts =
         match (Framework.accounting fw 0, Framework.accounting fw 1) with
@@ -173,21 +178,8 @@ let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
       in
       summarize ~workload:name ~scheme ~engine ~accts ~hotspot ~bbv:None
         ~bbv_predictor:None ~resilience:(Some (Framework.resilience_report fw))
-        ~fault_stats:(fault_stats ())
-  | Scheme.Bbv ->
-      let cfg = engine_config ~hot_threshold ~seed ~interval:(Some bbv_interval) in
-      let engine = Engine.create ~config:cfg ~faults program in
-      let cus = [| Cu.l1d engine; Cu.l2 engine |] in
-      let sch =
-        Ace_bbv.Scheme.attach
-          ~config:
-            {
-              Ace_bbv.Scheme.default_config with
-              next_phase_prediction = bbv_prediction;
-            }
-          ~faults engine ~cus
-      in
-      Engine.run engine;
+        ~fault_stats
+  | A_bbv sch ->
       Ace_bbv.Scheme.finalize sch;
       let accts =
         match (Ace_bbv.Scheme.accounting sch 0, Ace_bbv.Scheme.accounting sch 1) with
@@ -209,4 +201,200 @@ let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
       in
       summarize ~workload:name ~scheme ~engine ~accts ~hotspot:None ~bbv
         ~bbv_predictor:(Ace_bbv.Scheme.predictor_stats sch) ~resilience:None
-        ~fault_stats:(fault_stats ())
+        ~fault_stats
+
+let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
+    ?(framework_config = Framework.default_config) ?(with_issue_queue = false)
+    ?(bbv_prediction = false) ?faults workload scheme =
+  let program = workload.Ace_workloads.Workload.build ~scale ~seed in
+  let name = workload.Ace_workloads.Workload.name in
+  (* One injector per run, seeded off the run seed so fault sequences are
+     reproducible but decorrelated from the engine's own stream. *)
+  let faults =
+    match faults with
+    | None -> Faults.none
+    | Some cfg -> Faults.create ~seed:((seed * 1000) + 7) cfg
+  in
+  let interval =
+    match scheme with Scheme.Bbv -> Some bbv_interval | _ -> None
+  in
+  let cfg = engine_config ~hot_threshold ~seed ~interval in
+  let engine = Engine.create ~config:cfg ~faults program in
+  let attached =
+    attach_scheme ~framework_config ~with_issue_queue ~bbv_prediction ~faults
+      engine scheme
+  in
+  Engine.run engine;
+  finish_run ~name ~scheme ~engine ~faults ~attached
+
+(* {2 Checkpointed execution} *)
+
+module Snapshot = Ace_ckpt.Snapshot
+
+exception Killed of int
+
+type ckpt_outcome = Completed of result | Killed_at of int
+
+let scheme_to_snap = function
+  | Scheme.Fixed_baseline -> Snapshot.Baseline
+  | Scheme.Hotspot -> Snapshot.Hotspot
+  | Scheme.Bbv -> Snapshot.Bbv
+
+let scheme_of_snap = function
+  | Snapshot.Baseline -> Scheme.Fixed_baseline
+  | Snapshot.Hotspot -> Scheme.Hotspot
+  | Snapshot.Bbv -> Scheme.Bbv
+
+(* Rebuild every construction-time input from snapshot metadata.  Both the
+   fresh checkpointed run and a resume go through this one function, so a
+   resumed run is built from exactly the inputs the original was. *)
+let instance_of_meta (m : Snapshot.meta) =
+  let workload =
+    match Ace_workloads.Specjvm.find m.Snapshot.workload with
+    | Some w -> w
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Run: unknown workload %S in checkpoint metadata"
+             m.Snapshot.workload)
+  in
+  let program =
+    workload.Ace_workloads.Workload.build ~scale:m.Snapshot.scale
+      ~seed:m.Snapshot.seed
+  in
+  let faults =
+    match m.Snapshot.fault_rate with
+    | None -> Faults.none
+    | Some rate ->
+        Faults.create
+          ~seed:((m.Snapshot.seed * 1000) + 7)
+          (Faults.preset ~rate)
+  in
+  let scheme = scheme_of_snap m.Snapshot.scheme in
+  (* Baseline and hotspot runs have no interval hook of their own, so the
+     checkpoint cadence rides directly on [interval_instrs] (the hook is
+     side-effect free for them).  BBV owns the 1 M interval; checkpoints
+     then fire every [k] intervals. *)
+  let interval =
+    match scheme with
+    | Scheme.Bbv -> bbv_interval
+    | _ -> m.Snapshot.checkpoint_every
+  in
+  let cfg =
+    engine_config ~hot_threshold:m.Snapshot.hot_threshold ~seed:m.Snapshot.seed
+      ~interval:(Some interval)
+  in
+  let engine = Engine.create ~config:cfg ~faults program in
+  let framework_config =
+    if m.Snapshot.resilient then
+      {
+        Framework.default_config with
+        Framework.resilience = Ace_core.Tuner.default_resilience;
+      }
+    else Framework.default_config
+  in
+  let attached =
+    attach_scheme ~framework_config
+      ~with_issue_queue:m.Snapshot.with_issue_queue
+      ~bbv_prediction:m.Snapshot.bbv_prediction ~faults engine scheme
+  in
+  (engine, faults, attached)
+
+let capture_scheme = function
+  | A_baseline -> Snapshot.S_baseline
+  | A_hotspot fw -> Snapshot.S_hotspot (Framework.capture fw)
+  | A_bbv sch -> Snapshot.S_bbv (Ace_bbv.Scheme.capture sch)
+
+(* Wrap [on_interval] — after the scheme attached, so the scheme's own hook
+   runs first and the captured state is the post-hook state the resumed run
+   would also see. *)
+let install_checkpointing ?kill_after ?on_snapshot ~path (m : Snapshot.meta)
+    engine faults attached =
+  let interval =
+    match scheme_of_snap m.Snapshot.scheme with
+    | Scheme.Bbv -> bbv_interval
+    | _ -> m.Snapshot.checkpoint_every
+  in
+  let every_k =
+    max 1 ((m.Snapshot.checkpoint_every + interval - 1) / interval)
+  in
+  let hooks = Engine.hooks engine in
+  let prev = hooks.Engine.on_interval in
+  hooks.Engine.on_interval <-
+    (fun ~total_instrs ->
+      prev ~total_instrs;
+      (match kill_after with
+      | Some n when total_instrs >= n -> raise (Killed total_instrs)
+      | _ -> ());
+      if total_instrs / interval mod every_k = 0 then begin
+        let snap =
+          {
+            Snapshot.meta = m;
+            engine = Engine.capture engine;
+            faults = Faults.capture faults;
+            scheme_state = capture_scheme attached;
+          }
+        in
+        (match on_snapshot with Some f -> f snap | None -> ());
+        Snapshot.write ~faults ~path snap
+      end)
+
+let run_checkpointed ?(scale = 1.0) ?(seed = 1)
+    ?(hot_threshold = default_hot_threshold) ?(with_issue_queue = false)
+    ?(bbv_prediction = false) ?(resilient = false) ?fault_rate ?kill_after
+    ?on_snapshot ~checkpoint_every ~path workload scheme =
+  if checkpoint_every <= 0 then
+    invalid_arg "Run.run_checkpointed: checkpoint_every must be positive";
+  let meta =
+    {
+      Snapshot.workload = workload.Ace_workloads.Workload.name;
+      scheme = scheme_to_snap scheme;
+      scale;
+      seed;
+      hot_threshold;
+      with_issue_queue;
+      bbv_prediction;
+      resilient;
+      fault_rate;
+      checkpoint_every;
+    }
+  in
+  let engine, faults, attached = instance_of_meta meta in
+  install_checkpointing ?kill_after ?on_snapshot ~path meta engine faults
+    attached;
+  match Engine.run engine with
+  | () ->
+      Completed
+        (finish_run ~name:meta.Snapshot.workload ~scheme ~engine ~faults
+           ~attached)
+  | exception Killed n -> Killed_at n
+
+let resume_from_snapshot ?kill_after ?on_snapshot ?path (snap : Snapshot.t) =
+  let m = snap.Snapshot.meta in
+  let engine, faults, attached = instance_of_meta m in
+  (* Restore after attach: schemes set ILP/exposure scales when attaching,
+     and [Engine.restore] must overwrite them with the checkpointed values. *)
+  Engine.restore engine snap.Snapshot.engine;
+  Faults.restore faults snap.Snapshot.faults;
+  (match (attached, snap.Snapshot.scheme_state) with
+  | A_baseline, Snapshot.S_baseline -> ()
+  | A_hotspot fw, Snapshot.S_hotspot s -> Framework.restore fw s
+  | A_bbv sch, Snapshot.S_bbv s -> Ace_bbv.Scheme.restore sch s
+  | _ -> invalid_arg "Run.resume: scheme state does not match metadata");
+  (match path with
+  | Some path ->
+      install_checkpointing ?kill_after ?on_snapshot ~path m engine faults
+        attached
+  | None -> ());
+  match Engine.resume engine with
+  | () ->
+      Completed
+        (finish_run ~name:m.Snapshot.workload
+           ~scheme:(scheme_of_snap m.Snapshot.scheme)
+           ~engine ~faults ~attached)
+  | exception Killed n -> Killed_at n
+
+let resume_run ?kill_after ~path () =
+  match Snapshot.read_with_fallback ~path with
+  | None -> None
+  | Some (snap, which) ->
+      Some (resume_from_snapshot ?kill_after ~path snap, which)

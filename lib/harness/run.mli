@@ -78,3 +78,69 @@ val run :
     finalize, and summarize.  [faults] (off by default) attaches a seeded
     fault injector — derived deterministically from [seed] — to the engine's
     measurement path and to every control register write the scheme issues. *)
+
+(** {2 Checkpointed execution}
+
+    A checkpointed run periodically snapshots the complete simulator state
+    (see [Ace_ckpt.Snapshot]) so it can be killed at any point and resumed
+    bit-identically.  Checkpoint cadence: baseline and hotspot runs fire the
+    engine's interval hook every [checkpoint_every] instructions (the hook is
+    otherwise unused and side-effect free for them); BBV runs keep their
+    fixed 1 M-instruction interval and snapshot every
+    [ceil (checkpoint_every / 1M)] intervals. *)
+
+exception Killed of int
+(** Raised (and caught internally) when a run crosses [kill_after]; the
+    payload is the interval boundary at which the run died. *)
+
+type ckpt_outcome =
+  | Completed of result
+  | Killed_at of int  (** The run was killed at this instruction boundary. *)
+
+val run_checkpointed :
+  ?scale:float ->
+  ?seed:int ->
+  ?hot_threshold:int ->
+  ?with_issue_queue:bool ->
+  ?bbv_prediction:bool ->
+  ?resilient:bool ->
+  ?fault_rate:float ->
+  ?kill_after:int ->
+  ?on_snapshot:(Ace_ckpt.Snapshot.t -> unit) ->
+  checkpoint_every:int ->
+  path:string ->
+  Ace_workloads.Workload.t ->
+  Scheme.t ->
+  ckpt_outcome
+(** Like {!run}, but snapshot the full simulator state to [path] every
+    [checkpoint_every] instructions (atomic write; the previous snapshot is
+    rotated to [path.1]).  The workload must be registered in
+    [Ace_workloads.Specjvm] so a resume can rebuild it by name.  [resilient]
+    enables the resilient tuner policy; [fault_rate] turns on
+    [Faults.preset ~rate] with the same derived seed {!run} uses.
+    [kill_after] simulates a crash: the run stops with [Killed_at] at the
+    first interval boundary at or past it (before writing that boundary's
+    snapshot).  [on_snapshot] observes every snapshot just before it is
+    written (the determinism oracle collects them).
+    @raise Invalid_argument if [checkpoint_every] is not positive. *)
+
+val resume_from_snapshot :
+  ?kill_after:int ->
+  ?on_snapshot:(Ace_ckpt.Snapshot.t -> unit) ->
+  ?path:string ->
+  Ace_ckpt.Snapshot.t ->
+  ckpt_outcome
+(** Rebuild the run described by the snapshot's metadata, restore the
+    captured state, and continue to completion.  With [path] set, the
+    resumed run keeps writing checkpoints there (and honours [kill_after]);
+    without it this is a pure replay. *)
+
+val resume_run :
+  ?kill_after:int ->
+  path:string ->
+  unit ->
+  (ckpt_outcome * [ `Primary | `Fallback ]) option
+(** Resume from the snapshot at [path], falling back to [path.1] when the
+    newest snapshot is truncated or fails its CRC (e.g. under injected
+    storage faults).  [None] when neither file holds a good snapshot — the
+    caller restarts from scratch. *)

@@ -39,3 +39,13 @@ val next : cursor -> rng:Ace_util.Rng.t -> int
 
 val reset : cursor -> unit
 (** Return the cursor to the pattern's start (used between engine runs). *)
+
+(** Iteration position without the (statically known) pattern, for
+    checkpoint serialization. *)
+type cursor_state = { s_offset : int; s_steps : int }
+
+val capture : cursor -> cursor_state
+
+val restore : cursor -> cursor_state -> unit
+(** Overwrite the cursor's position.  The caller must pair states with the
+    cursors they were captured from (the engine keys both by block id). *)

@@ -59,6 +59,31 @@ val iter_dirty : t -> (int -> unit) -> unit
 val invalidate_all : t -> int
 (** Flush without changing geometry; returns dirty lines written back. *)
 
+(** Complete cache state — geometry (current size), array contents, LRU
+    clock and counters — for checkpoint serialization. *)
+type state = {
+  s_size_bytes : int;
+  s_tags : int array;
+  s_dirty : bool array;
+  s_stamp : int array;
+  s_clock : int;
+  s_last_victim : int;
+  s_accesses : int;
+  s_hits : int;
+  s_writebacks : int;
+  s_flush_writebacks : int;
+  s_resizes : int;
+}
+
+val capture : t -> state
+(** A deep copy of the cache's current state. *)
+
+val restore : t -> state -> unit
+(** Overwrite [t] (same associativity and line size as at capture) with a
+    captured state, including its possibly different current capacity.
+    @raise Invalid_argument if the state is inconsistent with the cache's
+    fixed geometry parameters. *)
+
 (** Cumulative counters since [create]. *)
 module Stats : sig
   val accesses : t -> int

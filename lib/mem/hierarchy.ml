@@ -88,6 +88,33 @@ let resize_l2 t ~size_bytes =
 let memory_reads t = t.mem_reads
 let memory_writebacks t = t.mem_writebacks
 
+type state = {
+  s_l1i : Cache.state;
+  s_l1d : Cache.state;
+  s_l2 : Cache.state;
+  s_dtlb : Tlb.state;
+  s_mem_reads : int;
+  s_mem_writebacks : int;
+}
+
+let capture t =
+  {
+    s_l1i = Cache.capture t.l1i;
+    s_l1d = Cache.capture t.l1d;
+    s_l2 = Cache.capture t.l2;
+    s_dtlb = Tlb.capture t.dtlb;
+    s_mem_reads = t.mem_reads;
+    s_mem_writebacks = t.mem_writebacks;
+  }
+
+let restore t s =
+  Cache.restore t.l1i s.s_l1i;
+  Cache.restore t.l1d s.s_l1d;
+  Cache.restore t.l2 s.s_l2;
+  Tlb.restore t.dtlb s.s_dtlb;
+  t.mem_reads <- s.s_mem_reads;
+  t.mem_writebacks <- s.s_mem_writebacks
+
 let pp_config fmt t =
   Format.fprintf fmt "@[<v>L1I: %a@ L1D: %a@ L2:  %a@]" Cache.pp_config
     (Cache.config t.l1i) Cache.pp_config (Cache.config t.l1d) Cache.pp_config

@@ -58,3 +58,20 @@ val memory_writebacks : t -> int
 (** Lines written to memory (L2 dirty evictions and L2 flushes). *)
 
 val pp_config : Format.formatter -> t -> unit
+
+(** All four structures plus memory-traffic counters, for checkpoint
+    serialization. *)
+type state = {
+  s_l1i : Cache.state;
+  s_l1d : Cache.state;
+  s_l2 : Cache.state;
+  s_dtlb : Tlb.state;
+  s_mem_reads : int;
+  s_mem_writebacks : int;
+}
+
+val capture : t -> state
+
+val restore : t -> state -> unit
+(** Overwrite a freshly created hierarchy, including the caches' current
+    (possibly downsized) capacities. *)

@@ -49,3 +49,37 @@ let flush t =
   Hashtbl.reset t.table;
   t.head <- 0;
   t.filled <- 0
+
+type state = {
+  s_resident : int array;  (* pages currently mapped, in no particular order *)
+  s_fifo : int array;
+  s_head : int;
+  s_filled : int;
+  s_accesses : int;
+  s_misses : int;
+}
+
+let capture t =
+  (* Sorted so that capturing twice from identical simulator states yields
+     identical bytes (hash-table iteration order is an artifact). *)
+  let resident = Array.of_seq (Hashtbl.to_seq_keys t.table) in
+  Array.sort compare resident;
+  {
+    s_resident = resident;
+    s_fifo = Array.copy t.fifo;
+    s_head = t.head;
+    s_filled = t.filled;
+    s_accesses = t.n_accesses;
+    s_misses = t.n_misses;
+  }
+
+let restore t s =
+  if Array.length s.s_fifo <> t.entries then
+    invalid_arg "Tlb.restore: fifo length does not match geometry";
+  Hashtbl.reset t.table;
+  Array.iter (fun page -> Hashtbl.replace t.table page ()) s.s_resident;
+  Array.blit s.s_fifo 0 t.fifo 0 t.entries;
+  t.head <- s.s_head;
+  t.filled <- s.s_filled;
+  t.n_accesses <- s.s_accesses;
+  t.n_misses <- s.s_misses

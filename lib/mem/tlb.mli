@@ -17,3 +17,19 @@ val access : t -> int -> bool
 val accesses : t -> int
 val misses : t -> int
 val flush : t -> unit
+
+(** Resident-page set, FIFO ring and counters, for checkpoint
+    serialization. *)
+type state = {
+  s_resident : int array;
+  s_fifo : int array;
+  s_head : int;
+  s_filled : int;
+  s_accesses : int;
+  s_misses : int;
+}
+
+val capture : t -> state
+
+val restore : t -> state -> unit
+(** @raise Invalid_argument if the state's geometry does not match [t]. *)

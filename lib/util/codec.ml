@@ -1,0 +1,121 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let contents = Buffer.contents
+  let u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+  let i64 b (x : int64) =
+    for k = 0 to 7 do
+      Buffer.add_char b
+        (Char.chr (Int64.to_int (Int64.shift_right_logical x (8 * k)) land 0xFF))
+    done
+
+  let int b n = i64 b (Int64.of_int n)
+  let f64 b x = i64 b (Int64.bits_of_float x)
+  let bool b x = u8 b (if x then 1 else 0)
+
+  let str b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let opt f b = function
+    | None -> u8 b 0
+    | Some x ->
+        u8 b 1;
+        f b x
+
+  let arr f b xs =
+    int b (Array.length xs);
+    Array.iter (f b) xs
+
+  let list f b xs =
+    int b (List.length xs);
+    List.iter (f b) xs
+
+  let int_arr b xs = arr int b xs
+  let f64_arr b xs = arr f64 b xs
+  let bool_arr b xs = arr bool b xs
+end
+
+module Dec = struct
+  type t = { s : string; mutable pos : int }
+
+  let create s = { s; pos = 0 }
+  let remaining d = String.length d.s - d.pos
+  let at_end d = remaining d = 0
+
+  let u8 d =
+    if d.pos >= String.length d.s then fail "truncated (u8 at %d)" d.pos;
+    let c = Char.code d.s.[d.pos] in
+    d.pos <- d.pos + 1;
+    c
+
+  let i64 d =
+    if remaining d < 8 then fail "truncated (i64 at %d)" d.pos;
+    let x = ref 0L in
+    for k = 7 downto 0 do
+      x := Int64.logor (Int64.shift_left !x 8)
+             (Int64.of_int (Char.code d.s.[d.pos + k]))
+    done;
+    d.pos <- d.pos + 8;
+    !x
+
+  let int d = Int64.to_int (i64 d)
+  let f64 d = Int64.float_of_bits (i64 d)
+
+  let bool d =
+    match u8 d with
+    | 0 -> false
+    | 1 -> true
+    | n -> fail "bad bool tag %d at %d" n d.pos
+
+  let str d =
+    let n = int d in
+    if n < 0 || n > remaining d then fail "bad string length %d at %d" n d.pos;
+    let s = String.sub d.s d.pos n in
+    d.pos <- d.pos + n;
+    s
+
+  let opt f d =
+    match u8 d with
+    | 0 -> None
+    | 1 -> Some (f d)
+    | n -> fail "bad option tag %d at %d" n d.pos
+
+  (* Length sanity bound: every array element costs at least one byte, so a
+     declared length beyond the remaining bytes is corruption, not data. *)
+  let len d =
+    let n = int d in
+    if n < 0 || n > remaining d then fail "bad length %d at %d" n d.pos;
+    n
+
+  (* Explicit loops: the element decoder is effectful, so evaluation order
+     must be left-to-right regardless of Array.init/List.init semantics. *)
+  let arr f d =
+    let n = len d in
+    if n = 0 then [||]
+    else begin
+      let first = f d in
+      let out = Array.make n first in
+      for i = 1 to n - 1 do
+        out.(i) <- f d
+      done;
+      out
+    end
+
+  let list f d =
+    let n = len d in
+    let acc = ref [] in
+    for _ = 1 to n do
+      acc := f d :: !acc
+    done;
+    List.rev !acc
+  let int_arr d = arr int d
+  let f64_arr d = arr f64 d
+  let bool_arr d = arr bool d
+end

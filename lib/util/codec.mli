@@ -1,0 +1,51 @@
+(** Hand-rolled binary serialization for snapshot payloads.
+
+    Fixed-width little-endian primitives composed into arrays, lists and
+    options.  Unlike [Marshal], the byte layout is defined here and nowhere
+    else, so snapshot files are stable across compiler versions and can be
+    versioned and CRC-checked byte-for-byte (golden files live in [test/]).
+    Decoders validate every length against the remaining input and raise
+    {!Error} rather than reading out of bounds. *)
+
+exception Error of string
+(** Raised by decoders on truncated or malformed input. *)
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+  val contents : t -> string
+  val u8 : t -> int -> unit
+  val i64 : t -> int64 -> unit
+  val int : t -> int -> unit
+  val f64 : t -> float -> unit
+
+  val bool : t -> bool -> unit
+  val str : t -> string -> unit
+  val opt : (t -> 'a -> unit) -> t -> 'a option -> unit
+  val arr : (t -> 'a -> unit) -> t -> 'a array -> unit
+  val list : (t -> 'a -> unit) -> t -> 'a list -> unit
+  val int_arr : t -> int array -> unit
+  val f64_arr : t -> float array -> unit
+  val bool_arr : t -> bool array -> unit
+end
+
+module Dec : sig
+  type t
+
+  val create : string -> t
+  val remaining : t -> int
+  val at_end : t -> bool
+  val u8 : t -> int
+  val i64 : t -> int64
+  val int : t -> int
+  val f64 : t -> float
+  val bool : t -> bool
+  val str : t -> string
+  val opt : (t -> 'a) -> t -> 'a option
+  val arr : (t -> 'a) -> t -> 'a array
+  val list : (t -> 'a) -> t -> 'a list
+  val int_arr : t -> int array
+  val f64_arr : t -> float array
+  val bool_arr : t -> bool array
+end

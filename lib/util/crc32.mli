@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE) checksums, used to detect torn or corrupted snapshot
+    files.  The value is always in [0, 2^32). *)
+
+val string : string -> int
+(** Checksum of a whole string. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Incremental form: [update crc s ~pos ~len] extends [crc] with a
+    substring.  [string s = update 0 s ~pos:0 ~len:(String.length s)]. *)

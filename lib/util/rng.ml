@@ -6,6 +6,10 @@ let create ~seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let to_state t = t.state
+let of_state state = { state }
+let set_state t state = t.state <- state
+
 (* splitmix64 core: advance the state by the golden gamma and scramble. *)
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;

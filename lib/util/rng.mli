@@ -15,6 +15,17 @@ val create : seed:int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val to_state : t -> int64
+(** The generator's full internal state (splitmix64 has exactly 64 bits).
+    [of_state (to_state t)] continues the stream bit-identically, which is
+    what checkpoint/restore relies on. *)
+
+val of_state : int64 -> t
+(** A generator resuming from a captured state. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite [t]'s state in place (restore into an existing generator). *)
+
 val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t].  Streams of
     the parent and child are statistically independent; used to give each

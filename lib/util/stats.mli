@@ -40,6 +40,12 @@ module Running : sig
 
   val last : t -> float
   (** Most recently added sample; 0 if none. *)
+
+  (** Full accumulator state, exposed for checkpoint serialization. *)
+  type state = { s_n : int; s_mean : float; s_m2 : float; s_last : float }
+
+  val capture : t -> state
+  val restore : t -> state -> unit
 end
 
 (** Exponential moving average, used for hotspot size estimation. *)
@@ -54,4 +60,10 @@ module Ema : sig
   (** Current estimate; the first sample initializes the average. *)
 
   val is_empty : t -> bool
+
+  (** Average state minus the fixed [alpha], for checkpoint serialization. *)
+  type state = { s_value : float; s_seeded : bool }
+
+  val capture : t -> state
+  val restore : t -> state -> unit
 end

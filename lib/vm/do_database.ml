@@ -41,6 +41,56 @@ let set_instrument t id kind =
   e.entry_overhead <- Instrument.entry_instrs kind;
   e.exit_overhead <- Instrument.exit_instrs kind
 
+type entry_state = {
+  s_invocations : int;
+  s_samples : int;
+  s_compile_state : compile_state;
+  s_is_hotspot : bool;
+  s_promoted_at_instr : int;
+  s_pre_promotion_instrs : int;
+  s_size_ema : Ace_util.Stats.Ema.state;
+  s_ipc_profile : Ace_util.Stats.Running.state;
+  s_entry_overhead : int;
+  s_exit_overhead : int;
+}
+
+type state = entry_state array
+
+let capture t =
+  Array.map
+    (fun e ->
+      {
+        s_invocations = e.invocations;
+        s_samples = e.samples;
+        s_compile_state = e.compile_state;
+        s_is_hotspot = e.is_hotspot;
+        s_promoted_at_instr = e.promoted_at_instr;
+        s_pre_promotion_instrs = e.pre_promotion_instrs;
+        s_size_ema = Ace_util.Stats.Ema.capture e.size_ema;
+        s_ipc_profile = Ace_util.Stats.Running.capture e.ipc_profile;
+        s_entry_overhead = e.entry_overhead;
+        s_exit_overhead = e.exit_overhead;
+      })
+    t
+
+let restore t s =
+  if Array.length s <> Array.length t then
+    invalid_arg "Do_database.restore: method count mismatch";
+  Array.iteri
+    (fun i e ->
+      let es = s.(i) in
+      e.invocations <- es.s_invocations;
+      e.samples <- es.s_samples;
+      e.compile_state <- es.s_compile_state;
+      e.is_hotspot <- es.s_is_hotspot;
+      e.promoted_at_instr <- es.s_promoted_at_instr;
+      e.pre_promotion_instrs <- es.s_pre_promotion_instrs;
+      Ace_util.Stats.Ema.restore e.size_ema es.s_size_ema;
+      Ace_util.Stats.Running.restore e.ipc_profile es.s_ipc_profile;
+      e.entry_overhead <- es.s_entry_overhead;
+      e.exit_overhead <- es.s_exit_overhead)
+    t
+
 let estimated_size e =
   if Ace_util.Stats.Ema.is_empty e.size_ema then 0
   else int_of_float (Ace_util.Stats.Ema.value e.size_ema)

@@ -48,9 +48,30 @@ let no_hooks () =
     on_recompile = (fun ~meth_id:_ -> ());
   }
 
+(* One invocation in flight.  The engine executes with an explicit frame
+   stack rather than OCaml recursion so that the complete execution position
+   is plain data: a checkpoint taken between any two statements can rebuild
+   the stack and continue bit-identically (see DESIGN.md §Checkpointing). *)
+type frame = {
+  f_meth : int;
+  f_quality : float;  (* code quality latched at entry *)
+  f_was_hotspot : bool;
+  f_saved_meth : int;  (* current_meth to restore at exit *)
+  (* Counter snapshots for the invocation profile. *)
+  f_instrs0 : int;
+  f_cycles0 : float;
+  f_l1a0 : int;
+  f_l1m0 : int;
+  f_l2a0 : int;
+  f_l2m0 : int;
+  mutable f_pos : int;  (* index of the next statement in the body *)
+  mutable f_calls_left : int;  (* remaining reps of the Call at f_pos - 1; 0 = none *)
+}
+
 type t = {
   cfg : config;
   program : Program.t;
+  bodies : Program.stmt array array;  (* per-method body, array-indexed *)
   hier : Hierarchy.t;
   timing : Ace_cpu.Timing.t;
   db : Do_database.t;
@@ -71,7 +92,9 @@ type t = {
   mutable hotspot_depth : int;
   mutable ilp_scale : float;
   mutable exposure_scale : float;
+  mutable stack : frame list;  (* innermost invocation first *)
   mutable ran : bool;
+  mutable restored : bool;
 }
 
 let create ?(config = default_config) ?(faults = Faults.none) program =
@@ -80,9 +103,13 @@ let create ?(config = default_config) ?(faults = Faults.none) program =
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
   let cursors = Array.make (Program.max_block_id program + 1) (Pattern.cursor (Pattern.Random_in { base = 0; extent = 1 })) in
   Program.iter_blocks program (fun b -> cursors.(b.Block.id) <- Pattern.cursor b.Block.pattern);
+  let bodies =
+    Array.map (fun m -> Array.of_list m.Program.body) program.Program.methods
+  in
   {
     cfg = config;
     program;
+    bodies;
     hier = Hierarchy.create ();
     timing = Ace_cpu.Timing.create Ace_cpu.Machine.default;
     db = Do_database.create ~methods:(Program.method_count program);
@@ -100,7 +127,9 @@ let create ?(config = default_config) ?(faults = Faults.none) program =
     hotspot_depth = 0;
     ilp_scale = 1.0;
     exposure_scale = 1.0;
+    stack = [];
     ran = false;
+    restored = false;
   }
 
 let config t = t.cfg
@@ -161,10 +190,13 @@ let sampler_tick t =
 
 let fire_interval t =
   while t.n_instrs >= t.next_interval_at do
-    t.hooks.on_interval ~total_instrs:t.next_interval_at;
+    (* Advance the boundary *before* invoking the hook: a checkpoint taken
+       inside the hook then resumes past this interval instead of re-firing
+       it.  The hook still observes the boundary it crossed. *)
+    let boundary = t.next_interval_at in
     t.next_interval_at <-
-      t.next_interval_at
-      + (match t.cfg.interval_instrs with Some n -> n | None -> max_int)
+      boundary + (match t.cfg.interval_instrs with Some n -> n | None -> max_int);
+    t.hooks.on_interval ~total_instrs:boundary
   done
 
 let exec_block t (b : Block.t) count quality =
@@ -198,7 +230,12 @@ let exec_block t (b : Block.t) count quality =
   if t.n_cycles >= t.next_sample_at then sampler_tick t;
   if t.n_instrs >= t.next_interval_at then fire_interval t
 
-let rec run_method t meth_id =
+(* Method entry: all the invocation-start work of the old recursive
+   interpreter, then push a frame.  Operation order is load-bearing — tests
+   assert exact counter values — so it mirrors the recursion exactly:
+   invocation count, promotion check, hotspot latch, entry stub, entry hook,
+   profile snapshot, depth/context update, quality latch. *)
+let enter t meth_id =
   let entry = Do_database.entry t.db meth_id in
   entry.Do_database.invocations <- entry.Do_database.invocations + 1;
   if (not entry.Do_database.is_hotspot) && entry.Do_database.invocations >= t.cfg.hot_threshold
@@ -208,43 +245,51 @@ let rec run_method t meth_id =
   t.hooks.on_method_entry ~meth_id;
   (* Snapshot for the invocation profile (after the entry stub so stub cost
      stays out of the tuner's IPC measurements). *)
-  let instrs0 = t.n_instrs in
-  let cycles0 = t.n_cycles in
   let l1d = Hierarchy.l1d t.hier and l2 = Hierarchy.l2 t.hier in
-  let l1a0 = Cache.Stats.accesses l1d and l1m0 = Cache.Stats.misses l1d in
-  let l2a0 = Cache.Stats.accesses l2 and l2m0 = Cache.Stats.misses l2 in
-  if was_hotspot_at_entry then t.hotspot_depth <- t.hotspot_depth + 1;
-  let saved_meth = t.current_meth in
-  t.current_meth <- meth_id;
-  let quality =
-    match entry.Do_database.compile_state with
-    | Do_database.Baseline -> t.cfg.quality_baseline
-    | Do_database.Optimized -> t.cfg.quality_optimized
+  let fr =
+    {
+      f_meth = meth_id;
+      f_quality =
+        (match entry.Do_database.compile_state with
+        | Do_database.Baseline -> t.cfg.quality_baseline
+        | Do_database.Optimized -> t.cfg.quality_optimized);
+      f_was_hotspot = was_hotspot_at_entry;
+      f_saved_meth = t.current_meth;
+      f_instrs0 = t.n_instrs;
+      f_cycles0 = t.n_cycles;
+      f_l1a0 = Cache.Stats.accesses l1d;
+      f_l1m0 = Cache.Stats.misses l1d;
+      f_l2a0 = Cache.Stats.accesses l2;
+      f_l2m0 = Cache.Stats.misses l2;
+      f_pos = 0;
+      f_calls_left = 0;
+    }
   in
-  List.iter
-    (function
-      | Program.Exec (b, n) -> exec_block t b n quality
-      | Program.Call (callee, n) ->
-          for _i = 1 to n do
-            run_method t callee;
-            t.current_meth <- meth_id
-          done)
-    t.program.Program.methods.(meth_id).Program.body;
-  t.current_meth <- saved_meth;
-  if was_hotspot_at_entry then t.hotspot_depth <- t.hotspot_depth - 1;
+  if was_hotspot_at_entry then t.hotspot_depth <- t.hotspot_depth + 1;
+  t.current_meth <- meth_id;
+  t.stack <- fr :: t.stack
+
+(* Method exit: the invocation-end work, after the frame has been popped. *)
+let exit_frame t fr =
+  let entry = Do_database.entry t.db fr.f_meth in
+  t.current_meth <- fr.f_saved_meth;
+  if fr.f_was_hotspot then t.hotspot_depth <- t.hotspot_depth - 1;
   (* Measurement-path fault model (c): the invocation's *observed* cycle
      count can carry multiplicative noise and outlier spikes.  Only the
      profile handed to instrumentation consumers is perturbed; the global
      clock stays truthful. *)
-  let observed_cycles = Faults.perturb_cycles t.faults ~cycles:(t.n_cycles -. cycles0) in
+  let observed_cycles =
+    Faults.perturb_cycles t.faults ~cycles:(t.n_cycles -. fr.f_cycles0)
+  in
+  let l1d = Hierarchy.l1d t.hier and l2 = Hierarchy.l2 t.hier in
   let profile =
     {
-      Profile.instrs = t.n_instrs - instrs0;
+      Profile.instrs = t.n_instrs - fr.f_instrs0;
       cycles = observed_cycles;
-      l1d_accesses = Cache.Stats.accesses l1d - l1a0;
-      l1d_misses = Cache.Stats.misses l1d - l1m0;
-      l2_accesses = Cache.Stats.accesses l2 - l2a0;
-      l2_misses = Cache.Stats.misses l2 - l2m0;
+      l1d_accesses = Cache.Stats.accesses l1d - fr.f_l1a0;
+      l1d_misses = Cache.Stats.misses l1d - fr.f_l1m0;
+      l2_accesses = Cache.Stats.accesses l2 - fr.f_l2a0;
+      l2_misses = Cache.Stats.misses l2 - fr.f_l2m0;
     }
   in
   Ace_util.Stats.Ema.add entry.Do_database.size_ema (float_of_int profile.Profile.instrs);
@@ -254,9 +299,156 @@ let rec run_method t meth_id =
     entry.Do_database.pre_promotion_instrs <-
       entry.Do_database.pre_promotion_instrs + profile.Profile.instrs;
   charge_software_instrs t entry.Do_database.exit_overhead;
-  t.hooks.on_method_exit ~meth_id profile
+  t.hooks.on_method_exit ~meth_id:fr.f_meth profile
+
+(* Execute one scheduling unit: a statement of the innermost frame, one
+   repetition of a pending call, or a method return.  The recursion's
+   redundant [current_meth <- meth_id] after each callee return is subsumed
+   by the callee's own restore of [f_saved_meth]. *)
+let step t =
+  match t.stack with
+  | [] -> ()
+  | fr :: rest ->
+      let body = t.bodies.(fr.f_meth) in
+      if fr.f_calls_left > 0 then (
+        fr.f_calls_left <- fr.f_calls_left - 1;
+        match body.(fr.f_pos - 1) with
+        | Program.Call (callee, _) -> enter t callee
+        | Program.Exec _ -> assert false)
+      else if fr.f_pos >= Array.length body then (
+        t.stack <- rest;
+        exit_frame t fr)
+      else begin
+        let st = body.(fr.f_pos) in
+        fr.f_pos <- fr.f_pos + 1;
+        match st with
+        | Program.Exec (b, n) -> exec_block t b n fr.f_quality
+        | Program.Call (callee, n) ->
+            if n > 0 then begin
+              fr.f_calls_left <- n - 1;
+              enter t callee
+            end
+      end
+
+let step_to_completion t = while t.stack <> [] do step t done
 
 let run t =
   if t.ran then invalid_arg "Engine.run: engine already ran";
   t.ran <- true;
-  run_method t t.program.Program.entry
+  enter t t.program.Program.entry;
+  step_to_completion t
+
+let resume t =
+  if not t.restored then
+    invalid_arg "Engine.resume: engine holds no restored checkpoint state";
+  t.restored <- false;
+  step_to_completion t
+
+(* {2 Checkpoint state} *)
+
+type frame_state = {
+  fs_meth : int;
+  fs_quality : float;
+  fs_was_hotspot : bool;
+  fs_saved_meth : int;
+  fs_instrs0 : int;
+  fs_cycles0 : float;
+  fs_l1a0 : int;
+  fs_l1m0 : int;
+  fs_l2a0 : int;
+  fs_l2m0 : int;
+  fs_pos : int;
+  fs_calls_left : int;
+}
+
+type state = {
+  s_instrs : int;
+  s_cycles : float;
+  s_overhead_instrs : int;
+  s_hot_instrs : int;
+  s_next_sample_at : float;
+  s_next_interval_at : int;
+  s_current_meth : int;
+  s_hotspot_depth : int;
+  s_ilp_scale : float;
+  s_exposure_scale : float;
+  s_stack : frame_state array;  (* outermost invocation first *)
+  s_rng : int64;
+  s_cursors : Pattern.cursor_state array;
+  s_db : Do_database.state;
+  s_hier : Hierarchy.state;
+}
+
+let frame_to_state fr =
+  {
+    fs_meth = fr.f_meth;
+    fs_quality = fr.f_quality;
+    fs_was_hotspot = fr.f_was_hotspot;
+    fs_saved_meth = fr.f_saved_meth;
+    fs_instrs0 = fr.f_instrs0;
+    fs_cycles0 = fr.f_cycles0;
+    fs_l1a0 = fr.f_l1a0;
+    fs_l1m0 = fr.f_l1m0;
+    fs_l2a0 = fr.f_l2a0;
+    fs_l2m0 = fr.f_l2m0;
+    fs_pos = fr.f_pos;
+    fs_calls_left = fr.f_calls_left;
+  }
+
+let frame_of_state fs =
+  {
+    f_meth = fs.fs_meth;
+    f_quality = fs.fs_quality;
+    f_was_hotspot = fs.fs_was_hotspot;
+    f_saved_meth = fs.fs_saved_meth;
+    f_instrs0 = fs.fs_instrs0;
+    f_cycles0 = fs.fs_cycles0;
+    f_l1a0 = fs.fs_l1a0;
+    f_l1m0 = fs.fs_l1m0;
+    f_l2a0 = fs.fs_l2a0;
+    f_l2m0 = fs.fs_l2m0;
+    f_pos = fs.fs_pos;
+    f_calls_left = fs.fs_calls_left;
+  }
+
+let capture t =
+  {
+    s_instrs = t.n_instrs;
+    s_cycles = t.n_cycles;
+    s_overhead_instrs = t.n_overhead_instrs;
+    s_hot_instrs = t.n_hot_instrs;
+    s_next_sample_at = t.next_sample_at;
+    s_next_interval_at = t.next_interval_at;
+    s_current_meth = t.current_meth;
+    s_hotspot_depth = t.hotspot_depth;
+    s_ilp_scale = t.ilp_scale;
+    s_exposure_scale = t.exposure_scale;
+    s_stack = Array.of_list (List.rev_map frame_to_state t.stack);
+    s_rng = Rng.to_state t.rng;
+    s_cursors = Array.map Pattern.capture t.cursors;
+    s_db = Do_database.capture t.db;
+    s_hier = Hierarchy.capture t.hier;
+  }
+
+let restore t s =
+  if t.ran then invalid_arg "Engine.restore: engine already ran";
+  if Array.length s.s_cursors <> Array.length t.cursors then
+    invalid_arg "Engine.restore: block count mismatch";
+  t.n_instrs <- s.s_instrs;
+  t.n_cycles <- s.s_cycles;
+  t.n_overhead_instrs <- s.s_overhead_instrs;
+  t.n_hot_instrs <- s.s_hot_instrs;
+  t.next_sample_at <- s.s_next_sample_at;
+  t.next_interval_at <- s.s_next_interval_at;
+  t.current_meth <- s.s_current_meth;
+  t.hotspot_depth <- s.s_hotspot_depth;
+  t.ilp_scale <- s.s_ilp_scale;
+  t.exposure_scale <- s.s_exposure_scale;
+  t.stack <-
+    Array.fold_left (fun acc fs -> frame_of_state fs :: acc) [] s.s_stack;
+  Rng.set_state t.rng s.s_rng;
+  Array.iteri (fun i cs -> Pattern.restore t.cursors.(i) cs) s.s_cursors;
+  Do_database.restore t.db s.s_db;
+  Hierarchy.restore t.hier s.s_hier;
+  t.ran <- true;
+  t.restored <- true

@@ -1,0 +1,176 @@
+module Snapshot = Ace_ckpt.Snapshot
+module Run = Ace_harness.Run
+module Soak = Ace_harness.Soak
+module Scheme = Ace_harness.Scheme
+
+let compress () = Option.get (Ace_workloads.Specjvm.find "compress")
+
+let tmp_path () = Filename.temp_file "ace_ckpt_test" ".snap"
+
+let cleanup path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".1"; path ^ ".tmp"; path ^ ".baseline"; path ^ ".baseline.1" ]
+
+(* Real snapshots from a small checkpointed run — the codec tests exercise
+   the exact states production runs produce, not hand-built toys. *)
+let sample_snapshots ?(scheme = Scheme.Hotspot) ?fault_rate () =
+  let path = tmp_path () in
+  let snaps = ref [] in
+  let outcome =
+    Run.run_checkpointed ~scale:0.2 ~seed:3 ?fault_rate
+      ~on_snapshot:(fun s -> snaps := s :: !snaps)
+      ~checkpoint_every:2_000_000 ~path (compress ()) scheme
+  in
+  cleanup path;
+  match outcome with
+  | Run.Completed r -> (List.rev !snaps, r)
+  | Run.Killed_at _ -> assert false
+
+let snaps_equal a b = Stdlib.compare (a : Snapshot.t) b = 0
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun scheme ->
+      let snaps, _ = sample_snapshots ~scheme () in
+      Alcotest.(check bool) "run produced checkpoints" true (snaps <> []);
+      List.iter
+        (fun s ->
+          if not (snaps_equal s (Snapshot.decode (Snapshot.encode s))) then
+            Alcotest.fail "decode (encode s) <> s")
+        snaps)
+    [ Scheme.Fixed_baseline; Scheme.Hotspot; Scheme.Bbv ]
+
+let test_codec_roundtrip_faulty () =
+  let snaps, _ = sample_snapshots ~fault_rate:0.05 () in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "faults captured" true (s.Snapshot.faults <> None);
+      if not (snaps_equal s (Snapshot.decode (Snapshot.encode s))) then
+        Alcotest.fail "decode (encode s) <> s under faults")
+    snaps
+
+let expect_error ~what data =
+  match Snapshot.decode data with
+  | exception Snapshot.Error _ -> ()
+  | _ -> Alcotest.failf "decode accepted %s" what
+
+let patch data pos f =
+  let b = Bytes.of_string data in
+  Bytes.set b pos (Char.chr (f (Char.code (Bytes.get b pos))));
+  Bytes.to_string b
+
+let test_container_refuses_tampering () =
+  let snaps, _ = sample_snapshots () in
+  let data = Snapshot.encode (List.hd snaps) in
+  ignore (Snapshot.decode data);
+  expect_error ~what:"empty file" "";
+  expect_error ~what:"truncated header" (String.sub data 0 10);
+  expect_error ~what:"truncated payload" (String.sub data 0 (String.length data - 1));
+  expect_error ~what:"bad magic" (patch data 0 (fun c -> c lxor 0xff));
+  (* Version skew: a byte-identical payload under a bumped version number
+     must be refused, not misparsed. *)
+  expect_error ~what:"bumped version" (patch data 8 (fun c -> c + 1));
+  (* One flipped payload byte fails the CRC. *)
+  expect_error ~what:"flipped payload byte"
+    (patch data (String.length data - 1) (fun c -> c lxor 0x01));
+  (* Flipping the stored CRC itself is also caught. *)
+  expect_error ~what:"flipped CRC" (patch data 20 (fun c -> c lxor 0x01))
+
+let test_golden_snapshot () =
+  (* A committed snapshot from an older build must keep decoding: the format
+     is versioned, so any layout change has to bump Snapshot.version (which
+     makes this test fail until the golden file is regenerated). *)
+  let ic = open_in_bin "golden.snap" in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let s = Snapshot.decode data in
+  Alcotest.(check string) "workload" "compress" s.Snapshot.meta.Snapshot.workload;
+  Alcotest.(check bool) "hotspot scheme" true
+    (s.Snapshot.meta.Snapshot.scheme = Snapshot.Hotspot);
+  Alcotest.(check bool) "mid-run position" true (s.Snapshot.engine.Ace_vm.Engine.s_instrs > 0);
+  expect_error ~what:"bumped-version golden" (patch data 8 (fun c -> c + 1));
+  expect_error ~what:"corrupted golden" (patch data 60 (fun c -> c lxor 0x20))
+
+let test_write_rotates_and_falls_back () =
+  let path = tmp_path () in
+  let snaps, _ = sample_snapshots () in
+  let s1, s2 =
+    match snaps with a :: b :: _ -> (a, b) | _ -> Alcotest.fail "need 2 snaps"
+  in
+  Snapshot.write ~path s1;
+  Snapshot.write ~path s2;
+  Alcotest.(check bool) "rotated" true (Sys.file_exists (path ^ ".1"));
+  (match Snapshot.read_with_fallback ~path with
+  | Some (s, `Primary) ->
+      Alcotest.(check bool) "primary is newest" true (snaps_equal s s2)
+  | _ -> Alcotest.fail "expected primary");
+  (* Corrupt the newest snapshot on disk: reads must fall back to the
+     rotated previous one. *)
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  seek_out oc 30;
+  output_string oc "garbage";
+  close_out oc;
+  (match Snapshot.read_with_fallback ~path with
+  | Some (s, `Fallback) ->
+      Alcotest.(check bool) "fallback is previous" true (snaps_equal s s1)
+  | _ -> Alcotest.fail "expected fallback");
+  (* Corrupt the fallback too: nothing left. *)
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 (path ^ ".1") in
+  output_string oc "junk";
+  close_out oc;
+  Alcotest.(check bool) "both bad" true (Snapshot.read_with_fallback ~path = None);
+  cleanup path
+
+let test_checkpoint_every_validated () =
+  match
+    Run.run_checkpointed ~checkpoint_every:0 ~path:"/nonexistent/x.snap"
+      (compress ()) Scheme.Hotspot
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted checkpoint_every = 0"
+
+let run_oracle ?fault_rate scheme =
+  let path = tmp_path () in
+  let r =
+    Soak.determinism_oracle ~scale:0.2 ~seed:3 ?fault_rate
+      ~checkpoint_every:2_000_000 ~path (compress ()) scheme
+  in
+  cleanup path;
+  Alcotest.(check bool) "several checkpoints" true (r.Soak.checkpoints >= 2);
+  if not (Soak.oracle_passed r) then
+    Alcotest.failf "%d of %d replays diverged" r.Soak.replay_mismatches
+      r.Soak.checkpoints
+
+let test_oracle_baseline () = run_oracle Scheme.Fixed_baseline
+let test_oracle_hotspot () = run_oracle Scheme.Hotspot
+let test_oracle_bbv () = run_oracle Scheme.Bbv
+let test_oracle_hotspot_faulty () = run_oracle ~fault_rate:0.02 Scheme.Hotspot
+
+let test_chaos_soak () =
+  let path = tmp_path () in
+  let r =
+    Soak.chaos_soak ~scale:0.2 ~seed:3 ~fault_rate:0.01 ~cycles:25
+      ~checkpoint_every:500_000 ~path (compress ()) Scheme.Hotspot
+  in
+  cleanup path;
+  if not r.Soak.matched then
+    Alcotest.fail "soak survivor's table differs from uninterrupted baseline";
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 20 kill/resume cycles (got %d)" r.Soak.kills)
+    true (r.Soak.kills >= 20)
+
+let suite =
+  [
+    Tu.case "codec roundtrip (all schemes)" test_codec_roundtrip;
+    Tu.case "codec roundtrip under faults" test_codec_roundtrip_faulty;
+    Tu.case "container refuses tampering" test_container_refuses_tampering;
+    Tu.case "golden snapshot decodes" test_golden_snapshot;
+    Tu.case "write rotates and falls back" test_write_rotates_and_falls_back;
+    Tu.case "checkpoint_every validated" test_checkpoint_every_validated;
+    Tu.slow_case "determinism oracle: baseline" test_oracle_baseline;
+    Tu.slow_case "determinism oracle: hotspot" test_oracle_hotspot;
+    Tu.slow_case "determinism oracle: bbv" test_oracle_bbv;
+    Tu.slow_case "determinism oracle: hotspot+faults" test_oracle_hotspot_faulty;
+    Tu.slow_case "chaos soak survives 20 kill/resume cycles" test_chaos_soak;
+  ]

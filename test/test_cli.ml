@@ -1,0 +1,71 @@
+(* Integration tests that spawn the real ace_sim binary (a dune dep of this
+   test), checking exit codes and output end to end. *)
+
+let exe = "../bin/ace_sim.exe"
+
+let sh cmd =
+  let out = Filename.temp_file "ace_cli" ".out" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd out) in
+  let ic = open_in_bin out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_faults_range_rejected () =
+  List.iter
+    (fun rate ->
+      let code, out = sh (Printf.sprintf "%s run compress --faults=%s" exe rate) in
+      Alcotest.(check bool) ("nonzero exit for " ^ rate) true (code <> 0);
+      Alcotest.(check bool) ("clear message for " ^ rate) true
+        (contains out "outside [0, 1]"))
+    [ "1.5"; "-0.2"; "nan" ]
+
+let test_faults_in_range_accepted () =
+  let code, out = sh (exe ^ " run compress --scale 0.1 --faults 0.01") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "prints fault stats" true (contains out "faults")
+
+let test_checkpoint_kill_resume () =
+  let p_full = Filename.temp_file "ace_cli_full" ".snap" in
+  let p_kill = Filename.temp_file "ace_cli_kill" ".snap" in
+  let base = " run compress -s hotspot --scale 0.2 --checkpoint-every 2000000" in
+  let code_full, out_full = sh (exe ^ base ^ " --checkpoint " ^ p_full) in
+  Alcotest.(check int) "uninterrupted exits 0" 0 code_full;
+  let code_kill, out_kill =
+    sh (exe ^ base ^ " --checkpoint " ^ p_kill ^ " --kill-after 5000000")
+  in
+  Alcotest.(check int) "killed run exits 3" 3 code_kill;
+  Alcotest.(check bool) "reports kill point" true (contains out_kill "killed at");
+  Alcotest.(check bool) "snapshot left behind" true (Sys.file_exists p_kill);
+  let code_res, out_res = sh (exe ^ " run --resume " ^ p_kill) in
+  Alcotest.(check int) "resume exits 0" 0 code_res;
+  Alcotest.(check string) "resumed summary is bit-identical" out_full out_res;
+  List.iter
+    (fun p -> List.iter (fun s -> if Sys.file_exists (p ^ s) then Sys.remove (p ^ s)) [ ""; ".1" ])
+    [ p_full; p_kill ]
+
+let test_resume_missing_snapshot () =
+  let code, out = sh (exe ^ " run --resume /nonexistent/ace.snap") in
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "says no usable snapshot" true
+    (contains out "no usable snapshot")
+
+let test_run_requires_benchmark_or_resume () =
+  let code, out = sh (exe ^ " run") in
+  Alcotest.(check int) "usage error" 2 code;
+  Alcotest.(check bool) "explains" true (contains out "--resume")
+
+let suite =
+  [
+    Tu.case "--faults rejects out-of-range rates" test_faults_range_rejected;
+    Tu.slow_case "--faults accepts in-range rate" test_faults_in_range_accepted;
+    Tu.slow_case "checkpoint/kill/resume smoke" test_checkpoint_kill_resume;
+    Tu.case "--resume with missing snapshot" test_resume_missing_snapshot;
+    Tu.case "run requires benchmark or --resume" test_run_requires_benchmark_or_resume;
+  ]

@@ -160,6 +160,71 @@ let test_preset_scales_with_rate () =
   Alcotest.(check bool) "permanent latch-up much rarer than transient" true
     (high.Faults.stuck_permanent_p < high.Faults.stuck_transient_p /. 2.0)
 
+let test_preset_rejects_out_of_range () =
+  let rejects rate =
+    match Faults.preset ~rate with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "preset accepted rate %g" rate
+  in
+  rejects (-0.01);
+  rejects 1.5;
+  rejects Float.nan;
+  rejects Float.infinity;
+  (* Boundary values are legal. *)
+  ignore (Faults.preset ~rate:0.0);
+  ignore (Faults.preset ~rate:1.0)
+
+let test_corrupt_snapshot_channel () =
+  let t =
+    Faults.create { Faults.no_faults with Faults.ckpt_corrupt_p = 1.0 }
+  in
+  let buf = Bytes.make 64 'x' in
+  Alcotest.(check bool) "corrupts" true (Faults.maybe_corrupt_snapshot t buf);
+  Alcotest.(check bool) "buffer changed" false (Bytes.for_all (( = ) 'x') buf);
+  Alcotest.(check int) "counted" 1 (Faults.stats t).Faults.snapshots_corrupted;
+  Alcotest.(check bool) "none is inert" false
+    (Faults.maybe_corrupt_snapshot Faults.none (Bytes.make 8 'y'))
+
+let test_corrupt_snapshot_stream_isolated () =
+  (* Snapshot writes must not perturb the engine-visible fault schedule:
+     two injectors, one of which also corrupts snapshots, must agree on
+     every register-write outcome. *)
+  let cfg rate = { (Faults.preset ~rate:0.2) with Faults.ckpt_corrupt_p = rate } in
+  let a = Faults.create ~seed:5 (cfg 0.0) in
+  let b = Faults.create ~seed:5 (cfg 1.0) in
+  for i = 1 to 200 do
+    ignore (Faults.maybe_corrupt_snapshot b (Bytes.make 32 'z'));
+    let oa = Faults.on_reg_write a ~cu:"l1d" ~now_instrs:(i * 1000) ~setting:1 ~n_settings:4 in
+    let ob = Faults.on_reg_write b ~cu:"l1d" ~now_instrs:(i * 1000) ~setting:1 ~n_settings:4 in
+    if oa <> ob then Alcotest.failf "write outcomes diverged at %d" i
+  done
+
+let test_capture_restore_roundtrip () =
+  let t = Faults.create ~seed:9 (Faults.preset ~rate:0.3) in
+  for i = 1 to 100 do
+    ignore (Faults.on_reg_write t ~cu:"l1d" ~now_instrs:(i * 500) ~setting:0 ~n_settings:4);
+    ignore (Faults.perturb_cycles t ~cycles:1000.0)
+  done;
+  let state = Faults.capture t in
+  (* Drain both copies forward and compare the schedules. *)
+  let t2 = Faults.create ~seed:9 (Faults.preset ~rate:0.3) in
+  Faults.restore t2 state;
+  Alcotest.(check bool) "stats restored" true (Faults.stats t = Faults.stats t2);
+  for i = 101 to 200 do
+    let a = Faults.on_reg_write t ~cu:"l2" ~now_instrs:(i * 500) ~setting:2 ~n_settings:4 in
+    let b = Faults.on_reg_write t2 ~cu:"l2" ~now_instrs:(i * 500) ~setting:2 ~n_settings:4 in
+    if a <> b then Alcotest.failf "restored schedule diverged at %d" i;
+    if
+      Faults.perturb_cycles t ~cycles:2000.0
+      <> Faults.perturb_cycles t2 ~cycles:2000.0
+    then Alcotest.failf "restored noise diverged at %d" i
+  done;
+  Alcotest.(check bool) "none captures as None" true
+    (Faults.capture Faults.none = None);
+  (match Faults.restore t2 None with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "restore accepted noneness mismatch")
+
 let suite =
   [
     Tu.case "none is neutral" test_none_neutral;
@@ -173,4 +238,9 @@ let suite =
     Tu.case "noise bounds" test_noise_bounds;
     Tu.case "jitter bounds" test_jitter_bounds;
     Tu.case "preset scales with rate" test_preset_scales_with_rate;
+    Tu.case "preset rejects out-of-range rates" test_preset_rejects_out_of_range;
+    Tu.case "snapshot corruption channel" test_corrupt_snapshot_channel;
+    Tu.case "snapshot corruption stream isolated"
+      test_corrupt_snapshot_stream_isolated;
+    Tu.case "capture/restore roundtrip" test_capture_restore_roundtrip;
   ]

@@ -21,4 +21,6 @@ let () =
       ("harness", Test_harness.suite);
       ("run-variants", Test_run_variants.suite);
       ("invariants", Test_invariants.suite);
+      ("ckpt", Test_ckpt.suite);
+      ("cli", Test_cli.suite);
     ]

@@ -124,6 +124,35 @@ let test_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
 
+let prop_state_roundtrip =
+  QCheck.Test.make ~name:"rng state roundtrip continues bit-identically"
+    ~count:200
+    QCheck.(pair small_int (int_range 0 100))
+    (fun (seed, warmup) ->
+      let rng = Rng.create ~seed in
+      for _ = 1 to warmup do
+        ignore (Rng.bits64 rng)
+      done;
+      let restored = Rng.of_state (Rng.to_state rng) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        if Rng.bits64 rng <> Rng.bits64 restored then ok := false
+      done;
+      !ok)
+
+let test_set_state_matches_of_state () =
+  let a = Rng.create ~seed:11 in
+  ignore (Rng.bits64 a);
+  let s = Rng.to_state a in
+  let b = Rng.of_state s in
+  let c = Rng.create ~seed:999 in
+  Rng.set_state c s;
+  for _ = 1 to 20 do
+    let xa = Rng.bits64 a in
+    Alcotest.(check int64) "of_state continues" xa (Rng.bits64 b);
+    Alcotest.(check int64) "set_state continues" xa (Rng.bits64 c)
+  done
+
 let prop_int_in_range =
   QCheck.Test.make ~name:"rng int always in bounds" ~count:500
     QCheck.(pair small_int (int_range 1 10000))
@@ -150,5 +179,7 @@ let suite =
     Tu.case "exponential mean" test_exponential_mean;
     Tu.case "pick uniformity" test_pick_uniformity;
     Tu.case "shuffle permutation" test_shuffle_permutation;
+    Tu.case "set_state matches of_state" test_set_state_matches_of_state;
     Tu.qcheck prop_int_in_range;
+    Tu.qcheck prop_state_roundtrip;
   ]
