@@ -100,6 +100,60 @@ let bench_snapshot_decode =
     (Staged.stage @@ fun () ->
     ignore (Ace_ckpt.Snapshot.decode (Lazy.force data)))
 
+(* Observability emission cost at each level, written exactly as producers
+   are: an ungated counter bump plus gated float/event emissions.  Off must
+   price like a branch; Metrics like a couple of stores; Full adds the ring
+   event allocation. *)
+module Obs = Ace_obs.Obs
+
+let obs_emit_sink obs =
+  let c = Obs.counter obs "bench.counter" in
+  let g = Obs.gauge obs "bench.gauge" in
+  let tick = ref 0 in
+  Obs.set_clock obs (fun () -> !tick);
+  fun () ->
+    tick := !tick + 1;
+    Obs.incr obs c;
+    if Obs.enabled obs then Obs.set_gauge obs g (float_of_int !tick);
+    if Obs.tracing obs then
+      Obs.record obs (Obs.Phase_enter { id = 1; name = "bench" })
+
+let bench_obs_emit name obs =
+  let emit = obs_emit_sink obs in
+  Test.make ~name (Staged.stage emit)
+
+let bench_obs_off = bench_obs_emit "micro: obs emit (off)" Obs.null
+let bench_obs_metrics = bench_obs_emit "micro: obs emit (metrics)" (Obs.create Obs.Metrics)
+let bench_obs_full = bench_obs_emit "micro: obs emit (full)" (Obs.create Obs.Full)
+
+(* CI mode: measure the three levels with a plain wall-clock loop and emit
+   a small JSON artifact (BENCH_obs.json), then exit without Bechamel. *)
+let obs_json path =
+  let iters = 2_000_000 in
+  let measure obs =
+    let emit = obs_emit_sink obs in
+    (* warm-up *)
+    for _ = 1 to 10_000 do
+      emit ()
+    done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      emit ()
+    done;
+    let t1 = Unix.gettimeofday () in
+    (t1 -. t0) *. 1e9 /. float_of_int iters
+  in
+  let off = measure Obs.null in
+  let metrics = measure (Obs.create Obs.Metrics) in
+  let full = measure (Obs.create Obs.Full) in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"off_ns\": %.3f, \"metrics_ns\": %.3f, \"full_ns\": %.3f, \"iters\": %d}\n"
+    off metrics full iters;
+  close_out oc;
+  Printf.printf "wrote %s (off %.2f ns, metrics %.2f ns, full %.2f ns)\n" path
+    off metrics full
+
 (* ------------------------------------------------------------------ *)
 (* One Test.make per table/figure: the experiment's real code path on a
    reduced-scale context (fresh context per run so memoization does not
@@ -145,6 +199,7 @@ let run_bechamel () =
          bench_cache_access; bench_cache_resize; bench_engine_1m;
          bench_hw_request_clean; bench_hw_request_faulty;
          bench_snapshot_encode; bench_snapshot_decode;
+         bench_obs_off; bench_obs_metrics; bench_obs_full;
        ]
       @ experiment_tests)
   in
@@ -191,6 +246,15 @@ let run_reproduction () =
     (Ace_harness.Experiments.all ctx)
 
 let () =
-  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
-  run_bechamel ();
-  if not quick then run_reproduction ()
+  let rec find_obs_json i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--obs-json" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else find_obs_json (i + 1)
+  in
+  match find_obs_json 1 with
+  | Some path -> obs_json path
+  | None ->
+      let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+      run_bechamel ();
+      if not quick then run_reproduction ()

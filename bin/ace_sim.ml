@@ -3,11 +3,15 @@
 
    Subcommands:
      run <benchmark> [-s scheme] [--scale x] [--seed n]   one run, summary
+         [--trace f.json] [--metrics f.csv] [--obs-level off|metrics|full]
+     report <benchmark> [-s scheme]                       observability report
      exp <id|all> [--scale x] [--seed n]                  regenerate a table/figure
      list                                                 benchmarks and experiments
 *)
 
 open Cmdliner
+module Obs = Ace_obs.Obs
+module Export = Ace_obs.Export
 
 let scale_arg =
   let doc = "Workload scale factor (1.0 = default reproduction scale)." in
@@ -50,6 +54,86 @@ let rate_conv =
     | Some r -> Ok r
   in
   Arg.conv (parse, Format.pp_print_float)
+
+(* Strictly positive instruction counts (checkpoint cadence, kill point):
+   zero or negative values would silently disable checkpointing or kill the
+   run at startup, so they are rejected at parse time. *)
+let pos_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "invalid %s %S (expected a positive integer)" what s))
+    | Some n when n <= 0 ->
+        Error (`Msg (Printf.sprintf "%s must be positive (got %d)" what n))
+    | Some n -> Ok n
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let obs_level_conv =
+  Arg.enum [ ("off", Obs.Off); ("metrics", Obs.Metrics); ("full", Obs.Full) ]
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's event timeline to $(docv): Chrome trace-event \
+           JSON (open in Perfetto or about:tracing), or CSV when $(docv) \
+           ends in .csv.  Implies $(b,--obs-level) full.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry (counters, gauges, histogram \
+           buckets) to $(docv) as CSV.  Implies $(b,--obs-level) metrics.")
+
+let obs_level_arg =
+  Arg.(
+    value
+    & opt (some obs_level_conv) None
+    & info [ "obs-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Observability level: $(b,off), $(b,metrics) (counters only) or \
+           $(b,full) (counters plus the event timeline).  Defaults to \
+           whatever $(b,--trace)/$(b,--metrics) need.")
+
+(* Explicit --obs-level wins; otherwise infer the cheapest level that can
+   satisfy the requested output files. *)
+let obs_of_flags ~trace ~metrics ~obs_level =
+  let level =
+    match obs_level with
+    | Some l -> l
+    | None ->
+        if trace <> None then Obs.Full
+        else if metrics <> None then Obs.Metrics
+        else Obs.Off
+  in
+  if level = Obs.Off && trace = None && metrics = None then Obs.null
+  else Obs.create level
+
+let write_text_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let write_exports ~trace ~metrics obs =
+  (match trace with
+  | Some path ->
+      let s =
+        if Filename.check_suffix path ".csv" then Export.csv obs
+        else Export.chrome obs
+      in
+      write_text_file path s
+  | None -> ());
+  match metrics with
+  | Some path -> write_text_file path (Export.metrics_csv obs)
+  | None -> ()
 
 let print_summary (r : Ace_harness.Run.result) =
   let open Ace_harness.Run in
@@ -166,9 +250,9 @@ let run_cmd =
   let checkpoint_every =
     Arg.(
       value
-      & opt int 10_000_000
+      & opt (pos_int_conv "checkpoint cadence") 10_000_000
       & info [ "checkpoint-every" ] ~docv:"N"
-          ~doc:"Checkpoint cadence in program instructions.")
+          ~doc:"Checkpoint cadence in program instructions (positive).")
   in
   let resume =
     Arg.(
@@ -183,27 +267,32 @@ let run_cmd =
   let kill_after =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (pos_int_conv "kill point")) None
       & info [ "kill-after" ] ~docv:"N"
           ~doc:
             "Simulate a crash: stop (exit 3) at the first checkpoint \
-             boundary at or past $(docv) instructions, leaving the last \
-             snapshot on disk.")
-  in
-  let finish_outcome = function
-    | Ace_harness.Run.Completed r ->
-        print_summary r;
-        print_fault_stats r
-    | Ace_harness.Run.Killed_at n ->
-        Printf.printf "killed at %s instructions (snapshot retained)\n"
-          (Ace_util.Table.cell_int n);
-        exit 3
+             boundary at or past $(docv) instructions (positive), leaving \
+             the last snapshot on disk.")
   in
   let action workload scheme scale seed verbose fault_rate resilient checkpoint
-      checkpoint_every resume kill_after =
+      checkpoint_every resume kill_after trace metrics obs_level =
+    let obs = obs_of_flags ~trace ~metrics ~obs_level in
+    (* Exports are written for killed runs too: the trace of a crashed run
+       is exactly what one wants to look at. *)
+    let finish_outcome outcome =
+      write_exports ~trace ~metrics obs;
+      match outcome with
+      | Ace_harness.Run.Completed r ->
+          print_summary r;
+          print_fault_stats r
+      | Ace_harness.Run.Killed_at n ->
+          Printf.printf "killed at %s instructions (snapshot retained)\n"
+            (Ace_util.Table.cell_int n);
+          exit 3
+    in
     match resume with
     | Some path -> (
-        match Ace_harness.Run.resume_run ?kill_after ~path () with
+        match Ace_harness.Run.resume_run ?kill_after ~obs ~path () with
         | None ->
             Printf.eprintf
               "ace_sim: no usable snapshot at %s (nor at %s.1)\n" path path;
@@ -226,7 +315,7 @@ let run_cmd =
         | Some path ->
             finish_outcome
               (Ace_harness.Run.run_checkpointed ~scale ~seed ~resilient
-                 ?fault_rate ?kill_after ~checkpoint_every ~path workload
+                 ?fault_rate ?kill_after ~obs ~checkpoint_every ~path workload
                  scheme)
         | None ->
             let faults =
@@ -241,9 +330,10 @@ let run_cmd =
               else Ace_core.Framework.default_config
             in
             let r =
-              Ace_harness.Run.run ~scale ~seed ~framework_config ?faults
+              Ace_harness.Run.run ~scale ~seed ~framework_config ?faults ~obs
                 workload scheme
             in
+            write_exports ~trace ~metrics obs;
             print_summary r;
             print_fault_stats r;
             if verbose then
@@ -267,7 +357,36 @@ let run_cmd =
     Term.(
       const action $ workload $ scheme $ scale_arg $ seed_arg $ verbose
       $ fault_rate $ resilient $ checkpoint $ checkpoint_every $ resume
-      $ kill_after)
+      $ kill_after $ trace_arg $ metrics_arg $ obs_level_arg)
+
+let report_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some workload_conv) None
+      & info [] ~docv:"BENCHMARK" ~doc:"SPECjvm98 benchmark name.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv Ace_harness.Scheme.Hotspot
+      & info [ "s"; "scheme" ] ~docv:"SCHEME"
+          ~doc:"Resource-management scheme: baseline, hotspot or bbv.")
+  in
+  let action workload scheme scale seed =
+    let obs = Obs.create Obs.Full in
+    let (_ : Ace_harness.Run.result) =
+      Ace_harness.Run.run ~scale ~seed ~obs workload scheme
+    in
+    print_string (Export.report obs)
+  in
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Run one benchmark with full observability and print a \
+         human-readable activity report (metrics, rates, timeline tail)."
+  in
+  Cmd.v info Term.(const action $ workload $ scheme $ scale_arg $ seed_arg)
 
 let exp_cmd =
   let ids =
@@ -345,4 +464,4 @@ let () =
         "Reproduction of 'Effective Adaptive Computing Environment Management \
          via Dynamic Optimization' (CGO 2005)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; report_cmd; exp_cmd; list_cmd ]))

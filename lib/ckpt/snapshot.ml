@@ -18,6 +18,7 @@ module Vector = Ace_bbv.Vector
 module Tracker = Ace_bbv.Tracker
 module Next_phase = Ace_bbv.Next_phase
 module Faults = Ace_faults.Faults
+module Obs = Ace_obs.Obs
 
 exception Error of string
 
@@ -46,6 +47,7 @@ type t = {
   engine : Engine.state;
   faults : Faults.state option;
   scheme_state : scheme_state;
+  obs : Obs.state option;
 }
 
 (* {2 Payload encoders/decoders}
@@ -786,18 +788,196 @@ let dec_meta d =
     checkpoint_every;
   }
 
+(* Observability sink state (format v2): metrics registry image, retained
+   ring events, drop count. *)
+
+let enc_event e (ev : Obs.event) =
+  Enc.int e ev.Obs.ts;
+  match ev.Obs.kind with
+  | Obs.Phase_enter { id; name } ->
+      Enc.u8 e 0;
+      Enc.int e id;
+      Enc.str e name
+  | Obs.Phase_exit { id; ipc } ->
+      Enc.u8 e 1;
+      Enc.int e id;
+      Enc.f64 e ipc
+  | Obs.Hotspot_promoted { id; name } ->
+      Enc.u8 e 2;
+      Enc.int e id;
+      Enc.str e name
+  | Obs.Recompile { id } ->
+      Enc.u8 e 3;
+      Enc.int e id
+  | Obs.Trial_start { id; cfg } ->
+      Enc.u8 e 4;
+      Enc.int e id;
+      Enc.str e cfg
+  | Obs.Trial_result { id; cfg; energy; ipc } ->
+      Enc.u8 e 5;
+      Enc.int e id;
+      Enc.str e cfg;
+      Enc.f64 e energy;
+      Enc.f64 e ipc
+  | Obs.Burn_in { id; left } ->
+      Enc.u8 e 6;
+      Enc.int e id;
+      Enc.int e left
+  | Obs.Tuning_finished { id; best; tested } ->
+      Enc.u8 e 7;
+      Enc.int e id;
+      Enc.str e best;
+      Enc.int e tested
+  | Obs.Drift_sample { id; ipc; ref_ipc } ->
+      Enc.u8 e 8;
+      Enc.int e id;
+      Enc.f64 e ipc;
+      Enc.f64 e ref_ipc
+  | Obs.Retune { id; drift } ->
+      Enc.u8 e 9;
+      Enc.int e id;
+      Enc.f64 e drift
+  | Obs.Quarantine { id } ->
+      Enc.u8 e 10;
+      Enc.int e id
+  | Obs.Cu_failed { cu } ->
+      Enc.u8 e 11;
+      Enc.str e cu
+  | Obs.Cu_recovered { cu } ->
+      Enc.u8 e 12;
+      Enc.str e cu
+  | Obs.Reconfig { cu; label; flushed } ->
+      Enc.u8 e 13;
+      Enc.str e cu;
+      Enc.str e label;
+      Enc.int e flushed
+  | Obs.Fault { cu; what } ->
+      Enc.u8 e 14;
+      Enc.str e cu;
+      Enc.str e what
+  | Obs.Ckpt_capture { bytes } ->
+      Enc.u8 e 15;
+      Enc.int e bytes
+  | Obs.Ckpt_restore { instrs } ->
+      Enc.u8 e 16;
+      Enc.int e instrs
+
+let dec_event d : Obs.event =
+  let ts = Dec.int d in
+  let kind =
+    match Dec.u8 d with
+    | 0 ->
+        let id = Dec.int d in
+        Obs.Phase_enter { id; name = Dec.str d }
+    | 1 ->
+        let id = Dec.int d in
+        Obs.Phase_exit { id; ipc = Dec.f64 d }
+    | 2 ->
+        let id = Dec.int d in
+        Obs.Hotspot_promoted { id; name = Dec.str d }
+    | 3 -> Obs.Recompile { id = Dec.int d }
+    | 4 ->
+        let id = Dec.int d in
+        Obs.Trial_start { id; cfg = Dec.str d }
+    | 5 ->
+        let id = Dec.int d in
+        let cfg = Dec.str d in
+        let energy = Dec.f64 d in
+        Obs.Trial_result { id; cfg; energy; ipc = Dec.f64 d }
+    | 6 ->
+        let id = Dec.int d in
+        Obs.Burn_in { id; left = Dec.int d }
+    | 7 ->
+        let id = Dec.int d in
+        let best = Dec.str d in
+        Obs.Tuning_finished { id; best; tested = Dec.int d }
+    | 8 ->
+        let id = Dec.int d in
+        let ipc = Dec.f64 d in
+        Obs.Drift_sample { id; ipc; ref_ipc = Dec.f64 d }
+    | 9 ->
+        let id = Dec.int d in
+        Obs.Retune { id; drift = Dec.f64 d }
+    | 10 -> Obs.Quarantine { id = Dec.int d }
+    | 11 -> Obs.Cu_failed { cu = Dec.str d }
+    | 12 -> Obs.Cu_recovered { cu = Dec.str d }
+    | 13 ->
+        let cu = Dec.str d in
+        let label = Dec.str d in
+        Obs.Reconfig { cu; label; flushed = Dec.int d }
+    | 14 ->
+        let cu = Dec.str d in
+        Obs.Fault { cu; what = Dec.str d }
+    | 15 -> Obs.Ckpt_capture { bytes = Dec.int d }
+    | 16 -> Obs.Ckpt_restore { instrs = Dec.int d }
+    | n -> raise (Codec.Error (Printf.sprintf "bad obs event tag %d" n))
+  in
+  { Obs.ts; kind }
+
+let enc_obs e (s : Obs.state) =
+  Enc.arr
+    (fun e (name, v) ->
+      Enc.str e name;
+      Enc.int e v)
+    e s.Obs.s_metrics.Obs.ms_counters;
+  Enc.arr
+    (fun e (name, v) ->
+      Enc.str e name;
+      Enc.f64 e v)
+    e s.Obs.s_metrics.Obs.ms_gauges;
+  Enc.arr
+    (fun e (name, bounds, counts, total, sum) ->
+      Enc.str e name;
+      Enc.f64_arr e bounds;
+      Enc.int_arr e counts;
+      Enc.int e total;
+      Enc.f64 e sum)
+    e s.Obs.s_metrics.Obs.ms_hists;
+  Enc.arr enc_event e s.Obs.s_events;
+  Enc.int e s.Obs.s_dropped
+
+let dec_obs d : Obs.state =
+  let ms_counters =
+    Dec.arr
+      (fun d ->
+        let name = Dec.str d in
+        (name, Dec.int d))
+      d
+  in
+  let ms_gauges =
+    Dec.arr
+      (fun d ->
+        let name = Dec.str d in
+        (name, Dec.f64 d))
+      d
+  in
+  let ms_hists =
+    Dec.arr
+      (fun d ->
+        let name = Dec.str d in
+        let bounds = Dec.f64_arr d in
+        let counts = Dec.int_arr d in
+        let total = Dec.int d in
+        (name, bounds, counts, total, Dec.f64 d))
+      d
+  in
+  let s_events = Dec.arr dec_event d in
+  let s_dropped = Dec.int d in
+  { Obs.s_metrics = { Obs.ms_counters; ms_gauges; ms_hists }; s_events; s_dropped }
+
 let enc_snapshot e t =
   enc_meta e t.meta;
   enc_engine e t.engine;
   Enc.opt enc_faults e t.faults;
-  match t.scheme_state with
+  (match t.scheme_state with
   | S_baseline -> Enc.u8 e 0
   | S_hotspot fw ->
       Enc.u8 e 1;
       enc_framework e fw
   | S_bbv sch ->
       Enc.u8 e 2;
-      enc_bbv e sch
+      enc_bbv e sch);
+  Enc.opt enc_obs e t.obs
 
 let dec_snapshot d =
   let meta = dec_meta d in
@@ -810,9 +990,10 @@ let dec_snapshot d =
     | 2 -> S_bbv (dec_bbv d)
     | n -> raise (Codec.Error (Printf.sprintf "bad scheme state tag %d" n))
   in
+  let obs = Dec.opt dec_obs d in
   if not (Dec.at_end d) then
     raise (Codec.Error (Printf.sprintf "%d trailing bytes" (Dec.remaining d)));
-  { meta; engine; faults; scheme_state }
+  { meta; engine; faults; scheme_state; obs }
 
 (* {2 Container format}
 
@@ -824,7 +1005,7 @@ let dec_snapshot d =
    read. *)
 
 let magic = "ACESNAP1"
-let version = 1
+let version = 2 (* v2: appended the optional observability state *)
 let header_len = 8 + 2 + 8 + 8
 
 let encode t =
@@ -877,7 +1058,7 @@ let write_file path data =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_bytes oc data)
 
-let write ?(faults = Faults.none) ~path t =
+let write ?(faults = Faults.none) ?(obs = Obs.null) ~path t =
   let data = Bytes.of_string (encode t) in
   (* Storage-channel fault injection damages the bytes on their way to disk;
      the CRC then refuses them at read time and the reader falls back. *)
@@ -887,7 +1068,12 @@ let write ?(faults = Faults.none) ~path t =
   (* Rotate: the previous snapshot survives as [path.1] so a corrupted or
      torn write of the newest snapshot never strands the run. *)
   if Sys.file_exists path then Sys.rename path (fallback_path path);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  (* Ring-only by design: a metered checkpoint event would make a resumed
+     run's metrics diverge from the uninterrupted run's.  Recorded after the
+     rename, so the snapshot's own ring excludes its own capture. *)
+  if Obs.tracing obs then
+    Obs.record obs (Obs.Ckpt_capture { bytes = Bytes.length data })
 
 let read ~path =
   let data =

@@ -47,6 +47,9 @@ type t = {
   engine : Ace_vm.Engine.state;
   faults : Ace_faults.Faults.state option;
   scheme_state : scheme_state;
+  obs : Ace_obs.Obs.state option;
+      (** Observability sink image ([None] when observability is off), so a
+          resumed run continues its metrics and timeline seamlessly. *)
 }
 
 val version : int
@@ -60,12 +63,19 @@ val decode : string -> t
 (** @raise Error on truncation, bad magic, version skew, CRC mismatch or a
     malformed payload. *)
 
-val write : ?faults:Ace_faults.Faults.t -> path:string -> t -> unit
+val write :
+  ?faults:Ace_faults.Faults.t ->
+  ?obs:Ace_obs.Obs.t ->
+  path:string ->
+  t ->
+  unit
 (** Atomically write a snapshot: encode, optionally damage the bytes via
     [Faults.maybe_corrupt_snapshot] (storage-channel fault injection), write
     to [path.tmp], rotate any existing [path] to [path.1], rename into
     place.  The rotation guarantees that at most one of the two most recent
-    snapshots can be lost to corruption or a torn write. *)
+    snapshots can be lost to corruption or a torn write.  A [Full]-level
+    [obs] records a ring-only [Ckpt_capture] event after the write (never a
+    metric, so resumed metrics stay identical to an uninterrupted run's). *)
 
 val read : path:string -> t
 (** @raise Error if the file is unreadable or fails {!decode}. *)

@@ -4,6 +4,7 @@ module Profile = Ace_vm.Profile
 module Accounting = Ace_power.Accounting
 module Hierarchy = Ace_mem.Hierarchy
 module Faults = Ace_faults.Faults
+module Obs = Ace_obs.Obs
 
 type config = {
   tuner : Tuner.params;
@@ -69,10 +70,18 @@ type t = {
   mutable frame_masks : int list;  (* per-frame coverage contributions *)
   mutable unmanaged : int;
   mutable finalized : bool;
+  (* Observability: per-CU named counters plus failure/recovery totals. *)
+  obs : Obs.t;
+  m_cu_failed : Obs.counter;
+  m_cu_recovered : Obs.counter;
+  cu_trials : Obs.counter array;
+  cu_reconfigs : Obs.counter array;
+  cu_retunes : Obs.counter array;
 }
 
 let handle_applied t cu_idx flushed_lines =
   let cu = t.cus.(cu_idx) in
+  Obs.incr t.obs t.cu_reconfigs.(cu_idx);
   let lat = Hierarchy.latencies (Engine.hierarchy t.engine) in
   Engine.add_stall_cycles t.engine
     (float_of_int (flushed_lines * lat.Hierarchy.writeback_cycles_per_line));
@@ -105,6 +114,9 @@ let maybe_fail_cu t k =
     && t.consec_badwrites.(k) >= t.cfg.cu_failure_threshold
   then begin
     t.failed.(k) <- true;
+    Obs.incr t.obs t.m_cu_failed;
+    if Obs.tracing t.obs then
+      Obs.record t.obs (Obs.Cu_failed { cu = t.cus.(k).Cu.name });
     t.probe_countdown.(k) <- t.cfg.cu_probe_interval;
     (match Hw.force t.cus.(k) ~setting:0 ~now_instrs:(Engine.instrs t.engine) with
     | Hw.Applied { flushed_lines } -> handle_applied t k flushed_lines
@@ -136,6 +148,9 @@ let probe_failed t cu_idx ~setting ~now_instrs =
         t.consec_badwrites.(cu_idx) <- 0;
         t.believed.(cu_idx) <- setting;
         t.recoveries.(cu_idx) <- t.recoveries.(cu_idx) + 1;
+        Obs.incr t.obs t.m_cu_recovered;
+        if Obs.tracing t.obs then
+          Obs.record t.obs (Obs.Cu_recovered { cu = cu.Cu.name });
         note_convergence t cu_idx;
         true
     | Hw.Applied { flushed_lines } ->
@@ -151,6 +166,9 @@ let probe_failed t cu_idx ~setting ~now_instrs =
         t.consec_badwrites.(cu_idx) <- 0;
         t.believed.(cu_idx) <- setting;
         t.recoveries.(cu_idx) <- t.recoveries.(cu_idx) + 1;
+        Obs.incr t.obs t.m_cu_recovered;
+        if Obs.tracing t.obs then
+          Obs.record t.obs (Obs.Cu_recovered { cu = cu.Cu.name });
         note_convergence t cu_idx;
         false
     | Hw.Denied -> false
@@ -197,8 +215,8 @@ let on_promoted t ~meth_id =
             Some
               {
                 tuner =
-                  Tuner.create_configured ~resilience:t.cfg.resilience params
-                    ~configs ~best;
+                  Tuner.create_configured ~resilience:t.cfg.resilience
+                    ~obs:t.obs ~id:meth_id params ~configs ~best;
                 managed = Array.of_list managed;
                 ever_configured = true;
               };
@@ -212,7 +230,9 @@ let on_promoted t ~meth_id =
           t.states.(meth_id) <-
             Some
               {
-                tuner = Tuner.create ~resilience:t.cfg.resilience params ~configs;
+                tuner =
+                  Tuner.create ~resilience:t.cfg.resilience ~obs:t.obs
+                    ~id:meth_id params ~configs;
                 managed = Array.of_list managed;
                 ever_configured = false;
               };
@@ -284,7 +304,9 @@ let on_entry t ~meth_id =
             if (not (Tuner.is_configured st.tuner)) && Tuner.measuring st.tuner
             then
               Array.iter
-                (fun k -> t.tunings.(k) <- t.tunings.(k) + 1)
+                (fun k ->
+                  t.tunings.(k) <- t.tunings.(k) + 1;
+                  Obs.incr t.obs t.cu_trials.(k))
                 st.managed);
         if Tuner.is_configured st.tuner then
           Array.fold_left (fun m k -> m lor (1 lsl k)) 0 st.managed
@@ -343,7 +365,11 @@ let on_exit t ~meth_id (profile : Profile.t) =
           Db.set_instrument db meth_id Ace_vm.Instrument.Configured_sampling;
           Engine.charge_software_instrs t.engine t.cfg.jit_patch_instrs
       | Tuner.Retuning ->
-          Array.iter (fun k -> t.retunes.(k) <- t.retunes.(k) + 1) st.managed;
+          Array.iter
+            (fun k ->
+              t.retunes.(k) <- t.retunes.(k) + 1;
+              Obs.incr t.obs t.cu_retunes.(k))
+            st.managed;
           Db.set_instrument db meth_id Ace_vm.Instrument.Tuning;
           Engine.charge_software_instrs t.engine t.cfg.jit_patch_instrs
       | Tuner.Quarantine ->
@@ -353,10 +379,14 @@ let on_exit t ~meth_id (profile : Profile.t) =
           Db.set_instrument db meth_id Ace_vm.Instrument.Configured;
           Engine.charge_software_instrs t.engine t.cfg.jit_patch_instrs)
 
-let attach ?(config = default_config) ?(faults = Faults.none) engine ~cus =
+let attach ?(config = default_config) ?(faults = Faults.none) ?(obs = Obs.null)
+    engine ~cus =
   let n_methods = Ace_isa.Program.method_count (Engine.program engine) in
   let n_cus = Array.length cus in
   if n_cus > 62 then invalid_arg "Framework.attach: too many CUs";
+  let cu_counter suffix =
+    Array.map (fun (cu : Cu.t) -> Obs.counter obs ("fw." ^ cu.Cu.name ^ suffix)) cus
+  in
   let t =
     {
       engine;
@@ -393,6 +423,12 @@ let attach ?(config = default_config) ?(faults = Faults.none) engine ~cus =
       frame_masks = [];
       unmanaged = 0;
       finalized = false;
+      obs;
+      m_cu_failed = Obs.counter obs "fw.cu_failures";
+      m_cu_recovered = Obs.counter obs "fw.cu_recoveries";
+      cu_trials = cu_counter ".trials";
+      cu_reconfigs = cu_counter ".reconfigs";
+      cu_retunes = cu_counter ".retunes";
     }
   in
   let hooks = Engine.hooks engine in
@@ -664,8 +700,8 @@ let restore t s =
             let params, configs = tuner_inputs t (Array.to_list hs.hs_managed) in
             {
               tuner =
-                Tuner.restore ~resilience:t.cfg.resilience params ~configs
-                  hs.hs_tuner;
+                Tuner.restore ~resilience:t.cfg.resilience ~obs:t.obs
+                  ~id:meth_id params ~configs hs.hs_tuner;
               managed = Array.copy hs.hs_managed;
               ever_configured = hs.hs_ever_configured;
             })

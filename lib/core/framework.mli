@@ -63,12 +63,18 @@ val default_config : config
 type t
 
 val attach :
-  ?config:config -> ?faults:Ace_faults.Faults.t -> Ace_vm.Engine.t ->
-  cus:Cu.t array -> t
+  ?config:config ->
+  ?faults:Ace_faults.Faults.t ->
+  ?obs:Ace_obs.Obs.t ->
+  Ace_vm.Engine.t ->
+  cus:Cu.t array ->
+  t
 (** Install the framework on the engine.  The engine's hotspot/entry/exit
     hooks are taken over (previously installed hooks are replaced).
     [faults] (default {!Ace_faults.Faults.none}) is applied to every control
-    register write issued through {!Hw.request}. *)
+    register write issued through {!Hw.request}.  [obs] (default
+    {!Ace_obs.Obs.null}) receives per-CU trial/reconfig/retune counters,
+    CU failure/recovery events, and is handed to every tuner it creates. *)
 
 val finalize : t -> unit
 (** Close coverage windows, misconfiguration windows and energy-accounting

@@ -1,3 +1,5 @@
+module Obs = Ace_obs.Obs
+
 type params = {
   performance_threshold : float;
   retune_threshold : float;
@@ -90,6 +92,49 @@ type phase =
       (* Re-tune storm detected: the selection is pinned, exit sampling is
          off, and the hotspot stops paying tuning overhead. *)
 
+(* Observability handles.  Counter/histogram names are global (shared by
+   every tuner through registry idempotence); [id] tags ring events with the
+   method this tuner adapts. *)
+type meters = {
+  obs : Obs.t;
+  id : int;
+  m_trials_started : Obs.counter;
+  m_trial_results : Obs.counter;
+  m_burn_ins : Obs.counter;
+  m_rounds_finished : Obs.counter;
+  m_drift_samples : Obs.counter;
+  m_retunes : Obs.counter;
+  m_quarantines : Obs.counter;
+  m_configs_skipped : Obs.counter;
+  h_degradation : Obs.histogram;
+  h_drift : Obs.histogram;
+}
+
+let make_meters obs id =
+  {
+    obs;
+    id;
+    m_trials_started = Obs.counter obs "tuner.trials_started";
+    m_trial_results = Obs.counter obs "tuner.trial_results";
+    m_burn_ins = Obs.counter obs "tuner.burn_in_invocations";
+    m_rounds_finished = Obs.counter obs "tuner.rounds_finished";
+    m_drift_samples = Obs.counter obs "tuner.drift_samples";
+    m_retunes = Obs.counter obs "tuner.retunes";
+    m_quarantines = Obs.counter obs "tuner.quarantines";
+    m_configs_skipped = Obs.counter obs "tuner.configs_skipped";
+    h_degradation =
+      Obs.histogram obs "tuner.ipc_degradation_pct"
+        ~bounds:[| 0.0; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0 |];
+    h_drift =
+      Obs.histogram obs "tuner.drift_pct"
+        ~bounds:[| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0 |];
+  }
+
+(* Configuration label for ring events, e.g. "1/0" (one setting index per
+   CU).  Only built under a [tracing] gate. *)
+let cfg_label config =
+  String.concat "/" (Array.to_list (Array.map string_of_int config))
+
 type t = {
   params : params;
   res : resilience;
@@ -104,6 +149,7 @@ type t = {
   mutable backoff_skips : int;
   mutable skipped_configs : int;
   mutable verify_failures : int;
+  mt : meters;
 }
 
 let fresh_tuning ~warmup =
@@ -122,7 +168,8 @@ let fresh_tuning ~warmup =
       degrade_flagged = false;
     }
 
-let create ?(resilience = no_resilience) params ~configs =
+let create ?(resilience = no_resilience) ?(obs = Obs.null) ?(id = -1) params
+    ~configs =
   if Array.length configs = 0 then invalid_arg "Tuner.create: empty configuration list";
   {
     params;
@@ -137,9 +184,11 @@ let create ?(resilience = no_resilience) params ~configs =
     backoff_skips = 0;
     skipped_configs = 0;
     verify_failures = 0;
+    mt = make_meters obs id;
   }
 
-let create_configured ?(resilience = no_resilience) params ~configs ~best =
+let create_configured ?(resilience = no_resilience) ?(obs = Obs.null) ?(id = -1)
+    params ~configs ~best =
   if Array.length configs = 0 then
     invalid_arg "Tuner.create_configured: empty configuration list";
   {
@@ -159,6 +208,7 @@ let create_configured ?(resilience = no_resilience) params ~configs ~best =
     backoff_skips = 0;
     skipped_configs = 0;
     verify_failures = 0;
+    mt = make_meters obs id;
   }
 
 type action = Set of int array | Nothing
@@ -187,6 +237,7 @@ let on_entry t =
 (* Abandon the configuration under test after repeated verify failures. *)
 let skip_config t ts =
   t.skipped_configs <- t.skipped_configs + 1;
+  Obs.incr t.mt.obs t.mt.m_configs_skipped;
   ts.attempts <- 0;
   ts.backoff_left <- 0;
   ts.acc_energy <- 0.0;
@@ -198,7 +249,7 @@ let skip_config t ts =
 let entry_outcome ?(verified = true) t ~applied ~changed =
   match t.phase with
   | Tuning ts ->
-      if not t.res.enabled then ts.pending <- applied && not changed
+      (if not t.res.enabled then ts.pending <- applied && not changed
       else if not verified then begin
         (* The hardware claimed success but the read-back disagrees: the
            measurement would be mislabeled.  Discard it, back off, and after
@@ -218,6 +269,16 @@ let entry_outcome ?(verified = true) t ~applied ~changed =
            simply retried next invocation, as without resilience. *)
         if applied then ts.attempts <- 0;
         ts.pending <- applied && not changed
+      end);
+      (* First admitted invocation of a configuration campaign: the trial
+         opens here (re-opens after a degrade-flagged re-measure, which is a
+         genuine second trial of the same configuration). *)
+      if ts.pending && ts.acc_n = 0 then begin
+        Obs.incr t.mt.obs t.mt.m_trials_started;
+        if Obs.tracing t.mt.obs then
+          Obs.record t.mt.obs
+            (Obs.Trial_start
+               { id = t.mt.id; cfg = cfg_label t.configs.(ts.next) })
       end
   | Configured cs ->
       if t.res.enabled && not verified then begin
@@ -262,6 +323,25 @@ let finish t measurements =
         sampling = false;
         confirming = false;
       };
+  Obs.incr t.mt.obs t.mt.m_rounds_finished;
+  if Obs.enabled t.mt.obs then begin
+    (* How much IPC the energy-driven selection gave up relative to the
+       fastest measured configuration (the paper's <2% claim). *)
+    let best_ipc =
+      List.fold_left (fun acc m -> Float.max acc m.ipc) 0.0 measurements
+    in
+    if best_ipc > 0.0 then
+      Obs.observe t.mt.obs t.mt.h_degradation
+        ((best_ipc -. best.ipc) /. best_ipc *. 100.0);
+    if Obs.tracing t.mt.obs then
+      Obs.record t.mt.obs
+        (Obs.Tuning_finished
+           {
+             id = t.mt.id;
+             best = cfg_label best.config;
+             tested = List.length measurements;
+           })
+  end;
   Finished best.config
 
 (* Every configuration was skipped without a single clean measurement: fall
@@ -277,6 +357,11 @@ let finish_empty t =
         sampling = false;
         confirming = false;
       };
+  Obs.incr t.mt.obs t.mt.m_rounds_finished;
+  if Obs.tracing t.mt.obs then
+    Obs.record t.mt.obs
+      (Obs.Tuning_finished
+         { id = t.mt.id; best = cfg_label t.configs.(0); tested = 0 });
   Finished t.configs.(0)
 
 (* Median of a non-empty list (average of the two middles when even): the
@@ -301,6 +386,10 @@ let on_exit t ~energy ~ipc =
   | Tuning ts ->
       if ts.warmup_left > 0 then begin
         ts.warmup_left <- ts.warmup_left - 1;
+        Obs.incr t.mt.obs t.mt.m_burn_ins;
+        if Obs.tracing t.mt.obs then
+          Obs.record t.mt.obs
+            (Obs.Burn_in { id = t.mt.id; left = ts.warmup_left });
         Continue
       end
       else if ts.next >= Array.length t.configs then
@@ -336,6 +425,18 @@ let on_exit t ~energy ~ipc =
                 ipc = ts.acc_ipc /. n;
               }
           in
+          (* The trial completed even if the degrade check below discards
+             the measurement: every Trial_start gets a Trial_result. *)
+          Obs.incr t.mt.obs t.mt.m_trial_results;
+          if Obs.tracing t.mt.obs then
+            Obs.record t.mt.obs
+              (Obs.Trial_result
+                 {
+                   id = t.mt.id;
+                   cfg = cfg_label m.config;
+                   energy = m.energy;
+                   ipc = m.ipc;
+                 });
           ts.acc_energy <- 0.0;
           ts.acc_ipc <- 0.0;
           ts.acc_n <- 0;
@@ -375,6 +476,13 @@ let on_exit t ~energy ~ipc =
           if cs.ref_ipc <= 0.0 then 0.0
           else Float.abs (ipc -. cs.ref_ipc) /. cs.ref_ipc
         in
+        Obs.incr t.mt.obs t.mt.m_drift_samples;
+        if Obs.enabled t.mt.obs then begin
+          Obs.observe t.mt.obs t.mt.h_drift (drift *. 100.0);
+          if Obs.tracing t.mt.obs then
+            Obs.record t.mt.obs
+              (Obs.Drift_sample { id = t.mt.id; ipc; ref_ipc = cs.ref_ipc })
+        end;
         if drift > t.params.retune_threshold then begin
           if t.res.enabled && not cs.confirming then begin
             (* Could be a one-off measurement spike rather than a phase
@@ -385,11 +493,17 @@ let on_exit t ~energy ~ipc =
           end
           else if t.res.enabled && retune_storm t then begin
             t.phase <- Quarantined { best = cs.best };
+            Obs.incr t.mt.obs t.mt.m_quarantines;
+            if Obs.tracing t.mt.obs then
+              Obs.record t.mt.obs (Obs.Quarantine { id = t.mt.id });
             Quarantine
           end
           else begin
             t.phase <- fresh_tuning ~warmup:0;
             t.rounds <- t.rounds + 1;
+            Obs.incr t.mt.obs t.mt.m_retunes;
+            if Obs.tracing t.mt.obs then
+              Obs.record t.mt.obs (Obs.Retune { id = t.mt.id; drift });
             Retuning
           end
         end
@@ -530,7 +644,8 @@ let capture t =
    deterministically from the run's metadata (they are not serialized, which
    keeps the snapshot format independent of the configuration-space
    encoding). *)
-let restore ?(resilience = no_resilience) params ~configs s =
+let restore ?(resilience = no_resilience) ?(obs = Obs.null) ?(id = -1) params
+    ~configs s =
   if Array.length configs = 0 then invalid_arg "Tuner.restore: empty configuration list";
   let phase =
     match s.s_phase with
@@ -579,4 +694,5 @@ let restore ?(resilience = no_resilience) params ~configs s =
     backoff_skips = s.s_backoff_skips;
     skipped_configs = s.s_skipped_configs;
     verify_failures = s.s_verify_failures;
+    mt = make_meters obs id;
   }

@@ -73,14 +73,27 @@ val default_resilience : resilience
 
 type t
 
-val create : ?resilience:resilience -> params -> configs:int array array -> t
+val create :
+  ?resilience:resilience ->
+  ?obs:Ace_obs.Obs.t ->
+  ?id:int ->
+  params ->
+  configs:int array array ->
+  t
 (** [configs] is the hotspot's configuration list (from
     {!Decoupling.configurations}); must be non-empty.  Resilience defaults
-    to {!no_resilience}. *)
+    to {!no_resilience}.  [obs] (default {!Ace_obs.Obs.null}) receives trial
+    counters/histograms; [id] (default [-1]) tags its ring events with the
+    method this tuner adapts. *)
 
 val create_configured :
-  ?resilience:resilience -> params -> configs:int array array ->
-  best:int array -> t
+  ?resilience:resilience ->
+  ?obs:Ace_obs.Obs.t ->
+  ?id:int ->
+  params ->
+  configs:int array array ->
+  best:int array ->
+  t
 (** A tuner born in the configured phase with a statically predicted
     configuration ({!Predictor}) — zero tuning latency.  Exit sampling still
     runs, so a misprediction triggers ordinary measurement-based re-tuning.
@@ -195,7 +208,13 @@ type state = {
 val capture : t -> state
 
 val restore :
-  ?resilience:resilience -> params -> configs:int array array -> state -> t
+  ?resilience:resilience ->
+  ?obs:Ace_obs.Obs.t ->
+  ?id:int ->
+  params ->
+  configs:int array array ->
+  state ->
+  t
 (** Rebuild a tuner from a captured state.
     @raise Invalid_argument if [configs] is empty or the state's indices fall
     outside it. *)

@@ -1,4 +1,5 @@
 module Rng = Ace_util.Rng
+module Obs = Ace_obs.Obs
 
 type config = {
   reg_write_drop_p : float;
@@ -78,6 +79,12 @@ type active = {
   mutable spikes : int;
   mutable jittered_ticks : int;
   mutable snapshots_corrupted : int;
+  obs : Obs.t;
+  m_dropped : Obs.counter;
+  m_corrupted : Obs.counter;
+  m_stuck : Obs.counter;
+  m_spikes : Obs.counter;
+  m_jitter : Obs.counter;
 }
 
 type t = active option
@@ -85,7 +92,7 @@ type t = active option
 let none = None
 let is_none t = Option.is_none t
 
-let create ?(seed = 2005) cfg =
+let create ?(seed = 2005) ?(obs = Obs.null) cfg =
   Some
     {
       cfg;
@@ -98,6 +105,12 @@ let create ?(seed = 2005) cfg =
       spikes = 0;
       jittered_ticks = 0;
       snapshots_corrupted = 0;
+      obs;
+      m_dropped = Obs.counter obs "faults.writes_dropped";
+      m_corrupted = Obs.counter obs "faults.writes_corrupted";
+      m_stuck = Obs.counter obs "faults.stuck_events";
+      m_spikes = Obs.counter obs "faults.spikes";
+      m_jitter = Obs.counter obs "faults.jittered_ticks";
     }
 
 let config t = match t with None -> no_faults | Some a -> a.cfg
@@ -127,14 +140,19 @@ let maybe_latch a ~cu ~now_instrs =
   if a.cfg.stuck_permanent_p > 0.0 && Rng.bernoulli a.rng a.cfg.stuck_permanent_p
   then begin
     Hashtbl.replace a.latched cu Stuck_forever;
-    a.stuck_events <- a.stuck_events + 1
+    a.stuck_events <- a.stuck_events + 1;
+    Obs.incr a.obs a.m_stuck;
+    if Obs.tracing a.obs then
+      Obs.record a.obs (Obs.Fault { cu; what = "latch_permanent" })
   end
   else if
     a.cfg.stuck_transient_p > 0.0 && Rng.bernoulli a.rng a.cfg.stuck_transient_p
   then begin
     Hashtbl.replace a.latched cu
       (Stuck_until (now_instrs + a.cfg.stuck_transient_instrs));
-    a.stuck_events <- a.stuck_events + 1
+    a.stuck_events <- a.stuck_events + 1;
+    Obs.incr a.obs a.m_stuck;
+    if Obs.tracing a.obs then Obs.record a.obs (Obs.Fault { cu; what = "latch" })
   end
 
 let on_reg_write t ~cu ~now_instrs ~setting ~n_settings =
@@ -143,12 +161,18 @@ let on_reg_write t ~cu ~now_instrs ~setting ~n_settings =
   | Some a ->
       if latched a ~cu ~now_instrs then begin
         a.writes_dropped <- a.writes_dropped + 1;
+        Obs.incr a.obs a.m_dropped;
+        if Obs.tracing a.obs then
+          Obs.record a.obs (Obs.Fault { cu; what = "write_dropped" });
         Dropped
       end
       else if
         a.cfg.reg_write_drop_p > 0.0 && Rng.bernoulli a.rng a.cfg.reg_write_drop_p
       then begin
         a.writes_dropped <- a.writes_dropped + 1;
+        Obs.incr a.obs a.m_dropped;
+        if Obs.tracing a.obs then
+          Obs.record a.obs (Obs.Fault { cu; what = "write_dropped" });
         Dropped
       end
       else if
@@ -157,6 +181,9 @@ let on_reg_write t ~cu ~now_instrs ~setting ~n_settings =
         && Rng.bernoulli a.rng a.cfg.reg_write_corrupt_p
       then begin
         a.writes_corrupted <- a.writes_corrupted + 1;
+        Obs.incr a.obs a.m_corrupted;
+        if Obs.tracing a.obs then
+          Obs.record a.obs (Obs.Fault { cu; what = "write_corrupted" });
         let wrong = corrupt_setting a.rng ~setting ~n_settings in
         maybe_latch a ~cu ~now_instrs;
         Corrupted wrong
@@ -182,6 +209,9 @@ let perturb_cycles t ~cycles =
       if a.cfg.profile_spike_p > 0.0 && Rng.bernoulli a.rng a.cfg.profile_spike_p
       then begin
         a.spikes <- a.spikes + 1;
+        Obs.incr a.obs a.m_spikes;
+        if Obs.tracing a.obs then
+          Obs.record a.obs (Obs.Fault { cu = "profile"; what = "spike" });
         cycles *. (1.0 +. a.cfg.profile_spike_mag)
       end
       else cycles
@@ -193,6 +223,8 @@ let jitter_period t ~period =
       if a.cfg.sampler_jitter_frac <= 0.0 then period
       else begin
         a.jittered_ticks <- a.jittered_ticks + 1;
+        (* Counter only: a ring event per sampler tick would flood it. *)
+        Obs.incr a.obs a.m_jitter;
         period
         *. (1.0 +. ((Rng.float a.rng 2.0 -. 1.0) *. a.cfg.sampler_jitter_frac))
       end

@@ -67,9 +67,11 @@ val none : t
 
 val is_none : t -> bool
 
-val create : ?seed:int -> config -> t
+val create : ?seed:int -> ?obs:Ace_obs.Obs.t -> config -> t
 (** A fresh injector with its own RNG stream (default seed 2005).  Equal
-    seeds and configurations yield identical fault schedules. *)
+    seeds and configurations yield identical fault schedules.  [obs]
+    receives per-channel fault counters and, at [Full] level, [Fault] ring
+    events (sampler jitter stays counter-only to avoid flooding). *)
 
 val config : t -> config
 (** The injector's configuration ({!no_faults} for {!none}). *)

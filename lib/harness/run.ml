@@ -6,6 +6,7 @@ module Framework = Ace_core.Framework
 module Accounting = Ace_power.Accounting
 module Hierarchy = Ace_mem.Hierarchy
 module Cache = Ace_mem.Cache
+module Obs = Ace_obs.Obs
 
 type do_stats = {
   hotspot_count : int;
@@ -132,7 +133,7 @@ type attached =
   | A_bbv of Ace_bbv.Scheme.t
 
 let attach_scheme ~framework_config ~with_issue_queue ~bbv_prediction ~faults
-    engine scheme =
+    ~obs engine scheme =
   match scheme with
   | Scheme.Fixed_baseline -> A_baseline
   | Scheme.Hotspot ->
@@ -141,7 +142,8 @@ let attach_scheme ~framework_config ~with_issue_queue ~bbv_prediction ~faults
           [| Cu.l1d engine; Cu.l2 engine; Cu.issue_queue engine |]
         else [| Cu.l1d engine; Cu.l2 engine |]
       in
-      A_hotspot (Framework.attach ~config:framework_config ~faults engine ~cus)
+      A_hotspot
+        (Framework.attach ~config:framework_config ~faults ~obs engine ~cus)
   | Scheme.Bbv ->
       let cus = [| Cu.l1d engine; Cu.l2 engine |] in
       A_bbv
@@ -153,7 +155,15 @@ let attach_scheme ~framework_config ~with_issue_queue ~bbv_prediction ~faults
              }
            ~faults engine ~cus)
 
-let finish_run ~name ~scheme ~engine ~faults ~attached =
+let finish_run ~name ~scheme ~engine ~faults ~obs ~attached =
+  (* Final whole-run gauges; set here (not per-tick) so the hot path stays
+     free of float stores. *)
+  if Obs.enabled obs then begin
+    Obs.set_gauge obs
+      (Obs.gauge obs "engine.instrs")
+      (float_of_int (Engine.instrs engine));
+    Obs.set_gauge obs (Obs.gauge obs "engine.ipc") (Engine.ipc engine)
+  end;
   let fault_stats =
     if Faults.is_none faults then None else Some (Faults.stats faults)
   in
@@ -205,7 +215,7 @@ let finish_run ~name ~scheme ~engine ~faults ~attached =
 
 let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
     ?(framework_config = Framework.default_config) ?(with_issue_queue = false)
-    ?(bbv_prediction = false) ?faults workload scheme =
+    ?(bbv_prediction = false) ?faults ?(obs = Obs.null) workload scheme =
   let program = workload.Ace_workloads.Workload.build ~scale ~seed in
   let name = workload.Ace_workloads.Workload.name in
   (* One injector per run, seeded off the run seed so fault sequences are
@@ -213,19 +223,19 @@ let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
   let faults =
     match faults with
     | None -> Faults.none
-    | Some cfg -> Faults.create ~seed:((seed * 1000) + 7) cfg
+    | Some cfg -> Faults.create ~seed:((seed * 1000) + 7) ~obs cfg
   in
   let interval =
     match scheme with Scheme.Bbv -> Some bbv_interval | _ -> None
   in
   let cfg = engine_config ~hot_threshold ~seed ~interval in
-  let engine = Engine.create ~config:cfg ~faults program in
+  let engine = Engine.create ~config:cfg ~faults ~obs program in
   let attached =
     attach_scheme ~framework_config ~with_issue_queue ~bbv_prediction ~faults
-      engine scheme
+      ~obs engine scheme
   in
   Engine.run engine;
-  finish_run ~name ~scheme ~engine ~faults ~attached
+  finish_run ~name ~scheme ~engine ~faults ~obs ~attached
 
 (* {2 Checkpointed execution} *)
 
@@ -248,7 +258,7 @@ let scheme_of_snap = function
 (* Rebuild every construction-time input from snapshot metadata.  Both the
    fresh checkpointed run and a resume go through this one function, so a
    resumed run is built from exactly the inputs the original was. *)
-let instance_of_meta (m : Snapshot.meta) =
+let instance_of_meta ~obs (m : Snapshot.meta) =
   let workload =
     match Ace_workloads.Specjvm.find m.Snapshot.workload with
     | Some w -> w
@@ -267,7 +277,7 @@ let instance_of_meta (m : Snapshot.meta) =
     | Some rate ->
         Faults.create
           ~seed:((m.Snapshot.seed * 1000) + 7)
-          (Faults.preset ~rate)
+          ~obs (Faults.preset ~rate)
   in
   let scheme = scheme_of_snap m.Snapshot.scheme in
   (* Baseline and hotspot runs have no interval hook of their own, so the
@@ -283,7 +293,7 @@ let instance_of_meta (m : Snapshot.meta) =
     engine_config ~hot_threshold:m.Snapshot.hot_threshold ~seed:m.Snapshot.seed
       ~interval:(Some interval)
   in
-  let engine = Engine.create ~config:cfg ~faults program in
+  let engine = Engine.create ~config:cfg ~faults ~obs program in
   let framework_config =
     if m.Snapshot.resilient then
       {
@@ -295,7 +305,7 @@ let instance_of_meta (m : Snapshot.meta) =
   let attached =
     attach_scheme ~framework_config
       ~with_issue_queue:m.Snapshot.with_issue_queue
-      ~bbv_prediction:m.Snapshot.bbv_prediction ~faults engine scheme
+      ~bbv_prediction:m.Snapshot.bbv_prediction ~faults ~obs engine scheme
   in
   (engine, faults, attached)
 
@@ -307,8 +317,8 @@ let capture_scheme = function
 (* Wrap [on_interval] — after the scheme attached, so the scheme's own hook
    runs first and the captured state is the post-hook state the resumed run
    would also see. *)
-let install_checkpointing ?kill_after ?on_snapshot ~path (m : Snapshot.meta)
-    engine faults attached =
+let install_checkpointing ?kill_after ?on_snapshot ~path ~obs
+    (m : Snapshot.meta) engine faults attached =
   let interval =
     match scheme_of_snap m.Snapshot.scheme with
     | Scheme.Bbv -> bbv_interval
@@ -332,16 +342,17 @@ let install_checkpointing ?kill_after ?on_snapshot ~path (m : Snapshot.meta)
             engine = Engine.capture engine;
             faults = Faults.capture faults;
             scheme_state = capture_scheme attached;
+            obs = Obs.capture obs;
           }
         in
         (match on_snapshot with Some f -> f snap | None -> ());
-        Snapshot.write ~faults ~path snap
+        Snapshot.write ~faults ~obs ~path snap
       end)
 
 let run_checkpointed ?(scale = 1.0) ?(seed = 1)
     ?(hot_threshold = default_hot_threshold) ?(with_issue_queue = false)
     ?(bbv_prediction = false) ?(resilient = false) ?fault_rate ?kill_after
-    ?on_snapshot ~checkpoint_every ~path workload scheme =
+    ?on_snapshot ?(obs = Obs.null) ~checkpoint_every ~path workload scheme =
   if checkpoint_every <= 0 then
     invalid_arg "Run.run_checkpointed: checkpoint_every must be positive";
   let meta =
@@ -358,19 +369,20 @@ let run_checkpointed ?(scale = 1.0) ?(seed = 1)
       checkpoint_every;
     }
   in
-  let engine, faults, attached = instance_of_meta meta in
-  install_checkpointing ?kill_after ?on_snapshot ~path meta engine faults
+  let engine, faults, attached = instance_of_meta ~obs meta in
+  install_checkpointing ?kill_after ?on_snapshot ~path ~obs meta engine faults
     attached;
   match Engine.run engine with
   | () ->
       Completed
-        (finish_run ~name:meta.Snapshot.workload ~scheme ~engine ~faults
+        (finish_run ~name:meta.Snapshot.workload ~scheme ~engine ~faults ~obs
            ~attached)
   | exception Killed n -> Killed_at n
 
-let resume_from_snapshot ?kill_after ?on_snapshot ?path (snap : Snapshot.t) =
+let resume_from_snapshot ?kill_after ?on_snapshot ?path ?(obs = Obs.null)
+    (snap : Snapshot.t) =
   let m = snap.Snapshot.meta in
-  let engine, faults, attached = instance_of_meta m in
+  let engine, faults, attached = instance_of_meta ~obs m in
   (* Restore after attach: schemes set ILP/exposure scales when attaching,
      and [Engine.restore] must overwrite them with the checkpointed values. *)
   Engine.restore engine snap.Snapshot.engine;
@@ -380,21 +392,29 @@ let resume_from_snapshot ?kill_after ?on_snapshot ?path (snap : Snapshot.t) =
   | A_hotspot fw, Snapshot.S_hotspot s -> Framework.restore fw s
   | A_bbv sch, Snapshot.S_bbv s -> Ace_bbv.Scheme.restore sch s
   | _ -> invalid_arg "Run.resume: scheme state does not match metadata");
+  (* The observability image rides in the snapshot, so a resumed run picks
+     up its counters and timeline where the killed run left them.  The
+     [Ckpt_restore] marker is ring-only (never a metric): the metrics
+     summary of a resumed run must stay byte-identical to an uninterrupted
+     one. *)
+  Obs.restore obs snap.Snapshot.obs;
+  if Obs.tracing obs then
+    Obs.record obs (Obs.Ckpt_restore { instrs = Engine.instrs engine });
   (match path with
   | Some path ->
-      install_checkpointing ?kill_after ?on_snapshot ~path m engine faults
-        attached
+      install_checkpointing ?kill_after ?on_snapshot ~path ~obs m engine
+        faults attached
   | None -> ());
   match Engine.resume engine with
   | () ->
       Completed
         (finish_run ~name:m.Snapshot.workload
            ~scheme:(scheme_of_snap m.Snapshot.scheme)
-           ~engine ~faults ~attached)
+           ~engine ~faults ~obs ~attached)
   | exception Killed n -> Killed_at n
 
-let resume_run ?kill_after ~path () =
+let resume_run ?kill_after ?obs ~path () =
   match Snapshot.read_with_fallback ~path with
   | None -> None
   | Some (snap, which) ->
-      Some (resume_from_snapshot ?kill_after ~path snap, which)
+      Some (resume_from_snapshot ?kill_after ?obs ~path snap, which)

@@ -71,13 +71,18 @@ val run :
   ?with_issue_queue:bool ->
   ?bbv_prediction:bool ->
   ?faults:Ace_faults.Faults.config ->
+  ?obs:Ace_obs.Obs.t ->
   Ace_workloads.Workload.t ->
   Scheme.t ->
   result
 (** Build the workload, create a fresh engine, attach the scheme, execute,
     finalize, and summarize.  [faults] (off by default) attaches a seeded
     fault injector — derived deterministically from [seed] — to the engine's
-    measurement path and to every control register write the scheme issues. *)
+    measurement path and to every control register write the scheme issues.
+    [obs] (default {!Ace_obs.Obs.null}) is threaded through the engine, the
+    memory hierarchy, the fault injector and the scheme, and receives the
+    whole-run [engine.instrs]/[engine.ipc] gauges at the end; the caller
+    exports it afterwards ([Ace_obs.Export]). *)
 
 (** {2 Checkpointed execution}
 
@@ -107,6 +112,7 @@ val run_checkpointed :
   ?fault_rate:float ->
   ?kill_after:int ->
   ?on_snapshot:(Ace_ckpt.Snapshot.t -> unit) ->
+  ?obs:Ace_obs.Obs.t ->
   checkpoint_every:int ->
   path:string ->
   Ace_workloads.Workload.t ->
@@ -121,22 +127,30 @@ val run_checkpointed :
     [kill_after] simulates a crash: the run stops with [Killed_at] at the
     first interval boundary at or past it (before writing that boundary's
     snapshot).  [on_snapshot] observes every snapshot just before it is
-    written (the determinism oracle collects them).
+    written (the determinism oracle collects them).  [obs] state is captured
+    into every snapshot, so a later resume continues the same metrics and
+    timeline.
     @raise Invalid_argument if [checkpoint_every] is not positive. *)
 
 val resume_from_snapshot :
   ?kill_after:int ->
   ?on_snapshot:(Ace_ckpt.Snapshot.t -> unit) ->
   ?path:string ->
+  ?obs:Ace_obs.Obs.t ->
   Ace_ckpt.Snapshot.t ->
   ckpt_outcome
 (** Rebuild the run described by the snapshot's metadata, restore the
     captured state, and continue to completion.  With [path] set, the
     resumed run keeps writing checkpoints there (and honours [kill_after]);
-    without it this is a pure replay. *)
+    without it this is a pure replay.  The snapshot's observability image is
+    loaded into [obs] (metrics resume their counts; a [Full] sink also gets
+    the ring back plus a ring-only [Ckpt_restore] marker), so the exported
+    summary of a killed-and-resumed run is byte-identical to an
+    uninterrupted one. *)
 
 val resume_run :
   ?kill_after:int ->
+  ?obs:Ace_obs.Obs.t ->
   path:string ->
   unit ->
   (ckpt_outcome * [ `Primary | `Fallback ]) option

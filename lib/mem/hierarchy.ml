@@ -9,6 +9,8 @@ type latencies = {
 let default_latencies =
   { l1_hit = 1; l2_hit = 10; memory = 100; tlb_miss = 30; writeback_cycles_per_line = 4 }
 
+module Obs = Ace_obs.Obs
+
 type t = {
   lat : latencies;
   l1i : Cache.t;
@@ -17,22 +19,39 @@ type t = {
   dtlb : Tlb.t;
   mutable mem_reads : int;
   mutable mem_writebacks : int;
+  obs : Obs.t;
+  m_l1d_resizes : Obs.counter;
+  m_l2_resizes : Obs.counter;
+  g_l1d_size : Obs.gauge;
+  g_l2_size : Obs.gauge;
 }
 
 let l1i_config = { Cache.size_bytes = 64 * 1024; assoc = 2; line_bytes = 64 }
 let l1d_config = { Cache.size_bytes = 64 * 1024; assoc = 2; line_bytes = 64 }
 let l2_config = { Cache.size_bytes = 1024 * 1024; assoc = 4; line_bytes = 128 }
 
-let create ?(latencies = default_latencies) () =
-  {
-    lat = latencies;
-    l1i = Cache.create l1i_config;
-    l1d = Cache.create l1d_config;
-    l2 = Cache.create l2_config;
-    dtlb = Tlb.create ();
-    mem_reads = 0;
-    mem_writebacks = 0;
-  }
+let create ?(latencies = default_latencies) ?(obs = Obs.null) () =
+  let t =
+    {
+      lat = latencies;
+      l1i = Cache.create l1i_config;
+      l1d = Cache.create l1d_config;
+      l2 = Cache.create l2_config;
+      dtlb = Tlb.create ();
+      mem_reads = 0;
+      mem_writebacks = 0;
+      obs;
+      m_l1d_resizes = Obs.counter obs "mem.l1d.resizes";
+      m_l2_resizes = Obs.counter obs "mem.l2.resizes";
+      g_l1d_size = Obs.gauge obs "mem.l1d.size_bytes";
+      g_l2_size = Obs.gauge obs "mem.l2.size_bytes";
+    }
+  in
+  if Obs.enabled obs then begin
+    Obs.set_gauge obs t.g_l1d_size (float_of_int l1d_config.Cache.size_bytes);
+    Obs.set_gauge obs t.g_l2_size (float_of_int l2_config.Cache.size_bytes)
+  end;
+  t
 
 let latencies t = t.lat
 let l1i t = t.l1i
@@ -70,6 +89,8 @@ let ifetch t ~pc =
       (* I-lines are never dirty; a victim writeback cannot happen. *)
       t.lat.l1_hit + l2_access t pc ~write:false
 
+let size_label size_bytes = string_of_int (size_bytes / 1024) ^ "KB"
+
 let resize_l1d t ~size_bytes =
   if size_bytes = (Cache.config t.l1d).Cache.size_bytes then 0
   else begin
@@ -77,12 +98,27 @@ let resize_l1d t ~size_bytes =
     Cache.iter_dirty t.l1d (fun addr -> flushed := addr :: !flushed);
     let n = Cache.resize t.l1d ~size_bytes in
     List.iter (fun addr -> ignore (l2_access t addr ~write:true)) !flushed;
+    Obs.incr t.obs t.m_l1d_resizes;
+    if Obs.enabled t.obs then
+      Obs.set_gauge t.obs t.g_l1d_size (float_of_int size_bytes);
+    if Obs.tracing t.obs then
+      Obs.record t.obs
+        (Obs.Reconfig { cu = "L1D"; label = size_label size_bytes; flushed = n });
     n
   end
 
 let resize_l2 t ~size_bytes =
+  let changed = size_bytes <> (Cache.config t.l2).Cache.size_bytes in
   let n = Cache.resize t.l2 ~size_bytes in
   t.mem_writebacks <- t.mem_writebacks + n;
+  if changed then begin
+    Obs.incr t.obs t.m_l2_resizes;
+    if Obs.enabled t.obs then
+      Obs.set_gauge t.obs t.g_l2_size (float_of_int size_bytes);
+    if Obs.tracing t.obs then
+      Obs.record t.obs
+        (Obs.Reconfig { cu = "L2"; label = size_label size_bytes; flushed = n })
+  end;
   n
 
 let memory_reads t = t.mem_reads

@@ -23,8 +23,9 @@ val default_latencies : latencies
 
 type t
 
-val create : ?latencies:latencies -> unit -> t
-(** Caches start at their maximum (paper baseline) sizes. *)
+val create : ?latencies:latencies -> ?obs:Ace_obs.Obs.t -> unit -> t
+(** Caches start at their maximum (paper baseline) sizes.  [obs] receives
+    resize counters/gauges and, at [Full] level, [Reconfig] events. *)
 
 val latencies : t -> latencies
 val l1i : t -> Cache.t

@@ -5,6 +5,7 @@ module Block = Ace_isa.Block
 module Pattern = Ace_isa.Pattern
 module Hierarchy = Ace_mem.Hierarchy
 module Cache = Ace_mem.Cache
+module Obs = Ace_obs.Obs
 
 type config = {
   seed : int;
@@ -95,9 +96,16 @@ type t = {
   mutable stack : frame list;  (* innermost invocation first *)
   mutable ran : bool;
   mutable restored : bool;
+  obs : Obs.t;
+  m_entries : Obs.counter;
+  m_promotions : Obs.counter;
+  m_recompiles : Obs.counter;
+  m_samples : Obs.counter;
+  m_intervals : Obs.counter;
 }
 
-let create ?(config = default_config) ?(faults = Faults.none) program =
+let create ?(config = default_config) ?(faults = Faults.none) ?(obs = Obs.null)
+    program =
   (match Program.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.create: " ^ msg));
@@ -106,11 +114,12 @@ let create ?(config = default_config) ?(faults = Faults.none) program =
   let bodies =
     Array.map (fun m -> Array.of_list m.Program.body) program.Program.methods
   in
+  let t =
   {
     cfg = config;
     program;
     bodies;
-    hier = Hierarchy.create ();
+    hier = Hierarchy.create ~obs ();
     timing = Ace_cpu.Timing.create Ace_cpu.Machine.default;
     db = Do_database.create ~methods:(Program.method_count program);
     hooks = no_hooks ();
@@ -130,7 +139,18 @@ let create ?(config = default_config) ?(faults = Faults.none) program =
     stack = [];
     ran = false;
     restored = false;
+    obs;
+    m_entries = Obs.counter obs "engine.method_entries";
+    m_promotions = Obs.counter obs "engine.hotspot_promotions";
+    m_recompiles = Obs.counter obs "engine.recompiles";
+    m_samples = Obs.counter obs "engine.sampler_ticks";
+    m_intervals = Obs.counter obs "engine.intervals";
   }
+  in
+  (* All observability timestamps share the engine's instruction counter
+     (monotone by construction), giving one clock for the whole timeline. *)
+  Obs.set_clock obs (fun () -> t.n_instrs);
+  t
 
 let config t = t.cfg
 let program t = t.program
@@ -165,11 +185,22 @@ let recompile t entry =
   let m = t.program.Program.methods.(entry.Do_database.meth_id) in
   entry.Do_database.compile_state <- Do_database.Optimized;
   charge_software_instrs t (m.Program.code_bytes * t.cfg.compile_instrs_per_code_byte);
+  Obs.incr t.obs t.m_recompiles;
+  if Obs.tracing t.obs then
+    Obs.record t.obs (Obs.Recompile { id = entry.Do_database.meth_id });
   t.hooks.on_recompile ~meth_id:entry.Do_database.meth_id
 
 let promote t entry =
   entry.Do_database.is_hotspot <- true;
   entry.Do_database.promoted_at_instr <- t.n_instrs;
+  Obs.incr t.obs t.m_promotions;
+  if Obs.tracing t.obs then
+    Obs.record t.obs
+      (Obs.Hotspot_promoted
+         {
+           id = entry.Do_database.meth_id;
+           name = t.program.Program.methods.(entry.Do_database.meth_id).Program.name;
+         });
   if entry.Do_database.compile_state = Do_database.Baseline then recompile t entry;
   t.hooks.on_hotspot_promoted ~meth_id:entry.Do_database.meth_id
 
@@ -181,6 +212,7 @@ let sampler_tick t =
   t.next_sample_at <-
     t.next_sample_at
     +. Faults.jitter_period t.faults ~period:t.cfg.sample_period_cycles;
+  Obs.incr t.obs t.m_samples;
   let entry = Do_database.entry t.db t.current_meth in
   entry.Do_database.samples <- entry.Do_database.samples + 1;
   if
@@ -196,6 +228,7 @@ let fire_interval t =
     let boundary = t.next_interval_at in
     t.next_interval_at <-
       boundary + (match t.cfg.interval_instrs with Some n -> n | None -> max_int);
+    Obs.incr t.obs t.m_intervals;
     t.hooks.on_interval ~total_instrs:boundary
   done
 
@@ -236,6 +269,7 @@ let exec_block t (b : Block.t) count quality =
    invocation count, promotion check, hotspot latch, entry stub, entry hook,
    profile snapshot, depth/context update, quality latch. *)
 let enter t meth_id =
+  Obs.incr t.obs t.m_entries;
   let entry = Do_database.entry t.db meth_id in
   entry.Do_database.invocations <- entry.Do_database.invocations + 1;
   if (not entry.Do_database.is_hotspot) && entry.Do_database.invocations >= t.cfg.hot_threshold
@@ -266,6 +300,12 @@ let enter t meth_id =
     }
   in
   if was_hotspot_at_entry then t.hotspot_depth <- t.hotspot_depth + 1;
+  (* Only promoted methods are "phases" on the timeline; cold entries would
+     swamp the ring without saying anything about adaptation. *)
+  if was_hotspot_at_entry && Obs.tracing t.obs then
+    Obs.record t.obs
+      (Obs.Phase_enter
+         { id = meth_id; name = t.program.Program.methods.(meth_id).Program.name });
   t.current_meth <- meth_id;
   t.stack <- fr :: t.stack
 
@@ -298,6 +338,9 @@ let exit_frame t fr =
   else
     entry.Do_database.pre_promotion_instrs <-
       entry.Do_database.pre_promotion_instrs + profile.Profile.instrs;
+  if fr.f_was_hotspot && Obs.tracing t.obs then
+    Obs.record t.obs
+      (Obs.Phase_exit { id = fr.f_meth; ipc = Profile.ipc profile });
   charge_software_instrs t entry.Do_database.exit_overhead;
   t.hooks.on_method_exit ~meth_id:fr.f_meth profile
 

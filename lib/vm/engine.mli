@@ -51,11 +51,18 @@ type hooks = {
 type t
 
 val create :
-  ?config:config -> ?faults:Ace_faults.Faults.t -> Ace_isa.Program.t -> t
+  ?config:config ->
+  ?faults:Ace_faults.Faults.t ->
+  ?obs:Ace_obs.Obs.t ->
+  Ace_isa.Program.t ->
+  t
 (** Build an engine for one run.  [faults] (default
     {!Ace_faults.Faults.none}) injects measurement noise/spikes into the
     per-invocation profiles handed to [on_method_exit] and jitter into the
     timer sampler; the engine's true clock and counters stay unperturbed.
+    [obs] (default {!Ace_obs.Obs.null}) receives execution counters and, at
+    [Full] level, phase enter/exit, promotion and recompilation events; the
+    engine installs its instruction counter as the sink's clock.
     @raise Invalid_argument if the program fails validation. *)
 
 val config : t -> config

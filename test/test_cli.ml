@@ -50,6 +50,90 @@ let test_checkpoint_kill_resume () =
     (fun p -> List.iter (fun s -> if Sys.file_exists (p ^ s) then Sys.remove (p ^ s)) [ ""; ".1" ])
     [ p_full; p_kill ]
 
+let test_nonpositive_args_rejected () =
+  (* Negative values must use the --flag=value form or the shell-level
+     parser would read them as options. *)
+  List.iter
+    (fun flag ->
+      let code, out = sh (Printf.sprintf "%s run compress %s" exe flag) in
+      Alcotest.(check bool) ("nonzero exit for " ^ flag) true (code <> 0);
+      Alcotest.(check bool) ("clear message for " ^ flag) true
+        (contains out "positive"))
+    [
+      "--checkpoint-every=0";
+      "--checkpoint-every=-5";
+      "--checkpoint-every=nope";
+      "--kill-after=0";
+      "--kill-after=-1";
+    ]
+
+let read_file p =
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_trace_and_metrics_written () =
+  let trace = Filename.temp_file "ace_cli_trace" ".json" in
+  let metrics = Filename.temp_file "ace_cli_metrics" ".csv" in
+  let code, _ =
+    sh
+      (Printf.sprintf
+         "%s run compress -s hotspot --scale 0.1 --trace %s --metrics %s \
+          --obs-level full"
+         exe trace metrics)
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  let t = read_file trace and m = read_file metrics in
+  Alcotest.(check bool) "trace has the event array" true
+    (contains t "\"traceEvents\":[");
+  Alcotest.(check bool) "trace has phase spans" true (contains t "\"ph\":\"X\"");
+  Alcotest.(check bool) "metrics header" true
+    (contains m "metric,type,value\n");
+  Alcotest.(check bool) "metrics carry engine counters" true
+    (contains m "engine.method_entries,counter,");
+  List.iter Sys.remove [ trace; metrics ]
+
+(* CLI-level counterpart of the API-level identity test in test_obs.ml:
+   the metrics file of a killed-then-resumed run must be byte-identical to
+   the uninterrupted run's.  The killed run must itself pass --metrics so
+   its snapshots embed the observability state. *)
+let test_resume_metrics_identity () =
+  let p_full = Filename.temp_file "ace_cli_ofull" ".snap" in
+  let p_kill = Filename.temp_file "ace_cli_okill" ".snap" in
+  let m_full = Filename.temp_file "ace_cli_mfull" ".csv" in
+  let m_kill = Filename.temp_file "ace_cli_mkill" ".csv" in
+  let m_res = Filename.temp_file "ace_cli_mres" ".csv" in
+  let base = " run compress -s hotspot --scale 0.2 --checkpoint-every 2000000" in
+  let code_full, _ =
+    sh (exe ^ base ^ " --checkpoint " ^ p_full ^ " --metrics " ^ m_full)
+  in
+  Alcotest.(check int) "uninterrupted exits 0" 0 code_full;
+  let code_kill, _ =
+    sh
+      (exe ^ base ^ " --checkpoint " ^ p_kill ^ " --metrics " ^ m_kill
+     ^ " --kill-after 5000000")
+  in
+  Alcotest.(check int) "killed run exits 3" 3 code_kill;
+  let code_res, _ =
+    sh (exe ^ " run --resume " ^ p_kill ^ " --metrics " ^ m_res)
+  in
+  Alcotest.(check int) "resume exits 0" 0 code_res;
+  Alcotest.(check string) "metrics byte-identical after resume"
+    (read_file m_full) (read_file m_res);
+  List.iter
+    (fun p ->
+      List.iter
+        (fun s -> if Sys.file_exists (p ^ s) then Sys.remove (p ^ s))
+        [ ""; ".1" ])
+    [ p_full; p_kill; m_full; m_kill; m_res ]
+
+let test_report_subcommand () =
+  let code, out = sh (exe ^ " report compress --scale 0.1") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "prints the report" true
+    (contains out "ACE observability report")
+
 let test_resume_missing_snapshot () =
   let code, out = sh (exe ^ " run --resume /nonexistent/ace.snap") in
   Alcotest.(check int) "exit 1" 1 code;
@@ -66,6 +150,10 @@ let suite =
     Tu.case "--faults rejects out-of-range rates" test_faults_range_rejected;
     Tu.slow_case "--faults accepts in-range rate" test_faults_in_range_accepted;
     Tu.slow_case "checkpoint/kill/resume smoke" test_checkpoint_kill_resume;
+    Tu.case "non-positive cadence/kill point rejected" test_nonpositive_args_rejected;
+    Tu.slow_case "--trace/--metrics write exports" test_trace_and_metrics_written;
+    Tu.slow_case "resumed metrics file is byte-identical" test_resume_metrics_identity;
+    Tu.slow_case "report subcommand" test_report_subcommand;
     Tu.case "--resume with missing snapshot" test_resume_missing_snapshot;
     Tu.case "run requires benchmark or --resume" test_run_requires_benchmark_or_resume;
   ]

@@ -22,5 +22,6 @@ let () =
       ("run-variants", Test_run_variants.suite);
       ("invariants", Test_invariants.suite);
       ("ckpt", Test_ckpt.suite);
+      ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]
