@@ -100,6 +100,16 @@ let bench_snapshot_decode =
     (Staged.stage @@ fun () ->
     ignore (Ace_ckpt.Snapshot.decode (Lazy.force data)))
 
+(* Pool dispatch overhead: what a (workload x variant) job pays to go
+   through the queue instead of being called directly — an upper bound on
+   the harness's parallelization tax, which real multi-second jobs
+   amortize to nothing. *)
+let bench_pool_dispatch =
+  let pool = Ace_util.Pool.create ~num_domains:1 () in
+  let jobs = List.init 64 (fun i -> i) in
+  Test.make ~name:"micro: pool dispatch (64 trivial jobs)"
+    (Staged.stage @@ fun () -> ignore (Ace_util.Pool.map pool (fun x -> x + 1) jobs))
+
 (* Observability emission cost at each level, written exactly as producers
    are: an ungated counter bump plus gated float/event emissions.  Off must
    price like a branch; Metrics like a couple of stores; Full adds the ring
@@ -154,6 +164,71 @@ let obs_json path =
   Printf.printf "wrote %s (off %.2f ns, metrics %.2f ns, full %.2f ns)\n" path
     off metrics full
 
+(* CI mode: wall-clock + allocation measurements of the simulator's hot
+   core (cache access, hierarchy data access, pool dispatch), emitted as
+   BENCH_core.json.  The headline regression guard is
+   [cache_access_minor_words]: the exception-free access path must allocate
+   zero minor words per call. *)
+let core_json path =
+  let addrs = Array.init 65536 (fun _ -> 0) in
+  let rng = Ace_util.Rng.create ~seed:7 in
+  Array.iteri (fun i _ -> addrs.(i) <- Ace_util.Rng.int rng 1_000_000) addrs;
+  let mask = Array.length addrs - 1 in
+  (* [f] must close over its subject and allocate nothing itself; addresses
+     come from a pre-filled array so the RNG's boxed int64s stay out of the
+     measured loop. *)
+  let measure_ns_and_words iters f =
+    for i = 1 to 65536 do
+      f (Array.unsafe_get addrs (i land mask))
+    done;
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      f (Array.unsafe_get addrs (i land mask))
+    done;
+    let t1 = Unix.gettimeofday () in
+    let w1 = Gc.minor_words () in
+    ( (t1 -. t0) *. 1e9 /. float_of_int iters,
+      (w1 -. w0) /. float_of_int iters )
+  in
+  let iters = 5_000_000 in
+  let cache =
+    Ace_mem.Cache.create { Ace_mem.Cache.size_bytes = 65536; assoc = 2; line_bytes = 64 }
+  in
+  let cache_ns, cache_words =
+    measure_ns_and_words iters (fun addr ->
+        ignore (Ace_mem.Cache.access cache addr ~write:false))
+  in
+  let hier = Ace_mem.Hierarchy.create () in
+  let data_ns, data_words =
+    measure_ns_and_words iters (fun addr ->
+        ignore (Ace_mem.Hierarchy.data_access hier ~addr ~write:false))
+  in
+  let pool = Ace_util.Pool.create ~num_domains:1 () in
+  let jobs = List.init 64 (fun i -> i) in
+  let batches = 2_000 in
+  (for _ = 1 to 100 do
+     ignore (Ace_util.Pool.map pool (fun x -> x + 1) jobs)
+   done);
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to batches do
+    ignore (Ace_util.Pool.map pool (fun x -> x + 1) jobs)
+  done;
+  let t1 = Unix.gettimeofday () in
+  Ace_util.Pool.shutdown pool;
+  let pool_ns = (t1 -. t0) *. 1e9 /. float_of_int (batches * List.length jobs) in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"cache_access_ns\": %.3f, \"cache_access_minor_words\": %.6f, \
+     \"data_access_ns\": %.3f, \"data_access_minor_words\": %.6f, \
+     \"pool_dispatch_ns_per_job\": %.1f, \"iters\": %d}\n"
+    cache_ns cache_words data_ns data_words pool_ns iters;
+  close_out oc;
+  Printf.printf
+    "wrote %s (cache access %.2f ns / %.4f minor words, data access %.2f ns, \
+     pool dispatch %.0f ns/job)\n"
+    path cache_ns cache_words data_ns pool_ns
+
 (* ------------------------------------------------------------------ *)
 (* One Test.make per table/figure: the experiment's real code path on a
    reduced-scale context (fresh context per run so memoization does not
@@ -199,6 +274,7 @@ let run_bechamel () =
          bench_cache_access; bench_cache_resize; bench_engine_1m;
          bench_hw_request_clean; bench_hw_request_faulty;
          bench_snapshot_encode; bench_snapshot_decode;
+         bench_pool_dispatch;
          bench_obs_off; bench_obs_metrics; bench_obs_full;
        ]
       @ experiment_tests)
@@ -246,15 +322,16 @@ let run_reproduction () =
     (Ace_harness.Experiments.all ctx)
 
 let () =
-  let rec find_obs_json i =
+  let rec find_flag name i =
     if i >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--obs-json" && i + 1 < Array.length Sys.argv then
+    else if Sys.argv.(i) = name && i + 1 < Array.length Sys.argv then
       Some Sys.argv.(i + 1)
-    else find_obs_json (i + 1)
+    else find_flag name (i + 1)
   in
-  match find_obs_json 1 with
-  | Some path -> obs_json path
-  | None ->
+  match (find_flag "--obs-json" 1, find_flag "--core-json" 1) with
+  | Some path, _ -> obs_json path
+  | None, Some path -> core_json path
+  | None, None ->
       let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
       run_bechamel ();
       if not quick then run_reproduction ()

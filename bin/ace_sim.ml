@@ -5,7 +5,7 @@
      run <benchmark> [-s scheme] [--scale x] [--seed n]   one run, summary
          [--trace f.json] [--metrics f.csv] [--obs-level off|metrics|full]
      report <benchmark> [-s scheme]                       observability report
-     exp <id|all> [--scale x] [--seed n]                  regenerate a table/figure
+     exp <id|all> [--scale x] [--seed n] [--jobs n]       regenerate a table/figure
      list                                                 benchmarks and experiments
 *)
 
@@ -394,7 +394,7 @@ let exp_cmd =
       "table1"; "table2"; "table3"; "fig1"; "table4"; "table5"; "table6";
       "fig3"; "fig4"; "ablation-decoupling"; "ablation-thresholds";
       "ext-issue-queue"; "ext-prediction"; "ext-bbv-predictor"; "resilience";
-      "stability"; "soak"; "all";
+      "stability"; "soak"; "all"; "paper";
     ]
   in
   let id =
@@ -404,42 +404,55 @@ let exp_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "Experiment id: table1-6, fig1, fig3, fig4, ablation-decoupling, \
-             ablation-thresholds, ext-issue-queue, or all.")
+             ablation-thresholds, ext-issue-queue, all, or paper (alias of \
+             all).")
   in
-  let action id scale seed =
-    let ctx = Ace_harness.Experiments.create ~scale ~seed () in
+  let jobs =
+    Arg.(
+      value
+      & opt (pos_int_conv "jobs") 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the experiment's independent simulations on $(docv) domains \
+             (positive; 1 = sequential).  Output is byte-identical for every \
+             $(docv).")
+  in
+  let action id scale seed jobs =
+    let ctx = Ace_harness.Experiments.create ~scale ~seed ~jobs () in
     let print (name, tbl) =
       Printf.printf "== %s ==\n" name;
       Ace_util.Table.print tbl;
       print_newline ()
     in
-    if id = "all" then List.iter print (Ace_harness.Experiments.all ctx)
-    else
-      let tbl =
-        match id with
-        | "table1" -> Ace_harness.Experiments.table1 ctx
-        | "table2" -> Ace_harness.Experiments.table2 ()
-        | "table3" -> Ace_harness.Experiments.table3 ()
-        | "fig1" -> Ace_harness.Experiments.fig1 ctx
-        | "table4" -> Ace_harness.Experiments.table4 ctx
-        | "table5" -> Ace_harness.Experiments.table5 ctx
-        | "table6" -> Ace_harness.Experiments.table6 ctx
-        | "fig3" -> Ace_harness.Experiments.fig3 ctx
-        | "fig4" -> Ace_harness.Experiments.fig4 ctx
-        | "ablation-decoupling" -> Ace_harness.Experiments.ablation_decoupling ctx
-        | "ablation-thresholds" -> Ace_harness.Experiments.ablation_thresholds ctx
-        | "ext-issue-queue" -> Ace_harness.Experiments.extension_issue_queue ctx
-        | "ext-prediction" -> Ace_harness.Experiments.extension_prediction ctx
-        | "ext-bbv-predictor" -> Ace_harness.Experiments.extension_bbv_predictor ctx
-        | "resilience" -> Ace_harness.Experiments.resilience ctx
-        | "stability" -> Ace_harness.Experiments.stability ctx
-        | "soak" -> Ace_harness.Experiments.soak ctx
-        | _ -> assert false
-      in
-      print (id, tbl)
+    (if id = "all" || id = "paper" then
+       List.iter print (Ace_harness.Experiments.all ctx)
+     else
+       let tbl =
+         match id with
+         | "table1" -> Ace_harness.Experiments.table1 ctx
+         | "table2" -> Ace_harness.Experiments.table2 ()
+         | "table3" -> Ace_harness.Experiments.table3 ()
+         | "fig1" -> Ace_harness.Experiments.fig1 ctx
+         | "table4" -> Ace_harness.Experiments.table4 ctx
+         | "table5" -> Ace_harness.Experiments.table5 ctx
+         | "table6" -> Ace_harness.Experiments.table6 ctx
+         | "fig3" -> Ace_harness.Experiments.fig3 ctx
+         | "fig4" -> Ace_harness.Experiments.fig4 ctx
+         | "ablation-decoupling" -> Ace_harness.Experiments.ablation_decoupling ctx
+         | "ablation-thresholds" -> Ace_harness.Experiments.ablation_thresholds ctx
+         | "ext-issue-queue" -> Ace_harness.Experiments.extension_issue_queue ctx
+         | "ext-prediction" -> Ace_harness.Experiments.extension_prediction ctx
+         | "ext-bbv-predictor" -> Ace_harness.Experiments.extension_bbv_predictor ctx
+         | "resilience" -> Ace_harness.Experiments.resilience ctx
+         | "stability" -> Ace_harness.Experiments.stability ctx
+         | "soak" -> Ace_harness.Experiments.soak ctx
+         | _ -> assert false
+       in
+       print (id, tbl));
+    Ace_harness.Experiments.shutdown ctx
   in
   let info = Cmd.info "exp" ~doc:"Regenerate one of the paper's tables or figures." in
-  Cmd.v info Term.(const action $ id $ scale_arg $ seed_arg)
+  Cmd.v info Term.(const action $ id $ scale_arg $ seed_arg $ jobs)
 
 let list_cmd =
   let action () =
@@ -453,7 +466,7 @@ let list_cmd =
     print_endline "Experiments: table1 table2 table3 fig1 table4 table5 table6 fig3";
     print_endline "             fig4 ablation-decoupling ablation-thresholds";
     print_endline "             ext-issue-queue ext-prediction ext-bbv-predictor";
-    print_endline "             resilience stability soak all"
+    print_endline "             resilience stability soak all paper"
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments.") Term.(const action $ const ())
 

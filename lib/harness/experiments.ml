@@ -12,54 +12,147 @@ type variant =
 type t = {
   scale : float;
   seed : int;
+  jobs : int;
   workloads : Workload.t list;
   cache : (string * variant, Run.result) Hashtbl.t;
+  lock : Mutex.t;  (* guards [cache]; runs themselves are lock-free *)
+  pool : Ace_util.Pool.t option;  (* Some iff jobs > 1 *)
+  pool_owned : bool;  (* sub-contexts (stability) borrow the parent's pool *)
 }
 
-let create ?(scale = 1.0) ?(seed = 1) ?(workloads = Ace_workloads.Specjvm.all) () =
-  { scale; seed; workloads; cache = Hashtbl.create 32 }
+let make ~scale ~seed ~jobs ~workloads ~pool ~pool_owned =
+  {
+    scale;
+    seed;
+    jobs;
+    workloads;
+    cache = Hashtbl.create 32;
+    lock = Mutex.create ();
+    pool;
+    pool_owned;
+  }
+
+let create ?(scale = 1.0) ?(seed = 1) ?(jobs = 1)
+    ?(workloads = Ace_workloads.Specjvm.all) () =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Experiments.create: jobs must be >= 1 (got %d)" jobs);
+  (* The calling domain works the queue during a dispatch, so [jobs]-way
+     parallelism needs [jobs - 1] workers; [jobs = 1] is the plain
+     sequential path with no pool at all. *)
+  let pool =
+    if jobs > 1 then Some (Ace_util.Pool.create ~num_domains:(jobs - 1) ())
+    else None
+  in
+  make ~scale ~seed ~jobs ~workloads ~pool ~pool_owned:true
 
 let scale t = t.scale
+let jobs t = t.jobs
+
+let shutdown t =
+  match t.pool with
+  | Some p when t.pool_owned -> Ace_util.Pool.shutdown p
+  | _ -> ()
+
+(* Map in input order: through the pool when one is attached, else plain
+   [List.map].  Every experiment below funnels its independent runs through
+   this single dispatch point, so [jobs = 1] output is trivially the
+   reference the parallel path must byte-match. *)
+let pool_map t f xs =
+  match t.pool with
+  | None -> List.map f xs
+  | Some p -> Ace_util.Pool.map p f xs
+
+let compute_variant t w variant =
+  match variant with
+  | Standard scheme -> Run.run ~scale:t.scale ~seed:t.seed w scheme
+  | No_decoupling ->
+      Run.run ~scale:t.scale ~seed:t.seed
+        ~framework_config:
+          { Ace_core.Framework.default_config with decoupling = false }
+        w Scheme.Hotspot
+  | With_issue_queue ->
+      Run.run ~scale:t.scale ~seed:t.seed ~with_issue_queue:true w
+        Scheme.Hotspot
+  | With_prediction ->
+      Run.run ~scale:t.scale ~seed:t.seed
+        ~framework_config:
+          { Ace_core.Framework.default_config with prediction = true }
+        w Scheme.Hotspot
+  | Bbv_with_predictor ->
+      Run.run ~scale:t.scale ~seed:t.seed ~bbv_prediction:true w Scheme.Bbv
+  | Faulty { scheme; rate; resilient } ->
+      let framework_config =
+        if resilient then
+          {
+            Ace_core.Framework.default_config with
+            resilience = Ace_core.Tuner.default_resilience;
+          }
+        else Ace_core.Framework.default_config
+      in
+      Run.run ~scale:t.scale ~seed:t.seed ~framework_config
+        ~faults:(Ace_faults.Faults.preset ~rate) w scheme
 
 let run_variant t w variant =
   let key = (w.Workload.name, variant) in
+  Mutex.lock t.lock;
   match Hashtbl.find_opt t.cache key with
-  | Some r -> r
+  | Some r ->
+      Mutex.unlock t.lock;
+      r
   | None ->
+      Mutex.unlock t.lock;
+      let r = compute_variant t w variant in
+      (* First insertion wins so every reader sees one result object.  Two
+         domains racing on the same key would have computed bit-identical
+         results anyway (runs are seeded and independent), but [warm]
+         deduplicates its job list so the race never actually happens. *)
+      Mutex.lock t.lock;
       let r =
-        match variant with
-        | Standard scheme -> Run.run ~scale:t.scale ~seed:t.seed w scheme
-        | No_decoupling ->
-            Run.run ~scale:t.scale ~seed:t.seed
-              ~framework_config:
-                { Ace_core.Framework.default_config with decoupling = false }
-              w Scheme.Hotspot
-        | With_issue_queue ->
-            Run.run ~scale:t.scale ~seed:t.seed ~with_issue_queue:true w
-              Scheme.Hotspot
-        | With_prediction ->
-            Run.run ~scale:t.scale ~seed:t.seed
-              ~framework_config:
-                { Ace_core.Framework.default_config with prediction = true }
-              w Scheme.Hotspot
-        | Bbv_with_predictor ->
-            Run.run ~scale:t.scale ~seed:t.seed ~bbv_prediction:true w Scheme.Bbv
-        | Faulty { scheme; rate; resilient } ->
-            let framework_config =
-              if resilient then
-                {
-                  Ace_core.Framework.default_config with
-                  resilience = Ace_core.Tuner.default_resilience;
-                }
-              else Ace_core.Framework.default_config
-            in
-            Run.run ~scale:t.scale ~seed:t.seed ~framework_config
-              ~faults:(Ace_faults.Faults.preset ~rate) w scheme
+        match Hashtbl.find_opt t.cache key with
+        | Some first -> first
+        | None ->
+            Hashtbl.replace t.cache key r;
+            r
       in
-      Hashtbl.replace t.cache key r;
+      Mutex.unlock t.lock;
       r
 
 let result t w scheme = run_variant t w (Standard scheme)
+
+(* Fan the uncached (workload x variant) jobs of an experiment out over the
+   pool.  Results land in the keyed cache, so the table-rendering code below
+   runs unchanged afterwards and its output order — hence every byte of the
+   rendered table — is independent of job completion order. *)
+let warm t pairs =
+  match t.pool with
+  | None -> ()
+  | Some _ ->
+      let seen = Hashtbl.create 16 in
+      let todo =
+        List.filter
+          (fun ((w : Workload.t), v) ->
+            let key = (w.Workload.name, v) in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              Mutex.lock t.lock;
+              let cached = Hashtbl.mem t.cache key in
+              Mutex.unlock t.lock;
+              not cached
+            end)
+          pairs
+      in
+      ignore (pool_map t (fun (w, v) -> run_variant t w v) todo)
+
+let warm_std t schemes =
+  warm t
+    (List.concat_map
+       (fun s -> List.map (fun w -> (w, Standard s)) t.workloads)
+       schemes)
+
+let warm_variants t variants =
+  warm t
+    (List.concat_map (fun v -> List.map (fun w -> (w, v)) t.workloads) variants)
 
 let pct = Table.cell_pct
 
@@ -112,6 +205,7 @@ let average_slowdown t scheme =
 (* Table 1: latencies, measured.                                       *)
 
 let table1 t =
+  warm_std t [ Scheme.Hotspot ];
   let tbl =
     Table.create
       ~columns:
@@ -169,6 +263,7 @@ let table1 t =
 (* Figure 1: stable vs transitional intervals.                         *)
 
 let fig1 t =
+  warm_std t [ Scheme.Bbv ];
   let tbl =
     Table.create
       ~columns:
@@ -213,6 +308,7 @@ let fig1 t =
 (* Table 4: hotspot characteristics.                                   *)
 
 let table4 t =
+  warm_std t [ Scheme.Hotspot ];
   let tbl =
     Table.create
       ~columns:
@@ -239,6 +335,7 @@ let table4 t =
 (* Table 5: hotspot vs BBV runtime characteristics.                    *)
 
 let table5 t =
+  warm_std t [ Scheme.Hotspot; Scheme.Bbv ];
   let tbl =
     Table.create
       ~columns:
@@ -292,6 +389,7 @@ let table5 t =
 (* Table 6: tunings, reconfigurations, coverage.                       *)
 
 let table6 t =
+  warm_std t [ Scheme.Hotspot; Scheme.Bbv ];
   let tbl =
     Table.create
       ~columns:
@@ -331,6 +429,7 @@ let table6 t =
 (* Figures 3 and 4.                                                    *)
 
 let fig3 t =
+  warm_std t [ Scheme.Fixed_baseline; Scheme.Bbv; Scheme.Hotspot ];
   let tbl =
     Table.create
       ~columns:
@@ -356,6 +455,7 @@ let fig3 t =
   tbl
 
 let fig4 t =
+  warm_std t [ Scheme.Fixed_baseline; Scheme.Bbv; Scheme.Hotspot ];
   let tbl =
     Table.create
       ~columns:
@@ -388,6 +488,8 @@ let fig4 t =
 (* Ablations and extension.                                            *)
 
 let ablation_decoupling t =
+  warm_variants t
+    [ Standard Scheme.Fixed_baseline; Standard Scheme.Hotspot; No_decoupling ];
   let tbl =
     Table.create
       ~columns:
@@ -448,18 +550,24 @@ let ablation_thresholds t =
         ]
   in
   let base = result t w Scheme.Fixed_baseline in
+  (* These runs are keyed by threshold, not by variant, so they bypass the
+     cache; the sweep still fans out over the pool. *)
+  let runs =
+    pool_map t
+      (fun thr ->
+        ( thr,
+          Run.run ~scale:t.scale ~seed:t.seed
+            ~framework_config:
+              {
+                Ace_core.Framework.default_config with
+                tuner =
+                  { Ace_core.Tuner.default_params with performance_threshold = thr };
+              }
+            w Scheme.Hotspot ))
+      [ 0.005; 0.02; 0.05; 0.10 ]
+  in
   List.iter
-    (fun thr ->
-      let r =
-        Run.run ~scale:t.scale ~seed:t.seed
-          ~framework_config:
-            {
-              Ace_core.Framework.default_config with
-              tuner =
-                { Ace_core.Tuner.default_params with performance_threshold = thr };
-            }
-          w Scheme.Hotspot
-      in
+    (fun (thr, r) ->
       Table.add_row tbl
         [
           pct ~decimals:1 thr;
@@ -467,10 +575,11 @@ let ablation_thresholds t =
           pct (1.0 -. (r.Run.l2_energy_nj /. base.Run.l2_energy_nj));
           pct ~decimals:2 ((r.Run.cycles /. base.Run.cycles) -. 1.0);
         ])
-    [ 0.005; 0.02; 0.05; 0.10 ];
+    runs;
   tbl
 
 let extension_issue_queue t =
+  warm_variants t [ Standard Scheme.Fixed_baseline; With_issue_queue ];
   let tbl =
     Table.create
       ~columns:
@@ -506,6 +615,8 @@ let extension_issue_queue t =
   tbl
 
 let extension_prediction t =
+  warm_variants t
+    [ Standard Scheme.Fixed_baseline; Standard Scheme.Hotspot; With_prediction ];
   let tbl =
     Table.create
       ~columns:
@@ -548,6 +659,8 @@ let extension_prediction t =
   tbl
 
 let extension_bbv_predictor t =
+  warm_variants t
+    [ Standard Scheme.Fixed_baseline; Standard Scheme.Bbv; Bbv_with_predictor ];
   let tbl =
     Table.create
       ~columns:
@@ -585,7 +698,19 @@ let extension_bbv_predictor t =
 (* ------------------------------------------------------------------ *)
 (* Resilience under injected hardware faults.                          *)
 
+let resilience_fault_variants =
+  List.map
+    (fun rate -> Faulty { scheme = Scheme.Hotspot; rate; resilient = true })
+    [ 0.005; 0.01; 0.05 ]
+  @ [
+      Faulty { scheme = Scheme.Hotspot; rate = 0.01; resilient = false };
+      Faulty { scheme = Scheme.Bbv; rate = 0.01; resilient = false };
+    ]
+
 let resilience t =
+  warm_variants t
+    ([ Standard Scheme.Fixed_baseline; Standard Scheme.Hotspot ]
+    @ resilience_fault_variants);
   let tbl =
     Table.create
       ~columns:
@@ -679,10 +804,19 @@ let stability t =
         @ List.map (fun s -> (Printf.sprintf "seed %d" s, Table.Right)) seeds
         @ [ ("spread", Table.Right) ])
   in
-  (* Fresh contexts per seed so memoization does not cross seeds. *)
+  (* Fresh contexts per seed so memoization does not cross seeds; they
+     borrow the parent's pool (never own it) so the whole sweep shares one
+     set of worker domains. *)
   let ctxs =
-    List.map (fun seed -> create ~scale:t.scale ~seed ~workloads:t.workloads ()) seeds
+    List.map
+      (fun seed ->
+        make ~scale:t.scale ~seed ~jobs:t.jobs ~workloads:t.workloads
+          ~pool:t.pool ~pool_owned:false)
+      seeds
   in
+  List.iter
+    (fun c -> warm_std c [ Scheme.Fixed_baseline; Scheme.Hotspot; Scheme.Bbv ])
+    ctxs;
   let row label f =
     let values = List.map f ctxs in
     let spread =
@@ -727,17 +861,28 @@ let soak ?(cycles = 20) t =
     | Some w -> w
     | None -> List.hd t.workloads
   in
+  (* Temp paths are allocated up front on the calling domain
+     ([Filename.temp_file] draws from a process-global PRNG), then each
+     scheme's kill/resume soak — a disjoint set of snapshot files — runs as
+     one pool job. *)
+  let soaks =
+    pool_map t
+      (fun (scheme, path) ->
+        let r =
+          Soak.chaos_soak ~scale:t.scale ~seed:t.seed ~fault_rate:0.01 ~cycles
+            ~checkpoint_every:(max 1 (int_of_float (float_of_int 2_000_000 *. t.scale)))
+            ~path w scheme
+        in
+        List.iter
+          (fun p -> if Sys.file_exists p then Sys.remove p)
+          [ path; path ^ ".1"; path ^ ".baseline"; path ^ ".baseline.1" ];
+        (scheme, r))
+      (List.map
+         (fun scheme -> (scheme, Filename.temp_file "ace_soak" ".snap"))
+         [ Scheme.Fixed_baseline; Scheme.Hotspot; Scheme.Bbv ])
+  in
   List.iter
-    (fun scheme ->
-      let path = Filename.temp_file "ace_soak" ".snap" in
-      let r =
-        Soak.chaos_soak ~scale:t.scale ~seed:t.seed ~fault_rate:0.01 ~cycles
-          ~checkpoint_every:(max 1 (int_of_float (float_of_int 2_000_000 *. t.scale)))
-          ~path w scheme
-      in
-      List.iter
-        (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ path; path ^ ".1"; path ^ ".baseline"; path ^ ".baseline.1" ];
+    (fun (scheme, r) ->
       Table.add_row tbl
         [
           w.Workload.name;
@@ -748,10 +893,23 @@ let soak ?(cycles = 20) t =
           string_of_int r.Soak.snapshots_corrupted;
           (if r.Soak.matched then "yes" else "NO");
         ])
-    [ Scheme.Fixed_baseline; Scheme.Hotspot; Scheme.Bbv ];
+    soaks;
   tbl
 
 let all t =
+  (* Fan every cached variant of the whole suite out in one batch up front;
+     the per-table warms below then all hit the cache. *)
+  warm_variants t
+    ([
+       Standard Scheme.Fixed_baseline;
+       Standard Scheme.Hotspot;
+       Standard Scheme.Bbv;
+       No_decoupling;
+       With_issue_queue;
+       With_prediction;
+       Bbv_with_predictor;
+     ]
+    @ resilience_fault_variants);
   [
     ("table1", table1 t);
     ("table2", table2 ());

@@ -3,19 +3,36 @@
     reported values where it reports them).
 
     A context memoizes one run per (workload, variant), so printing all
-    experiments costs at most 3-5 runs per workload. *)
+    experiments costs at most 3-5 runs per workload.
+
+    With [jobs > 1] each experiment fans its independent runs out over a
+    {!Ace_util.Pool} of [jobs - 1] worker domains (the calling domain works
+    the queue too).  Results land in a mutex-guarded cache keyed by
+    (workload, variant) and every table is rendered from that cache in a
+    fixed canonical order, so output is byte-identical to [jobs = 1] —
+    asserted by test across seeds. *)
 
 type t
 
 val create :
   ?scale:float ->
   ?seed:int ->
+  ?jobs:int ->
   ?workloads:Ace_workloads.Workload.t list ->
   unit ->
   t
-(** Defaults: scale 1.0, seed 1, the full SPECjvm98 suite. *)
+(** Defaults: scale 1.0, seed 1, jobs 1, the full SPECjvm98 suite.
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val scale : t -> float
+
+val jobs : t -> int
+(** Degree of parallelism this context was created with. *)
+
+val shutdown : t -> unit
+(** Join the context's worker domains (no-op when [jobs = 1]).  Call once
+    when done with a [jobs > 1] context; further parallel use of the
+    context is an error. *)
 
 val result : t -> Ace_workloads.Workload.t -> Scheme.t -> Run.result
 (** Memoized standard run. *)

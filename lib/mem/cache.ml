@@ -72,45 +72,42 @@ let config t = t.cfg
 
 type result = Hit | Miss | Miss_dirty_victim
 
+(* Hit scan: the slot holding [line], or -1.  Top-level recursion over int
+   arguments so the per-access path allocates nothing (a local [let rec]
+   would close over [t] and box). *)
+let[@inline] rec find_slot tags line base limit =
+  if base >= limit then -1
+  else if Array.unsafe_get tags base = line then base
+  else find_slot tags line (base + 1) limit
+
+(* Victim scan: the first invalid way if any, else the least recently used
+   (first minimum).  Replaces the old [raise Exit] early-exit loop — same
+   selection, but exception-free and allocation-free (no refs, no handler
+   frame). *)
+let[@inline] rec find_victim tags stamp slot limit best best_stamp =
+  if slot >= limit then best
+  else if Array.unsafe_get tags slot = -1 then slot
+  else
+    let s = Array.unsafe_get stamp slot in
+    if s < best_stamp then find_victim tags stamp (slot + 1) limit slot s
+    else find_victim tags stamp (slot + 1) limit best best_stamp
+
 let access t addr ~write =
   t.n_accesses <- t.n_accesses + 1;
   t.clock <- t.clock + 1;
   let line = addr lsr t.line_shift in
   let set = line land (t.sets - 1) in
   let base = set * t.cfg.assoc in
-  let assoc = t.cfg.assoc in
-  (* Hit scan. *)
-  let rec find way =
-    if way >= assoc then -1
-    else if t.tags.(base + way) = line then way
-    else find (way + 1)
-  in
-  let way = find 0 in
-  if way >= 0 then begin
-    let slot = base + way in
+  let limit = base + t.cfg.assoc in
+  let slot = find_slot t.tags line base limit in
+  if slot >= 0 then begin
     t.n_hits <- t.n_hits + 1;
     t.stamp.(slot) <- t.clock;
     if write then t.dirty.(slot) <- true;
     Hit
   end
   else begin
-    (* Victim: invalid way if any, else least recently used. *)
-    let victim = ref base in
-    let best = ref max_int in
-    (try
-       for w = 0 to assoc - 1 do
-         let slot = base + w in
-         if t.tags.(slot) = -1 then begin
-           victim := slot;
-           raise Exit
-         end
-         else if t.stamp.(slot) < !best then begin
-           best := t.stamp.(slot);
-           victim := slot
-         end
-       done
-     with Exit -> ());
-    let slot = !victim in
+    let slot = find_victim t.tags t.stamp base limit base max_int in
     let was_dirty = t.tags.(slot) <> -1 && t.dirty.(slot) in
     if was_dirty then begin
       t.n_writebacks <- t.n_writebacks + 1;

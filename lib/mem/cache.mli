@@ -6,8 +6,12 @@
     shrinking (or growing) the array forces dirty lines to be written back to
     the next level, which is the dominant reconfiguration overhead (§2.1).
 
-    The access path is allocation-free: results are constant constructors and
-    the dirty victim's address is exposed through {!last_victim_addr}. *)
+    The access path is allocation- and exception-free: hit and victim scans
+    are plain tail-recursive loops over the ways (no [Exit]-based control
+    flow, no refs), results are constant constructors and the dirty victim's
+    address is exposed through {!last_victim_addr}.  [access] costs zero
+    minor words per call — asserted by test and tracked by
+    [bench/main.exe -- --core-json]. *)
 
 type config = {
   size_bytes : int;  (** Total capacity; must be [assoc * line_bytes * 2^k]. *)

@@ -60,8 +60,13 @@ let l2 t = t.l2
 let dtlb t = t.dtlb
 
 (* An L2 lookup on behalf of a lower-level miss or writeback.  Returns the
-   latency contribution; accounts memory traffic. *)
-let l2_access t addr ~write =
+   latency contribution; accounts memory traffic.
+
+   [l2_access], [data_access] and [ifetch] are the per-instruction hot
+   path: they carry no observability branches at all (the obs fields above
+   are consulted only on the rare resize path), and the L1 hit case returns
+   before any L2 or TLB work. *)
+let[@inline] l2_access t addr ~write =
   match Cache.access t.l2 addr ~write with
   | Cache.Hit -> t.lat.l2_hit
   | Cache.Miss ->
@@ -94,10 +99,10 @@ let size_label size_bytes = string_of_int (size_bytes / 1024) ^ "KB"
 let resize_l1d t ~size_bytes =
   if size_bytes = (Cache.config t.l1d).Cache.size_bytes then 0
   else begin
-    let flushed = ref [] in
-    Cache.iter_dirty t.l1d (fun addr -> flushed := addr :: !flushed);
+    (* Drain dirty lines straight into the L2 before the resize invalidates
+       the array — no intermediate list of flushed addresses. *)
+    Cache.iter_dirty t.l1d (fun addr -> ignore (l2_access t addr ~write:true));
     let n = Cache.resize t.l1d ~size_bytes in
-    List.iter (fun addr -> ignore (l2_access t addr ~write:true)) !flushed;
     Obs.incr t.obs t.m_l1d_resizes;
     if Obs.enabled t.obs then
       Obs.set_gauge t.obs t.g_l1d_size (float_of_int size_bytes);

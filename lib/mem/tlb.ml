@@ -25,7 +25,7 @@ let create ?(entries = 128) ?(page_bytes = 4096) () =
     n_misses = 0;
   }
 
-let access t addr =
+let[@inline] access t addr =
   t.n_accesses <- t.n_accesses + 1;
   let page = addr lsr t.page_shift in
   if Hashtbl.mem t.table page then true

@@ -1,17 +1,20 @@
-(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven. *)
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven.
+
+   The table is built eagerly at module initialization: a toplevel [lazy]
+   would be shared mutable state, and concurrent [Lazy.force] from two
+   domains (parallel soak runs both write CRC-checked snapshots) raises
+   [Lazy.Undefined]. *)
 
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
-           else c := !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+        else c := !c lsr 1
+      done;
+      !c)
 
 let update crc s ~pos ~len =
-  let table = Lazy.force table in
   let c = ref (crc lxor 0xFFFFFFFF) in
   for i = pos to pos + len - 1 do
     c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)

@@ -1,0 +1,123 @@
+(* Domain pool: Domain + Mutex + Condition work queue, nothing else.
+
+   Jobs are [unit -> unit] closures that carry their own completion
+   bookkeeping (see [map]); the queue itself is oblivious to batches.  The
+   submitting domain drains the queue alongside the workers while its batch
+   is outstanding, so parallelism during [map] is [size t + 1]. *)
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;  (* a job was queued, or the pool is closing *)
+  jobs : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  n_workers : int;
+}
+
+let default_num_domains = max 0 (Domain.recommended_domain_count () - 1)
+
+(* Jobs never raise: [map] wraps user code and stores the outcome. *)
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.jobs && not t.closed do
+    Condition.wait t.nonempty t.m
+  done;
+  match Queue.take_opt t.jobs with
+  | None ->
+      (* Empty and closed: exit. *)
+      Mutex.unlock t.m
+  | Some job ->
+      Mutex.unlock t.m;
+      job ();
+      worker_loop t
+
+let create ?(num_domains = default_num_domains) () =
+  if num_domains < 0 then
+    invalid_arg
+      (Printf.sprintf "Pool.create: num_domains must be >= 0 (got %d)"
+         num_domains);
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      closed = false;
+      workers = [];
+      n_workers = num_domains;
+    }
+  in
+  t.workers <- List.init num_domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.n_workers
+
+type 'b cell = Pending | Done of 'b | Raised of exn
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when t.n_workers = 0 -> List.map f xs
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let out = Array.make n Pending in
+      let remaining = ref n in
+      let batch_done = Condition.create () in
+      Mutex.lock t.m;
+      if t.closed then begin
+        Mutex.unlock t.m;
+        invalid_arg "Pool.map: pool is shut down"
+      end;
+      for i = 0 to n - 1 do
+        Queue.add
+          (fun () ->
+            let r = try Done (f arr.(i)) with e -> Raised e in
+            Mutex.lock t.m;
+            out.(i) <- r;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast batch_done;
+            Mutex.unlock t.m)
+          t.jobs
+      done;
+      Condition.broadcast t.nonempty;
+      (* Work the queue from this domain too.  Jobs of other concurrent
+         batches may be picked up here; their bookkeeping is self-contained
+         so that is harmless. *)
+      let rec help () =
+        if !remaining > 0 then
+          match Queue.take_opt t.jobs with
+          | Some job ->
+              Mutex.unlock t.m;
+              job ();
+              Mutex.lock t.m;
+              help ()
+          | None ->
+              Condition.wait batch_done t.m;
+              help ()
+      in
+      help ();
+      Mutex.unlock t.m;
+      (* The batch is fully drained; surface the smallest-index failure so
+         the outcome does not depend on scheduling. *)
+      Array.iter (function Raised e -> raise e | _ -> ()) out;
+      Array.to_list
+        (Array.map (function Done r -> r | Pending | Raised _ -> assert false) out)
+
+let run t thunks = map t (fun f -> f ()) thunks
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.closed then Mutex.unlock t.m
+  else begin
+    t.closed <- true;
+    Queue.clear t.jobs;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,52 @@
+(** Dependency-free domain pool (OCaml 5): a fixed set of worker domains
+    pulling jobs off a [Mutex]/[Condition]-guarded queue.
+
+    The pool exists to parallelize the harness's embarrassingly parallel
+    (workload x variant) sweeps.  Design constraints, in order:
+
+    - {b Determinism.}  [map] keys every job by its input index and returns
+      results in input order, so callers see exactly what the sequential
+      [List.map] would have produced (each job must itself be deterministic
+      and independent — every simulator run owns a private engine,
+      hierarchy, RNG and observability sink; see DESIGN.md "Parallel
+      harness").
+    - {b No dependencies.}  Only [Domain], [Mutex], [Condition] and [Queue]
+      from the standard library.
+    - {b Caller participation.}  The submitting domain works the queue too,
+      so a pool created with [n] workers applies [n + 1]-way parallelism
+      during [map].  A pool of size 0 is a valid degenerate pool: [map] is
+      then exactly [List.map]. *)
+
+type t
+
+val default_num_domains : int
+(** [Domain.recommended_domain_count () - 1] (never negative): the caller's
+    domain plus this many workers saturates the recommended count. *)
+
+val create : ?num_domains:int -> unit -> t
+(** Spawn [num_domains] (default {!default_num_domains}) worker domains,
+    idle until jobs arrive.
+    @raise Invalid_argument if [num_domains] is negative. *)
+
+val size : t -> int
+(** Number of worker domains (0 for a degenerate sequential pool). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element of [xs], running jobs on the
+    worker domains and on the calling domain, and returns the results in
+    input order.  If any job raises, the exception of the smallest-index
+    failing job is re-raised in the caller after the whole batch has
+    drained (so the pool is left quiescent).  Safe to call from several
+    domains at once; nested [map] from inside a job is not (a worker
+    waiting on its own batch would deadlock the queue). *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run t thunks] is [map t (fun f -> f ()) thunks]. *)
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them.  Idempotent.  Outstanding
+    [map] calls must have returned; jobs still queued are discarded. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)

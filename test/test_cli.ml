@@ -67,6 +67,36 @@ let test_nonpositive_args_rejected () =
       "--kill-after=-1";
     ]
 
+let test_jobs_rejected () =
+  (* Same style as --checkpoint-every: non-positive or junk values must die
+     at parse time with a clear message, not fall through to a hung pool. *)
+  List.iter
+    (fun flag ->
+      let code, out = sh (Printf.sprintf "%s exp fig4 %s" exe flag) in
+      Alcotest.(check bool) ("nonzero exit for " ^ flag) true (code <> 0);
+      Alcotest.(check bool) ("clear message for " ^ flag) true
+        (contains out "positive"))
+    [ "--jobs=0"; "--jobs=-2"; "--jobs=many"; "-j 0" ]
+
+let test_jobs_output_identical () =
+  (* End-to-end CLI determinism: the same experiment through the real
+     binary at -j1 and -j4 must emit byte-identical bytes. *)
+  let base = " exp fig4 --scale 0.05 --seed 7" in
+  let code1, out1 = sh (exe ^ base ^ " --jobs 1") in
+  let code4, out4 = sh (exe ^ base ^ " --jobs 4") in
+  Alcotest.(check int) "sequential exits 0" 0 code1;
+  Alcotest.(check int) "parallel exits 0" 0 code4;
+  Alcotest.(check bool) "prints the table" true (contains out1 "== fig4 ==");
+  Alcotest.(check string) "-j4 output byte-identical to -j1" out1 out4
+
+let test_exp_paper_alias () =
+  (* "paper" must parse and behave as an alias of "all"; scale keeps it
+     cheap and the output must contain the first and last paper tables. *)
+  let code, out = sh (exe ^ " exp paper --scale 0.02 --jobs 2") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "starts with table1" true (contains out "== table1 ==");
+  Alcotest.(check bool) "includes stability" true (contains out "== stability ==")
+
 let read_file p =
   let ic = open_in_bin p in
   let s = really_input_string ic (in_channel_length ic) in
@@ -151,6 +181,9 @@ let suite =
     Tu.slow_case "--faults accepts in-range rate" test_faults_in_range_accepted;
     Tu.slow_case "checkpoint/kill/resume smoke" test_checkpoint_kill_resume;
     Tu.case "non-positive cadence/kill point rejected" test_nonpositive_args_rejected;
+    Tu.case "--jobs rejects non-positive values" test_jobs_rejected;
+    Tu.slow_case "exp --jobs output byte-identical" test_jobs_output_identical;
+    Tu.slow_case "exp paper alias" test_exp_paper_alias;
     Tu.slow_case "--trace/--metrics write exports" test_trace_and_metrics_written;
     Tu.slow_case "resumed metrics file is byte-identical" test_resume_metrics_identity;
     Tu.slow_case "report subcommand" test_report_subcommand;

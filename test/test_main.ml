@@ -2,6 +2,7 @@ let () =
   Alcotest.run "ace-reproduction"
     [
       ("rng", Test_rng.suite);
+      ("pool", Test_pool.suite);
       ("stats", Test_stats.suite);
       ("table", Test_table.suite);
       ("pattern", Test_pattern.suite);
@@ -19,6 +20,7 @@ let () =
       ("next-phase", Test_next_phase.suite);
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
+      ("parallel", Test_parallel.suite);
       ("run-variants", Test_run_variants.suite);
       ("invariants", Test_invariants.suite);
       ("ckpt", Test_ckpt.suite);

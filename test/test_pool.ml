@@ -1,0 +1,139 @@
+(* Domain pool: ordering, exception surfacing, degenerate sizes, shutdown
+   discipline.  These are the properties the parallel harness leans on; the
+   harness-level determinism checks live in test_parallel.ml. *)
+
+module Pool = Ace_util.Pool
+
+let test_default_num_domains () =
+  Alcotest.(check bool) "never negative" true (Pool.default_num_domains >= 0)
+
+let test_create_rejects_negative () =
+  Alcotest.check_raises "negative workers"
+    (Invalid_argument "Pool.create: num_domains must be >= 0 (got -1)")
+    (fun () -> ignore (Pool.create ~num_domains:(-1) ()))
+
+let test_map_preserves_order () =
+  Pool.with_pool ~num_domains:3 (fun p ->
+      let xs = List.init 200 (fun i -> i) in
+      Alcotest.(check (list int))
+        "results in input order"
+        (List.map (fun i -> (i * i) + 1) xs)
+        (Pool.map p (fun i -> (i * i) + 1) xs))
+
+let test_map_edge_sizes () =
+  Pool.with_pool ~num_domains:2 (fun p ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map p (fun i -> i) []);
+      Alcotest.(check (list int)) "singleton" [ 10 ] (Pool.map p (fun i -> i * 10) [ 1 ]);
+      Alcotest.(check (list int)) "two" [ 0; 10 ] (Pool.map p (fun i -> i * 10) [ 0; 1 ]))
+
+let test_degenerate_pool_is_sequential () =
+  Pool.with_pool ~num_domains:0 (fun p ->
+      Alcotest.(check int) "size 0" 0 (Pool.size p);
+      let xs = List.init 50 (fun i -> i) in
+      Alcotest.(check (list int))
+        "still a plain map"
+        (List.map (fun i -> i + 1) xs)
+        (Pool.map p (fun i -> i + 1) xs))
+
+let test_run_thunks () =
+  Pool.with_pool ~num_domains:2 (fun p ->
+      Alcotest.(check (list string))
+        "run = map apply" [ "a"; "b"; "c" ]
+        (Pool.run p [ (fun () -> "a"); (fun () -> "b"); (fun () -> "c") ]))
+
+let test_exception_propagates () =
+  Pool.with_pool ~num_domains:2 (fun p ->
+      Alcotest.check_raises "job failure reaches the caller"
+        (Failure "job 7") (fun () ->
+          ignore
+            (Pool.map p
+               (fun i -> if i = 7 then failwith "job 7" else i)
+               (List.init 20 (fun i -> i)))))
+
+let test_smallest_index_exception_wins () =
+  (* Two failing jobs: the one with the smaller input index must be the one
+     re-raised, independent of which domain hit it first. *)
+  Pool.with_pool ~num_domains:3 (fun p ->
+      for _ = 1 to 20 do
+        Alcotest.check_raises "deterministic failure choice"
+          (Failure "job 3") (fun () ->
+            ignore
+              (Pool.map p
+                 (fun i ->
+                   if i = 3 || i = 11 then failwith (Printf.sprintf "job %d" i)
+                   else i)
+                 (List.init 16 (fun i -> i))))
+      done)
+
+let test_usable_after_exception () =
+  Pool.with_pool ~num_domains:2 (fun p ->
+      (try ignore (Pool.map p (fun _ -> failwith "boom") [ 1; 2; 3 ])
+       with Failure _ -> ());
+      Alcotest.(check (list int))
+        "pool survives a failed batch" [ 2; 4; 6 ]
+        (Pool.map p (fun i -> 2 * i) [ 1; 2; 3 ]))
+
+let test_repeated_batches_consistent () =
+  Pool.with_pool ~num_domains:3 (fun p ->
+      let xs = List.init 64 (fun i -> i) in
+      let expected = List.map (fun i -> i * 3) xs in
+      for _ = 1 to 50 do
+        Alcotest.(check (list int))
+          "every batch identical" expected
+          (Pool.map p (fun i -> i * 3) xs)
+      done)
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~num_domains:2 () in
+  Alcotest.(check int) "two workers" 2 (Pool.size p);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.check_raises "map after shutdown rejected"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map p (fun i -> i) [ 1; 2 ]))
+
+let test_with_pool_shuts_down_on_raise () =
+  let captured = ref None in
+  (try
+     Pool.with_pool ~num_domains:1 (fun p ->
+         captured := Some p;
+         failwith "user code")
+   with Failure _ -> ());
+  match !captured with
+  | None -> Alcotest.fail "with_pool never ran"
+  | Some p ->
+      Alcotest.check_raises "pool was shut down despite the raise"
+        (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+          ignore (Pool.map p (fun i -> i) [ 1; 2 ]))
+
+let test_concurrent_maps_from_domains () =
+  (* Two independent domains sharing one pool: both batches must come back
+     complete and ordered. *)
+  Pool.with_pool ~num_domains:2 (fun p ->
+      let job tag () =
+        Pool.map p (fun i -> (tag * 1000) + i) (List.init 100 (fun i -> i))
+      in
+      let d1 = Domain.spawn (job 1) in
+      let r2 = job 2 () in
+      let r1 = Domain.join d1 in
+      Alcotest.(check (list int))
+        "domain 1 batch" (List.init 100 (fun i -> 1000 + i)) r1;
+      Alcotest.(check (list int))
+        "domain 2 batch" (List.init 100 (fun i -> 2000 + i)) r2)
+
+let suite =
+  [
+    Tu.case "default_num_domains sane" test_default_num_domains;
+    Tu.case "create rejects negative" test_create_rejects_negative;
+    Tu.case "map preserves order" test_map_preserves_order;
+    Tu.case "map edge sizes" test_map_edge_sizes;
+    Tu.case "size-0 pool is sequential" test_degenerate_pool_is_sequential;
+    Tu.case "run thunks" test_run_thunks;
+    Tu.case "exception propagates" test_exception_propagates;
+    Tu.case "smallest-index exception wins" test_smallest_index_exception_wins;
+    Tu.case "usable after exception" test_usable_after_exception;
+    Tu.case "repeated batches consistent" test_repeated_batches_consistent;
+    Tu.case "shutdown idempotent" test_shutdown_idempotent;
+    Tu.case "with_pool cleans up on raise" test_with_pool_shuts_down_on_raise;
+    Tu.case "concurrent maps from two domains" test_concurrent_maps_from_domains;
+  ]
