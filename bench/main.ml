@@ -100,6 +100,22 @@ let bench_snapshot_decode =
     (Staged.stage @@ fun () ->
     ignore (Ace_ckpt.Snapshot.decode (Lazy.force data)))
 
+(* Serve wire codec: what one daemon request costs to encode + decode —
+   the per-submission protocol tax, paid once per job, off the simulation
+   path entirely. *)
+let serve_request_sample =
+  Ace_serve.Protocol.Submit
+    (Ace_serve.Protocol.job_spec ~scale:0.2 ~seed:3 ~fault_rate:0.01
+       ~resilient:true ~deadline_s:30.0 ~workload:"compress"
+       Ace_harness.Scheme.Hotspot)
+
+let bench_serve_codec =
+  Test.make ~name:"micro: serve request codec (encode+decode)"
+    (Staged.stage @@ fun () ->
+    ignore
+      (Ace_serve.Protocol.decode_request
+         (Ace_serve.Protocol.encode_request serve_request_sample)))
+
 (* Pool dispatch overhead: what a (workload x variant) job pays to go
    through the queue instead of being called directly — an upper bound on
    the harness's parallelization tax, which real multi-second jobs
@@ -217,17 +233,35 @@ let core_json path =
   let t1 = Unix.gettimeofday () in
   Ace_util.Pool.shutdown pool;
   let pool_ns = (t1 -. t0) *. 1e9 /. float_of_int (batches * List.length jobs) in
+  (* Serve request codec: guards the daemon's per-submission overhead (and
+     that accepting jobs stays off the simulation hot path — it shares no
+     state with the engine loop measured above). *)
+  let codec_iters = 200_000 in
+  (for _ = 1 to 10_000 do
+     ignore
+       (Ace_serve.Protocol.decode_request
+          (Ace_serve.Protocol.encode_request serve_request_sample))
+   done);
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to codec_iters do
+    ignore
+      (Ace_serve.Protocol.decode_request
+         (Ace_serve.Protocol.encode_request serve_request_sample))
+  done;
+  let t1 = Unix.gettimeofday () in
+  let serve_codec_ns = (t1 -. t0) *. 1e9 /. float_of_int codec_iters in
   let oc = open_out path in
   Printf.fprintf oc
     "{\"cache_access_ns\": %.3f, \"cache_access_minor_words\": %.6f, \
      \"data_access_ns\": %.3f, \"data_access_minor_words\": %.6f, \
-     \"pool_dispatch_ns_per_job\": %.1f, \"iters\": %d}\n"
-    cache_ns cache_words data_ns data_words pool_ns iters;
+     \"pool_dispatch_ns_per_job\": %.1f, \"serve_codec_ns\": %.1f, \
+     \"iters\": %d}\n"
+    cache_ns cache_words data_ns data_words pool_ns serve_codec_ns iters;
   close_out oc;
   Printf.printf
     "wrote %s (cache access %.2f ns / %.4f minor words, data access %.2f ns, \
-     pool dispatch %.0f ns/job)\n"
-    path cache_ns cache_words data_ns pool_ns
+     pool dispatch %.0f ns/job, serve codec %.0f ns/req)\n"
+    path cache_ns cache_words data_ns pool_ns serve_codec_ns
 
 (* ------------------------------------------------------------------ *)
 (* One Test.make per table/figure: the experiment's real code path on a
@@ -274,7 +308,7 @@ let run_bechamel () =
          bench_cache_access; bench_cache_resize; bench_engine_1m;
          bench_hw_request_clean; bench_hw_request_faulty;
          bench_snapshot_encode; bench_snapshot_decode;
-         bench_pool_dispatch;
+         bench_serve_codec; bench_pool_dispatch;
          bench_obs_off; bench_obs_metrics; bench_obs_full;
        ]
       @ experiment_tests)

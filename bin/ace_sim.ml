@@ -135,71 +135,10 @@ let write_exports ~trace ~metrics obs =
   | Some path -> write_text_file path (Export.metrics_csv obs)
   | None -> ()
 
-let print_summary (r : Ace_harness.Run.result) =
-  let open Ace_harness.Run in
-  Printf.printf "benchmark        : %s\n" r.workload;
-  Printf.printf "scheme           : %s\n" (Ace_harness.Scheme.name r.scheme);
-  Printf.printf "instructions     : %s\n" (Ace_util.Table.cell_int r.instrs);
-  Printf.printf "cycles           : %s\n"
-    (Ace_util.Table.cell_int (int_of_float r.cycles));
-  Printf.printf "IPC              : %.3f\n" r.ipc;
-  Printf.printf "overhead instrs  : %s\n" (Ace_util.Table.cell_int r.overhead_instrs);
-  Printf.printf "L1D energy       : %.4g mJ (avg size %.0f KB, miss rate %.2f%%)\n"
-    (r.l1d_energy_nj /. 1e6)
-    (r.l1d_avg_bytes /. 1024.0)
-    (r.l1d_miss_rate *. 100.0);
-  Printf.printf "L2 energy        : %.4g mJ (avg size %.0f KB, miss rate %.2f%%)\n"
-    (r.l2_energy_nj /. 1e6)
-    (r.l2_avg_bytes /. 1024.0)
-    (r.l2_miss_rate *. 100.0);
-  Printf.printf "hotspots         : %d (avg size %s, avg invocations %s)\n"
-    r.do_stats.hotspot_count
-    (Ace_util.Table.cell_int (int_of_float r.do_stats.mean_hotspot_size))
-    (Ace_util.Table.cell_int (int_of_float r.do_stats.mean_invocations));
-  (match r.hotspot with
-  | Some h ->
-      Array.iter
-        (fun (c : Ace_core.Framework.cu_report) ->
-          Printf.printf
-            "CU %-4s          : %d hotspots, %d tuned, %d tunings, %d reconfigs, \
-             coverage %.1f%%\n"
-            c.cu_name c.class_hotspots c.tuned_hotspots c.tunings c.reconfigs
-            (c.coverage *. 100.0))
-        h.reports
-  | None -> ());
-  match r.bbv with
-  | Some b ->
-      Printf.printf
-        "BBV              : %d phases, %d tuned, %.1f%% intervals in tuned phases, \
-         %.1f%% stable\n"
-        b.phases b.tuned_phases
-        (b.intervals_in_tuned_frac *. 100.0)
-        (b.stable_frac *. 100.0)
-  | None -> ()
-
-let print_fault_stats (r : Ace_harness.Run.result) =
-  match (r.Ace_harness.Run.fault_stats, r.Ace_harness.Run.resilience) with
-  | Some fs, res -> (
-      Printf.printf
-        "faults           : %d writes dropped, %d corrupted, %d stuck events, \
-         %d spikes, %d jittered ticks, %d snapshots corrupted\n"
-        fs.Ace_faults.Faults.writes_dropped fs.Ace_faults.Faults.writes_corrupted
-        fs.Ace_faults.Faults.stuck_events fs.Ace_faults.Faults.spikes
-        fs.Ace_faults.Faults.jittered_ticks
-        fs.Ace_faults.Faults.snapshots_corrupted;
-      match res with
-      | Some rr ->
-          Printf.printf
-            "resilience       : %d verify failures, %d retries, %d backoff skips, \
-             %d configs skipped, %d quarantined, %d failed CUs, misconfig %.2f%%\n"
-            rr.Ace_core.Framework.total_verify_failures
-            rr.Ace_core.Framework.tuner_retries
-            rr.Ace_core.Framework.tuner_backoff_skips
-            rr.Ace_core.Framework.tuner_skipped_configs
-            rr.Ace_core.Framework.quarantined rr.Ace_core.Framework.failed_cus
-            (rr.Ace_core.Framework.misconfig_frac *. 100.0)
-      | None -> ())
-  | None, _ -> ()
+(* The summary/fault-stats rendering lives in [Ace_harness.Render] so the
+   serve daemon can store byte-identical result payloads. *)
+let print_summary r = print_string (Ace_harness.Render.summary r)
+let print_fault_stats r = print_string (Ace_harness.Render.fault_stats r)
 
 let run_cmd =
   let workload =
@@ -470,11 +409,304 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments.") Term.(const action $ const ())
 
+(* {2 Service daemon (ace_serve)} *)
+
+module Serve_protocol = Ace_serve.Protocol
+module Serve_client = Ace_serve.Client
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the serve daemon.")
+
+let pos_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" what s))
+    | Some f when not (f > 0.0 && Float.is_finite f) ->
+        Error (`Msg (Printf.sprintf "%s must be positive (got %g)" what f))
+    | Some f -> Ok f
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let serve_cmd =
+  let spool =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Spool directory holding job specs, checkpoints and results; \
+             created if missing.  A restarted daemon rescans it and resumes \
+             in-flight jobs.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (pos_int_conv "workers") 2
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains executing jobs concurrently (positive).")
+  in
+  let queue_max =
+    Arg.(
+      value
+      & opt (pos_int_conv "queue high-water mark") 64
+      & info [ "queue-max" ] ~docv:"N"
+          ~doc:
+            "Queue high-water mark: submissions beyond $(docv) queued jobs \
+             are rejected with an explicit overloaded response.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (pos_int_conv "checkpoint cadence") 10_000_000
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Per-job checkpoint cadence in instructions (positive).")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "kill point")) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "Chaos testing: crash the daemon (exit 3, no cleanup) at the \
+             first checkpoint boundary once $(docv) instructions have been \
+             executed across all jobs; a restarted daemon must recover the \
+             spool.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Log job state transitions to stderr.")
+  in
+  let action socket spool jobs queue_max checkpoint_every kill_after verbose
+      trace metrics obs_level =
+    let obs_level =
+      match obs_level with Some l -> l | None -> Obs.Metrics
+    in
+    Ace_serve.Daemon.run
+      {
+        Ace_serve.Daemon.socket_path = socket;
+        spool_dir = spool;
+        workers = jobs;
+        queue_max;
+        checkpoint_every;
+        kill_after;
+        obs_level;
+        trace;
+        metrics;
+        verbose;
+      }
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the tuning-as-a-service daemon: accept simulation jobs over a \
+         Unix-domain socket, execute them crash-safely (checkpoints, \
+         retries, supervised restart recovery), drain gracefully on \
+         SIGTERM."
+  in
+  Cmd.v info
+    Term.(
+      const action $ socket_arg $ spool $ jobs $ queue_max $ checkpoint_every
+      $ kill_after $ verbose $ trace_arg $ metrics_arg $ obs_level_arg)
+
+let submit_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some workload_conv) None
+      & info [] ~docv:"BENCHMARK" ~doc:"SPECjvm98 benchmark name.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv Ace_harness.Scheme.Hotspot
+      & info [ "s"; "scheme" ] ~docv:"SCHEME"
+          ~doc:"Resource-management scheme: baseline, hotspot or bbv.")
+  in
+  let fault_rate =
+    Arg.(
+      value
+      & opt (some rate_conv) None
+      & info [ "faults" ] ~docv:"RATE"
+          ~doc:"Inject hardware faults at the given base rate in [0, 1].")
+  in
+  let resilient =
+    Arg.(
+      value & flag
+      & info [ "resilient" ]
+          ~doc:"Enable the resilient tuner policy (hotspot scheme only).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some (pos_float_conv "deadline")) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the job; exceeding it fails the job \
+             without retries.")
+  in
+  let fail_after =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "failure point")) None
+      & info [ "fail-after" ] ~docv:"N"
+          ~doc:
+            "Test hook: poison the job so every attempt raises at the \
+             first checkpoint boundary at or past $(docv) instructions \
+             (exercises retry and quarantine).")
+  in
+  let wait =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:
+            "Block until the job settles and print its output (the exact \
+             $(b,ace_sim run) summary); exit 1 if it failed.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (pos_float_conv "timeout") 120.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up waiting after $(docv) seconds (with $(b,--wait)).")
+  in
+  let action socket workload scheme scale seed fault_rate resilient deadline
+      fail_after wait timeout =
+    let spec =
+      Serve_protocol.job_spec ?fault_rate ~resilient ?deadline_s:deadline
+        ?fail_after ~scale ~seed
+        ~workload:workload.Ace_workloads.Workload.name scheme
+    in
+    match Serve_client.submit ~socket spec with
+    | Serve_protocol.Accepted id ->
+        if not wait then Printf.printf "accepted job %d\n" id
+        else (
+          match Serve_client.wait ~socket ~timeout id with
+          | `Done output -> print_string output
+          | `Failed msg ->
+              Printf.eprintf "ace_sim: job %d failed: %s\n" id msg;
+              exit 1
+          | `Timeout ->
+              Printf.eprintf "ace_sim: timed out waiting for job %d\n" id;
+              exit 1)
+    | Serve_protocol.Overloaded ->
+        Printf.eprintf "ace_sim: daemon overloaded, try again later\n";
+        (* EX_TEMPFAIL: scripted submitters can distinguish backpressure
+           from hard failures. *)
+        exit 75
+    | Serve_protocol.Error_resp msg ->
+        Printf.eprintf "ace_sim: %s\n" msg;
+        exit 1
+    | _ ->
+        Printf.eprintf "ace_sim: unexpected response from daemon\n";
+        exit 1
+  in
+  let info =
+    Cmd.info "submit" ~doc:"Submit a simulation job to a running serve daemon."
+  in
+  Cmd.v info
+    Term.(
+      const action $ socket_arg $ workload $ scheme $ scale_arg $ seed_arg
+      $ fault_rate $ resilient $ deadline $ fail_after $ wait $ timeout)
+
+let status_cmd =
+  let job =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "job" ] ~docv:"ID"
+          ~doc:"Show one job's state (and output, once settled).")
+  in
+  let action socket job =
+    match job with
+    | Some id -> (
+        match Serve_client.result ~socket id with
+        | Serve_protocol.Result_ok { id; state; output } -> (
+            Printf.printf "job %d: %s\n" id state;
+            match output with Some out -> print_string out | None -> ())
+        | Serve_protocol.Error_resp msg ->
+            Printf.eprintf "ace_sim: %s\n" msg;
+            exit 1
+        | _ ->
+            Printf.eprintf "ace_sim: unexpected response from daemon\n";
+            exit 1)
+    | None -> (
+        match Serve_client.status ~socket with
+        | Serve_protocol.Status_ok r ->
+            Printf.printf "queue depth      : %d\n" r.Serve_protocol.queue_depth;
+            Printf.printf "running          : %d\n" r.Serve_protocol.running;
+            Printf.printf "draining         : %s\n"
+              (if r.Serve_protocol.draining then "yes" else "no");
+            List.iter
+              (fun (name, v) -> Printf.printf "%-17s: %d\n" name v)
+              r.Serve_protocol.counters;
+            List.iter
+              (fun (ji : Serve_protocol.job_info) ->
+                Printf.printf "job %d: %s\n" ji.Serve_protocol.id
+                  ji.Serve_protocol.state)
+              r.Serve_protocol.jobs
+        | Serve_protocol.Error_resp msg ->
+            Printf.eprintf "ace_sim: %s\n" msg;
+            exit 1
+        | _ ->
+            Printf.eprintf "ace_sim: unexpected response from daemon\n";
+            exit 1)
+  in
+  let info =
+    Cmd.info "status"
+      ~doc:
+        "Query a running serve daemon: queue depth, counters and per-job \
+         states, or one job's result with $(b,--job)."
+  in
+  Cmd.v info Term.(const action $ socket_arg $ job)
+
+let stop_cmd =
+  let action socket =
+    match Serve_client.stop ~socket with
+    | Serve_protocol.Stopping -> print_endline "draining"
+    | _ ->
+        Printf.eprintf "ace_sim: unexpected response from daemon\n";
+        exit 1
+  in
+  let info =
+    Cmd.info "stop"
+      ~doc:
+        "Ask a running serve daemon to drain: finish or snapshot running \
+         jobs, then exit (queued jobs stay spooled for the next daemon)."
+  in
+  Cmd.v info Term.(const action $ socket_arg)
+
 let () =
+  let client_guard f =
+    try f () with
+    | Serve_client.Client_error msg ->
+        Printf.eprintf "ace_sim: %s\n" msg;
+        exit 1
+    | e ->
+        (* Preserve cmdliner's default uncaught-exception behavior, which
+           [~catch:false] below disables. *)
+        Printf.eprintf "ace_sim: internal error, uncaught exception:\n%s\n"
+          (Printexc.to_string e);
+        exit 125
+  in
   let info =
     Cmd.info "ace_sim" ~version:"1.0.0"
       ~doc:
         "Reproduction of 'Effective Adaptive Computing Environment Management \
          via Dynamic Optimization' (CGO 2005)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; report_cmd; exp_cmd; list_cmd ]))
+  client_guard (fun () ->
+      (* [~catch:false]: cmdliner must not swallow Client_error into its
+         generic "internal error" report — the guard above turns it into a
+         plain diagnostic and exit 1. *)
+      exit
+        (Cmd.eval ~catch:false
+           (Cmd.group info
+              [
+                run_cmd; report_cmd; exp_cmd; list_cmd; serve_cmd; submit_cmd;
+                status_cmd; stop_cmd;
+              ])))

@@ -20,7 +20,26 @@ module Next_phase = Ace_bbv.Next_phase
 module Faults = Ace_faults.Faults
 module Obs = Ace_obs.Obs
 
-exception Error of string
+type error =
+  | Truncated of { expected : int; got : int }
+  | Bad_magic
+  | Version_skew of { found : int; expected : int }
+  | Crc_mismatch of { stored : int; computed : int }
+  | Malformed of string
+  | Unreadable of string
+
+exception Error of error
+
+let error_to_string = function
+  | Truncated { expected; got } ->
+      Printf.sprintf "truncated snapshot: need %d bytes, have %d" expected got
+  | Bad_magic -> "bad magic"
+  | Version_skew { found; expected } ->
+      Printf.sprintf "snapshot version %d, expected %d" found expected
+  | Crc_mismatch { stored; computed } ->
+      Printf.sprintf "CRC mismatch: stored %08x, computed %08x" stored computed
+  | Malformed msg -> "malformed snapshot: " ^ msg
+  | Unreadable msg -> "cannot read snapshot: " ^ msg
 
 type scheme = Baseline | Hotspot | Bbv
 
@@ -861,6 +880,10 @@ let enc_event e (ev : Obs.event) =
   | Obs.Ckpt_restore { instrs } ->
       Enc.u8 e 16;
       Enc.int e instrs
+  | Obs.Job_state { id; state } ->
+      Enc.u8 e 17;
+      Enc.int e id;
+      Enc.str e state
 
 let dec_event d : Obs.event =
   let ts = Dec.int d in
@@ -910,6 +933,9 @@ let dec_event d : Obs.event =
         Obs.Fault { cu; what = Dec.str d }
     | 15 -> Obs.Ckpt_capture { bytes = Dec.int d }
     | 16 -> Obs.Ckpt_restore { instrs = Dec.int d }
+    | 17 ->
+        let id = Dec.int d in
+        Obs.Job_state { id; state = Dec.str d }
     | n -> raise (Codec.Error (Printf.sprintf "bad obs event tag %d" n))
   in
   { Obs.ts; kind }
@@ -1023,24 +1049,33 @@ let encode t =
 
 let decode s =
   if String.length s < header_len then
-    raise (Error (Printf.sprintf "truncated header (%d bytes)" (String.length s)));
-  if String.sub s 0 8 <> magic then raise (Error "bad magic");
+    raise (Error (Truncated { expected = header_len; got = String.length s }));
+  if String.sub s 0 8 <> magic then raise (Error Bad_magic);
   let v = Char.code s.[8] lor (Char.code s.[9] lsl 8) in
   if v <> version then
-    raise (Error (Printf.sprintf "snapshot version %d, expected %d" v version));
+    raise (Error (Version_skew { found = v; expected = version }));
   let payload_len = Int64.to_int (String.get_int64_le s 10) in
-  if payload_len < 0 || String.length s <> header_len + payload_len then
+  if payload_len < 0 then
+    raise (Error (Malformed (Printf.sprintf "negative payload length %d" payload_len)));
+  (* Fewer bytes than declared is the torn-write signature; more bytes is a
+     structurally impossible container. *)
+  if String.length s < header_len + payload_len then
     raise
       (Error
-         (Printf.sprintf "payload length %d does not match file size %d"
-            payload_len (String.length s)));
+         (Truncated { expected = header_len + payload_len; got = String.length s }));
+  if String.length s > header_len + payload_len then
+    raise
+      (Error
+         (Malformed
+            (Printf.sprintf "payload length %d does not match file size %d"
+               payload_len (String.length s))));
   let crc_stored = Int64.to_int (String.get_int64_le s 18) in
   let payload = String.sub s header_len payload_len in
   let crc = Crc32.string payload in
   if crc <> crc_stored then
-    raise (Error (Printf.sprintf "CRC mismatch: stored %08x, computed %08x" crc_stored crc));
+    raise (Error (Crc_mismatch { stored = crc_stored; computed = crc }));
   try dec_snapshot (Dec.create payload)
-  with Codec.Error msg -> raise (Error ("malformed payload: " ^ msg))
+  with Codec.Error msg -> raise (Error (Malformed msg))
 
 (* {2 File I/O} *)
 
@@ -1077,8 +1112,7 @@ let write ?(faults = Faults.none) ?(obs = Obs.null) ~path t =
 
 let read ~path =
   let data =
-    try read_file path
-    with Sys_error msg -> raise (Error ("cannot read snapshot: " ^ msg))
+    try read_file path with Sys_error msg -> raise (Error (Unreadable msg))
   in
   decode data
 

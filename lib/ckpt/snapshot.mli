@@ -15,9 +15,31 @@
     always detected; {!write} rotates the previous file to [path.1] so
     {!read_with_fallback} can fall back to the last good snapshot. *)
 
-exception Error of string
-(** Raised by {!decode}/{!read} on any malformed snapshot: truncation, bad
-    magic, version skew, CRC mismatch, or undecodable payload. *)
+(** Why a snapshot was refused.  The cases matter to supervisors: a
+    [Truncated] file is the signature of a writer killed mid-write (e.g. the
+    serve daemon SIGKILLed between [open] and [rename]) and is safely
+    skipped, whereas [Version_skew] means the operator mixed binaries and
+    should not be papered over. *)
+type error =
+  | Truncated of { expected : int; got : int }
+      (** Fewer bytes than the header (or the header's declared payload
+          length) requires — a torn or in-flight write.  [got] may be 0 for
+          an empty file. *)
+  | Bad_magic  (** The first 8 bytes are not ["ACESNAP1"]. *)
+  | Version_skew of { found : int; expected : int }
+      (** A well-formed container from a different format {!version}. *)
+  | Crc_mismatch of { stored : int; computed : int }
+      (** Payload bytes damaged after the length was written. *)
+  | Malformed of string
+      (** Structurally impossible container or undecodable payload (bad
+          tag, trailing bytes, declared length beyond file size ...). *)
+  | Unreadable of string  (** The file could not be read at all. *)
+
+exception Error of error
+(** Raised by {!decode}/{!read} on any malformed snapshot. *)
+
+val error_to_string : error -> string
+(** Human-readable rendering, for logs and CLI messages. *)
 
 (** Which adaptation scheme the checkpointed run was using. *)
 type scheme = Baseline | Hotspot | Bbv

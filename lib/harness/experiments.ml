@@ -864,22 +864,26 @@ let soak ?(cycles = 20) t =
   (* Temp paths are allocated up front on the calling domain
      ([Filename.temp_file] draws from a process-global PRNG), then each
      scheme's kill/resume soak — a disjoint set of snapshot files — runs as
-     one pool job. *)
+     one pool job.  The cleanup guard removes every snapshot family member
+     (including in-flight [.tmp] files and the uninterrupted [.baseline]
+     runs') even when a soak raises mid-cycle. *)
+  let schemes = [ Scheme.Fixed_baseline; Scheme.Hotspot; Scheme.Bbv ] in
   let soaks =
-    pool_map t
-      (fun (scheme, path) ->
-        let r =
-          Soak.chaos_soak ~scale:t.scale ~seed:t.seed ~fault_rate:0.01 ~cycles
-            ~checkpoint_every:(max 1 (int_of_float (float_of_int 2_000_000 *. t.scale)))
-            ~path w scheme
-        in
-        List.iter
-          (fun p -> if Sys.file_exists p then Sys.remove p)
-          [ path; path ^ ".1"; path ^ ".baseline"; path ^ ".baseline.1" ];
-        (scheme, r))
-      (List.map
-         (fun scheme -> (scheme, Filename.temp_file "ace_soak" ".snap"))
-         [ Scheme.Fixed_baseline; Scheme.Hotspot; Scheme.Bbv ])
+    Ace_util.Scratch.with_temp_snapshots ~prefix:"ace_soak"
+      ~also:(fun p -> Ace_util.Scratch.snapshot_family (p ^ ".baseline"))
+      (List.length schemes)
+      (fun paths ->
+        pool_map t
+          (fun (scheme, path) ->
+            let r =
+              Soak.chaos_soak ~scale:t.scale ~seed:t.seed ~fault_rate:0.01
+                ~cycles
+                ~checkpoint_every:
+                  (max 1 (int_of_float (float_of_int 2_000_000 *. t.scale)))
+                ~path w scheme
+            in
+            (scheme, r))
+          (List.combine schemes paths))
   in
   List.iter
     (fun (scheme, r) ->

@@ -1,0 +1,75 @@
+(* The one textual rendering of a run result, shared by the CLI and the
+   serve daemon so their outputs can be compared byte-for-byte. *)
+
+module Table = Ace_util.Table
+module Framework = Ace_core.Framework
+module Faults = Ace_faults.Faults
+
+let summary (r : Run.result) =
+  let open Run in
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "benchmark        : %s\n" r.workload;
+  pf "scheme           : %s\n" (Scheme.name r.scheme);
+  pf "instructions     : %s\n" (Table.cell_int r.instrs);
+  pf "cycles           : %s\n" (Table.cell_int (int_of_float r.cycles));
+  pf "IPC              : %.3f\n" r.ipc;
+  pf "overhead instrs  : %s\n" (Table.cell_int r.overhead_instrs);
+  pf "L1D energy       : %.4g mJ (avg size %.0f KB, miss rate %.2f%%)\n"
+    (r.l1d_energy_nj /. 1e6)
+    (r.l1d_avg_bytes /. 1024.0)
+    (r.l1d_miss_rate *. 100.0);
+  pf "L2 energy        : %.4g mJ (avg size %.0f KB, miss rate %.2f%%)\n"
+    (r.l2_energy_nj /. 1e6)
+    (r.l2_avg_bytes /. 1024.0)
+    (r.l2_miss_rate *. 100.0);
+  pf "hotspots         : %d (avg size %s, avg invocations %s)\n"
+    r.do_stats.hotspot_count
+    (Table.cell_int (int_of_float r.do_stats.mean_hotspot_size))
+    (Table.cell_int (int_of_float r.do_stats.mean_invocations));
+  (match r.hotspot with
+  | Some h ->
+      Array.iter
+        (fun (c : Framework.cu_report) ->
+          pf
+            "CU %-4s          : %d hotspots, %d tuned, %d tunings, %d reconfigs, \
+             coverage %.1f%%\n"
+            c.cu_name c.class_hotspots c.tuned_hotspots c.tunings c.reconfigs
+            (c.coverage *. 100.0))
+        h.reports
+  | None -> ());
+  (match r.bbv with
+  | Some bb ->
+      pf
+        "BBV              : %d phases, %d tuned, %.1f%% intervals in tuned phases, \
+         %.1f%% stable\n"
+        bb.phases bb.tuned_phases
+        (bb.intervals_in_tuned_frac *. 100.0)
+        (bb.stable_frac *. 100.0)
+  | None -> ());
+  Buffer.contents b
+
+let fault_stats (r : Run.result) =
+  match (r.Run.fault_stats, r.Run.resilience) with
+  | None, _ -> ""
+  | Some fs, res ->
+      let b = Buffer.create 256 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      pf
+        "faults           : %d writes dropped, %d corrupted, %d stuck events, \
+         %d spikes, %d jittered ticks, %d snapshots corrupted\n"
+        fs.Faults.writes_dropped fs.Faults.writes_corrupted fs.Faults.stuck_events
+        fs.Faults.spikes fs.Faults.jittered_ticks fs.Faults.snapshots_corrupted;
+      (match res with
+      | Some rr ->
+          pf
+            "resilience       : %d verify failures, %d retries, %d backoff skips, \
+             %d configs skipped, %d quarantined, %d failed CUs, misconfig %.2f%%\n"
+            rr.Framework.total_verify_failures rr.Framework.tuner_retries
+            rr.Framework.tuner_backoff_skips rr.Framework.tuner_skipped_configs
+            rr.Framework.quarantined rr.Framework.failed_cus
+            (rr.Framework.misconfig_frac *. 100.0)
+      | None -> ());
+      Buffer.contents b
+
+let run_output r = summary r ^ fault_stats r

@@ -1,0 +1,18 @@
+(** Canonical textual rendering of a run result.
+
+    This is the exact (non-verbose) stdout of [ace_sim run]: the CLI prints
+    {!run_output}, and the serve daemon stores it as each job's result
+    payload, so "a daemon job's result equals the batch run's output" is a
+    byte-for-byte string comparison rather than a field-by-field one. *)
+
+val summary : Run.result -> string
+(** The per-run summary block (benchmark, scheme, counters, energies,
+    hotspot/BBV lines), newline-terminated. *)
+
+val fault_stats : Run.result -> string
+(** The fault-injection and resilience lines, or [""] when the run had no
+    fault injector attached. *)
+
+val run_output : Run.result -> string
+(** [summary r ^ fault_stats r] — everything [ace_sim run] prints for a
+    completed non-verbose run. *)

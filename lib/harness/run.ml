@@ -317,7 +317,7 @@ let capture_scheme = function
 (* Wrap [on_interval] — after the scheme attached, so the scheme's own hook
    runs first and the captured state is the post-hook state the resumed run
    would also see. *)
-let install_checkpointing ?kill_after ?on_snapshot ~path ~obs
+let install_checkpointing ?kill_after ?on_snapshot ?on_boundary ~path ~obs
     (m : Snapshot.meta) engine faults attached =
   let interval =
     match scheme_of_snap m.Snapshot.scheme with
@@ -347,12 +347,18 @@ let install_checkpointing ?kill_after ?on_snapshot ~path ~obs
         in
         (match on_snapshot with Some f -> f snap | None -> ());
         Snapshot.write ~faults ~obs ~path snap
-      end)
+      end;
+      (* After the snapshot block, so anything [on_boundary] does to stop
+         the run (drain, deadline, chaos kill) finds this boundary's
+         snapshot already on disk — every life of a supervised job is
+         guaranteed to have made checkpointable progress. *)
+      match on_boundary with Some f -> f ~total_instrs | None -> ())
 
 let run_checkpointed ?(scale = 1.0) ?(seed = 1)
     ?(hot_threshold = default_hot_threshold) ?(with_issue_queue = false)
     ?(bbv_prediction = false) ?(resilient = false) ?fault_rate ?kill_after
-    ?on_snapshot ?(obs = Obs.null) ~checkpoint_every ~path workload scheme =
+    ?on_snapshot ?on_boundary ?(obs = Obs.null) ~checkpoint_every ~path
+    workload scheme =
   if checkpoint_every <= 0 then
     invalid_arg "Run.run_checkpointed: checkpoint_every must be positive";
   let meta =
@@ -370,8 +376,8 @@ let run_checkpointed ?(scale = 1.0) ?(seed = 1)
     }
   in
   let engine, faults, attached = instance_of_meta ~obs meta in
-  install_checkpointing ?kill_after ?on_snapshot ~path ~obs meta engine faults
-    attached;
+  install_checkpointing ?kill_after ?on_snapshot ?on_boundary ~path ~obs meta
+    engine faults attached;
   match Engine.run engine with
   | () ->
       Completed
@@ -379,8 +385,8 @@ let run_checkpointed ?(scale = 1.0) ?(seed = 1)
            ~attached)
   | exception Killed n -> Killed_at n
 
-let resume_from_snapshot ?kill_after ?on_snapshot ?path ?(obs = Obs.null)
-    (snap : Snapshot.t) =
+let resume_from_snapshot ?kill_after ?on_snapshot ?on_boundary ?path
+    ?(obs = Obs.null) (snap : Snapshot.t) =
   let m = snap.Snapshot.meta in
   let engine, faults, attached = instance_of_meta ~obs m in
   (* Restore after attach: schemes set ILP/exposure scales when attaching,
@@ -402,8 +408,8 @@ let resume_from_snapshot ?kill_after ?on_snapshot ?path ?(obs = Obs.null)
     Obs.record obs (Obs.Ckpt_restore { instrs = Engine.instrs engine });
   (match path with
   | Some path ->
-      install_checkpointing ?kill_after ?on_snapshot ~path ~obs m engine
-        faults attached
+      install_checkpointing ?kill_after ?on_snapshot ?on_boundary ~path ~obs m
+        engine faults attached
   | None -> ());
   match Engine.resume engine with
   | () ->
@@ -413,8 +419,8 @@ let resume_from_snapshot ?kill_after ?on_snapshot ?path ?(obs = Obs.null)
            ~engine ~faults ~obs ~attached)
   | exception Killed n -> Killed_at n
 
-let resume_run ?kill_after ?obs ~path () =
+let resume_run ?kill_after ?on_boundary ?obs ~path () =
   match Snapshot.read_with_fallback ~path with
   | None -> None
   | Some (snap, which) ->
-      Some (resume_from_snapshot ?kill_after ?obs ~path snap, which)
+      Some (resume_from_snapshot ?kill_after ?on_boundary ?obs ~path snap, which)

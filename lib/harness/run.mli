@@ -112,6 +112,7 @@ val run_checkpointed :
   ?fault_rate:float ->
   ?kill_after:int ->
   ?on_snapshot:(Ace_ckpt.Snapshot.t -> unit) ->
+  ?on_boundary:(total_instrs:int -> unit) ->
   ?obs:Ace_obs.Obs.t ->
   checkpoint_every:int ->
   path:string ->
@@ -127,14 +128,19 @@ val run_checkpointed :
     [kill_after] simulates a crash: the run stops with [Killed_at] at the
     first interval boundary at or past it (before writing that boundary's
     snapshot).  [on_snapshot] observes every snapshot just before it is
-    written (the determinism oracle collects them).  [obs] state is captured
-    into every snapshot, so a later resume continues the same metrics and
-    timeline.
+    written (the determinism oracle collects them).  [on_boundary] runs at
+    every interval boundary {e after} any snapshot due at that boundary has
+    been written — the serve daemon's drain, deadline and chaos-kill checks
+    live there, so stopping a run through it always leaves a snapshot of
+    the progress already made.  Any exception it raises aborts the run and
+    propagates to the caller.  [obs] state is captured into every snapshot,
+    so a later resume continues the same metrics and timeline.
     @raise Invalid_argument if [checkpoint_every] is not positive. *)
 
 val resume_from_snapshot :
   ?kill_after:int ->
   ?on_snapshot:(Ace_ckpt.Snapshot.t -> unit) ->
+  ?on_boundary:(total_instrs:int -> unit) ->
   ?path:string ->
   ?obs:Ace_obs.Obs.t ->
   Ace_ckpt.Snapshot.t ->
@@ -150,6 +156,7 @@ val resume_from_snapshot :
 
 val resume_run :
   ?kill_after:int ->
+  ?on_boundary:(total_instrs:int -> unit) ->
   ?obs:Ace_obs.Obs.t ->
   path:string ->
   unit ->

@@ -180,7 +180,12 @@ let chrome t =
             ~args:(Printf.sprintf "\"bytes\":%d" bytes)
       | Obs.Ckpt_restore { instrs } ->
           instant ~track:"ckpt" ~name:"ckpt_restore" ~ts
-            ~args:(Printf.sprintf "\"instrs\":%d" instrs))
+            ~args:(Printf.sprintf "\"instrs\":%d" instrs)
+      | Obs.Job_state { id; state } ->
+          instant
+            ~track:(Printf.sprintf "serve:job %d" id)
+            ~name:state ~ts
+            ~args:(Printf.sprintf "\"job\":%d" id))
     evs;
   (* Close whatever is still open at the end of the timeline. *)
   let leftovers = ref [] in
@@ -244,6 +249,7 @@ let csv_fields = function
       ("", (if cu = "" then what else cu ^ ":" ^ what), "", "")
   | Obs.Ckpt_capture { bytes } -> ("", "", string_of_int bytes, "")
   | Obs.Ckpt_restore { instrs } -> ("", "", string_of_int instrs, "")
+  | Obs.Job_state { id; state } -> (string_of_int id, state, "", "")
 
 let csv t =
   let buf = Buffer.create 4096 in

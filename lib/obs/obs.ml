@@ -25,6 +25,7 @@ type kind =
   | Fault of { cu : string; what : string }
   | Ckpt_capture of { bytes : int }
   | Ckpt_restore of { instrs : int }
+  | Job_state of { id : int; state : string }
 
 type event = { ts : int; kind : kind }
 
@@ -46,6 +47,7 @@ let kind_name = function
   | Fault _ -> "fault"
   | Ckpt_capture _ -> "ckpt_capture"
   | Ckpt_restore _ -> "ckpt_restore"
+  | Job_state _ -> "job_state"
 
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float }

@@ -63,6 +63,10 @@ type kind =
           metrics stay byte-identical to the uninterrupted run's. *)
   | Ckpt_restore of { instrs : int }
       (** The run resumed from a snapshot taken at [instrs]. *)
+  | Job_state of { id : int; state : string }
+      (** A serve-daemon job changed state ("queued", "running", "retrying",
+          "resumed", "done", "failed", ...).  Emitted only by the daemon's
+          own sink, whose clock is wall milliseconds since daemon start. *)
 
 type event = { ts : int; kind : kind }
 (** [ts] is the engine instruction counter at recording time. *)

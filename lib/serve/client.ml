@@ -1,0 +1,55 @@
+exception Client_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Client_error s)) fmt
+
+let request ~socket req =
+  let fd =
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | fd -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "cannot create socket: %s" (Unix.error_message e)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+          fail "cannot connect to %s: %s" socket (Unix.error_message e));
+      match
+        Protocol.write_frame fd (Protocol.encode_request req);
+        Protocol.decode_response (Protocol.read_frame fd)
+      with
+      | resp -> resp
+      | exception Protocol.Protocol_error msg -> fail "protocol error: %s" msg
+      | exception Unix.Unix_error (e, _, _) ->
+          fail "i/o error talking to %s: %s" socket (Unix.error_message e))
+
+let submit ~socket spec = request ~socket (Protocol.Submit spec)
+let status ~socket = request ~socket Protocol.Status
+let result ~socket id = request ~socket (Protocol.Result id)
+let stop ~socket = request ~socket Protocol.Stop
+
+let wait ~socket ?(poll_interval = 0.1) ?(timeout = 120.0) id =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then `Timeout
+    else
+      match result ~socket id with
+      | Protocol.Result_ok { state = "done"; output = Some out; _ } -> `Done out
+      | Protocol.Result_ok { state = "failed"; output; _ } ->
+          `Failed (Option.value ~default:"(no failure message)" output)
+      | Protocol.Result_ok _ | Protocol.Error_resp _ ->
+          (* Still pending — or the daemon restarted and has not rescanned
+             this id yet; either way, keep polling. *)
+          Unix.sleepf poll_interval;
+          go ()
+      | _ ->
+          Unix.sleepf poll_interval;
+          go ()
+      | exception Client_error _ ->
+          (* Daemon down (possibly being restarted): ride it out. *)
+          Unix.sleepf poll_interval;
+          go ()
+  in
+  go ()

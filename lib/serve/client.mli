@@ -1,0 +1,25 @@
+(** Client side of the serve protocol: one connect/request/response/close
+    round trip per call. *)
+
+exception Client_error of string
+(** Connection-level failure (daemon not running, socket missing, protocol
+    violation), with a human-readable message. *)
+
+val request : socket:string -> Protocol.request -> Protocol.response
+(** @raise Client_error if the daemon is unreachable or misbehaves. *)
+
+val submit : socket:string -> Protocol.job_spec -> Protocol.response
+val status : socket:string -> Protocol.response
+val result : socket:string -> int -> Protocol.response
+val stop : socket:string -> Protocol.response
+
+val wait :
+  socket:string ->
+  ?poll_interval:float ->
+  ?timeout:float ->
+  int ->
+  [ `Done of string | `Failed of string | `Timeout ]
+(** Poll [result] until the job settles.  Connection failures during the
+    wait are retried until [timeout] (default 120 s) — deliberate, so a
+    client can ride out a daemon crash/restart cycle and still collect the
+    resumed job's result. *)

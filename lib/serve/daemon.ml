@@ -1,0 +1,517 @@
+module Obs = Ace_obs.Obs
+module Export = Ace_obs.Export
+module Pool = Ace_util.Pool
+module Snapshot = Ace_ckpt.Snapshot
+module Run = Ace_harness.Run
+module Render = Ace_harness.Render
+
+type config = {
+  socket_path : string;
+  spool_dir : string;
+  workers : int;
+  queue_max : int;
+  checkpoint_every : int;
+  kill_after : int option;
+  obs_level : Obs.level;
+  trace : string option;
+  metrics : string option;
+  verbose : bool;
+}
+
+let default_config ~socket_path ~spool_dir ~workers =
+  {
+    socket_path;
+    spool_dir;
+    workers;
+    queue_max = 64;
+    checkpoint_every = 10_000_000;
+    kill_after = None;
+    obs_level = Obs.Metrics;
+    trace = None;
+    metrics = None;
+    verbose = false;
+  }
+
+(* -- job control exceptions (raised from [on_boundary]) ------------- *)
+
+exception Deadline_exceeded of float
+exception Poisoned of int
+exception Drain_requested
+
+let max_attempts = 3
+
+(* -- worker -> supervisor mailbox ----------------------------------- *)
+
+type msg =
+  | M_resumed of { id : int; instrs : int }
+  | M_retry of { id : int; attempt : int; reason : string }
+  | M_done of { id : int; output : string }
+  | M_failed of { id : int; reason : string }
+  | M_drained of int
+
+type mailbox = { mb_mutex : Mutex.t; mb_q : msg Queue.t }
+
+let post mb m =
+  Mutex.lock mb.mb_mutex;
+  Queue.add m mb.mb_q;
+  Mutex.unlock mb.mb_mutex
+
+let drain_mailbox mb =
+  Mutex.lock mb.mb_mutex;
+  let msgs = List.of_seq (Queue.to_seq mb.mb_q) in
+  Queue.clear mb.mb_q;
+  Mutex.unlock mb.mb_mutex;
+  msgs
+
+(* -- supervisor state ----------------------------------------------- *)
+
+type jstate = Queued | Running | Done | Failed of string | Interrupted
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed _ -> "failed"
+  | Interrupted -> "interrupted"
+
+type job = {
+  id : int;
+  spec : Protocol.job_spec;
+  mutable state : jstate;
+  mutable enqueued_at : float;
+}
+
+type stats = {
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable retries : int;
+  mutable resumes : int;
+  mutable requeued : int;
+}
+
+type t = {
+  cfg : config;
+  obs : Obs.t;
+  jobs : (int, job) Hashtbl.t;
+  queue : int Queue.t;
+  mutable running : int;
+  mutable next_id : int;
+  stats : stats;
+  drain : bool Atomic.t;
+  chaos : int Atomic.t;  (** Instructions executed this daemon life. *)
+  mb : mailbox;
+  pool : Pool.t;
+  (* metric handles *)
+  c_submitted : Obs.counter;
+  c_rejected : Obs.counter;
+  c_completed : Obs.counter;
+  c_failed : Obs.counter;
+  c_retries : Obs.counter;
+  c_resumes : Obs.counter;
+  c_requeued : Obs.counter;
+  g_queue_depth : Obs.gauge;
+  g_running : Obs.gauge;
+  h_latency : Obs.histogram;
+}
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.verbose then Printf.eprintf "[serve] %s\n%!" s)
+    fmt
+
+let job_event t id state =
+  if Obs.tracing t.obs then Obs.record t.obs (Obs.Job_state { id; state })
+
+(* -- job execution (worker domain) ----------------------------------
+
+   Everything here must stay off the supervisor's state: workers touch only
+   their own job's spool files, the shared atomics, and the mailbox.  The
+   daemon's obs sink is NOT thread-safe and is updated exclusively by the
+   supervisor loop, from mailbox messages. *)
+
+let exec_job ~cfg ~chaos ~drain ~mb id (spec : Protocol.job_spec) =
+  let path = Spool.snap_path ~dir:cfg.spool_dir id in
+  let started = Unix.gettimeofday () in
+  let one_attempt () =
+    (* [last] tracks this attempt's previous boundary so the chaos counter
+       accumulates executed-instruction deltas, not absolute positions. *)
+    let last = ref 0 in
+    let on_boundary ~total_instrs =
+      let delta = total_instrs - !last in
+      last := total_instrs;
+      (match cfg.kill_after with
+      | Some n when Atomic.fetch_and_add chaos delta + delta >= n ->
+          (* Crash, not exit: skip all cleanup so the spool looks exactly
+             as it would after SIGKILL. *)
+          Unix._exit 3
+      | _ -> ());
+      if Atomic.get drain then raise Drain_requested;
+      (match spec.Protocol.fail_after with
+      | Some n when total_instrs >= n -> raise (Poisoned total_instrs)
+      | _ -> ());
+      match spec.Protocol.deadline_s with
+      | Some d when Unix.gettimeofday () -. started > d ->
+          raise (Deadline_exceeded d)
+      | _ -> ()
+    in
+    let outcome =
+      match Snapshot.read_with_fallback ~path with
+      | Some (snap, _which) ->
+          last := snap.Snapshot.engine.Ace_vm.Engine.s_instrs;
+          post mb (M_resumed { id; instrs = !last });
+          Run.resume_from_snapshot ~on_boundary ~path snap
+      | None ->
+          let workload =
+            match Ace_workloads.Specjvm.find spec.Protocol.workload with
+            | Some w -> w
+            | None ->
+                (* Submit validated the name; reaching this means the spool
+                   outlived the workload registry. *)
+                invalid_arg
+                  (Printf.sprintf "unknown workload %S" spec.Protocol.workload)
+          in
+          Run.run_checkpointed ~scale:spec.Protocol.scale
+            ~seed:spec.Protocol.seed ~resilient:spec.Protocol.resilient
+            ?fault_rate:spec.Protocol.fault_rate ~on_boundary
+            ~checkpoint_every:cfg.checkpoint_every ~path workload
+            spec.Protocol.scheme
+    in
+    match outcome with
+    | Run.Completed r -> post mb (M_done { id; output = Render.run_output r })
+    | Run.Killed_at _ ->
+        (* No [kill_after] is ever passed down to [Run]. *)
+        assert false
+  in
+  let rec attempt_loop attempt =
+    match one_attempt () with
+    | () -> ()
+    | exception Drain_requested -> post mb (M_drained id)
+    | exception Deadline_exceeded d ->
+        post mb (M_failed { id; reason = Printf.sprintf "deadline of %gs exceeded" d })
+    | exception e ->
+        let reason = Printexc.to_string e in
+        if attempt + 1 >= max_attempts then
+          post mb
+            (M_failed
+               {
+                 id;
+                 reason =
+                   Printf.sprintf "gave up after %d attempts: %s" max_attempts
+                     reason;
+               })
+        else begin
+          post mb (M_retry { id; attempt = attempt + 1; reason });
+          Unix.sleepf (0.25 *. (2.0 ** float_of_int attempt));
+          attempt_loop (attempt + 1)
+        end
+  in
+  attempt_loop 0
+
+(* -- supervisor ----------------------------------------------------- *)
+
+let settle t id =
+  t.running <- t.running - 1;
+  Spool.clear_snapshots ~dir:t.cfg.spool_dir id
+
+let process_msg t = function
+  | M_resumed { id; instrs } ->
+      t.stats.resumes <- t.stats.resumes + 1;
+      Obs.incr t.obs t.c_resumes;
+      job_event t id "resumed";
+      log t "job %d resumed from snapshot at %d instrs" id instrs
+  | M_retry { id; attempt; reason } ->
+      t.stats.retries <- t.stats.retries + 1;
+      Obs.incr t.obs t.c_retries;
+      job_event t id "retrying";
+      log t "job %d attempt %d failed (%s), retrying" id attempt reason
+  | M_done { id; output } ->
+      let job = Hashtbl.find t.jobs id in
+      job.state <- Done;
+      Spool.write_result ~dir:t.cfg.spool_dir id output;
+      settle t id;
+      t.stats.completed <- t.stats.completed + 1;
+      Obs.incr t.obs t.c_completed;
+      if Obs.enabled t.obs then
+        Obs.observe t.obs t.h_latency (Unix.gettimeofday () -. job.enqueued_at);
+      job_event t id "done";
+      log t "job %d done" id
+  | M_failed { id; reason } ->
+      let job = Hashtbl.find t.jobs id in
+      job.state <- Failed reason;
+      Spool.write_failed ~dir:t.cfg.spool_dir id reason;
+      settle t id;
+      t.stats.failed <- t.stats.failed + 1;
+      Obs.incr t.obs t.c_failed;
+      job_event t id "failed";
+      log t "job %d failed: %s" id reason
+  | M_drained id ->
+      let job = Hashtbl.find t.jobs id in
+      job.state <- Interrupted;
+      (* Snapshot and spec stay in the spool; the next daemon resumes it. *)
+      t.running <- t.running - 1;
+      t.stats.requeued <- t.stats.requeued + 1;
+      Obs.incr t.obs t.c_requeued;
+      job_event t id "interrupted";
+      log t "job %d snapshotted for drain" id
+
+let dispatch t =
+  while
+    (not (Atomic.get t.drain))
+    && t.running < t.cfg.workers
+    && Queue.length t.queue > 0
+  do
+    let id = Queue.pop t.queue in
+    let job = Hashtbl.find t.jobs id in
+    job.state <- Running;
+    t.running <- t.running + 1;
+    job_event t id "running";
+    log t "job %d dispatched" id;
+    let cfg = t.cfg and chaos = t.chaos and drain = t.drain and mb = t.mb in
+    let spec = job.spec in
+    Pool.async t.pool (fun () -> exec_job ~cfg ~chaos ~drain ~mb id spec)
+  done
+
+let update_gauges t =
+  if Obs.enabled t.obs then begin
+    Obs.set_gauge t.obs t.g_queue_depth (float_of_int (Queue.length t.queue));
+    Obs.set_gauge t.obs t.g_running (float_of_int t.running)
+  end
+
+let status_report t =
+  let jobs =
+    Hashtbl.fold
+      (fun _ (j : job) acc ->
+        { Protocol.id = j.id; state = state_name j.state } :: acc)
+      t.jobs []
+    |> List.sort (fun (a : Protocol.job_info) b -> compare a.id b.id)
+  in
+  {
+    Protocol.queue_depth = Queue.length t.queue;
+    running = t.running;
+    draining = Atomic.get t.drain;
+    counters =
+      [
+        ("completed", t.stats.completed);
+        ("failed", t.stats.failed);
+        ("rejected_overloaded", t.stats.rejected);
+        ("requeued", t.stats.requeued);
+        ("resumes", t.stats.resumes);
+        ("retries", t.stats.retries);
+        ("submitted", t.stats.submitted);
+      ];
+    jobs;
+  }
+
+let enqueue t ~id ~spec ~state =
+  let job = { id; spec; state; enqueued_at = Unix.gettimeofday () } in
+  Hashtbl.replace t.jobs id job;
+  if state = Queued then Queue.add id t.queue;
+  job
+
+let handle_request t = function
+  | Protocol.Status -> Protocol.Status_ok (status_report t)
+  | Protocol.Stop ->
+      Atomic.set t.drain true;
+      log t "drain requested";
+      Protocol.Stopping
+  | Protocol.Result id -> (
+      match Hashtbl.find_opt t.jobs id with
+      | None -> Protocol.Error_resp (Printf.sprintf "unknown job %d" id)
+      | Some job ->
+          let output =
+            match job.state with
+            | Done -> Spool.read_result ~dir:t.cfg.spool_dir id
+            | Failed reason -> Some reason
+            | Queued | Running | Interrupted -> None
+          in
+          Protocol.Result_ok { id; state = state_name job.state; output })
+  | Protocol.Submit spec ->
+      if Atomic.get t.drain then Protocol.Error_resp "daemon is draining"
+      else if Ace_workloads.Specjvm.find spec.Protocol.workload = None then
+        Protocol.Error_resp
+          (Printf.sprintf "unknown benchmark %S" spec.Protocol.workload)
+      else if Queue.length t.queue >= t.cfg.queue_max then begin
+        t.stats.rejected <- t.stats.rejected + 1;
+        Obs.incr t.obs t.c_rejected;
+        Protocol.Overloaded
+      end
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        (* Durable before acknowledged: once the client sees [Accepted],
+           a crash cannot lose the job. *)
+        Spool.write_spec ~dir:t.cfg.spool_dir id spec;
+        ignore (enqueue t ~id ~spec ~state:Queued);
+        t.stats.submitted <- t.stats.submitted + 1;
+        Obs.incr t.obs t.c_submitted;
+        job_event t id "queued";
+        log t "job %d accepted (%s/%s seed %d)" id spec.Protocol.workload
+          (Ace_harness.Scheme.name spec.Protocol.scheme) spec.Protocol.seed;
+        Protocol.Accepted id
+      end
+
+let handle_conn t conn =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      let response =
+        match Protocol.decode_request (Protocol.read_frame conn) with
+        | req -> handle_request t req
+        | exception Protocol.Protocol_error msg -> Protocol.Error_resp msg
+      in
+      match Protocol.write_frame conn (Protocol.encode_response response) with
+      | () -> ()
+      | exception Unix.Unix_error (_, _, _) ->
+          (* Client went away mid-response; nothing to do. *)
+          ())
+
+let write_text_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let write_exports t =
+  (match t.cfg.trace with
+  | Some path ->
+      let s =
+        if Filename.check_suffix path ".csv" then Export.csv t.obs
+        else Export.chrome t.obs
+      in
+      write_text_file path s
+  | None -> ());
+  match t.cfg.metrics with
+  | Some path -> write_text_file path (Export.metrics_csv t.obs)
+  | None -> ()
+
+let rec serve_loop t listen_fd =
+  List.iter (process_msg t) (drain_mailbox t.mb);
+  dispatch t;
+  update_gauges t;
+  if Atomic.get t.drain && t.running = 0 then ()
+  else begin
+    (match Unix.select [ listen_fd ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | conn, _ -> handle_conn t conn
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    serve_loop t listen_fd
+  end
+
+let obs_of_config cfg =
+  let level = if cfg.trace <> None then Obs.Full else cfg.obs_level in
+  if level = Obs.Off && cfg.metrics = None then Obs.null else Obs.create level
+
+let run cfg =
+  if cfg.workers <= 0 then invalid_arg "Daemon.run: workers must be positive";
+  if cfg.queue_max <= 0 then invalid_arg "Daemon.run: queue_max must be positive";
+  if cfg.checkpoint_every <= 0 then
+    invalid_arg "Daemon.run: checkpoint_every must be positive";
+  Spool.ensure_dir cfg.spool_dir;
+  let obs = obs_of_config cfg in
+  let started_at = Unix.gettimeofday () in
+  Obs.set_clock obs (fun () ->
+      int_of_float ((Unix.gettimeofday () -. started_at) *. 1000.0));
+  let t =
+    {
+      cfg;
+      obs;
+      jobs = Hashtbl.create 64;
+      queue = Queue.create ();
+      running = 0;
+      next_id = 1;
+      stats =
+        {
+          submitted = 0;
+          rejected = 0;
+          completed = 0;
+          failed = 0;
+          retries = 0;
+          resumes = 0;
+          requeued = 0;
+        };
+      drain = Atomic.make false;
+      chaos = Atomic.make 0;
+      mb = { mb_mutex = Mutex.create (); mb_q = Queue.create () };
+      pool = Pool.create ~num_domains:cfg.workers ();
+      c_submitted = Obs.counter obs "serve.submitted";
+      c_rejected = Obs.counter obs "serve.rejected_overloaded";
+      c_completed = Obs.counter obs "serve.completed";
+      c_failed = Obs.counter obs "serve.failed";
+      c_retries = Obs.counter obs "serve.retries";
+      c_resumes = Obs.counter obs "serve.resumes";
+      c_requeued = Obs.counter obs "serve.requeued";
+      g_queue_depth = Obs.gauge obs "serve.queue_depth";
+      g_running = Obs.gauge obs "serve.running";
+      h_latency =
+        Obs.histogram obs "serve.job_latency_s"
+          ~bounds:[| 0.1; 0.25; 0.5; 1.0; 2.0; 5.0; 10.0; 30.0; 60.0 |];
+    }
+  in
+  (* Recover: every spec without a result/failed file is re-enqueued; a
+     readable snapshot makes the worker resume instead of restart. *)
+  let scanned = Spool.scan ~dir:cfg.spool_dir in
+  t.next_id <- scanned.Spool.next_id;
+  List.iter
+    (fun (e : Spool.entry) ->
+      (match e.Spool.snapshot_note with
+      | Some note -> log t "job %d: %s" e.Spool.id note
+      | None -> ());
+      ignore (enqueue t ~id:e.Spool.id ~spec:e.Spool.spec ~state:Queued);
+      t.stats.requeued <- t.stats.requeued + 1;
+      Obs.incr t.obs t.c_requeued;
+      job_event t e.Spool.id "queued";
+      log t "job %d recovered from spool" e.Spool.id)
+    scanned.Spool.pending;
+  List.iter
+    (fun id ->
+      match Spool.read_result ~dir:cfg.spool_dir id with
+      | Some _ ->
+          ignore
+            (enqueue t ~id
+               ~spec:(Protocol.job_spec ~workload:"?" Ace_harness.Scheme.Hotspot)
+               ~state:Done)
+      | None -> ())
+    scanned.Spool.done_ids;
+  List.iter
+    (fun id ->
+      let reason =
+        Option.value ~default:"" (Spool.read_failed ~dir:cfg.spool_dir id)
+      in
+      ignore
+        (enqueue t ~id
+           ~spec:(Protocol.job_spec ~workload:"?" Ace_harness.Scheme.Hotspot)
+           ~state:(Failed reason)))
+    scanned.Spool.failed_ids;
+  (* Signals: SIGTERM/SIGINT request a drain; SIGPIPE must not kill the
+     daemon when a client disconnects mid-response. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let request_drain _ = Atomic.set t.drain true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_drain);
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+      Pool.shutdown t.pool)
+    (fun () ->
+      Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen listen_fd 16;
+      Printf.printf "ace_serve: listening on %s (spool %s, %d workers)\n%!"
+        cfg.socket_path cfg.spool_dir cfg.workers;
+      serve_loop t listen_fd;
+      write_exports t;
+      let interrupted =
+        Hashtbl.fold
+          (fun _ j acc -> if j.state = Interrupted then acc + 1 else acc)
+          t.jobs 0
+      in
+      Printf.printf
+        "ace_serve: drained (%d completed, %d failed, %d interrupted)\n%!"
+        t.stats.completed t.stats.failed interrupted)

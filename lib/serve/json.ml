@@ -1,0 +1,258 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* -- printing ------------------------------------------------------- *)
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  (* Shortest representation that round-trips a double, always containing
+     a '.', 'e' or being "inf"-free so the parser reads it back as Float. *)
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+      if not (Float.is_finite f) then
+        invalid_arg "Json.to_string: non-finite float";
+      Buffer.add_string b (float_repr f)
+  | Str s -> add_escaped b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          add b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          add_escaped b k;
+          Buffer.add_char b ':';
+          add b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  add b v;
+  Buffer.contents b
+
+(* -- parsing -------------------------------------------------------- *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail p msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg p.pos))
+let at_end p = p.pos >= String.length p.src
+let peek p = if at_end p then fail p "unexpected end of input" else p.src.[p.pos]
+
+let skip_ws p =
+  while
+    (not (at_end p))
+    && match p.src.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    p.pos <- p.pos + 1
+  done
+
+let expect p c =
+  if peek p <> c then fail p (Printf.sprintf "expected %C" c);
+  p.pos <- p.pos + 1
+
+let literal p word v =
+  let n = String.length word in
+  if
+    p.pos + n <= String.length p.src && String.sub p.src p.pos n = word
+  then begin
+    p.pos <- p.pos + n;
+    v
+  end
+  else fail p (Printf.sprintf "expected %s" word)
+
+let hex_digit p c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail p "bad \\u escape"
+
+let parse_string p =
+  expect p '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    let c = peek p in
+    p.pos <- p.pos + 1;
+    match c with
+    | '"' -> Buffer.contents b
+    | '\\' -> (
+        let e = peek p in
+        p.pos <- p.pos + 1;
+        match e with
+        | '"' -> Buffer.add_char b '"'; go ()
+        | '\\' -> Buffer.add_char b '\\'; go ()
+        | '/' -> Buffer.add_char b '/'; go ()
+        | 'n' -> Buffer.add_char b '\n'; go ()
+        | 'r' -> Buffer.add_char b '\r'; go ()
+        | 't' -> Buffer.add_char b '\t'; go ()
+        | 'b' -> Buffer.add_char b '\b'; go ()
+        | 'f' -> Buffer.add_char b '\012'; go ()
+        | 'u' ->
+            if p.pos + 4 > String.length p.src then fail p "bad \\u escape";
+            let v =
+              (hex_digit p p.src.[p.pos] lsl 12)
+              lor (hex_digit p p.src.[p.pos + 1] lsl 8)
+              lor (hex_digit p p.src.[p.pos + 2] lsl 4)
+              lor hex_digit p p.src.[p.pos + 3]
+            in
+            p.pos <- p.pos + 4;
+            (* The protocol only ever escapes control characters; encode
+               the code point as UTF-8 for anything in the BMP. *)
+            if v < 0x80 then Buffer.add_char b (Char.chr v)
+            else if v < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xc0 lor (v lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (v land 0x3f)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xe0 lor (v lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((v lsr 6) land 0x3f)));
+              Buffer.add_char b (Char.chr (0x80 lor (v land 0x3f)))
+            end;
+            go ()
+        | _ -> fail p "bad escape")
+    | c when Char.code c < 0x20 -> fail p "raw control character in string"
+    | c -> Buffer.add_char b c; go ()
+  in
+  go ()
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (not (at_end p)) && is_num_char p.src.[p.pos] do
+    p.pos <- p.pos + 1
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  let integral = not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) in
+  if integral then
+    match int_of_string_opt s with
+    | Some n -> Int n
+    | None -> fail p (Printf.sprintf "bad number %S" s)
+  else
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f -> Float f
+    | _ -> fail p (Printf.sprintf "bad number %S" s)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | 'n' -> literal p "null" Null
+  | 't' -> literal p "true" (Bool true)
+  | 'f' -> literal p "false" (Bool false)
+  | '"' -> Str (parse_string p)
+  | '[' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | ',' ->
+              p.pos <- p.pos + 1;
+              items (v :: acc)
+          | ']' ->
+              p.pos <- p.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail p "expected ',' or ']'"
+        in
+        List (items [])
+  | '{' ->
+      p.pos <- p.pos + 1;
+      skip_ws p;
+      if peek p = '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else
+        let field () =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          (k, parse_value p)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws p;
+          match peek p with
+          | ',' ->
+              p.pos <- p.pos + 1;
+              fields (f :: acc)
+          | '}' ->
+              p.pos <- p.pos + 1;
+              List.rev (f :: acc)
+          | _ -> fail p "expected ',' or '}'"
+        in
+        Obj (fields [])
+  | '-' | '0' .. '9' -> parse_number p
+  | c -> fail p (Printf.sprintf "unexpected %C" c)
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if not (at_end p) then fail p "trailing bytes";
+  v
+
+(* -- accessors ------------------------------------------------------ *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

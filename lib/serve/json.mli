@@ -1,0 +1,43 @@
+(** Minimal JSON tree, printer and parser for the serve wire protocol.
+
+    Self-contained on purpose: the daemon speaks length-prefixed JSON and
+    the toolchain ships no JSON library, so this implements exactly the
+    subset the protocol needs — finite numbers, UTF-8 strings with the
+    standard escapes, arrays, objects.  Numbers that look integral parse as
+    [Int], everything else as [Float] (printed with enough digits to
+    round-trip a double). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val to_string : t -> string
+(** Compact (no whitespace) rendering.  Non-finite floats are rejected with
+    [Invalid_argument] — they have no JSON form. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing bytes. *)
+
+(** {2 Accessors}
+
+    Total lookups for decoding: each returns [None] on a type mismatch so
+    decoders can fail with one protocol-level error. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] for absent fields and non-objects. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts [Int] too (JSON does not distinguish [1] from [1.0]). *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,229 @@
+module Scheme = Ace_harness.Scheme
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+type job_spec = {
+  workload : string;
+  scheme : Scheme.t;
+  scale : float;
+  seed : int;
+  fault_rate : float option;
+  resilient : bool;
+  deadline_s : float option;
+  fail_after : int option;
+}
+
+let job_spec ?fault_rate ?(resilient = false) ?deadline_s ?fail_after
+    ?(scale = 1.0) ?(seed = 1) ~workload scheme =
+  { workload; scheme; scale; seed; fault_rate; resilient; deadline_s; fail_after }
+
+type job_info = { id : int; state : string }
+
+type status_report = {
+  queue_depth : int;
+  running : int;
+  draining : bool;
+  counters : (string * int) list;
+  jobs : job_info list;
+}
+
+type request = Submit of job_spec | Status | Result of int | Stop
+
+type response =
+  | Accepted of int
+  | Overloaded
+  | Status_ok of status_report
+  | Result_ok of { id : int; state : string; output : string option }
+  | Stopping
+  | Error_resp of string
+
+(* -- JSON mapping --------------------------------------------------- *)
+
+let get what conv j =
+  match conv j with Some v -> v | None -> fail "bad %s field" what
+
+let field what conv obj =
+  match Json.member what obj with
+  | Some j -> get what conv j
+  | None -> fail "missing %s field" what
+
+let opt_field what conv obj =
+  match Json.member what obj with
+  | None | Some Json.Null -> None
+  | Some j -> Some (get what conv j)
+
+let json_of_opt f = function None -> Json.Null | Some v -> f v
+
+let json_of_spec (s : job_spec) =
+  Json.Obj
+    [
+      ("workload", Json.Str s.workload);
+      ("scheme", Json.Str (Scheme.name s.scheme));
+      ("scale", Json.Float s.scale);
+      ("seed", Json.Int s.seed);
+      ("fault_rate", json_of_opt (fun r -> Json.Float r) s.fault_rate);
+      ("resilient", Json.Bool s.resilient);
+      ("deadline_s", json_of_opt (fun d -> Json.Float d) s.deadline_s);
+      ("fail_after", json_of_opt (fun n -> Json.Int n) s.fail_after);
+    ]
+
+let spec_of_json j =
+  let workload = field "workload" Json.to_str j in
+  let scheme_name = field "scheme" Json.to_str j in
+  let scheme =
+    match Scheme.of_string scheme_name with
+    | Some s -> s
+    | None -> fail "unknown scheme %S" scheme_name
+  in
+  let scale = field "scale" Json.to_float j in
+  if not (Float.is_finite scale && scale > 0.0) then
+    fail "scale %g out of range" scale;
+  let seed = field "seed" Json.to_int j in
+  let fault_rate = opt_field "fault_rate" Json.to_float j in
+  (match fault_rate with
+  | Some r when not (r >= 0.0 && r <= 1.0) -> fail "fault_rate %g out of range" r
+  | _ -> ());
+  let resilient = field "resilient" Json.to_bool j in
+  let deadline_s = opt_field "deadline_s" Json.to_float j in
+  (match deadline_s with
+  | Some d when not (d > 0.0) -> fail "deadline_s %g out of range" d
+  | _ -> ());
+  let fail_after = opt_field "fail_after" Json.to_int j in
+  (match fail_after with
+  | Some n when n <= 0 -> fail "fail_after %d out of range" n
+  | _ -> ());
+  { workload; scheme; scale; seed; fault_rate; resilient; deadline_s; fail_after }
+
+let json_of_report (r : status_report) =
+  Json.Obj
+    [
+      ("queue_depth", Json.Int r.queue_depth);
+      ("running", Json.Int r.running);
+      ("draining", Json.Bool r.draining);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
+      ( "jobs",
+        Json.List
+          (List.map
+             (fun (ji : job_info) ->
+               Json.Obj
+                 [ ("id", Json.Int ji.id); ("state", Json.Str ji.state) ])
+             r.jobs) );
+    ]
+
+let report_of_json j =
+  let queue_depth = field "queue_depth" Json.to_int j in
+  let running = field "running" Json.to_int j in
+  let draining = field "draining" Json.to_bool j in
+  let counters =
+    match Json.member "counters" j with
+    | Some (Json.Obj fields) ->
+        List.map (fun (k, v) -> (k, get "counter" Json.to_int v)) fields
+    | _ -> fail "missing counters field"
+  in
+  let jobs =
+    List.map
+      (fun ji ->
+        { id = field "id" Json.to_int ji; state = field "state" Json.to_str ji })
+      (field "jobs" Json.to_list j)
+  in
+  { queue_depth; running; draining; counters; jobs }
+
+let tagged tag fields = Json.Obj (("type", Json.Str tag) :: fields)
+
+let json_of_request = function
+  | Submit spec -> tagged "submit" [ ("spec", json_of_spec spec) ]
+  | Status -> tagged "status" []
+  | Result id -> tagged "result" [ ("id", Json.Int id) ]
+  | Stop -> tagged "stop" []
+
+let json_of_response = function
+  | Accepted id -> tagged "accepted" [ ("id", Json.Int id) ]
+  | Overloaded -> tagged "overloaded" []
+  | Status_ok r -> tagged "status" [ ("report", json_of_report r) ]
+  | Result_ok { id; state; output } ->
+      tagged "result"
+        [
+          ("id", Json.Int id);
+          ("state", Json.Str state);
+          ("output", json_of_opt (fun s -> Json.Str s) output);
+        ]
+  | Stopping -> tagged "stopping" []
+  | Error_resp msg -> tagged "error" [ ("message", Json.Str msg) ]
+
+let parse what s =
+  match Json.of_string s with
+  | j -> (j, field "type" Json.to_str j)
+  | exception Json.Parse_error msg -> fail "malformed %s: %s" what msg
+
+let decode_request s =
+  let j, tag = parse "request" s in
+  match tag with
+  | "submit" -> (
+      match Json.member "spec" j with
+      | Some spec -> Submit (spec_of_json spec)
+      | None -> fail "missing spec field")
+  | "status" -> Status
+  | "result" -> Result (field "id" Json.to_int j)
+  | "stop" -> Stop
+  | t -> fail "unknown request type %S" t
+
+let decode_response s =
+  let j, tag = parse "response" s in
+  match tag with
+  | "accepted" -> Accepted (field "id" Json.to_int j)
+  | "overloaded" -> Overloaded
+  | "status" -> (
+      match Json.member "report" j with
+      | Some r -> Status_ok (report_of_json r)
+      | None -> fail "missing report field")
+  | "result" ->
+      Result_ok
+        {
+          id = field "id" Json.to_int j;
+          state = field "state" Json.to_str j;
+          output = opt_field "output" Json.to_str j;
+        }
+  | "stopping" -> Stopping
+  | "error" -> Error_resp (field "message" Json.to_str j)
+  | t -> fail "unknown response type %S" t
+
+let encode_request r = Json.to_string (json_of_request r)
+let encode_response r = Json.to_string (json_of_response r)
+
+(* -- framing -------------------------------------------------------- *)
+
+let max_frame = 1 lsl 20
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then fail "frame of %d bytes exceeds max %d" len max_frame;
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_le buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.read fd buf !off (n - !off) in
+    if k = 0 then fail "connection closed mid-frame (%d of %d bytes)" !off n;
+    off := !off + k
+  done;
+  Bytes.unsafe_to_string buf
+
+let read_frame fd =
+  let header = read_exact fd 4 in
+  let len = Int32.to_int (String.get_int32_le header 0) in
+  if len < 0 || len > max_frame then
+    fail "declared frame length %d exceeds max %d" len max_frame;
+  read_exact fd len

@@ -1,0 +1,94 @@
+(** Wire protocol of the [ace_serve] daemon.
+
+    Transport: a Unix-domain stream socket carrying one request frame and
+    one response frame per connection.  A frame is a 4-byte little-endian
+    payload length followed by that many bytes of compact JSON; frames
+    longer than {!max_frame} are refused on both sides, so a corrupt or
+    hostile length prefix can never make the daemon allocate unboundedly.
+
+    Every codec failure is a {!Protocol_error} (never a raw parser
+    exception), and decoding validates shape strictly — unknown request
+    kinds, missing fields and out-of-range values are all refused. *)
+
+type job_spec = {
+  workload : string;  (** SPECjvm98 registry name. *)
+  scheme : Ace_harness.Scheme.t;
+  scale : float;
+  seed : int;
+  fault_rate : float option;  (** Attach a fault injector at this rate. *)
+  resilient : bool;  (** Resilient tuner policy (hotspot scheme). *)
+  deadline_s : float option;
+      (** Wall-clock budget per job; exceeded jobs fail without retry. *)
+  fail_after : int option;
+      (** Test hook: poison the job so every attempt raises at the first
+          checkpoint boundary at or past this instruction count. *)
+}
+
+val job_spec :
+  ?fault_rate:float ->
+  ?resilient:bool ->
+  ?deadline_s:float ->
+  ?fail_after:int ->
+  ?scale:float ->
+  ?seed:int ->
+  workload:string ->
+  Ace_harness.Scheme.t ->
+  job_spec
+(** Spec with the CLI's defaults: scale 1.0, seed 1, no faults, no
+    deadline. *)
+
+type job_info = { id : int; state : string }
+(** One row of the status report; [state] is one of "queued", "running",
+    "done", "failed", "interrupted". *)
+
+type status_report = {
+  queue_depth : int;
+  running : int;
+  draining : bool;
+  counters : (string * int) list;  (** Sorted by name. *)
+  jobs : job_info list;  (** Sorted by id. *)
+}
+
+type request =
+  | Submit of job_spec
+  | Status
+  | Result of int  (** Fetch the state (and output, if done) of one job. *)
+  | Stop  (** Graceful drain: finish/snapshot running jobs, then exit. *)
+
+type response =
+  | Accepted of int  (** Submit succeeded; payload is the job id. *)
+  | Overloaded
+      (** The queue is at its high-water mark; the client must back off.
+          Explicit backpressure — the daemon never blocks a submitter. *)
+  | Status_ok of status_report
+  | Result_ok of { id : int; state : string; output : string option }
+      (** [output] is the run's rendered summary once "done", the failure
+          message once "failed", [None] otherwise. *)
+  | Stopping
+  | Error_resp of string  (** Malformed or unserviceable request. *)
+
+exception Protocol_error of string
+(** Raised by the decoders and framing on any malformed input. *)
+
+val json_of_spec : job_spec -> Json.t
+val spec_of_json : Json.t -> job_spec
+(** The spool stores each job's spec as this JSON object; round-trips
+    exactly ([decode (encode s) = s]). *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+(** {2 Framing} *)
+
+val max_frame : int
+(** 1 MiB. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** @raise Protocol_error if the payload exceeds {!max_frame}. *)
+
+val read_frame : Unix.file_descr -> string
+(** Read one complete frame.
+    @raise Protocol_error on EOF mid-frame or an oversized declared
+    length. *)

@@ -1,0 +1,99 @@
+module Scratch = Ace_util.Scratch
+module Snapshot = Ace_ckpt.Snapshot
+
+type entry = { id : int; spec : Protocol.job_spec; snapshot_note : string option }
+
+type scan_result = {
+  next_id : int;
+  pending : entry list;
+  done_ids : int list;
+  failed_ids : int list;
+}
+
+let job_file ~dir id ext = Filename.concat dir (Printf.sprintf "job-%06d.%s" id ext)
+let spec_path ~dir id = job_file ~dir id "spec"
+let snap_path ~dir id = job_file ~dir id "snap"
+let result_path ~dir id = job_file ~dir id "result"
+let failed_path ~dir id = job_file ~dir id "failed"
+
+let ensure_dir dir =
+  let rec mk d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
+    end
+  in
+  mk dir
+
+let write_atomic path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data);
+  Sys.rename tmp path
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    Some
+      (Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+
+let write_spec ~dir id spec =
+  write_atomic (spec_path ~dir id) (Json.to_string (Protocol.json_of_spec spec))
+
+let write_result ~dir id output = write_atomic (result_path ~dir id) output
+let write_failed ~dir id msg = write_atomic (failed_path ~dir id) msg
+let read_result ~dir id = read_file (result_path ~dir id)
+let read_failed ~dir id = read_file (failed_path ~dir id)
+
+let clear_snapshots ~dir id =
+  Scratch.remove_existing (Scratch.snapshot_family (snap_path ~dir id))
+
+(* The typed snapshot errors let the supervisor distinguish "killed
+   mid-write, fall back" (Truncated — routine under chaos) from anything
+   that deserves a louder note. *)
+let snapshot_note ~dir id =
+  let path = snap_path ~dir id in
+  if not (Sys.file_exists path) then None
+  else
+    match Snapshot.read ~path with
+    | (_ : Snapshot.t) -> None
+    | exception Snapshot.Error e ->
+        Some
+          (Printf.sprintf "primary snapshot unusable (%s)"
+             (Snapshot.error_to_string e))
+
+let scan ~dir =
+  let ids ext =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           Scanf.sscanf_opt name "job-%06d.%s%!" (fun id e ->
+               if e = ext then Some id else None))
+    |> List.concat_map Option.to_list
+  in
+  let spec_ids = List.sort compare (ids "spec") in
+  let done_ids = List.sort compare (ids "result") in
+  let failed_ids = List.sort compare (ids "failed") in
+  let settled id = List.mem id done_ids || List.mem id failed_ids in
+  let pending =
+    List.filter_map
+      (fun id ->
+        if settled id then None
+        else
+          match read_file (spec_path ~dir id) with
+          | None -> None
+          | Some data -> (
+              match Protocol.spec_of_json (Json.of_string data) with
+              | spec -> Some { id; spec; snapshot_note = snapshot_note ~dir id }
+              | exception (Json.Parse_error _ | Protocol.Protocol_error _) ->
+                  None))
+      spec_ids
+  in
+  let next_id =
+    1 + List.fold_left max 0 (spec_ids @ done_ids @ failed_ids)
+  in
+  { next_id; pending; done_ids; failed_ids }

@@ -1,0 +1,60 @@
+(** On-disk job store of the serve daemon.
+
+    Every accepted job lives in the spool directory as a small family of
+    files keyed by id:
+
+    - [job-NNNNNN.spec] — the JSON job spec, written atomically at accept
+      time (this is the durable record that the job exists);
+    - [job-NNNNNN.snap] — the run's checkpoint (plus the [.1]/[.tmp]
+      companions [Ace_ckpt.Snapshot.write] manages);
+    - [job-NNNNNN.result] — the rendered run output, written atomically on
+      completion;
+    - [job-NNNNNN.failed] — the failure message of a quarantined job.
+
+    A restarted daemon recovers its whole state by {!scan}ning the
+    directory: specs without a result/failed file are in-flight and are
+    re-enqueued (resuming from the snapshot when one is readable), and ids
+    continue from one past the highest ever used, so results never
+    collide. *)
+
+type entry = {
+  id : int;
+  spec : Protocol.job_spec;
+  snapshot_note : string option;
+      (** [Some note] when a snapshot file exists but the primary is
+          unusable (e.g. truncated by a crash mid-write) — the note says
+          why, for the supervisor's log.  [None] when there is no snapshot
+          or it is cleanly readable. *)
+}
+
+type scan_result = {
+  next_id : int;
+  pending : entry list;  (** In-flight jobs, sorted by id. *)
+  done_ids : int list;
+  failed_ids : int list;
+}
+
+val spec_path : dir:string -> int -> string
+val snap_path : dir:string -> int -> string
+val result_path : dir:string -> int -> string
+val failed_path : dir:string -> int -> string
+
+val ensure_dir : string -> unit
+(** Create the spool directory (and its parent) if missing. *)
+
+val write_spec : dir:string -> int -> Protocol.job_spec -> unit
+(** Atomic (tmp + rename), so a crash can never leave a half-written spec
+    that a restart would refuse to parse. *)
+
+val write_result : dir:string -> int -> string -> unit
+val write_failed : dir:string -> int -> string -> unit
+val read_result : dir:string -> int -> string option
+val read_failed : dir:string -> int -> string option
+
+val clear_snapshots : dir:string -> int -> unit
+(** Remove the job's snapshot family (kept spec/result files stay). *)
+
+val scan : dir:string -> scan_result
+(** Unparseable spec files are skipped (a crash between [open] and [rename]
+    cannot produce one, so they indicate operator tampering); their ids
+    still count toward [next_id]. *)

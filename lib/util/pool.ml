@@ -106,6 +106,21 @@ let map t f xs =
 
 let run t thunks = map t (fun f -> f ()) thunks
 
+(* Fire-and-forget dispatch for streaming callers (the serve daemon).  The
+   catch-all wrapper keeps the worker-loop invariant that jobs never raise;
+   completion signalling is the job's own business. *)
+let async t job =
+  if t.n_workers = 0 then
+    invalid_arg "Pool.async: pool has no worker domains";
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.async: pool is shut down"
+  end;
+  Queue.add (fun () -> try job () with _ -> ()) t.jobs;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m
+
 let shutdown t =
   Mutex.lock t.m;
   if t.closed then Mutex.unlock t.m

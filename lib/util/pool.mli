@@ -43,6 +43,17 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val run : t -> (unit -> 'a) list -> 'a list
 (** [run t thunks] is [map t (fun f -> f ()) thunks]. *)
 
+val async : t -> (unit -> unit) -> unit
+(** [async t job] enqueues [job] for execution on some worker domain and
+    returns immediately — the streaming counterpart of the batch {!map},
+    used by long-running services (the [ace_serve] daemon) that dispatch
+    jobs as they arrive instead of in batches.  The job must carry its own
+    completion bookkeeping and error handling: an exception escaping [job]
+    is caught and dropped so it cannot kill the worker domain.
+    @raise Invalid_argument if the pool has been shut down, or if it has no
+    worker domains (a degenerate pool has nobody to run the job, and
+    [async] never runs jobs on the calling domain). *)
+
 val shutdown : t -> unit
 (** Signal the workers to exit and join them.  Idempotent.  Outstanding
     [map] calls must have returned; jobs still queued are discarded. *)

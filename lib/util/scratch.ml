@@ -1,0 +1,42 @@
+let snapshot_family path = [ path; path ^ ".1"; path ^ ".tmp" ]
+
+let remove_existing paths =
+  List.iter
+    (fun p -> try if Sys.file_exists p then Sys.remove p with Sys_error _ -> ())
+    paths
+
+let with_temp_snapshots ?(prefix = "ace_snap") ?(also = fun _ -> []) n f =
+  let paths = List.init n (fun _ -> Filename.temp_file prefix ".snap") in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> remove_existing (snapshot_family p @ also p))
+        paths)
+    (fun () -> f paths)
+
+(* Mirrors [Filename.temp_file]'s scheme: a self-seeded private PRNG and a
+   retry loop drawing names until [mkdir] succeeds, so concurrent
+   allocators never share a directory. *)
+let prng = lazy (Random.State.make_self_init ())
+
+let rec temp_dir prefix attempts =
+  let name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s%06x" prefix (Random.State.int (Lazy.force prng) 0x1000000))
+  in
+  match Sys.mkdir name 0o700 with
+  | () -> name
+  | exception Sys_error _ when attempts > 0 -> temp_dir prefix (attempts - 1)
+
+let with_temp_dir ?(prefix = "ace_scratch") f =
+  let dir = temp_dir prefix 20 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun name -> remove_existing [ Filename.concat dir name ])
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)

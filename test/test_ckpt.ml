@@ -77,6 +77,68 @@ let test_container_refuses_tampering () =
   (* Flipping the stored CRC itself is also caught. *)
   expect_error ~what:"flipped CRC" (patch data 20 (fun c -> c lxor 0x01))
 
+let expect_typed ~what matches data =
+  match Snapshot.decode data with
+  | exception Snapshot.Error e ->
+      if not (matches e) then
+        Alcotest.failf "%s: wrong error class: %s" what (Snapshot.error_to_string e)
+  | _ -> Alcotest.failf "decode accepted %s" what
+
+(* Each corruption class maps to its own typed error, so callers (the serve
+   supervisor in particular) can tell a crash-truncated snapshot apart from
+   bit rot or a format change. *)
+let test_typed_errors () =
+  let snaps, _ = sample_snapshots () in
+  let data = Snapshot.encode (List.hd snaps) in
+  expect_typed ~what:"empty input"
+    (function Snapshot.Truncated { got = 0; _ } -> true | _ -> false)
+    "";
+  expect_typed ~what:"partial header"
+    (function Snapshot.Truncated _ -> true | _ -> false)
+    (String.sub data 0 10);
+  expect_typed ~what:"partial payload"
+    (function Snapshot.Truncated _ -> true | _ -> false)
+    (String.sub data 0 (String.length data - 5));
+  expect_typed ~what:"bad magic"
+    (function Snapshot.Bad_magic -> true | _ -> false)
+    (patch data 0 (fun c -> c lxor 0xff));
+  expect_typed ~what:"version skew"
+    (function
+      | Snapshot.Version_skew { expected; found } ->
+          expected = Snapshot.version && found = Snapshot.version + 1
+      | _ -> false)
+    (patch data 8 (fun c -> c + 1));
+  expect_typed ~what:"payload corruption"
+    (function
+      | Snapshot.Crc_mismatch { stored; computed } -> stored <> computed
+      | _ -> false)
+    (patch data (String.length data - 1) (fun c -> c lxor 0x01))
+
+(* A daemon crash mid-write leaves zero-byte or partial snapshot files; the
+   restarted supervisor must see [Truncated] from [read] (and skip the file)
+   rather than an untyped failure. *)
+let test_read_truncated_file () =
+  let snaps, _ = sample_snapshots () in
+  let data = Snapshot.encode (List.hd snaps) in
+  let path = tmp_path () in
+  let write s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  let expect_truncated what =
+    match Snapshot.read ~path with
+    | exception Snapshot.Error (Snapshot.Truncated _) -> ()
+    | exception Snapshot.Error e ->
+        Alcotest.failf "%s: wrong error class: %s" what (Snapshot.error_to_string e)
+    | _ -> Alcotest.failf "%s: read accepted it" what
+  in
+  write "";
+  expect_truncated "zero-byte file";
+  write (String.sub data 0 (String.length data / 2));
+  expect_truncated "half-written file";
+  cleanup path
+
 let test_golden_snapshot () =
   (* A committed snapshot from an older build must keep decoding: the format
      is versioned, so any layout change has to bump Snapshot.version (which
@@ -165,6 +227,8 @@ let suite =
     Tu.case "codec roundtrip (all schemes)" test_codec_roundtrip;
     Tu.case "codec roundtrip under faults" test_codec_roundtrip_faulty;
     Tu.case "container refuses tampering" test_container_refuses_tampering;
+    Tu.case "corruption classes map to typed errors" test_typed_errors;
+    Tu.case "read flags truncated files" test_read_truncated_file;
     Tu.case "golden snapshot decodes" test_golden_snapshot;
     Tu.case "write rotates and falls back" test_write_rotates_and_falls_back;
     Tu.case "checkpoint_every validated" test_checkpoint_every_validated;

@@ -26,4 +26,5 @@ let () =
       ("ckpt", Test_ckpt.suite);
       ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
+      ("serve", Test_serve.suite);
     ]

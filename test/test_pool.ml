@@ -106,6 +106,47 @@ let test_with_pool_shuts_down_on_raise () =
         (Invalid_argument "Pool.map: pool is shut down") (fun () ->
           ignore (Pool.map p (fun i -> i) [ 1; 2 ]))
 
+(* async has no completion handle by design: jobs signal through their own
+   state, here an atomic counter the test spins on. *)
+let await_counter counter expected =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get counter < expected && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "all async jobs ran" expected (Atomic.get counter)
+
+let test_async_runs_jobs () =
+  Pool.with_pool ~num_domains:2 (fun p ->
+      let hits = Atomic.make 0 in
+      for _ = 1 to 50 do
+        Pool.async p (fun () -> Atomic.incr hits)
+      done;
+      await_counter hits 50)
+
+let test_async_job_exception_contained () =
+  Pool.with_pool ~num_domains:1 (fun p ->
+      let hits = Atomic.make 0 in
+      Pool.async p (fun () -> failwith "must not kill the worker");
+      Pool.async p (fun () -> Atomic.incr hits);
+      await_counter hits 1;
+      (* The worker that swallowed the exception still serves batch work. *)
+      Alcotest.(check (list int))
+        "pool still maps" [ 2; 4 ]
+        (Pool.map p (fun i -> 2 * i) [ 1; 2 ]))
+
+let test_async_rejects_degenerate_pool () =
+  Pool.with_pool ~num_domains:0 (fun p ->
+      Alcotest.check_raises "no worker to run the job"
+        (Invalid_argument "Pool.async: pool has no worker domains") (fun () ->
+          Pool.async p (fun () -> ())))
+
+let test_async_rejects_shut_down_pool () =
+  let p = Pool.create ~num_domains:1 () in
+  Pool.shutdown p;
+  Alcotest.check_raises "async after shutdown rejected"
+    (Invalid_argument "Pool.async: pool is shut down") (fun () ->
+      Pool.async p (fun () -> ()))
+
 let test_concurrent_maps_from_domains () =
   (* Two independent domains sharing one pool: both batches must come back
      complete and ordered. *)
@@ -135,5 +176,9 @@ let suite =
     Tu.case "repeated batches consistent" test_repeated_batches_consistent;
     Tu.case "shutdown idempotent" test_shutdown_idempotent;
     Tu.case "with_pool cleans up on raise" test_with_pool_shuts_down_on_raise;
+    Tu.case "async runs streamed jobs" test_async_runs_jobs;
+    Tu.case "async contains job exceptions" test_async_job_exception_contained;
+    Tu.case "async rejects a degenerate pool" test_async_rejects_degenerate_pool;
+    Tu.case "async rejects a shut-down pool" test_async_rejects_shut_down_pool;
     Tu.case "concurrent maps from two domains" test_concurrent_maps_from_domains;
   ]
