@@ -250,18 +250,61 @@ let core_json path =
   done;
   let t1 = Unix.gettimeofday () in
   let serve_codec_ns = (t1 -. t0) *. 1e9 /. float_of_int codec_iters in
+  (* Snapshot codec: the per-checkpoint serialization tax every durable
+     run pays at each cadence boundary.  Gated in CI so the Io
+     indirection (PR "storage-fault injection") stays off this path. *)
+  let snap = Lazy.force checkpoint_sample in
+  let snap_data = Ace_ckpt.Snapshot.encode snap in
+  let snap_iters = 500 in
+  let time_loop iters f =
+    for _ = 1 to 20 do
+      f ()
+    done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let snapshot_encode_ns =
+    time_loop snap_iters (fun () -> ignore (Ace_ckpt.Snapshot.encode snap))
+  in
+  let snapshot_decode_ns =
+    time_loop snap_iters (fun () -> ignore (Ace_ckpt.Snapshot.decode snap_data))
+  in
+  (* The passthrough Io backend is a record of closures built once at
+     module init: a call through it must allocate nothing beyond the
+     syscall wrapper itself.  [exists] bottoms out in a C stub, so any
+     nonzero reading here means the dispatch layer started boxing. *)
+  let io_passthrough_minor_words =
+    let probe = Filename.concat (Filename.get_temp_dir_name ()) "ace_bench_absent" in
+    let io_iters = 1_000_000 in
+    for _ = 1 to 10_000 do
+      ignore (Ace_util.Io.exists Ace_util.Io.real probe)
+    done;
+    let w0 = Gc.minor_words () in
+    for _ = 1 to io_iters do
+      ignore (Ace_util.Io.exists Ace_util.Io.real probe)
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int io_iters
+  in
   let oc = open_out path in
   Printf.fprintf oc
     "{\"cache_access_ns\": %.3f, \"cache_access_minor_words\": %.6f, \
      \"data_access_ns\": %.3f, \"data_access_minor_words\": %.6f, \
      \"pool_dispatch_ns_per_job\": %.1f, \"serve_codec_ns\": %.1f, \
+     \"snapshot_encode_ns\": %.1f, \"snapshot_decode_ns\": %.1f, \
+     \"io_passthrough_minor_words\": %.6f, \
      \"iters\": %d}\n"
-    cache_ns cache_words data_ns data_words pool_ns serve_codec_ns iters;
+    cache_ns cache_words data_ns data_words pool_ns serve_codec_ns
+    snapshot_encode_ns snapshot_decode_ns io_passthrough_minor_words iters;
   close_out oc;
   Printf.printf
     "wrote %s (cache access %.2f ns / %.4f minor words, data access %.2f ns, \
-     pool dispatch %.0f ns/job, serve codec %.0f ns/req)\n"
+     pool dispatch %.0f ns/job, serve codec %.0f ns/req, snapshot encode \
+     %.0f ns / decode %.0f ns, io passthrough %.4f minor words)\n"
     path cache_ns cache_words data_ns pool_ns serve_codec_ns
+    snapshot_encode_ns snapshot_decode_ns io_passthrough_minor_words
 
 (* ------------------------------------------------------------------ *)
 (* One Test.make per table/figure: the experiment's real code path on a

@@ -333,7 +333,7 @@ let exp_cmd =
       "table1"; "table2"; "table3"; "fig1"; "table4"; "table5"; "table6";
       "fig3"; "fig4"; "ablation-decoupling"; "ablation-thresholds";
       "ext-issue-queue"; "ext-prediction"; "ext-bbv-predictor"; "resilience";
-      "stability"; "soak"; "all"; "paper";
+      "stability"; "soak"; "torture"; "all"; "paper";
     ]
   in
   let id =
@@ -356,7 +356,30 @@ let exp_cmd =
              (positive; 1 = sequential).  Output is byte-identical for every \
              $(docv).")
   in
-  let action id scale seed jobs =
+  let seeds =
+    Arg.(
+      value
+      & opt (pos_int_conv "seeds") 2
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Torture only: enumerate the crash-point matrix under seeds 1 \
+             through $(docv).  Ignored by the other experiments.")
+  in
+  let action id scale seed jobs seeds =
+    if id = "torture" then begin
+      (* Not an Experiments table: the torture matrix needs no worker
+         context, exercises ace_serve rather than the paper harness, and
+         its exit status is the CI gate. *)
+      let scale = if scale = 1.0 then None else Some scale in
+      let tallies =
+        Ace_serve.Torture.run_matrix ?scale
+          ~seeds:(List.init seeds (fun i -> i + 1))
+          ()
+      in
+      print_string (Ace_serve.Torture.render tallies);
+      if Ace_serve.Torture.total_violations tallies > 0 then exit 1
+    end
+    else
     let ctx = Ace_harness.Experiments.create ~scale ~seed ~jobs () in
     let print (name, tbl) =
       Printf.printf "== %s ==\n" name;
@@ -390,8 +413,13 @@ let exp_cmd =
        print (id, tbl));
     Ace_harness.Experiments.shutdown ctx
   in
-  let info = Cmd.info "exp" ~doc:"Regenerate one of the paper's tables or figures." in
-  Cmd.v info Term.(const action $ id $ scale_arg $ seed_arg $ jobs)
+  let info =
+    Cmd.info "exp"
+      ~doc:
+        "Regenerate one of the paper's tables or figures, or run the \
+         storage-crash torture matrix."
+  in
+  Cmd.v info Term.(const action $ id $ scale_arg $ seed_arg $ jobs $ seeds)
 
 let list_cmd =
   let action () =
@@ -405,7 +433,7 @@ let list_cmd =
     print_endline "Experiments: table1 table2 table3 fig1 table4 table5 table6 fig3";
     print_endline "             fig4 ablation-decoupling ablation-thresholds";
     print_endline "             ext-issue-queue ext-prediction ext-bbv-predictor";
-    print_endline "             resilience stability soak all paper"
+    print_endline "             resilience stability soak torture all paper"
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments.") Term.(const action $ const ())
 
@@ -481,10 +509,44 @@ let serve_cmd =
       value & flag
       & info [ "v"; "verbose" ] ~doc:"Log job state transitions to stderr.")
   in
+  let io_faults =
+    Arg.(
+      value
+      & opt (some rate_conv) None
+      & info [ "io-faults" ] ~docv:"RATE"
+          ~doc:
+            "Robustness testing: inject seeded storage faults (short/torn \
+             writes, ENOSPC, EIO, lost fsyncs, rename failures) into all \
+             spool and snapshot I/O at the given base rate in [0, 1].")
+  in
+  let enospc_for =
+    Arg.(
+      value
+      & opt (some (pos_float_conv "ENOSPC window")) None
+      & info [ "enospc-for" ] ~docv:"SECONDS"
+          ~doc:
+            "Robustness testing: make every spool/snapshot write fail with \
+             ENOSPC for the first $(docv) seconds of the daemon's life — \
+             the daemon must degrade (pause admissions) and then recover \
+             automatically when the \"disk\" drains.")
+  in
   let action socket spool jobs queue_max checkpoint_every kill_after verbose
-      trace metrics obs_level =
+      io_faults enospc_for trace metrics obs_level =
     let obs_level =
       match obs_level with Some l -> l | None -> Obs.Metrics
+    in
+    let io =
+      let base = Ace_util.Io.real in
+      let base =
+        match io_faults with
+        | Some rate -> Ace_faults.Faults.storage_io ~rate base
+        | None -> base
+      in
+      match enospc_for with
+      | Some secs ->
+          let until = Unix.gettimeofday () +. secs in
+          Ace_util.Io.enospc_while (fun () -> Unix.gettimeofday () < until) base
+      | None -> base
     in
     Ace_serve.Daemon.run
       {
@@ -498,6 +560,7 @@ let serve_cmd =
         trace;
         metrics;
         verbose;
+        io;
       }
   in
   let info =
@@ -511,7 +574,8 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const action $ socket_arg $ spool $ jobs $ queue_max $ checkpoint_every
-      $ kill_after $ verbose $ trace_arg $ metrics_arg $ obs_level_arg)
+      $ kill_after $ verbose $ io_faults $ enospc_for $ trace_arg
+      $ metrics_arg $ obs_level_arg)
 
 let submit_cmd =
   let workload =
@@ -641,6 +705,8 @@ let status_cmd =
             Printf.printf "running          : %d\n" r.Serve_protocol.running;
             Printf.printf "draining         : %s\n"
               (if r.Serve_protocol.draining then "yes" else "no");
+            Printf.printf "degraded         : %s\n"
+              (if r.Serve_protocol.degraded then "yes" else "no");
             List.iter
               (fun (name, v) -> Printf.printf "%-17s: %d\n" name v)
               r.Serve_protocol.counters;

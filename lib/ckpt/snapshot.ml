@@ -1,5 +1,6 @@
 module Codec = Ace_util.Codec
 module Crc32 = Ace_util.Crc32
+module Io = Ace_util.Io
 module Enc = Codec.Enc
 module Dec = Codec.Dec
 module Stats = Ace_util.Stats
@@ -884,6 +885,10 @@ let enc_event e (ev : Obs.event) =
       Enc.u8 e 17;
       Enc.int e id;
       Enc.str e state
+  | Obs.Io_fault { op; path } ->
+      Enc.u8 e 18;
+      Enc.str e op;
+      Enc.str e path
 
 let dec_event d : Obs.event =
   let ts = Dec.int d in
@@ -936,6 +941,9 @@ let dec_event d : Obs.event =
     | 17 ->
         let id = Dec.int d in
         Obs.Job_state { id; state = Dec.str d }
+    | 18 ->
+        let op = Dec.str d in
+        Obs.Io_fault { op; path = Dec.str d }
     | n -> raise (Codec.Error (Printf.sprintf "bad obs event tag %d" n))
   in
   { Obs.ts; kind }
@@ -1081,47 +1089,42 @@ let decode s =
 
 let fallback_path path = path ^ ".1"
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let write_file path data =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_bytes oc data)
-
-let write ?(faults = Faults.none) ?(obs = Obs.null) ~path t =
+let write ?(io = Io.real) ?(faults = Faults.none) ?(obs = Obs.null) ~path t =
   let data = Bytes.of_string (encode t) in
   (* Storage-channel fault injection damages the bytes on their way to disk;
      the CRC then refuses them at read time and the reader falls back. *)
   ignore (Faults.maybe_corrupt_snapshot faults data);
   let tmp = path ^ ".tmp" in
-  write_file tmp data;
+  Io.write_file io tmp (Bytes.unsafe_to_string data);
+  (* The tmp file must be on stable storage before it takes over the
+     primary name: rename-before-fsync can leave [path] pointing at
+     unwritten blocks after power loss. *)
+  Io.fsync io tmp;
   (* Rotate: the previous snapshot survives as [path.1] so a corrupted or
      torn write of the newest snapshot never strands the run. *)
-  if Sys.file_exists path then Sys.rename path (fallback_path path);
-  Sys.rename tmp path;
+  if Io.exists io path then Io.rename io path (fallback_path path);
+  Io.rename io tmp path;
   (* Ring-only by design: a metered checkpoint event would make a resumed
      run's metrics diverge from the uninterrupted run's.  Recorded after the
      rename, so the snapshot's own ring excludes its own capture. *)
   if Obs.tracing obs then
     Obs.record obs (Obs.Ckpt_capture { bytes = Bytes.length data })
 
-let read ~path =
+let read ?(io = Io.real) ~path () =
   let data =
-    try read_file path with Sys_error msg -> raise (Error (Unreadable msg))
+    try Io.read_file io path with
+    | Sys_error msg -> raise (Error (Unreadable msg))
+    | Io.Io_error _ as e ->
+        raise (Error (Unreadable (Option.get (Io.error_message e))))
   in
   decode data
 
-let read_with_fallback ~path =
-  match read ~path with
+let read_with_fallback ?(io = Io.real) ~path () =
+  match read ~io ~path () with
   | snap -> Some (snap, `Primary)
   | exception Error _ -> (
       let fb = fallback_path path in
-      if not (Sys.file_exists fb) then None
-      else match read ~path:fb with
+      if not (Io.exists io fb) then None
+      else match read ~io ~path:fb () with
         | snap -> Some (snap, `Fallback)
         | exception Error _ -> None)

@@ -86,22 +86,30 @@ val decode : string -> t
     malformed payload. *)
 
 val write :
+  ?io:Ace_util.Io.t ->
   ?faults:Ace_faults.Faults.t ->
   ?obs:Ace_obs.Obs.t ->
   path:string ->
   t ->
   unit
-(** Atomically write a snapshot: encode, optionally damage the bytes via
-    [Faults.maybe_corrupt_snapshot] (storage-channel fault injection), write
-    to [path.tmp], rotate any existing [path] to [path.1], rename into
-    place.  The rotation guarantees that at most one of the two most recent
-    snapshots can be lost to corruption or a torn write.  A [Full]-level
-    [obs] records a ring-only [Ckpt_capture] event after the write (never a
-    metric, so resumed metrics stay identical to an uninterrupted run's). *)
+(** Atomically and durably write a snapshot: encode, optionally damage the
+    bytes via [Faults.maybe_corrupt_snapshot] (storage-channel fault
+    injection), write to [path.tmp], fsync it, rotate any existing [path]
+    to [path.1], rename into place.  The rotation guarantees that at most
+    one of the two most recent snapshots can be lost to corruption or a
+    torn write; the fsync guarantees the file the rename publishes has its
+    bytes on stable storage.  All filesystem access goes through [io]
+    (default {!Ace_util.Io.real}), so the torture harness can crash the
+    write at every boundary.  A [Full]-level [obs] records a ring-only
+    [Ckpt_capture] event after the write (never a metric, so resumed
+    metrics stay identical to an uninterrupted run's). *)
 
-val read : path:string -> t
-(** @raise Error if the file is unreadable or fails {!decode}. *)
+val read : ?io:Ace_util.Io.t -> path:string -> unit -> t
+(** @raise Error if the file is unreadable or fails {!decode} — storage
+    failures ({!Ace_util.Io.Io_error}) surface as [Error (Unreadable _)],
+    never as a raw exception. *)
 
-val read_with_fallback : path:string -> (t * [ `Primary | `Fallback ]) option
+val read_with_fallback :
+  ?io:Ace_util.Io.t -> path:string -> unit -> (t * [ `Primary | `Fallback ]) option
 (** Read [path]; if it is missing or malformed, fall back to [path.1].
     [None] when neither holds a good snapshot. *)

@@ -1,4 +1,5 @@
 module Rng = Ace_util.Rng
+module Io = Ace_util.Io
 module Obs = Ace_obs.Obs
 
 type config = {
@@ -335,3 +336,12 @@ let restore t s =
       a.jittered_ticks <- s.s_jittered_ticks;
       a.snapshots_corrupted <- s.s_snapshots_corrupted
   | _ -> invalid_arg "Faults.restore: injector/state noneness mismatch"
+
+(* The storage-I/O stream is host-side, like the checkpoint-corruption
+   stream, but lives entirely outside [t]: filesystem faults hit the
+   daemon and harness around the simulation, never the simulated machine,
+   so they have no business in snapshot state.  A distinct offset keeps
+   the stream decorrelated from both the engine stream ([seed]) and the
+   corruption stream ([seed + 7919]). *)
+let storage_io ?(seed = 2005) ~rate base =
+  Io.faulty ~seed:(seed + 6271) (Io.fault_preset ~rate) base

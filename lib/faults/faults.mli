@@ -124,6 +124,17 @@ val maybe_corrupt_snapshot : t -> bytes -> bool
     storage-channel RNG stream, so writing (or not writing) checkpoints
     never changes the engine-visible fault schedule. *)
 
+val storage_io : ?seed:int -> rate:float -> Ace_util.Io.t -> Ace_util.Io.t
+(** Wrap a filesystem backend with seeded storage-fault injection
+    ([Io.fault_preset ~rate]: short/torn writes, [ENOSPC], [EIO], lost
+    fsyncs, rename failures).  Draws from a dedicated stream derived from
+    [seed] (default 2005, matching {!create}) — distinct from both the
+    engine stream and the checkpoint-corruption stream, so storage faults
+    never perturb the simulated fault schedule.  Deliberately stateless
+    with respect to {!t} and absent from {!state}: filesystem faults hit
+    the host around the simulation, not the simulated machine, so they are
+    not part of snapshot state. *)
+
 (** {2 Checkpoint capture / restore}
 
     The injector's own RNG stream and latch table are part of the simulator

@@ -7,6 +7,7 @@ module Accounting = Ace_power.Accounting
 module Hierarchy = Ace_mem.Hierarchy
 module Cache = Ace_mem.Cache
 module Obs = Ace_obs.Obs
+module Io = Ace_util.Io
 
 type do_stats = {
   hotspot_count : int;
@@ -317,8 +318,8 @@ let capture_scheme = function
 (* Wrap [on_interval] — after the scheme attached, so the scheme's own hook
    runs first and the captured state is the post-hook state the resumed run
    would also see. *)
-let install_checkpointing ?kill_after ?on_snapshot ?on_boundary ~path ~obs
-    (m : Snapshot.meta) engine faults attached =
+let install_checkpointing ?(io = Io.real) ?kill_after ?on_snapshot ?on_boundary
+    ~path ~obs (m : Snapshot.meta) engine faults attached =
   let interval =
     match scheme_of_snap m.Snapshot.scheme with
     | Scheme.Bbv -> bbv_interval
@@ -346,7 +347,7 @@ let install_checkpointing ?kill_after ?on_snapshot ?on_boundary ~path ~obs
           }
         in
         (match on_snapshot with Some f -> f snap | None -> ());
-        Snapshot.write ~faults ~obs ~path snap
+        Snapshot.write ~io ~faults ~obs ~path snap
       end;
       (* After the snapshot block, so anything [on_boundary] does to stop
          the run (drain, deadline, chaos kill) finds this boundary's
@@ -354,7 +355,7 @@ let install_checkpointing ?kill_after ?on_snapshot ?on_boundary ~path ~obs
          guaranteed to have made checkpointable progress. *)
       match on_boundary with Some f -> f ~total_instrs | None -> ())
 
-let run_checkpointed ?(scale = 1.0) ?(seed = 1)
+let run_checkpointed ?io ?(scale = 1.0) ?(seed = 1)
     ?(hot_threshold = default_hot_threshold) ?(with_issue_queue = false)
     ?(bbv_prediction = false) ?(resilient = false) ?fault_rate ?kill_after
     ?on_snapshot ?on_boundary ?(obs = Obs.null) ~checkpoint_every ~path
@@ -376,8 +377,8 @@ let run_checkpointed ?(scale = 1.0) ?(seed = 1)
     }
   in
   let engine, faults, attached = instance_of_meta ~obs meta in
-  install_checkpointing ?kill_after ?on_snapshot ?on_boundary ~path ~obs meta
-    engine faults attached;
+  install_checkpointing ?io ?kill_after ?on_snapshot ?on_boundary ~path ~obs
+    meta engine faults attached;
   match Engine.run engine with
   | () ->
       Completed
@@ -385,7 +386,7 @@ let run_checkpointed ?(scale = 1.0) ?(seed = 1)
            ~attached)
   | exception Killed n -> Killed_at n
 
-let resume_from_snapshot ?kill_after ?on_snapshot ?on_boundary ?path
+let resume_from_snapshot ?io ?kill_after ?on_snapshot ?on_boundary ?path
     ?(obs = Obs.null) (snap : Snapshot.t) =
   let m = snap.Snapshot.meta in
   let engine, faults, attached = instance_of_meta ~obs m in
@@ -408,8 +409,8 @@ let resume_from_snapshot ?kill_after ?on_snapshot ?on_boundary ?path
     Obs.record obs (Obs.Ckpt_restore { instrs = Engine.instrs engine });
   (match path with
   | Some path ->
-      install_checkpointing ?kill_after ?on_snapshot ?on_boundary ~path ~obs m
-        engine faults attached
+      install_checkpointing ?io ?kill_after ?on_snapshot ?on_boundary ~path
+        ~obs m engine faults attached
   | None -> ());
   match Engine.resume engine with
   | () ->
@@ -419,8 +420,9 @@ let resume_from_snapshot ?kill_after ?on_snapshot ?on_boundary ?path
            ~engine ~faults ~obs ~attached)
   | exception Killed n -> Killed_at n
 
-let resume_run ?kill_after ?on_boundary ?obs ~path () =
-  match Snapshot.read_with_fallback ~path with
+let resume_run ?io ?kill_after ?on_boundary ?obs ~path () =
+  match Snapshot.read_with_fallback ?io ~path () with
   | None -> None
   | Some (snap, which) ->
-      Some (resume_from_snapshot ?kill_after ?on_boundary ?obs ~path snap, which)
+      Some
+        (resume_from_snapshot ?io ?kill_after ?on_boundary ?obs ~path snap, which)

@@ -103,6 +103,7 @@ type ckpt_outcome =
   | Killed_at of int  (** The run was killed at this instruction boundary. *)
 
 val run_checkpointed :
+  ?io:Ace_util.Io.t ->
   ?scale:float ->
   ?seed:int ->
   ?hot_threshold:int ->
@@ -134,10 +135,14 @@ val run_checkpointed :
     live there, so stopping a run through it always leaves a snapshot of
     the progress already made.  Any exception it raises aborts the run and
     propagates to the caller.  [obs] state is captured into every snapshot,
-    so a later resume continues the same metrics and timeline.
+    so a later resume continues the same metrics and timeline.  All
+    snapshot filesystem traffic goes through [io] (default
+    [Ace_util.Io.real]) — the torture harness substitutes crash-point and
+    fault backends here.
     @raise Invalid_argument if [checkpoint_every] is not positive. *)
 
 val resume_from_snapshot :
+  ?io:Ace_util.Io.t ->
   ?kill_after:int ->
   ?on_snapshot:(Ace_ckpt.Snapshot.t -> unit) ->
   ?on_boundary:(total_instrs:int -> unit) ->
@@ -155,6 +160,7 @@ val resume_from_snapshot :
     uninterrupted one. *)
 
 val resume_run :
+  ?io:Ace_util.Io.t ->
   ?kill_after:int ->
   ?on_boundary:(total_instrs:int -> unit) ->
   ?obs:Ace_obs.Obs.t ->

@@ -185,7 +185,12 @@ let chrome t =
           instant
             ~track:(Printf.sprintf "serve:job %d" id)
             ~name:state ~ts
-            ~args:(Printf.sprintf "\"job\":%d" id))
+            ~args:(Printf.sprintf "\"job\":%d" id)
+      | Obs.Io_fault { op; path } ->
+          instant ~track:"io" ~name:"io_fault" ~ts
+            ~args:
+              (Printf.sprintf "\"op\":\"%s\",\"path\":\"%s\"" (json_escape op)
+                 (json_escape path)))
     evs;
   (* Close whatever is still open at the end of the timeline. *)
   let leftovers = ref [] in
@@ -250,6 +255,7 @@ let csv_fields = function
   | Obs.Ckpt_capture { bytes } -> ("", "", string_of_int bytes, "")
   | Obs.Ckpt_restore { instrs } -> ("", "", string_of_int instrs, "")
   | Obs.Job_state { id; state } -> (string_of_int id, state, "", "")
+  | Obs.Io_fault { op; path } -> ("", op ^ ":" ^ path, "", "")
 
 let csv t =
   let buf = Buffer.create 4096 in

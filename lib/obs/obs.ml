@@ -26,6 +26,7 @@ type kind =
   | Ckpt_capture of { bytes : int }
   | Ckpt_restore of { instrs : int }
   | Job_state of { id : int; state : string }
+  | Io_fault of { op : string; path : string }
 
 type event = { ts : int; kind : kind }
 
@@ -48,6 +49,7 @@ let kind_name = function
   | Ckpt_capture _ -> "ckpt_capture"
   | Ckpt_restore _ -> "ckpt_restore"
   | Job_state _ -> "job_state"
+  | Io_fault _ -> "io_fault"
 
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float }

@@ -67,6 +67,11 @@ type kind =
       (** A serve-daemon job changed state ("queued", "running", "retrying",
           "resumed", "done", "failed", ...).  Emitted only by the daemon's
           own sink, whose clock is wall milliseconds since daemon start. *)
+  | Io_fault of { op : string; path : string }
+      (** A storage operation ([op] — "write", "fsync", "rename", ...)
+          failed on [path].  Emitted by the serve daemon when spool I/O
+          raises [Ace_util.Io.Io_error], so a trace shows exactly when the
+          disk started misbehaving relative to job activity. *)
 
 type event = { ts : int; kind : kind }
 (** [ts] is the engine instruction counter at recording time. *)

@@ -1,5 +1,6 @@
 module Obs = Ace_obs.Obs
 module Export = Ace_obs.Export
+module Io = Ace_util.Io
 module Pool = Ace_util.Pool
 module Snapshot = Ace_ckpt.Snapshot
 module Run = Ace_harness.Run
@@ -16,6 +17,7 @@ type config = {
   trace : string option;
   metrics : string option;
   verbose : bool;
+  io : Io.t;
 }
 
 let default_config ~socket_path ~spool_dir ~workers =
@@ -30,6 +32,7 @@ let default_config ~socket_path ~spool_dir ~workers =
     trace = None;
     metrics = None;
     verbose = false;
+    io = Io.real;
   }
 
 (* -- job control exceptions (raised from [on_boundary]) ------------- *)
@@ -48,6 +51,7 @@ type msg =
   | M_done of { id : int; output : string }
   | M_failed of { id : int; reason : string }
   | M_drained of int
+  | M_io_fault of { id : int; op : string; path : string; enospc : bool }
 
 type mailbox = { mb_mutex : Mutex.t; mb_q : msg Queue.t }
 
@@ -89,6 +93,7 @@ type stats = {
   mutable retries : int;
   mutable resumes : int;
   mutable requeued : int;
+  mutable io_faults : int;
 }
 
 type t = {
@@ -103,6 +108,10 @@ type t = {
   chaos : int Atomic.t;  (** Instructions executed this daemon life. *)
   mb : mailbox;
   pool : Pool.t;
+  mutable degraded : bool;
+      (* Spool writes are hitting ENOSPC: admission paused, settles
+         deferred, a per-tick probe watches for space coming back. *)
+  deferred : (int * [ `Result of string | `Failed of string ]) Queue.t;
   (* metric handles *)
   c_submitted : Obs.counter;
   c_rejected : Obs.counter;
@@ -111,6 +120,8 @@ type t = {
   c_retries : Obs.counter;
   c_resumes : Obs.counter;
   c_requeued : Obs.counter;
+  c_io_fault : Obs.counter;
+  c_degraded : Obs.counter;
   g_queue_depth : Obs.gauge;
   g_running : Obs.gauge;
   h_latency : Obs.histogram;
@@ -132,6 +143,7 @@ let job_event t id state =
    supervisor loop, from mailbox messages. *)
 
 let exec_job ~cfg ~chaos ~drain ~mb id (spec : Protocol.job_spec) =
+  let io = cfg.io in
   let path = Spool.snap_path ~dir:cfg.spool_dir id in
   let started = Unix.gettimeofday () in
   let one_attempt () =
@@ -157,11 +169,11 @@ let exec_job ~cfg ~chaos ~drain ~mb id (spec : Protocol.job_spec) =
       | _ -> ()
     in
     let outcome =
-      match Snapshot.read_with_fallback ~path with
+      match Snapshot.read_with_fallback ~io ~path () with
       | Some (snap, _which) ->
           last := snap.Snapshot.engine.Ace_vm.Engine.s_instrs;
           post mb (M_resumed { id; instrs = !last });
-          Run.resume_from_snapshot ~on_boundary ~path snap
+          Run.resume_from_snapshot ~io ~on_boundary ~path snap
       | None ->
           let workload =
             match Ace_workloads.Specjvm.find spec.Protocol.workload with
@@ -172,7 +184,7 @@ let exec_job ~cfg ~chaos ~drain ~mb id (spec : Protocol.job_spec) =
                 invalid_arg
                   (Printf.sprintf "unknown workload %S" spec.Protocol.workload)
           in
-          Run.run_checkpointed ~scale:spec.Protocol.scale
+          Run.run_checkpointed ~io ~scale:spec.Protocol.scale
             ~seed:spec.Protocol.seed ~resilient:spec.Protocol.resilient
             ?fault_rate:spec.Protocol.fault_rate ~on_boundary
             ~checkpoint_every:cfg.checkpoint_every ~path workload
@@ -191,7 +203,18 @@ let exec_job ~cfg ~chaos ~drain ~mb id (spec : Protocol.job_spec) =
     | exception Deadline_exceeded d ->
         post mb (M_failed { id; reason = Printf.sprintf "deadline of %gs exceeded" d })
     | exception e ->
-        let reason = Printexc.to_string e in
+        (* Storage failures are retried like any other, but the
+           supervisor hears about each one so it can count them, trace
+           them, and enter degraded mode on persistent ENOSPC. *)
+        (match e with
+        | Io.Io_error { op; path; err } ->
+            post mb (M_io_fault { id; op; path; enospc = err = Io.Enospc })
+        | _ -> ());
+        let reason =
+          match Io.error_message e with
+          | Some m -> m
+          | None -> Printexc.to_string e
+        in
         if attempt + 1 >= max_attempts then
           post mb
             (M_failed
@@ -211,9 +234,76 @@ let exec_job ~cfg ~chaos ~drain ~mb id (spec : Protocol.job_spec) =
 
 (* -- supervisor ----------------------------------------------------- *)
 
-let settle t id =
-  t.running <- t.running - 1;
-  Spool.clear_snapshots ~dir:t.cfg.spool_dir id
+let io_fault t ~op ~path =
+  t.stats.io_faults <- t.stats.io_faults + 1;
+  Obs.incr t.obs t.c_io_fault;
+  if Obs.tracing t.obs then Obs.record t.obs (Obs.Io_fault { op; path });
+  log t "storage fault: %s %s" op path
+
+let enter_degraded t =
+  if not t.degraded then begin
+    t.degraded <- true;
+    Obs.incr t.obs t.c_degraded;
+    log t "persistent ENOSPC: entering degraded mode (admissions paused)"
+  end
+
+(* Persist a finished job's outcome.  On storage failure the outcome is
+   deferred, not dropped: the snapshot family is kept so a crash before
+   the deferred settle still resumes the job, and [probe_storage]
+   replays the queue once writes succeed again. *)
+let try_settle t id outcome =
+  let io = t.cfg.io and dir = t.cfg.spool_dir in
+  match
+    match outcome with
+    | `Result output -> Spool.write_result ~io ~dir id output
+    | `Failed reason -> Spool.write_failed ~io ~dir id reason
+  with
+  | () -> (
+      Spool.clear_snapshots ~io ~dir id;
+      let job = Hashtbl.find t.jobs id in
+      match outcome with
+      | `Result _ ->
+          t.stats.completed <- t.stats.completed + 1;
+          Obs.incr t.obs t.c_completed;
+          if Obs.enabled t.obs then
+            Obs.observe t.obs t.h_latency
+              (Unix.gettimeofday () -. job.enqueued_at);
+          job_event t id "done";
+          log t "job %d done" id
+      | `Failed reason ->
+          t.stats.failed <- t.stats.failed + 1;
+          Obs.incr t.obs t.c_failed;
+          job_event t id "failed";
+          log t "job %d failed: %s" id reason)
+  | exception Io.Io_error { op; path; err } ->
+      io_fault t ~op ~path;
+      if err = Io.Enospc then enter_degraded t;
+      Queue.add (id, outcome) t.deferred;
+      log t "job %d settle deferred (storage fault)" id
+
+(* While degraded, poke the spool each tick; the moment a durable write
+   goes through again, lift the pause and replay every deferred settle.
+   Recovery is automatic — no operator action, matching how the queue's
+   Overloaded backpressure already works. *)
+let probe_storage t =
+  if t.degraded then begin
+    let io = t.cfg.io in
+    let probe = Filename.concat t.cfg.spool_dir ".probe" in
+    match
+      Io.write_file io probe "ok";
+      Io.fsync io probe;
+      Io.remove io probe
+    with
+    | () ->
+        t.degraded <- false;
+        log t "storage recovered: admissions resumed"
+    | exception Io.Io_error _ -> ()
+  end;
+  if (not t.degraded) && not (Queue.is_empty t.deferred) then begin
+    let pending = List.of_seq (Queue.to_seq t.deferred) in
+    Queue.clear t.deferred;
+    List.iter (fun (id, outcome) -> try_settle t id outcome) pending
+  end
 
 let process_msg t = function
   | M_resumed { id; instrs } ->
@@ -229,23 +319,13 @@ let process_msg t = function
   | M_done { id; output } ->
       let job = Hashtbl.find t.jobs id in
       job.state <- Done;
-      Spool.write_result ~dir:t.cfg.spool_dir id output;
-      settle t id;
-      t.stats.completed <- t.stats.completed + 1;
-      Obs.incr t.obs t.c_completed;
-      if Obs.enabled t.obs then
-        Obs.observe t.obs t.h_latency (Unix.gettimeofday () -. job.enqueued_at);
-      job_event t id "done";
-      log t "job %d done" id
+      t.running <- t.running - 1;
+      try_settle t id (`Result output)
   | M_failed { id; reason } ->
       let job = Hashtbl.find t.jobs id in
       job.state <- Failed reason;
-      Spool.write_failed ~dir:t.cfg.spool_dir id reason;
-      settle t id;
-      t.stats.failed <- t.stats.failed + 1;
-      Obs.incr t.obs t.c_failed;
-      job_event t id "failed";
-      log t "job %d failed: %s" id reason
+      t.running <- t.running - 1;
+      try_settle t id (`Failed reason)
   | M_drained id ->
       let job = Hashtbl.find t.jobs id in
       job.state <- Interrupted;
@@ -255,6 +335,10 @@ let process_msg t = function
       Obs.incr t.obs t.c_requeued;
       job_event t id "interrupted";
       log t "job %d snapshotted for drain" id
+  | M_io_fault { id; op; path; enospc } ->
+      io_fault t ~op ~path;
+      if enospc then enter_degraded t;
+      log t "job %d hit a storage fault (%s %s)" id op path
 
 let dispatch t =
   while
@@ -291,10 +375,12 @@ let status_report t =
     Protocol.queue_depth = Queue.length t.queue;
     running = t.running;
     draining = Atomic.get t.drain;
+    degraded = t.degraded;
     counters =
       [
         ("completed", t.stats.completed);
         ("failed", t.stats.failed);
+        ("io_faults", t.stats.io_faults);
         ("rejected_overloaded", t.stats.rejected);
         ("requeued", t.stats.requeued);
         ("resumes", t.stats.resumes);
@@ -332,24 +418,36 @@ let handle_request t = function
       else if Ace_workloads.Specjvm.find spec.Protocol.workload = None then
         Protocol.Error_resp
           (Printf.sprintf "unknown benchmark %S" spec.Protocol.workload)
-      else if Queue.length t.queue >= t.cfg.queue_max then begin
+      else if t.degraded || Queue.length t.queue >= t.cfg.queue_max then begin
+        (* Degraded counts as overloaded: the durable-before-acknowledged
+           contract cannot be kept when the spool will not take writes,
+           so admission pauses with the same explicit backpressure. *)
         t.stats.rejected <- t.stats.rejected + 1;
         Obs.incr t.obs t.c_rejected;
         Protocol.Overloaded
       end
       else begin
         let id = t.next_id in
-        t.next_id <- id + 1;
         (* Durable before acknowledged: once the client sees [Accepted],
-           a crash cannot lose the job. *)
-        Spool.write_spec ~dir:t.cfg.spool_dir id spec;
-        ignore (enqueue t ~id ~spec ~state:Queued);
-        t.stats.submitted <- t.stats.submitted + 1;
-        Obs.incr t.obs t.c_submitted;
-        job_event t id "queued";
-        log t "job %d accepted (%s/%s seed %d)" id spec.Protocol.workload
-          (Ace_harness.Scheme.name spec.Protocol.scheme) spec.Protocol.seed;
-        Protocol.Accepted id
+           a crash cannot lose the job.  [next_id] advances only on a
+           successful spec write, so a rejected submit burns no id. *)
+        match Spool.write_spec ~io:t.cfg.io ~dir:t.cfg.spool_dir id spec with
+        | exception Io.Io_error { op; path; err } ->
+            io_fault t ~op ~path;
+            if err = Io.Enospc then enter_degraded t;
+            t.stats.rejected <- t.stats.rejected + 1;
+            Obs.incr t.obs t.c_rejected;
+            Protocol.Overloaded
+        | () ->
+            t.next_id <- id + 1;
+            ignore (enqueue t ~id ~spec ~state:Queued);
+            t.stats.submitted <- t.stats.submitted + 1;
+            Obs.incr t.obs t.c_submitted;
+            job_event t id "queued";
+            log t "job %d accepted (%s/%s seed %d)" id spec.Protocol.workload
+              (Ace_harness.Scheme.name spec.Protocol.scheme)
+              spec.Protocol.seed;
+            Protocol.Accepted id
       end
 
 let handle_conn t conn =
@@ -388,6 +486,7 @@ let write_exports t =
 
 let rec serve_loop t listen_fd =
   List.iter (process_msg t) (drain_mailbox t.mb);
+  probe_storage t;
   dispatch t;
   update_gauges t;
   if Atomic.get t.drain && t.running = 0 then ()
@@ -411,7 +510,7 @@ let run cfg =
   if cfg.queue_max <= 0 then invalid_arg "Daemon.run: queue_max must be positive";
   if cfg.checkpoint_every <= 0 then
     invalid_arg "Daemon.run: checkpoint_every must be positive";
-  Spool.ensure_dir cfg.spool_dir;
+  Spool.ensure_dir ~io:cfg.io cfg.spool_dir;
   let obs = obs_of_config cfg in
   let started_at = Unix.gettimeofday () in
   Obs.set_clock obs (fun () ->
@@ -433,11 +532,14 @@ let run cfg =
           retries = 0;
           resumes = 0;
           requeued = 0;
+          io_faults = 0;
         };
       drain = Atomic.make false;
       chaos = Atomic.make 0;
       mb = { mb_mutex = Mutex.create (); mb_q = Queue.create () };
       pool = Pool.create ~num_domains:cfg.workers ();
+      degraded = false;
+      deferred = Queue.create ();
       c_submitted = Obs.counter obs "serve.submitted";
       c_rejected = Obs.counter obs "serve.rejected_overloaded";
       c_completed = Obs.counter obs "serve.completed";
@@ -445,6 +547,8 @@ let run cfg =
       c_retries = Obs.counter obs "serve.retries";
       c_resumes = Obs.counter obs "serve.resumes";
       c_requeued = Obs.counter obs "serve.requeued";
+      c_io_fault = Obs.counter obs "serve.io_fault";
+      c_degraded = Obs.counter obs "serve.degraded";
       g_queue_depth = Obs.gauge obs "serve.queue_depth";
       g_running = Obs.gauge obs "serve.running";
       h_latency =
@@ -454,7 +558,7 @@ let run cfg =
   in
   (* Recover: every spec without a result/failed file is re-enqueued; a
      readable snapshot makes the worker resume instead of restart. *)
-  let scanned = Spool.scan ~dir:cfg.spool_dir in
+  let scanned = Spool.scan ~io:cfg.io ~dir:cfg.spool_dir () in
   t.next_id <- scanned.Spool.next_id;
   List.iter
     (fun (e : Spool.entry) ->
@@ -469,7 +573,7 @@ let run cfg =
     scanned.Spool.pending;
   List.iter
     (fun id ->
-      match Spool.read_result ~dir:cfg.spool_dir id with
+      match Spool.read_result ~io:cfg.io ~dir:cfg.spool_dir id with
       | Some _ ->
           ignore
             (enqueue t ~id
@@ -480,7 +584,8 @@ let run cfg =
   List.iter
     (fun id ->
       let reason =
-        Option.value ~default:"" (Spool.read_failed ~dir:cfg.spool_dir id)
+        Option.value ~default:""
+          (Spool.read_failed ~io:cfg.io ~dir:cfg.spool_dir id)
       in
       ignore
         (enqueue t ~id

@@ -37,12 +37,23 @@ type config = {
   trace : string option;  (** Timeline export path, written at drain. *)
   metrics : string option;  (** Metrics CSV path, written at drain. *)
   verbose : bool;  (** Log job transitions to stderr. *)
+  io : Ace_util.Io.t;
+      (** Backend for all spool and snapshot filesystem traffic (default
+          {!Ace_util.Io.real}); fault backends drive the daemon's
+          degraded-mode and torture tests.  Storage failures during a job
+          are retried like any other failure; a persistent [ENOSPC] flips
+          the daemon into {e degraded} mode — admission paused with
+          [Overloaded] backpressure, finished-job settles deferred (their
+          snapshots kept), a per-tick probe lifting the pause the moment
+          a durable write succeeds again.  Counted under [serve.io_fault]
+          / [serve.degraded] and visible as [degraded] in the status
+          report. *)
 }
 
 val default_config :
   socket_path:string -> spool_dir:string -> workers:int -> config
 (** queue_max 64, checkpoint cadence 10 M instructions, no chaos, metrics
-    level, no exports, quiet. *)
+    level, no exports, quiet, passthrough [io]. *)
 
 val run : config -> unit
 (** Serve until drained.  Removes a stale socket file at startup and the

@@ -25,6 +25,7 @@ type status_report = {
   queue_depth : int;
   running : int;
   draining : bool;
+  degraded : bool;
   counters : (string * int) list;
   jobs : job_info list;
 }
@@ -102,6 +103,7 @@ let json_of_report (r : status_report) =
       ("queue_depth", Json.Int r.queue_depth);
       ("running", Json.Int r.running);
       ("draining", Json.Bool r.draining);
+      ("degraded", Json.Bool r.degraded);
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
       ( "jobs",
@@ -117,6 +119,10 @@ let report_of_json j =
   let queue_depth = field "queue_depth" Json.to_int j in
   let running = field "running" Json.to_int j in
   let draining = field "draining" Json.to_bool j in
+  (* Lenient: reports from a pre-degraded-mode daemon simply read healthy. *)
+  let degraded =
+    Option.value ~default:false (opt_field "degraded" Json.to_bool j)
+  in
   let counters =
     match Json.member "counters" j with
     | Some (Json.Obj fields) ->
@@ -129,7 +135,7 @@ let report_of_json j =
         { id = field "id" Json.to_int ji; state = field "state" Json.to_str ji })
       (field "jobs" Json.to_list j)
   in
-  { queue_depth; running; draining; counters; jobs }
+  { queue_depth; running; draining; degraded; counters; jobs }
 
 let tagged tag fields = Json.Obj (("type", Json.Str tag) :: fields)
 

@@ -45,6 +45,10 @@ type status_report = {
   queue_depth : int;
   running : int;
   draining : bool;
+  degraded : bool;
+      (** Spool writes are failing with [ENOSPC]: job admission is paused
+          (submits get {!Overloaded}) until a storage probe succeeds.
+          Decoding a report from an older daemon defaults to [false]. *)
   counters : (string * int) list;  (** Sorted by name. *)
   jobs : job_info list;  (** Sorted by id. *)
 }
@@ -58,8 +62,9 @@ type request =
 type response =
   | Accepted of int  (** Submit succeeded; payload is the job id. *)
   | Overloaded
-      (** The queue is at its high-water mark; the client must back off.
-          Explicit backpressure — the daemon never blocks a submitter. *)
+      (** The queue is at its high-water mark, or the daemon is storage
+          [degraded]; the client must back off.  Explicit backpressure —
+          the daemon never blocks a submitter. *)
   | Status_ok of status_report
   | Result_ok of { id : int; state : string; output : string option }
       (** [output] is the run's rendered summary once "done", the failure

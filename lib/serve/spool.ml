@@ -1,3 +1,4 @@
+module Io = Ace_util.Io
 module Scratch = Ace_util.Scratch
 module Snapshot = Ace_ckpt.Snapshot
 
@@ -16,79 +17,88 @@ let snap_path ~dir id = job_file ~dir id "snap"
 let result_path ~dir id = job_file ~dir id "result"
 let failed_path ~dir id = job_file ~dir id "failed"
 
-let ensure_dir dir =
+let ensure_dir ?(io = Io.real) dir =
   let rec mk d =
-    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    if d <> "/" && d <> "." && not (Io.exists io d) then begin
       mk (Filename.dirname d);
-      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
+      try Io.mkdir io d
+      with Io.Io_error { err = Eexist; _ } -> ()
     end
   in
   mk dir
 
-let write_atomic path data =
+let write_atomic io path data =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc data);
-  Sys.rename tmp path
+  Io.write_file io tmp data;
+  (* Durable before published: without the fsync, a post-crash directory
+     can hold a correctly-named file whose bytes never hit the platter. *)
+  Io.fsync io tmp;
+  Io.rename io tmp path
 
-let read_file path =
-  if not (Sys.file_exists path) then None
-  else
-    let ic = open_in_bin path in
-    Some
-      (Fun.protect
-         ~finally:(fun () -> close_in_noerr ic)
-         (fun () -> really_input_string ic (in_channel_length ic)))
+let read_file io path =
+  if not (Io.exists io path) then None else Some (Io.read_file io path)
 
-let write_spec ~dir id spec =
-  write_atomic (spec_path ~dir id) (Json.to_string (Protocol.json_of_spec spec))
+let write_spec ?(io = Io.real) ~dir id spec =
+  write_atomic io (spec_path ~dir id)
+    (Json.to_string (Protocol.json_of_spec spec))
 
-let write_result ~dir id output = write_atomic (result_path ~dir id) output
-let write_failed ~dir id msg = write_atomic (failed_path ~dir id) msg
-let read_result ~dir id = read_file (result_path ~dir id)
-let read_failed ~dir id = read_file (failed_path ~dir id)
+let write_result ?(io = Io.real) ~dir id output =
+  write_atomic io (result_path ~dir id) output
 
-let clear_snapshots ~dir id =
-  Scratch.remove_existing (Scratch.snapshot_family (snap_path ~dir id))
+let write_failed ?(io = Io.real) ~dir id msg =
+  write_atomic io (failed_path ~dir id) msg
+
+let read_result ?(io = Io.real) ~dir id = read_file io (result_path ~dir id)
+let read_failed ?(io = Io.real) ~dir id = read_file io (failed_path ~dir id)
+
+let clear_snapshots ?(io = Io.real) ~dir id =
+  Scratch.remove_existing ~io (Scratch.snapshot_family (snap_path ~dir id))
 
 (* The typed snapshot errors let the supervisor distinguish "killed
    mid-write, fall back" (Truncated — routine under chaos) from anything
    that deserves a louder note. *)
-let snapshot_note ~dir id =
+let snapshot_note io ~dir id =
   let path = snap_path ~dir id in
-  if not (Sys.file_exists path) then None
+  if not (Io.exists io path) then None
   else
-    match Snapshot.read ~path with
+    match Snapshot.read ~io ~path () with
     | (_ : Snapshot.t) -> None
     | exception Snapshot.Error e ->
         Some
           (Printf.sprintf "primary snapshot unusable (%s)"
              (Snapshot.error_to_string e))
 
-let scan ~dir =
+let scan ?(io = Io.real) ~dir () =
+  (* Sorted before parsing: readdir order is filesystem-defined (inode
+     hash order on ext4, insertion order on tmpfs), and replay decisions
+     must not depend on which filesystem hosts the spool. *)
+  let names =
+    let a = Io.readdir io dir in
+    Array.sort compare a;
+    a
+  in
   let ids ext =
-    Sys.readdir dir |> Array.to_list
+    Array.to_list names
     |> List.filter_map (fun name ->
            Scanf.sscanf_opt name "job-%06d.%s%!" (fun id e ->
                if e = ext then Some id else None))
     |> List.concat_map Option.to_list
   in
-  let spec_ids = List.sort compare (ids "spec") in
-  let done_ids = List.sort compare (ids "result") in
-  let failed_ids = List.sort compare (ids "failed") in
+  let spec_ids = ids "spec" in
+  let done_ids = ids "result" in
+  let failed_ids = ids "failed" in
   let settled id = List.mem id done_ids || List.mem id failed_ids in
   let pending =
     List.filter_map
       (fun id ->
         if settled id then None
         else
-          match read_file (spec_path ~dir id) with
+          match read_file io (spec_path ~dir id) with
           | None -> None
           | Some data -> (
               match Protocol.spec_of_json (Json.of_string data) with
-              | spec -> Some { id; spec; snapshot_note = snapshot_note ~dir id }
+              | spec ->
+                  Some { id; spec; snapshot_note = snapshot_note io ~dir id }
               | exception (Json.Parse_error _ | Protocol.Protocol_error _) ->
                   None))
       spec_ids

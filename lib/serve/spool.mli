@@ -15,7 +15,13 @@
     directory: specs without a result/failed file are in-flight and are
     re-enqueued (resuming from the snapshot when one is readable), and ids
     continue from one past the highest ever used, so results never
-    collide. *)
+    collide.
+
+    All filesystem access goes through an injectable {!Ace_util.Io.t}
+    (default {!Ace_util.Io.real}); the torture harness substitutes fault
+    and crash-point backends.  Write errors surface as
+    {!Ace_util.Io.Io_error} — callers (the daemon) decide whether that
+    means retry, quarantine, or degraded mode. *)
 
 type entry = {
   id : int;
@@ -39,22 +45,24 @@ val snap_path : dir:string -> int -> string
 val result_path : dir:string -> int -> string
 val failed_path : dir:string -> int -> string
 
-val ensure_dir : string -> unit
+val ensure_dir : ?io:Ace_util.Io.t -> string -> unit
 (** Create the spool directory (and its parent) if missing. *)
 
-val write_spec : dir:string -> int -> Protocol.job_spec -> unit
-(** Atomic (tmp + rename), so a crash can never leave a half-written spec
-    that a restart would refuse to parse. *)
+val write_spec : ?io:Ace_util.Io.t -> dir:string -> int -> Protocol.job_spec -> unit
+(** Atomic and durable (tmp + fsync + rename), so a crash can never leave
+    a half-written spec that a restart would refuse to parse. *)
 
-val write_result : dir:string -> int -> string -> unit
-val write_failed : dir:string -> int -> string -> unit
-val read_result : dir:string -> int -> string option
-val read_failed : dir:string -> int -> string option
+val write_result : ?io:Ace_util.Io.t -> dir:string -> int -> string -> unit
+val write_failed : ?io:Ace_util.Io.t -> dir:string -> int -> string -> unit
+val read_result : ?io:Ace_util.Io.t -> dir:string -> int -> string option
+val read_failed : ?io:Ace_util.Io.t -> dir:string -> int -> string option
 
-val clear_snapshots : dir:string -> int -> unit
+val clear_snapshots : ?io:Ace_util.Io.t -> dir:string -> int -> unit
 (** Remove the job's snapshot family (kept spec/result files stay). *)
 
-val scan : dir:string -> scan_result
-(** Unparseable spec files are skipped (a crash between [open] and [rename]
+val scan : ?io:Ace_util.Io.t -> dir:string -> unit -> scan_result
+(** Directory entries are sorted before replay, so recovery order is
+    deterministic no matter what order the filesystem returns them in.
+    Unparseable spec files are skipped (a crash between [open] and [rename]
     cannot produce one, so they indicate operator tampering); their ids
     still count toward [next_id]. *)

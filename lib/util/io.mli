@@ -1,0 +1,137 @@
+(** Injectable filesystem layer for all durable I/O.
+
+    Snapshots ([Ace_ckpt.Snapshot]), the serve spool ([Ace_serve.Spool])
+    and scratch-space cleanup ({!Scratch}) perform every filesystem
+    operation through a value of type {!t}, so storage faults and crash
+    points are injected in exactly one place.  Backends:
+
+    - {!real} — passthrough to the OS, allocation-free per call;
+    - {!Mem} — an in-memory filesystem with page-cache crash semantics
+      (data is volatile until {!fsync}; metadata journals durably);
+    - {!faulty} — seeded probabilistic fault injection (short/torn
+      writes, [ENOSPC], [EIO], lost fsyncs, rename failures);
+    - {!crash_at} / {!recording} — deterministic crash-point enumeration
+      used by the torture harness;
+    - {!enospc_while} / {!shuffled_readdir} — targeted adversaries for
+      the daemon's degraded mode and [Spool.scan] order independence. *)
+
+type err = Enospc | Eio | Enoent | Eexist | Eother of string
+
+exception Io_error of { op : string; path : string; err : err }
+(** Every backend reports failures with this one exception; callers that
+    tolerate storage errors match on it rather than on [Sys_error]. *)
+
+exception Crashed
+(** Raised by a {!crash_at} backend at (and forever after) its crash
+    point — the simulated process is dead and can touch nothing more. *)
+
+val err_to_string : err -> string
+
+val error_message : exn -> string option
+(** [Some human_readable] for an {!Io_error}, [None] otherwise. *)
+
+type t
+
+val read_file : t -> string -> string
+(** Whole-file read. Raises {!Io_error} with [Enoent] if missing. *)
+
+val write_file : t -> string -> string -> unit
+(** Whole-file create-or-truncate write.  Not atomic and not durable on
+    its own — callers compose [write tmp; fsync tmp; rename tmp dst]. *)
+
+val fsync : t -> string -> unit
+(** Flush a file's data to stable storage (by path: the passthrough
+    backend reopens the file and calls [fsync(2)] on the fd). *)
+
+val rename : t -> string -> string -> unit
+val remove : t -> string -> unit
+val exists : t -> string -> bool
+
+val readdir : t -> string -> string array
+(** Entries in backend-defined order — callers that replay state from a
+    directory must sort. *)
+
+val mkdir : t -> string -> unit
+val rmdir : t -> string -> unit
+
+val real : t
+(** Passthrough to the OS.  The record is built once at module init;
+    calls allocate nothing beyond what the syscall wrappers do. *)
+
+(** In-memory filesystem with crash semantics. *)
+module Mem : sig
+  type fs
+
+  val create : unit -> fs
+
+  val io : fs -> t
+  (** A handle operating on [fs].  Several handles (e.g. the dying
+      process's {!crash_at} wrapper and the recovering process's plain
+      one) may share one [fs]. *)
+
+  type crash_mode = [ `Drop | `Keep ]
+
+  val crash : crash_mode -> fs -> unit
+  (** Simulate power loss. [`Drop] discards all data not made durable by
+      {!fsync} (metadata — creations, renames, unlinks — survives, so an
+      unsynced new file survives as empty); [`Keep] models a kernel that
+      flushed everything before dying.  Enumerating crash points under
+      both brackets real filesystem behaviour. *)
+
+  val durable_files : fs -> (string * string) list
+  (** The durable image, sorted by path — for test assertions. *)
+end
+
+(** {1 Fault injection} *)
+
+type fault_config = {
+  write_enospc_p : float;
+  write_eio_p : float;
+  short_write_p : float;  (** Write a prefix, then raise [Enospc]. *)
+  lost_fsync_p : float;  (** Report success without flushing. *)
+  fsync_eio_p : float;
+  rename_eio_p : float;
+  remove_eio_p : float;
+  read_eio_p : float;
+}
+
+val no_io_faults : fault_config
+
+val fault_preset : rate:float -> fault_config
+(** One-knob preset: writes fail at [rate], rarer channels (fsync,
+    rename, reads) at a fraction of it. *)
+
+val faulty : ?seed:int -> fault_config -> t -> t
+(** Wrap a backend with seeded fault injection.  Deterministic: the same
+    seed and call sequence produce the same faults.  Channels with
+    probability 0 draw nothing, so enabling one fault never shifts
+    another's sequence. *)
+
+val enospc_while : (unit -> bool) -> t -> t
+(** While the predicate holds, every [write_file]/[mkdir] raises
+    [Enospc].  Models a full disk that later drains — drives the
+    daemon's degraded-mode smoke test. *)
+
+val shuffled_readdir : seed:int -> t -> t
+(** Permute every {!readdir} result — an adversarial filesystem for
+    order-independence regression tests. *)
+
+(** {1 Crash-point enumeration} *)
+
+type op_kind = Op_write | Op_fsync | Op_rename | Op_remove | Op_mkdir | Op_rmdir
+
+type op = { op_kind : op_kind; op_path : string }
+
+val op_kind_name : op_kind -> string
+
+val recording : t -> t * (unit -> op array)
+(** Count state-mutating operations (reads are not crash boundaries: a
+    crash before a read is indistinguishable from one before the next
+    mutation).  The callback returns ops observed so far, in order; the
+    torture harness crashes a fresh run at each index. *)
+
+val crash_at : at:int -> ?torn:bool -> t -> t
+(** Raise {!Crashed} at the [at]-th mutating operation (0-based) and on
+    every operation — reads included — thereafter.  With [~torn:true] a
+    crash landing on a write first leaves half the data behind, the
+    deterministic torn-write case. *)

@@ -11,9 +11,10 @@ val snapshot_family : string -> string list
 (** Every file [Ace_ckpt.Snapshot.write] can leave behind for [path]:
     [path], [path ^ ".1"] and [path ^ ".tmp"]. *)
 
-val remove_existing : string list -> unit
+val remove_existing : ?io:Io.t -> string list -> unit
 (** Remove each listed file that exists; removal errors (e.g. a path
-    deleted concurrently) are ignored. *)
+    deleted concurrently, or a transient {!Io.Io_error}) are ignored
+    per-path — one failing unlink never abandons the rest of the list. *)
 
 val with_temp_snapshots :
   ?prefix:string -> ?also:(string -> string list) -> int -> (string list -> 'a) -> 'a
@@ -25,7 +26,9 @@ val with_temp_snapshots :
     sequentially on the calling domain ([Filename.temp_file] draws from a
     process-global PRNG), so [f] may fan them out across a pool. *)
 
-val with_temp_dir : ?prefix:string -> (string -> 'a) -> 'a
+val with_temp_dir : ?io:Io.t -> ?prefix:string -> (string -> 'a) -> 'a
 (** [with_temp_dir f] creates a fresh private directory under the temp dir,
     runs [f dir], and removes the directory and every file directly inside
-    it (no recursion into subdirectories) whether [f] returns or raises. *)
+    it (no recursion into subdirectories) whether [f] returns or raises.
+    Cleanup is fault-tolerant per entry: a failing unlink skips only that
+    entry, never the remainder. *)

@@ -127,7 +127,7 @@ let test_read_truncated_file () =
     close_out oc
   in
   let expect_truncated what =
-    match Snapshot.read ~path with
+    match Snapshot.read ~path () with
     | exception Snapshot.Error (Snapshot.Truncated _) -> ()
     | exception Snapshot.Error e ->
         Alcotest.failf "%s: wrong error class: %s" what (Snapshot.error_to_string e)
@@ -163,7 +163,7 @@ let test_write_rotates_and_falls_back () =
   Snapshot.write ~path s1;
   Snapshot.write ~path s2;
   Alcotest.(check bool) "rotated" true (Sys.file_exists (path ^ ".1"));
-  (match Snapshot.read_with_fallback ~path with
+  (match Snapshot.read_with_fallback ~path () with
   | Some (s, `Primary) ->
       Alcotest.(check bool) "primary is newest" true (snaps_equal s s2)
   | _ -> Alcotest.fail "expected primary");
@@ -173,7 +173,7 @@ let test_write_rotates_and_falls_back () =
   seek_out oc 30;
   output_string oc "garbage";
   close_out oc;
-  (match Snapshot.read_with_fallback ~path with
+  (match Snapshot.read_with_fallback ~path () with
   | Some (s, `Fallback) ->
       Alcotest.(check bool) "fallback is previous" true (snaps_equal s s1)
   | _ -> Alcotest.fail "expected fallback");
@@ -181,7 +181,47 @@ let test_write_rotates_and_falls_back () =
   let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 (path ^ ".1") in
   output_string oc "junk";
   close_out oc;
-  Alcotest.(check bool) "both bad" true (Snapshot.read_with_fallback ~path = None);
+  Alcotest.(check bool)
+    "both bad" true
+    (Snapshot.read_with_fallback ~path () = None);
+  cleanup path
+
+let test_torn_generations () =
+  (* The torture harness's torn-write case, pinned as a unit test: a crash
+     mid-write leaves a prefix of the file, not corrupted bytes. *)
+  let path = tmp_path () in
+  let snaps, _ = sample_snapshots () in
+  let s1, s2 =
+    match snaps with a :: b :: _ -> (a, b) | _ -> Alcotest.fail "need 2 snaps"
+  in
+  Snapshot.write ~path s1;
+  Snapshot.write ~path s2;
+  let tear p =
+    let ic = open_in_bin p in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let oc = open_out_bin p in
+    output_string oc (String.sub data 0 (String.length data / 2));
+    close_out oc
+  in
+  tear path;
+  (match Snapshot.read_with_fallback ~path () with
+  | Some (s, `Fallback) ->
+      Alcotest.(check bool) "torn primary falls back to rotation" true
+        (snaps_equal s s1)
+  | _ -> Alcotest.fail "expected fallback from torn primary");
+  (* Tear the rotation too: reads must fail with a *typed* error and the
+     fallback reader must report None — never leak a raw exception. *)
+  tear (path ^ ".1");
+  (match Snapshot.read ~path () with
+  | exception Snapshot.Error (Snapshot.Truncated _) -> ()
+  | exception Snapshot.Error e ->
+      Alcotest.failf "wrong error class: %s" (Snapshot.error_to_string e)
+  | exception e ->
+      Alcotest.failf "untyped exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "torn primary accepted");
+  Alcotest.(check bool) "both generations torn -> None" true
+    (Snapshot.read_with_fallback ~path () = None);
   cleanup path
 
 let test_checkpoint_every_validated () =
@@ -231,6 +271,8 @@ let suite =
     Tu.case "read flags truncated files" test_read_truncated_file;
     Tu.case "golden snapshot decodes" test_golden_snapshot;
     Tu.case "write rotates and falls back" test_write_rotates_and_falls_back;
+    Tu.case "torn generations: rotation fallback, typed errors"
+      test_torn_generations;
     Tu.case "checkpoint_every validated" test_checkpoint_every_validated;
     Tu.slow_case "determinism oracle: baseline" test_oracle_baseline;
     Tu.slow_case "determinism oracle: hotspot" test_oracle_hotspot;

@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
       ("serve", Test_serve.suite);
+      ("torture", Test_torture.suite);
     ]

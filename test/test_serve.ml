@@ -82,7 +82,7 @@ let test_request_roundtrip () =
 
 let test_response_roundtrip () =
   let report =
-    { Protocol.queue_depth = 3; running = 2; draining = true;
+    { Protocol.queue_depth = 3; running = 2; draining = true; degraded = true;
       counters = [ ("serve.completed", 5); ("serve.submitted", 9) ];
       jobs = [ { Protocol.id = 1; state = "done" }; { Protocol.id = 2; state = "running" } ] }
   in
@@ -187,7 +187,7 @@ let test_spool_scan_classifies () =
       Spool.write_result ~dir 2 "output\n";
       Spool.write_spec ~dir 5 spec;
       Spool.write_failed ~dir 5 "poisoned";
-      let scan = Spool.scan ~dir in
+      let scan = Spool.scan ~dir () in
       Alcotest.(check int) "next id past the highest ever used" 6 scan.Spool.next_id;
       Alcotest.(check (list int)) "pending"
         [ 1 ] (List.map (fun e -> e.Spool.id) scan.Spool.pending);
@@ -209,7 +209,7 @@ let test_spool_scan_notes_truncated_snapshot () =
          classify the job as pending and explain why the snapshot is dead. *)
       let oc = open_out (Spool.snap_path ~dir 1) in
       close_out oc;
-      let scan = Spool.scan ~dir in
+      let scan = Spool.scan ~dir () in
       match scan.Spool.pending with
       | [ entry ] ->
           let note = Option.value ~default:"" entry.Spool.snapshot_note in
@@ -225,7 +225,7 @@ let test_spool_scan_notes_truncated_snapshot () =
 
 let exe = "../bin/ace_sim.exe"
 
-let start_daemon ?kill_after ?(workers = 1) ?(queue_max = 8)
+let start_daemon ?kill_after ?enospc_for ?(workers = 1) ?(queue_max = 8)
     ?(checkpoint_every = 500_000) ~socket ~spool () =
   let args =
     [ exe; "serve"; "--socket"; socket; "--spool"; spool; "--jobs";
@@ -233,6 +233,9 @@ let start_daemon ?kill_after ?(workers = 1) ?(queue_max = 8)
       "--checkpoint-every"; string_of_int checkpoint_every ]
     @ (match kill_after with
       | Some n -> [ "--kill-after"; string_of_int n ]
+      | None -> [])
+    @ (match enospc_for with
+      | Some s -> [ "--enospc-for"; string_of_float s ]
       | None -> [])
   in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
@@ -452,6 +455,54 @@ let test_daemon_kill9_restart_resume () =
             (counter r "resumes" >= 1);
           stop_and_reap ~socket restarted))
 
+(* Full disk: submits are refused with explicit backpressure, status
+   reports [degraded], and when space returns the storage probe lifts
+   degraded mode automatically — no restart, no lost acknowledgements. *)
+let test_daemon_degraded_enospc () =
+  with_serve_env (fun ~socket ~spool ->
+      (* Pre-create the spool so startup's [ensure_dir] finds it and the
+         full-disk window hits the first spec write instead. *)
+      Spool.ensure_dir spool;
+      let pid = start_daemon ~enospc_for:5.0 ~workers:1 ~socket ~spool () in
+      Fun.protect
+        ~finally:(fun () -> kill_hard pid)
+        (fun () ->
+          wait_until ~what:"daemon socket" (daemon_ready ~socket);
+          let spec =
+            Protocol.job_spec ~scale:0.1 ~seed:9 ~workload:"compress"
+              Scheme.Fixed_baseline
+          in
+          (* The disk is full: the durable-before-acknowledged contract
+             cannot be kept, so the daemon must refuse rather than accept. *)
+          (match Client.submit ~socket spec with
+          | Protocol.Overloaded -> ()
+          | other ->
+              Alcotest.failf "expected Overloaded on a full disk, got %s"
+                (Protocol.encode_response other));
+          let r = get_status ~socket in
+          Alcotest.(check bool) "status reports degraded" true r.Protocol.degraded;
+          Alcotest.(check bool) "io_faults counter ticked" true
+            (counter r "io_faults" >= 1);
+          (* While degraded, further submits are refused without touching
+             the (still-broken) spool. *)
+          (match Client.submit ~socket spec with
+          | Protocol.Overloaded -> ()
+          | other ->
+              Alcotest.failf "expected Overloaded while degraded, got %s"
+                (Protocol.encode_response other));
+          (* Space returns; the per-tick probe must clear degraded mode on
+             its own — no restart, no operator intervention. *)
+          wait_until ~timeout:30.0 ~what:"degraded mode to lift" (fun () ->
+              not (get_status ~socket).Protocol.degraded);
+          let id = submit_ok ~socket spec in
+          Alcotest.(check string) "post-recovery job byte-identical"
+            (expected_output ~scale:0.1 ~seed:9 Scheme.Fixed_baseline)
+            (wait_done ~socket id);
+          let r = get_status ~socket in
+          Alcotest.(check bool) "rejections were counted" true
+            (counter r "rejected_overloaded" >= 2);
+          stop_and_reap ~socket pid))
+
 (* Acceptance criterion: kill the daemon 10 seeded times mid-queue via
    --kill-after chaos; every accepted job still completes and every result
    is byte-identical to the batch run. *)
@@ -565,6 +616,8 @@ let suite =
       test_daemon_poisoned_job_isolation;
     Tu.slow_case "kill -9, restart, resume bit-identically"
       test_daemon_kill9_restart_resume;
+    Tu.slow_case "full disk: degraded mode, backpressure, auto-recovery"
+      test_daemon_degraded_enospc;
     Tu.slow_case "chaos soak: 10 seeded kills, results byte-identical"
       test_daemon_chaos_soak;
   ]
