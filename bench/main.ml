@@ -306,6 +306,47 @@ let core_json path =
     path cache_ns cache_words data_ns pool_ns serve_codec_ns
     snapshot_encode_ns snapshot_decode_ns io_passthrough_minor_words
 
+(* CI mode: wall-clock of a full vs sampled run on a long synthetic
+   workload (the fast-forward win scales with phase repetition), emitted
+   as BENCH_sample.json.  CI gates the speedup at >= 10x and requires the
+   sampled run's architectural instruction count to equal the full
+   run's exactly. *)
+let sample_json path =
+  let params =
+    { Ace_workloads.Synthetic.default with phase_repeats = 2000 }
+  in
+  let w = Ace_workloads.Synthetic.workload ~name:"sample-bench" params in
+  let scheme = Ace_harness.Scheme.Hotspot in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let full, full_s = time (fun () -> Ace_harness.Run.run ~seed:1 w scheme) in
+  let sampled, sampled_s =
+    time (fun () ->
+        Ace_harness.Run.run ~seed:1 ~sample:Ace_sample.Sample.default_config w
+          scheme)
+  in
+  let speedup = full_s /. sampled_s in
+  let spliced =
+    match sampled.Ace_harness.Run.sample with
+    | Some s -> s.Ace_sample.Sample.spliced_instrs
+    | None -> 0
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"full_s\": %.3f, \"sampled_s\": %.3f, \"speedup\": %.2f, \
+     \"instrs\": %d, \"instrs_match\": %b, \"spliced_instrs\": %d}\n"
+    full_s sampled_s speedup full.Ace_harness.Run.instrs
+    (full.Ace_harness.Run.instrs = sampled.Ace_harness.Run.instrs)
+    spliced;
+  close_out oc;
+  Printf.printf
+    "wrote %s (full %.2fs, sampled %.2fs, speedup %.1fx, %d of %d instrs \
+     spliced)\n"
+    path full_s sampled_s speedup spliced sampled.Ace_harness.Run.instrs
+
 (* ------------------------------------------------------------------ *)
 (* One Test.make per table/figure: the experiment's real code path on a
    reduced-scale context (fresh context per run so memoization does not
@@ -405,10 +446,15 @@ let () =
       Some Sys.argv.(i + 1)
     else find_flag name (i + 1)
   in
-  match (find_flag "--obs-json" 1, find_flag "--core-json" 1) with
-  | Some path, _ -> obs_json path
-  | None, Some path -> core_json path
-  | None, None ->
+  match
+    ( find_flag "--obs-json" 1,
+      find_flag "--core-json" 1,
+      find_flag "--sample-json" 1 )
+  with
+  | Some path, _, _ -> obs_json path
+  | None, Some path, _ -> core_json path
+  | None, None, Some path -> sample_json path
+  | None, None, None ->
       let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
       run_bechamel ();
       if not quick then run_reproduction ()

@@ -213,9 +213,63 @@ let run_cmd =
              boundary at or past $(docv) instructions (positive), leaving \
              the last snapshot on disk.")
   in
+  let sample_flag =
+    Arg.(
+      value & flag
+      & info [ "sample" ]
+          ~doc:
+            "Phase-memoized fast-forward sampling: once a recurring \
+             optimized phase's statistics stabilize, replay its repeats \
+             from the memoized record instead of simulating every cache \
+             access.  Architectural results are exact; timing and energy \
+             are within the memoization bound.  Requires $(b,--resilient) \
+             when combined with $(b,--faults).")
+  in
+  let sample_repeats =
+    Arg.(
+      value
+      & opt (some (pos_int_conv "sample repeat threshold")) None
+      & info [ "sample-repeats" ] ~docv:"N"
+          ~doc:
+            "Clean repeats required before a phase may be fast-forwarded \
+             (positive; default 3).  Only valid with $(b,--sample).")
+  in
   let action workload scheme scale seed verbose fault_rate resilient checkpoint
-      checkpoint_every resume kill_after trace metrics obs_level =
+      checkpoint_every resume kill_after sample_flag sample_repeats trace
+      metrics obs_level =
     let obs = obs_of_flags ~trace ~metrics ~obs_level in
+    (* --sample flag validation: the combinations below would silently
+       produce misleading results, so they are hard errors (exit 2, like a
+       usage error). *)
+    if sample_repeats <> None && not sample_flag then begin
+      Printf.eprintf "ace_sim: --sample-repeats requires --sample\n";
+      exit 2
+    end;
+    if sample_flag && fault_rate <> None && not resilient then begin
+      Printf.eprintf
+        "ace_sim: --sample with --faults requires --resilient (memoized \
+         phase statistics are only invalidated safely when the framework \
+         can detect and recover from faulty configurations)\n";
+      exit 2
+    end;
+    if sample_flag && resume <> None then begin
+      Printf.eprintf
+        "ace_sim: --sample cannot be set on --resume (the snapshot's \
+         metadata decides whether the run is sampled)\n";
+      exit 2
+    end;
+    let sample =
+      if not sample_flag then None
+      else
+        Some
+          {
+            Ace_sample.Sample.default_config with
+            Ace_sample.Sample.repeats =
+              (match sample_repeats with
+              | Some n -> n
+              | None -> Ace_sample.Sample.default_config.Ace_sample.Sample.repeats);
+          }
+    in
     (* Exports are written for killed runs too: the trace of a crashed run
        is exactly what one wants to look at. *)
     let finish_outcome outcome =
@@ -254,8 +308,8 @@ let run_cmd =
         | Some path ->
             finish_outcome
               (Ace_harness.Run.run_checkpointed ~scale ~seed ~resilient
-                 ?fault_rate ?kill_after ~obs ~checkpoint_every ~path workload
-                 scheme)
+                 ?fault_rate ?sample ?kill_after ~obs ~checkpoint_every ~path
+                 workload scheme)
         | None ->
             let faults =
               Option.map (fun rate -> Ace_faults.Faults.preset ~rate) fault_rate
@@ -269,8 +323,8 @@ let run_cmd =
               else Ace_core.Framework.default_config
             in
             let r =
-              Ace_harness.Run.run ~scale ~seed ~framework_config ?faults ~obs
-                workload scheme
+              Ace_harness.Run.run ~scale ~seed ~framework_config ?faults
+                ?sample ~obs workload scheme
             in
             write_exports ~trace ~metrics obs;
             print_summary r;
@@ -296,7 +350,8 @@ let run_cmd =
     Term.(
       const action $ workload $ scheme $ scale_arg $ seed_arg $ verbose
       $ fault_rate $ resilient $ checkpoint $ checkpoint_every $ resume
-      $ kill_after $ trace_arg $ metrics_arg $ obs_level_arg)
+      $ kill_after $ sample_flag $ sample_repeats $ trace_arg $ metrics_arg
+      $ obs_level_arg)
 
 let report_cmd =
   let workload =
@@ -312,10 +367,21 @@ let report_cmd =
       & info [ "s"; "scheme" ] ~docv:"SCHEME"
           ~doc:"Resource-management scheme: baseline, hotspot or bbv.")
   in
-  let action workload scheme scale seed =
+  let sample =
+    Arg.(
+      value & flag
+      & info [ "sample" ]
+          ~doc:
+            "Run under phase-memoized fast-forward sampling; the report's \
+             $(i,sampled regions) line counts the spliced regions.")
+  in
+  let action workload scheme scale seed sample =
     let obs = Obs.create Obs.Full in
     let (_ : Ace_harness.Run.result) =
-      Ace_harness.Run.run ~scale ~seed ~obs workload scheme
+      Ace_harness.Run.run ~scale ~seed ~obs
+        ?sample:
+          (if sample then Some Ace_sample.Sample.default_config else None)
+        workload scheme
     in
     print_string (Export.report obs)
   in
@@ -325,7 +391,8 @@ let report_cmd =
         "Run one benchmark with full observability and print a \
          human-readable activity report (metrics, rates, timeline tail)."
   in
-  Cmd.v info Term.(const action $ workload $ scheme $ scale_arg $ seed_arg)
+  Cmd.v info
+    Term.(const action $ workload $ scheme $ scale_arg $ seed_arg $ sample)
 
 let exp_cmd =
   let ids =
@@ -333,7 +400,7 @@ let exp_cmd =
       "table1"; "table2"; "table3"; "fig1"; "table4"; "table5"; "table6";
       "fig3"; "fig4"; "ablation-decoupling"; "ablation-thresholds";
       "ext-issue-queue"; "ext-prediction"; "ext-bbv-predictor"; "resilience";
-      "stability"; "soak"; "torture"; "all"; "paper";
+      "stability"; "sample-accuracy"; "soak"; "torture"; "all"; "paper";
     ]
   in
   let id =
@@ -365,7 +432,23 @@ let exp_cmd =
             "Torture only: enumerate the crash-point matrix under seeds 1 \
              through $(docv).  Ignored by the other experiments.")
   in
-  let action id scale seed jobs seeds =
+  let sample_flag =
+    Arg.(
+      value & flag
+      & info [ "sample" ]
+          ~doc:
+            "Run every simulation in the experiment under phase-memoized \
+             fast-forward sampling (not valid with $(b,sample-accuracy), \
+             which already compares sampled vs full, nor with \
+             $(b,torture)).")
+  in
+  let action id scale seed jobs seeds sample =
+    (* sample-accuracy runs both sides itself; a context-wide --sample
+       would collapse the comparison to sampled-vs-sampled. *)
+    if sample && (id = "sample-accuracy" || id = "torture") then begin
+      Printf.eprintf "ace_sim: --sample is not valid with %s\n" id;
+      exit 2
+    end;
     if id = "torture" then begin
       (* Not an Experiments table: the torture matrix needs no worker
          context, exercises ace_serve rather than the paper harness, and
@@ -380,7 +463,12 @@ let exp_cmd =
       if Ace_serve.Torture.total_violations tallies > 0 then exit 1
     end
     else
-    let ctx = Ace_harness.Experiments.create ~scale ~seed ~jobs () in
+    let ctx =
+      Ace_harness.Experiments.create ~scale ~seed ~jobs
+        ?sample:
+          (if sample then Some Ace_sample.Sample.default_config else None)
+        ()
+    in
     let print (name, tbl) =
       Printf.printf "== %s ==\n" name;
       Ace_util.Table.print tbl;
@@ -407,6 +495,7 @@ let exp_cmd =
          | "ext-bbv-predictor" -> Ace_harness.Experiments.extension_bbv_predictor ctx
          | "resilience" -> Ace_harness.Experiments.resilience ctx
          | "stability" -> Ace_harness.Experiments.stability ctx
+         | "sample-accuracy" -> Ace_harness.Experiments.sample_accuracy ctx
          | "soak" -> Ace_harness.Experiments.soak ctx
          | _ -> assert false
        in
@@ -419,7 +508,8 @@ let exp_cmd =
         "Regenerate one of the paper's tables or figures, or run the \
          storage-crash torture matrix."
   in
-  Cmd.v info Term.(const action $ id $ scale_arg $ seed_arg $ jobs $ seeds)
+  Cmd.v info
+    Term.(const action $ id $ scale_arg $ seed_arg $ jobs $ seeds $ sample_flag)
 
 let list_cmd =
   let action () =
@@ -433,7 +523,8 @@ let list_cmd =
     print_endline "Experiments: table1 table2 table3 fig1 table4 table5 table6 fig3";
     print_endline "             fig4 ablation-decoupling ablation-thresholds";
     print_endline "             ext-issue-queue ext-prediction ext-bbv-predictor";
-    print_endline "             resilience stability soak torture all paper"
+    print_endline "             resilience stability sample-accuracy soak torture";
+    print_endline "             all paper"
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments.") Term.(const action $ const ())
 
@@ -623,6 +714,14 @@ let submit_cmd =
              first checkpoint boundary at or past $(docv) instructions \
              (exercises retry and quarantine).")
   in
+  let sample =
+    Arg.(
+      value & flag
+      & info [ "sample" ]
+          ~doc:
+            "Run the job under phase-memoized fast-forward sampling.  With \
+             $(b,--faults) it requires $(b,--resilient).")
+  in
   let wait =
     Arg.(
       value & flag
@@ -638,11 +737,18 @@ let submit_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Give up waiting after $(docv) seconds (with $(b,--wait)).")
   in
-  let action socket workload scheme scale seed fault_rate resilient deadline
-      fail_after wait timeout =
+  let action socket workload scheme scale seed fault_rate resilient sample
+      deadline fail_after wait timeout =
+    if sample && fault_rate <> None && not resilient then begin
+      Printf.eprintf
+        "ace_sim: --sample with --faults requires --resilient (memoized \
+         phase statistics are only safely invalidated under the resilient \
+         policy)\n";
+      exit 2
+    end;
     let spec =
-      Serve_protocol.job_spec ?fault_rate ~resilient ?deadline_s:deadline
-        ?fail_after ~scale ~seed
+      Serve_protocol.job_spec ?fault_rate ~resilient ~sample
+        ?deadline_s:deadline ?fail_after ~scale ~seed
         ~workload:workload.Ace_workloads.Workload.name scheme
     in
     match Serve_client.submit ~socket spec with
@@ -675,7 +781,8 @@ let submit_cmd =
   Cmd.v info
     Term.(
       const action $ socket_arg $ workload $ scheme $ scale_arg $ seed_arg
-      $ fault_rate $ resilient $ deadline $ fail_after $ wait $ timeout)
+      $ fault_rate $ resilient $ sample $ deadline $ fail_after $ wait
+      $ timeout)
 
 let status_cmd =
   let job =

@@ -188,6 +188,18 @@ let on_interval t =
         Next_phase.observe t.predictor ~prev:t.prev_phase ~next:phase
     end;
     t.prev_phase <- phase;
+    if Engine.in_fast_forward t.engine then begin
+      (* Fast-forward deferral: intervals inside a replayed region still
+         classify (the block vector is identical to a full simulation's)
+         and record IPC, but hardware decisions — trial starts, best/max
+         config applications, predictive pre-applications — are deferred
+         to the next fully simulated interval.  The sampler only starts a
+         region while no trial is pending, so there is never a measurement
+         to resolve here. *)
+      t.pending <- None;
+      t.pending_prediction <- None
+    end
+    else begin
     (* Resolve a pending configuration test. *)
     (match t.pending with
     | Some (p, idx, `Measure) when p = phase ->
@@ -241,6 +253,7 @@ let on_interval t =
       (* Transitional interval: resources are adapted only at stable phases;
          fall back to the maximum (baseline) configuration. *)
       ignore (apply_config t (max_config t) ~count_reconfigs:false)
+    end
   end
 
 let attach ?(config = default_config) ?(faults = Faults.none) engine ~cus =
@@ -305,6 +318,22 @@ let finalize t =
 
 let tracker t = t.tracker
 let phase_count t = Tracker.phase_count t.tracker
+(* Quiescence for the sampler.  [pending = None] alone is not enough:
+   trials only *start* at fully simulated interval boundaries, so
+   splicing away most of the run would starve the configuration sweep
+   and leave phases running at the maximum size where a full run would
+   have tuned them down (a 30-75 % energy divergence in practice).
+   Requiring every classified phase to be tuned first means sampling
+   only begins once the scheme has reached the tuned steady state a
+   full simulation would reach. *)
+let quiescent t =
+  t.pending = None
+  &&
+  let all_tuned = ref true in
+  for i = 0 to t.n_phases - 1 do
+    if t.phases.(i).best = None then all_tuned := false
+  done;
+  !all_tuned
 
 let tuned_phases t =
   List.filter (fun i -> t.phases.(i).best <> None) (List.init t.n_phases Fun.id)

@@ -54,6 +54,16 @@ val finalize : t -> unit
 
 val tracker : t -> Tracker.t
 val phase_count : t -> int
+
+val quiescent : t -> bool
+(** True when no configuration test is pending and every phase the
+    tracker has classified so far completed tuning.  The phase-statistics
+    sampler only fast-forwards while the scheme is quiescent, so BBV
+    measurements always come from fully simulated intervals — and, since
+    trials can only start at fully simulated interval boundaries,
+    splicing is held off until the configuration sweep has finished
+    rather than letting it starve the sweep. *)
+
 val tuned_phase_count : t -> int
 
 val intervals_in_tuned_phases : t -> float

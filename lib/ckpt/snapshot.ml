@@ -20,6 +20,7 @@ module Tracker = Ace_bbv.Tracker
 module Next_phase = Ace_bbv.Next_phase
 module Faults = Ace_faults.Faults
 module Obs = Ace_obs.Obs
+module Sample = Ace_sample.Sample
 
 type error =
   | Truncated of { expected : int; got : int }
@@ -55,6 +56,7 @@ type meta = {
   resilient : bool;
   fault_rate : float option;
   checkpoint_every : int;
+  sample : Sample.config option;
 }
 
 type scheme_state =
@@ -68,6 +70,7 @@ type t = {
   faults : Faults.state option;
   scheme_state : scheme_state;
   obs : Obs.state option;
+  sample_state : Sample.state option;
 }
 
 (* {2 Payload encoders/decoders}
@@ -180,6 +183,51 @@ let dec_hier d =
   let s_mem_writebacks = Dec.int d in
   { Hierarchy.s_l1i; s_l1d; s_l2; s_dtlb; s_mem_reads; s_mem_writebacks }
 
+let enc_counts e (c : Hierarchy.counts) =
+  Enc.int e c.Hierarchy.c_l1i_accesses;
+  Enc.int e c.Hierarchy.c_l1i_hits;
+  Enc.int e c.Hierarchy.c_l1i_writebacks;
+  Enc.int e c.Hierarchy.c_l1d_accesses;
+  Enc.int e c.Hierarchy.c_l1d_hits;
+  Enc.int e c.Hierarchy.c_l1d_writebacks;
+  Enc.int e c.Hierarchy.c_l2_accesses;
+  Enc.int e c.Hierarchy.c_l2_hits;
+  Enc.int e c.Hierarchy.c_l2_writebacks;
+  Enc.int e c.Hierarchy.c_tlb_accesses;
+  Enc.int e c.Hierarchy.c_tlb_misses;
+  Enc.int e c.Hierarchy.c_mem_reads;
+  Enc.int e c.Hierarchy.c_mem_writebacks
+
+let dec_counts d =
+  let c_l1i_accesses = Dec.int d in
+  let c_l1i_hits = Dec.int d in
+  let c_l1i_writebacks = Dec.int d in
+  let c_l1d_accesses = Dec.int d in
+  let c_l1d_hits = Dec.int d in
+  let c_l1d_writebacks = Dec.int d in
+  let c_l2_accesses = Dec.int d in
+  let c_l2_hits = Dec.int d in
+  let c_l2_writebacks = Dec.int d in
+  let c_tlb_accesses = Dec.int d in
+  let c_tlb_misses = Dec.int d in
+  let c_mem_reads = Dec.int d in
+  let c_mem_writebacks = Dec.int d in
+  {
+    Hierarchy.c_l1i_accesses;
+    c_l1i_hits;
+    c_l1i_writebacks;
+    c_l1d_accesses;
+    c_l1d_hits;
+    c_l1d_writebacks;
+    c_l2_accesses;
+    c_l2_hits;
+    c_l2_writebacks;
+    c_tlb_accesses;
+    c_tlb_misses;
+    c_mem_reads;
+    c_mem_writebacks;
+  }
+
 let enc_db_entry e (s : Db.entry_state) =
   Enc.int e s.Db.s_invocations;
   Enc.int e s.Db.s_samples;
@@ -232,6 +280,7 @@ let enc_frame e (s : Engine.frame_state) =
   Enc.int e s.Engine.fs_l1m0;
   Enc.int e s.Engine.fs_l2a0;
   Enc.int e s.Engine.fs_l2m0;
+  Enc.int e s.Engine.fs_sample;
   Enc.int e s.Engine.fs_pos;
   Enc.int e s.Engine.fs_calls_left
 
@@ -246,6 +295,7 @@ let dec_frame d =
   let fs_l1m0 = Dec.int d in
   let fs_l2a0 = Dec.int d in
   let fs_l2m0 = Dec.int d in
+  let fs_sample = Dec.int d in
   let fs_pos = Dec.int d in
   let fs_calls_left = Dec.int d in
   {
@@ -259,9 +309,23 @@ let dec_frame d =
     fs_l1m0;
     fs_l2a0;
     fs_l2m0;
+    fs_sample;
     fs_pos;
     fs_calls_left;
   }
+
+let enc_ff_run e (s : Engine.ff_run_state) =
+  Enc.int e s.Engine.ffs_instrs;
+  Enc.f64 e s.Engine.ffs_cycles;
+  enc_counts e s.Engine.ffs_counts;
+  Enc.f64 e s.Engine.ffs_start_cycles
+
+let dec_ff_run d =
+  let ffs_instrs = Dec.int d in
+  let ffs_cycles = Dec.f64 d in
+  let ffs_counts = dec_counts d in
+  let ffs_start_cycles = Dec.f64 d in
+  { Engine.ffs_instrs; ffs_cycles; ffs_counts; ffs_start_cycles }
 
 let enc_engine e (s : Engine.state) =
   Enc.int e s.Engine.s_instrs;
@@ -278,7 +342,8 @@ let enc_engine e (s : Engine.state) =
   Enc.i64 e s.Engine.s_rng;
   Enc.arr enc_cursor e s.Engine.s_cursors;
   Enc.arr enc_db_entry e s.Engine.s_db;
-  enc_hier e s.Engine.s_hier
+  enc_hier e s.Engine.s_hier;
+  Enc.opt enc_ff_run e s.Engine.s_ff
 
 let dec_engine d =
   let s_instrs = Dec.int d in
@@ -296,6 +361,7 @@ let dec_engine d =
   let s_cursors = Dec.arr dec_cursor d in
   let s_db = Dec.arr dec_db_entry d in
   let s_hier = dec_hier d in
+  let s_ff = Dec.opt dec_ff_run d in
   {
     Engine.s_instrs;
     s_cycles;
@@ -312,6 +378,7 @@ let dec_engine d =
     s_cursors;
     s_db;
     s_hier;
+    s_ff;
   }
 
 let enc_faults e (s : Faults.state) =
@@ -766,6 +833,19 @@ let dec_bbv d =
     s_finalized;
   }
 
+let enc_sample_config e (c : Sample.config) =
+  Enc.int e c.Sample.warmup;
+  Enc.int e c.Sample.repeats;
+  Enc.f64 e c.Sample.cov_bound;
+  Enc.int e c.Sample.recalibrate_every
+
+let dec_sample_config d =
+  let warmup = Dec.int d in
+  let repeats = Dec.int d in
+  let cov_bound = Dec.f64 d in
+  let recalibrate_every = Dec.int d in
+  { Sample.warmup; repeats; cov_bound; recalibrate_every }
+
 let enc_meta e m =
   Enc.str e m.workload;
   Enc.u8 e (match m.scheme with Baseline -> 0 | Hotspot -> 1 | Bbv -> 2);
@@ -776,7 +856,8 @@ let enc_meta e m =
   Enc.bool e m.bbv_prediction;
   Enc.bool e m.resilient;
   Enc.opt Enc.f64 e m.fault_rate;
-  Enc.int e m.checkpoint_every
+  Enc.int e m.checkpoint_every;
+  Enc.opt enc_sample_config e m.sample
 
 let dec_meta d =
   let workload = Dec.str d in
@@ -795,6 +876,7 @@ let dec_meta d =
   let resilient = Dec.bool d in
   let fault_rate = Dec.opt Dec.f64 d in
   let checkpoint_every = Dec.int d in
+  let sample = Dec.opt dec_sample_config d in
   {
     workload;
     scheme;
@@ -806,6 +888,7 @@ let dec_meta d =
     resilient;
     fault_rate;
     checkpoint_every;
+    sample;
   }
 
 (* Observability sink state (format v2): metrics registry image, retained
@@ -889,6 +972,10 @@ let enc_event e (ev : Obs.event) =
       Enc.u8 e 18;
       Enc.str e op;
       Enc.str e path
+  | Obs.Phase_splice { id; instrs } ->
+      Enc.u8 e 19;
+      Enc.int e id;
+      Enc.int e instrs
 
 let dec_event d : Obs.event =
   let ts = Dec.int d in
@@ -944,6 +1031,9 @@ let dec_event d : Obs.event =
     | 18 ->
         let op = Dec.str d in
         Obs.Io_fault { op; path = Dec.str d }
+    | 19 ->
+        let id = Dec.int d in
+        Obs.Phase_splice { id; instrs = Dec.int d }
     | n -> raise (Codec.Error (Printf.sprintf "bad obs event tag %d" n))
   in
   { Obs.ts; kind }
@@ -999,6 +1089,112 @@ let dec_obs d : Obs.state =
   let s_dropped = Dec.int d in
   { Obs.s_metrics = { Obs.ms_counters; ms_gauges; ms_hists }; s_events; s_dropped }
 
+(* Phase-statistics sampler image (format v3). *)
+
+let enc_hw_sig e (s : Sample.hw_sig) =
+  Enc.int e s.Sample.hs_l1d_bytes;
+  Enc.int e s.Sample.hs_l2_bytes;
+  Enc.i64 e s.Sample.hs_ilp_bits;
+  Enc.i64 e s.Sample.hs_exposure_bits
+
+let dec_hw_sig d =
+  let hs_l1d_bytes = Dec.int d in
+  let hs_l2_bytes = Dec.int d in
+  let hs_ilp_bits = Dec.i64 d in
+  let hs_exposure_bits = Dec.i64 d in
+  { Sample.hs_l1d_bytes; hs_l2_bytes; hs_ilp_bits; hs_exposure_bits }
+
+let enc_sample_state e (s : Sample.state) =
+  Enc.arr
+    (fun e (pe : Sample.phase_entry_state) ->
+      Enc.int e pe.Sample.pe_meth;
+      enc_hw_sig e pe.Sample.pe_sig;
+      Enc.int e pe.Sample.pe_instrs;
+      Enc.int e pe.Sample.pe_seen;
+      Enc.f64 e pe.Sample.pe_cycles_sum;
+      Enc.f64 e pe.Sample.pe_cycles_sumsq;
+      enc_counts e pe.Sample.pe_counts;
+      Enc.bool e pe.Sample.pe_poisoned;
+      Enc.int e pe.Sample.pe_since_measure)
+    e s.Sample.s_entries;
+  Enc.arr
+    (fun e (os : Sample.obs_frame_state) ->
+      Enc.int e os.Sample.os_meth;
+      enc_hw_sig e os.Sample.os_sig;
+      Enc.int e os.Sample.os_instrs0;
+      Enc.f64 e os.Sample.os_cycles0;
+      enc_counts e os.Sample.os_counts0;
+      Enc.int e os.Sample.os_resizes0;
+      Enc.bool e os.Sample.os_dirty)
+    e s.Sample.s_open;
+  Enc.int e s.Sample.s_fault_events0;
+  Enc.int e s.Sample.s_ff_instrs_active;
+  Enc.int e s.Sample.s_observations;
+  Enc.int e s.Sample.s_splices;
+  Enc.int e s.Sample.s_spliced_instrs
+
+let dec_sample_state d =
+  let s_entries =
+    Dec.arr
+      (fun d ->
+        let pe_meth = Dec.int d in
+        let pe_sig = dec_hw_sig d in
+        let pe_instrs = Dec.int d in
+        let pe_seen = Dec.int d in
+        let pe_cycles_sum = Dec.f64 d in
+        let pe_cycles_sumsq = Dec.f64 d in
+        let pe_counts = dec_counts d in
+        let pe_poisoned = Dec.bool d in
+        let pe_since_measure = Dec.int d in
+        {
+          Sample.pe_meth;
+          pe_sig;
+          pe_instrs;
+          pe_seen;
+          pe_cycles_sum;
+          pe_cycles_sumsq;
+          pe_counts;
+          pe_poisoned;
+          pe_since_measure;
+        })
+      d
+  in
+  let s_open =
+    Dec.arr
+      (fun d ->
+        let os_meth = Dec.int d in
+        let os_sig = dec_hw_sig d in
+        let os_instrs0 = Dec.int d in
+        let os_cycles0 = Dec.f64 d in
+        let os_counts0 = dec_counts d in
+        let os_resizes0 = Dec.int d in
+        let os_dirty = Dec.bool d in
+        {
+          Sample.os_meth;
+          os_sig;
+          os_instrs0;
+          os_cycles0;
+          os_counts0;
+          os_resizes0;
+          os_dirty;
+        })
+      d
+  in
+  let s_fault_events0 = Dec.int d in
+  let s_ff_instrs_active = Dec.int d in
+  let s_observations = Dec.int d in
+  let s_splices = Dec.int d in
+  let s_spliced_instrs = Dec.int d in
+  {
+    Sample.s_entries;
+    s_open;
+    s_fault_events0;
+    s_ff_instrs_active;
+    s_observations;
+    s_splices;
+    s_spliced_instrs;
+  }
+
 let enc_snapshot e t =
   enc_meta e t.meta;
   enc_engine e t.engine;
@@ -1011,7 +1207,8 @@ let enc_snapshot e t =
   | S_bbv sch ->
       Enc.u8 e 2;
       enc_bbv e sch);
-  Enc.opt enc_obs e t.obs
+  Enc.opt enc_obs e t.obs;
+  Enc.opt enc_sample_state e t.sample_state
 
 let dec_snapshot d =
   let meta = dec_meta d in
@@ -1025,9 +1222,10 @@ let dec_snapshot d =
     | n -> raise (Codec.Error (Printf.sprintf "bad scheme state tag %d" n))
   in
   let obs = Dec.opt dec_obs d in
+  let sample_state = Dec.opt dec_sample_state d in
   if not (Dec.at_end d) then
     raise (Codec.Error (Printf.sprintf "%d trailing bytes" (Dec.remaining d)));
-  { meta; engine; faults; scheme_state; obs }
+  { meta; engine; faults; scheme_state; obs; sample_state }
 
 (* {2 Container format}
 
@@ -1039,7 +1237,7 @@ let dec_snapshot d =
    read. *)
 
 let magic = "ACESNAP1"
-let version = 2 (* v2: appended the optional observability state *)
+let version = 3 (* v3: sampling — meta config, engine ff state, sampler cache *)
 let header_len = 8 + 2 + 8 + 8
 
 let encode t =

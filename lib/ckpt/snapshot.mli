@@ -57,6 +57,8 @@ type meta = {
   resilient : bool;  (** Hotspot scheme: resilient tuner policy. *)
   fault_rate : float option;  (** [Faults.preset] rate, if faults are on. *)
   checkpoint_every : int;  (** Snapshot cadence in instructions. *)
+  sample : Ace_sample.Sample.config option;
+      (** Phase-memoized sampling, if the run had it enabled. *)
 }
 
 type scheme_state =
@@ -72,6 +74,10 @@ type t = {
   obs : Ace_obs.Obs.state option;
       (** Observability sink image ([None] when observability is off), so a
           resumed run continues its metrics and timeline seamlessly. *)
+  sample_state : Ace_sample.Sample.state option;
+      (** Phase-statistics cache and in-flight observations ([None] when
+          sampling is off), so a resumed sampled run makes exactly the
+          fast-forward decisions the uninterrupted run would. *)
 }
 
 val version : int

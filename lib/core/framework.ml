@@ -507,6 +507,24 @@ let report t =
 
 let accounting t k = t.accts.(k)
 
+(* A hotspot is "settled" once its tuner has chosen a configuration and is
+   not currently consuming exit measurements (drift checks included).  The
+   phase-statistics sampler only fast-forwards settled hotspots: replaying
+   a memoized record through an invocation the tuner wants to measure
+   would feed it stale statistics. *)
+let hotspot_settled t ~meth_id =
+  match t.states.(meth_id) with
+  | None -> true
+  | Some st -> Tuner.is_configured st.tuner && not (Tuner.measuring st.tuner)
+
+let quiescent t =
+  Array.for_all
+    (function
+      | None -> true
+      | Some st ->
+          Tuner.is_configured st.tuner && not (Tuner.measuring st.tuner))
+    t.states
+
 let unmanaged_hotspots t = t.unmanaged
 
 let quarantined_hotspots t = t.quarantined

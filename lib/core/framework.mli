@@ -114,6 +114,20 @@ val report : t -> cu_report array
 val accounting : t -> int -> Ace_power.Accounting.t option
 (** Energy accountant of the i-th CU (cache CUs only). *)
 
+val hotspot_settled : t -> meth_id:int -> bool
+(** True when [meth_id] has no tuner state, or its tuner has chosen a
+    configuration and is not currently consuming exit measurements.  The
+    phase-statistics sampler ({!Ace_sample.Sample}) only fast-forwards
+    settled hotspots, so tuner trials and drift checks always run under
+    full simulation. *)
+
+val quiescent : t -> bool
+(** True when every managed hotspot is settled ({!hotspot_settled}) — no
+    tuning trial or drift measurement is in flight anywhere.  The sampler
+    requires this globally before splicing: a nested hotspot replayed
+    inside an invocation some other tuner is measuring would feed that
+    measurement memoized rather than simulated cycles. *)
+
 val unmanaged_hotspots : t -> int
 (** Hotspots too small for any CU class. *)
 

@@ -230,6 +230,16 @@ let jitter_period t ~period =
         *. (1.0 +. ((Rng.float a.rng 2.0 -. 1.0) *. a.cfg.sampler_jitter_frac))
       end
 
+(* Monotone count of hardware-channel fault events (dropped/corrupted
+   writes and latch-ups) — the faults that change the machine's effective
+   configuration.  The phase-statistics cache polls this and invalidates
+   itself when it moves; measurement-channel faults (noise, spikes, timer
+   jitter) do not perturb the machine and are excluded. *)
+let hw_fault_events t =
+  match t with
+  | None -> 0
+  | Some a -> a.writes_dropped + a.writes_corrupted + a.stuck_events
+
 let stats t =
   match t with
   | None ->

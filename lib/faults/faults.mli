@@ -117,6 +117,14 @@ type stats = {
 val stats : t -> stats
 (** All-zero for {!none}. *)
 
+val hw_fault_events : t -> int
+(** Monotone count of hardware-channel fault events (dropped/corrupted
+    register writes and latch-ups) — the faults that change the machine's
+    effective configuration.  The sampled-simulation phase cache polls this
+    and invalidates its entries whenever it moves; measurement-channel
+    faults (profile noise/spikes, timer jitter) are excluded because they
+    do not perturb the machine.  0 for {!none}. *)
+
 val maybe_corrupt_snapshot : t -> bytes -> bool
 (** With probability [ckpt_corrupt_p], flip one byte of [buf] in place
     (uniformly chosen position) and return [true].  Identity and draw-free

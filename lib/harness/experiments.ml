@@ -3,6 +3,7 @@ module Workload = Ace_workloads.Workload
 
 type variant =
   | Standard of Scheme.t
+  | Sampled of Scheme.t
   | No_decoupling
   | With_issue_queue
   | With_prediction
@@ -13,6 +14,7 @@ type t = {
   scale : float;
   seed : int;
   jobs : int;
+  sample : Ace_sample.Sample.config option;  (* context-wide sampling *)
   workloads : Workload.t list;
   cache : (string * variant, Run.result) Hashtbl.t;
   lock : Mutex.t;  (* guards [cache]; runs themselves are lock-free *)
@@ -20,11 +22,12 @@ type t = {
   pool_owned : bool;  (* sub-contexts (stability) borrow the parent's pool *)
 }
 
-let make ~scale ~seed ~jobs ~workloads ~pool ~pool_owned =
+let make ~scale ~seed ~jobs ~sample ~workloads ~pool ~pool_owned =
   {
     scale;
     seed;
     jobs;
+    sample;
     workloads;
     cache = Hashtbl.create 32;
     lock = Mutex.create ();
@@ -32,7 +35,7 @@ let make ~scale ~seed ~jobs ~workloads ~pool ~pool_owned =
     pool_owned;
   }
 
-let create ?(scale = 1.0) ?(seed = 1) ?(jobs = 1)
+let create ?(scale = 1.0) ?(seed = 1) ?(jobs = 1) ?sample
     ?(workloads = Ace_workloads.Specjvm.all) () =
   if jobs < 1 then
     invalid_arg (Printf.sprintf "Experiments.create: jobs must be >= 1 (got %d)" jobs);
@@ -43,7 +46,7 @@ let create ?(scale = 1.0) ?(seed = 1) ?(jobs = 1)
     if jobs > 1 then Some (Ace_util.Pool.create ~num_domains:(jobs - 1) ())
     else None
   in
-  make ~scale ~seed ~jobs ~workloads ~pool ~pool_owned:true
+  make ~scale ~seed ~jobs ~sample ~workloads ~pool ~pool_owned:true
 
 let scale t = t.scale
 let jobs t = t.jobs
@@ -64,22 +67,26 @@ let pool_map t f xs =
 
 let compute_variant t w variant =
   match variant with
-  | Standard scheme -> Run.run ~scale:t.scale ~seed:t.seed w scheme
-  | No_decoupling ->
+  | Standard scheme -> Run.run ~scale:t.scale ~seed:t.seed ?sample:t.sample w scheme
+  | Sampled scheme ->
       Run.run ~scale:t.scale ~seed:t.seed
+        ~sample:Ace_sample.Sample.default_config w scheme
+  | No_decoupling ->
+      Run.run ~scale:t.scale ~seed:t.seed ?sample:t.sample
         ~framework_config:
           { Ace_core.Framework.default_config with decoupling = false }
         w Scheme.Hotspot
   | With_issue_queue ->
-      Run.run ~scale:t.scale ~seed:t.seed ~with_issue_queue:true w
-        Scheme.Hotspot
+      Run.run ~scale:t.scale ~seed:t.seed ?sample:t.sample
+        ~with_issue_queue:true w Scheme.Hotspot
   | With_prediction ->
-      Run.run ~scale:t.scale ~seed:t.seed
+      Run.run ~scale:t.scale ~seed:t.seed ?sample:t.sample
         ~framework_config:
           { Ace_core.Framework.default_config with prediction = true }
         w Scheme.Hotspot
   | Bbv_with_predictor ->
-      Run.run ~scale:t.scale ~seed:t.seed ~bbv_prediction:true w Scheme.Bbv
+      Run.run ~scale:t.scale ~seed:t.seed ?sample:t.sample
+        ~bbv_prediction:true w Scheme.Bbv
   | Faulty { scheme; rate; resilient } ->
       let framework_config =
         if resilient then
@@ -89,7 +96,10 @@ let compute_variant t w variant =
           }
         else Ace_core.Framework.default_config
       in
+      (* Sampling under faults is only safe with the resilience machinery
+         (mirrors the CLI's --sample/--faults/--resilient rule). *)
       Run.run ~scale:t.scale ~seed:t.seed ~framework_config
+        ?sample:(if resilient then t.sample else None)
         ~faults:(Ace_faults.Faults.preset ~rate) w scheme
 
 let run_variant t w variant =
@@ -810,8 +820,8 @@ let stability t =
   let ctxs =
     List.map
       (fun seed ->
-        make ~scale:t.scale ~seed ~jobs:t.jobs ~workloads:t.workloads
-          ~pool:t.pool ~pool_owned:false)
+        make ~scale:t.scale ~seed ~jobs:t.jobs ~sample:t.sample
+          ~workloads:t.workloads ~pool:t.pool ~pool_owned:false)
       seeds
   in
   List.iter
@@ -898,6 +908,70 @@ let soak ?(cycles = 20) t =
           (if r.Soak.matched then "yes" else "NO");
         ])
     soaks;
+  tbl
+
+(* Sampled vs full simulation, per benchmark and scheme: headline accuracy
+   (energy, cycles) plus the exactness the design guarantees (instruction
+   counts and hotspot census must be identical — the fast-forward path is
+   architecturally exact).  Deterministic by construction (no wall-clock
+   times; bench/main.exe --sample-json measures the speedup), so output is
+   byte-identical across [jobs].  Not part of [all]. *)
+let sample_accuracy t =
+  let schemes = [ Scheme.Fixed_baseline; Scheme.Hotspot; Scheme.Bbv ] in
+  warm t
+    (List.concat_map
+       (fun s ->
+         List.concat_map (fun w -> [ (w, Standard s); (w, Sampled s) ]) t.workloads)
+       schemes);
+  let tbl =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("Scheme", Table.Left);
+          ("Spliced", Table.Right);
+          ("dL1D energy", Table.Right);
+          ("dL2 energy", Table.Right);
+          ("dCycles", Table.Right);
+          ("Arch state", Table.Left);
+        ]
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun w ->
+          let full = run_variant t w (Standard scheme) in
+          let samp = run_variant t w (Sampled scheme) in
+          let delta f =
+            let a = f full and b = f samp in
+            if a = 0.0 then 0.0 else (b -. a) /. a
+          in
+          let spliced =
+            match samp.Run.sample with
+            | Some s ->
+                float_of_int s.Ace_sample.Sample.spliced_instrs
+                /. float_of_int (max 1 samp.Run.instrs)
+            | None -> 0.0
+          in
+          let exact =
+            full.Run.instrs = samp.Run.instrs
+            && full.Run.do_stats.Run.hotspot_count
+               = samp.Run.do_stats.Run.hotspot_count
+            && full.Run.do_stats.Run.mean_invocations
+               = samp.Run.do_stats.Run.mean_invocations
+          in
+          Table.add_row tbl
+            [
+              w.Workload.name;
+              Scheme.name scheme;
+              pct spliced;
+              pct ~decimals:2 (delta (fun r -> r.Run.l1d_energy_nj));
+              pct ~decimals:2 (delta (fun r -> r.Run.l2_energy_nj));
+              pct ~decimals:2 (delta (fun r -> r.Run.cycles));
+              (if exact then "exact" else "MISMATCH");
+            ])
+        t.workloads)
+    schemes;
   tbl
 
 let all t =

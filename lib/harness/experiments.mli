@@ -18,10 +18,13 @@ val create :
   ?scale:float ->
   ?seed:int ->
   ?jobs:int ->
+  ?sample:Ace_sample.Sample.config ->
   ?workloads:Ace_workloads.Workload.t list ->
   unit ->
   t
-(** Defaults: scale 1.0, seed 1, jobs 1, the full SPECjvm98 suite.
+(** Defaults: scale 1.0, seed 1, jobs 1, sampling off, the full SPECjvm98
+    suite.  With [sample] set, every (non-faulty, or resilient-faulty) run
+    in the context executes under phase-memoized fast-forwarding.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val scale : t -> float
@@ -100,6 +103,15 @@ val resilience : t -> Ace_util.Table.t
 val stability : t -> Ace_util.Table.t
 (** Suite-average savings and slowdowns across three construction seeds —
     evidence the reproduction's conclusions are not seed artifacts. *)
+
+val sample_accuracy : t -> Ace_util.Table.t
+(** Sampled vs full simulation for every benchmark and scheme: fraction of
+    instructions replayed from memoized phase statistics, headline deltas
+    (L1D/L2 energy, cycles) and an exactness check on the architectural
+    quantities the fast-forward path must reproduce bit-identically
+    (instruction counts, hotspot census).  Deterministic — wall-clock
+    speedup is measured by [bench/main.exe --sample-json] instead.  Not
+    included in {!all}. *)
 
 val soak : ?cycles:int -> t -> Ace_util.Table.t
 (** {!Soak.chaos_soak} on one benchmark under every scheme: [cycles]

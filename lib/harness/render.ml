@@ -38,6 +38,15 @@ let summary (r : Run.result) =
             (c.coverage *. 100.0))
         h.reports
   | None -> ());
+  (match r.sample with
+  | Some s ->
+      pf
+        "sampling         : %d splices (%s instrs memoized), %d observations, \
+         %d known phases\n"
+        s.Ace_sample.Sample.splices
+        (Table.cell_int s.Ace_sample.Sample.spliced_instrs)
+        s.Ace_sample.Sample.observations s.Ace_sample.Sample.known_phases
+  | None -> ());
   (match r.bbv with
   | Some bb ->
       pf

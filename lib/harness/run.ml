@@ -8,6 +8,7 @@ module Hierarchy = Ace_mem.Hierarchy
 module Cache = Ace_mem.Cache
 module Obs = Ace_obs.Obs
 module Io = Ace_util.Io
+module Sample = Ace_sample.Sample
 
 type do_stats = {
   hotspot_count : int;
@@ -55,6 +56,7 @@ type result = {
   bbv_predictor : (int * int * float) option;
   resilience : Framework.resilience_report option;
   fault_stats : Faults.stats option;
+  sample : Sample.stats option;
 }
 
 let default_hot_threshold = 2
@@ -103,7 +105,7 @@ let fixed_accounting engine =
     (acct_l1d, acct_l2)
 
 let summarize ~workload ~scheme ~engine ~accts ~hotspot ~bbv ~bbv_predictor
-    ~resilience ~fault_stats =
+    ~resilience ~fault_stats ~sample =
   let acct_l1d, acct_l2 = accts in
   let hier = Engine.hierarchy engine in
   {
@@ -125,6 +127,7 @@ let summarize ~workload ~scheme ~engine ~accts ~hotspot ~bbv ~bbv_predictor
     bbv_predictor;
     resilience;
     fault_stats;
+    sample;
   }
 
 (* The scheme handle held between attach and finalize. *)
@@ -156,7 +159,28 @@ let attach_scheme ~framework_config ~with_issue_queue ~bbv_prediction ~faults
              }
            ~faults engine ~cus)
 
-let finish_run ~name ~scheme ~engine ~faults ~obs ~attached =
+(* The sampler attaches after the scheme so its quiescence guard can see
+   the scheme's tuning state; tuner trials therefore always run under full
+   simulation. *)
+let attach_sample ~sample ~faults ~obs engine attached =
+  match sample with
+  | None -> None
+  | Some config ->
+      let allow =
+        match attached with
+        | A_baseline -> fun ~meth_id:_ -> true
+        | A_hotspot fw ->
+            (* Global quiescence, not just this method's: splicing anywhere
+               while any tuner is mid-measurement would feed that
+               measurement memoized cycles. *)
+            fun ~meth_id ->
+              Framework.hotspot_settled fw ~meth_id && Framework.quiescent fw
+        | A_bbv sch -> fun ~meth_id:_ -> Ace_bbv.Scheme.quiescent sch
+      in
+      Some (Sample.attach ~config ~faults ~obs ~allow engine)
+
+let finish_run ~name ~scheme ~engine ~faults ~obs ~attached ~sampler =
+  let sample = Option.map Sample.stats sampler in
   (* Final whole-run gauges; set here (not per-tick) so the hot path stays
      free of float stores. *)
   if Obs.enabled obs then begin
@@ -172,6 +196,7 @@ let finish_run ~name ~scheme ~engine ~faults ~obs ~attached =
   | A_baseline ->
       summarize ~workload:name ~scheme ~engine ~accts:(fixed_accounting engine ())
         ~hotspot:None ~bbv:None ~bbv_predictor:None ~resilience:None ~fault_stats
+        ~sample
   | A_hotspot fw ->
       Framework.finalize fw;
       let accts =
@@ -189,7 +214,7 @@ let finish_run ~name ~scheme ~engine ~faults ~obs ~attached =
       in
       summarize ~workload:name ~scheme ~engine ~accts ~hotspot ~bbv:None
         ~bbv_predictor:None ~resilience:(Some (Framework.resilience_report fw))
-        ~fault_stats
+        ~fault_stats ~sample
   | A_bbv sch ->
       Ace_bbv.Scheme.finalize sch;
       let accts =
@@ -212,11 +237,12 @@ let finish_run ~name ~scheme ~engine ~faults ~obs ~attached =
       in
       summarize ~workload:name ~scheme ~engine ~accts ~hotspot:None ~bbv
         ~bbv_predictor:(Ace_bbv.Scheme.predictor_stats sch) ~resilience:None
-        ~fault_stats
+        ~fault_stats ~sample
 
 let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
     ?(framework_config = Framework.default_config) ?(with_issue_queue = false)
-    ?(bbv_prediction = false) ?faults ?(obs = Obs.null) workload scheme =
+    ?(bbv_prediction = false) ?faults ?sample ?(obs = Obs.null) workload scheme
+    =
   let program = workload.Ace_workloads.Workload.build ~scale ~seed in
   let name = workload.Ace_workloads.Workload.name in
   (* One injector per run, seeded off the run seed so fault sequences are
@@ -235,8 +261,9 @@ let run ?(scale = 1.0) ?(seed = 1) ?(hot_threshold = default_hot_threshold)
     attach_scheme ~framework_config ~with_issue_queue ~bbv_prediction ~faults
       ~obs engine scheme
   in
+  let sampler = attach_sample ~sample ~faults ~obs engine attached in
   Engine.run engine;
-  finish_run ~name ~scheme ~engine ~faults ~obs ~attached
+  finish_run ~name ~scheme ~engine ~faults ~obs ~attached ~sampler
 
 (* {2 Checkpointed execution} *)
 
@@ -308,7 +335,10 @@ let instance_of_meta ~obs (m : Snapshot.meta) =
       ~with_issue_queue:m.Snapshot.with_issue_queue
       ~bbv_prediction:m.Snapshot.bbv_prediction ~faults ~obs engine scheme
   in
-  (engine, faults, attached)
+  let sampler =
+    attach_sample ~sample:m.Snapshot.sample ~faults ~obs engine attached
+  in
+  (engine, faults, attached, sampler)
 
 let capture_scheme = function
   | A_baseline -> Snapshot.S_baseline
@@ -319,7 +349,7 @@ let capture_scheme = function
    runs first and the captured state is the post-hook state the resumed run
    would also see. *)
 let install_checkpointing ?(io = Io.real) ?kill_after ?on_snapshot ?on_boundary
-    ~path ~obs (m : Snapshot.meta) engine faults attached =
+    ~path ~obs (m : Snapshot.meta) engine faults attached sampler =
   let interval =
     match scheme_of_snap m.Snapshot.scheme with
     | Scheme.Bbv -> bbv_interval
@@ -344,6 +374,7 @@ let install_checkpointing ?(io = Io.real) ?kill_after ?on_snapshot ?on_boundary
             faults = Faults.capture faults;
             scheme_state = capture_scheme attached;
             obs = Obs.capture obs;
+            sample_state = Option.map Sample.capture sampler;
           }
         in
         (match on_snapshot with Some f -> f snap | None -> ());
@@ -357,9 +388,9 @@ let install_checkpointing ?(io = Io.real) ?kill_after ?on_snapshot ?on_boundary
 
 let run_checkpointed ?io ?(scale = 1.0) ?(seed = 1)
     ?(hot_threshold = default_hot_threshold) ?(with_issue_queue = false)
-    ?(bbv_prediction = false) ?(resilient = false) ?fault_rate ?kill_after
-    ?on_snapshot ?on_boundary ?(obs = Obs.null) ~checkpoint_every ~path
-    workload scheme =
+    ?(bbv_prediction = false) ?(resilient = false) ?fault_rate ?sample
+    ?kill_after ?on_snapshot ?on_boundary ?(obs = Obs.null) ~checkpoint_every
+    ~path workload scheme =
   if checkpoint_every <= 0 then
     invalid_arg "Run.run_checkpointed: checkpoint_every must be positive";
   let meta =
@@ -374,22 +405,23 @@ let run_checkpointed ?io ?(scale = 1.0) ?(seed = 1)
       resilient;
       fault_rate;
       checkpoint_every;
+      sample;
     }
   in
-  let engine, faults, attached = instance_of_meta ~obs meta in
+  let engine, faults, attached, sampler = instance_of_meta ~obs meta in
   install_checkpointing ?io ?kill_after ?on_snapshot ?on_boundary ~path ~obs
-    meta engine faults attached;
+    meta engine faults attached sampler;
   match Engine.run engine with
   | () ->
       Completed
         (finish_run ~name:meta.Snapshot.workload ~scheme ~engine ~faults ~obs
-           ~attached)
+           ~attached ~sampler)
   | exception Killed n -> Killed_at n
 
 let resume_from_snapshot ?io ?kill_after ?on_snapshot ?on_boundary ?path
     ?(obs = Obs.null) (snap : Snapshot.t) =
   let m = snap.Snapshot.meta in
-  let engine, faults, attached = instance_of_meta ~obs m in
+  let engine, faults, attached, sampler = instance_of_meta ~obs m in
   (* Restore after attach: schemes set ILP/exposure scales when attaching,
      and [Engine.restore] must overwrite them with the checkpointed values. *)
   Engine.restore engine snap.Snapshot.engine;
@@ -399,6 +431,10 @@ let resume_from_snapshot ?io ?kill_after ?on_snapshot ?on_boundary ?path
   | A_hotspot fw, Snapshot.S_hotspot s -> Framework.restore fw s
   | A_bbv sch, Snapshot.S_bbv s -> Ace_bbv.Scheme.restore sch s
   | _ -> invalid_arg "Run.resume: scheme state does not match metadata");
+  (match (sampler, snap.Snapshot.sample_state) with
+  | Some sam, Some s -> Sample.restore sam s
+  | None, None -> ()
+  | _ -> invalid_arg "Run.resume: sampler state does not match metadata");
   (* The observability image rides in the snapshot, so a resumed run picks
      up its counters and timeline where the killed run left them.  The
      [Ckpt_restore] marker is ring-only (never a metric): the metrics
@@ -410,14 +446,14 @@ let resume_from_snapshot ?io ?kill_after ?on_snapshot ?on_boundary ?path
   (match path with
   | Some path ->
       install_checkpointing ?io ?kill_after ?on_snapshot ?on_boundary ~path
-        ~obs m engine faults attached
+        ~obs m engine faults attached sampler
   | None -> ());
   match Engine.resume engine with
   | () ->
       Completed
         (finish_run ~name:m.Snapshot.workload
            ~scheme:(scheme_of_snap m.Snapshot.scheme)
-           ~engine ~faults ~obs ~attached)
+           ~engine ~faults ~obs ~attached ~sampler)
   | exception Killed n -> Killed_at n
 
 let resume_run ?io ?kill_after ?on_boundary ?obs ~path () =

@@ -55,6 +55,8 @@ type result = {
       (** [Some] iff scheme = Hotspot (all-zero without faults). *)
   fault_stats : Ace_faults.Faults.stats option;
       (** Injector event counts; [Some] iff faults were requested. *)
+  sample : Ace_sample.Sample.stats option;
+      (** Phase-memoized sampling statistics; [Some] iff sampling was on. *)
 }
 
 val default_hot_threshold : int
@@ -71,6 +73,7 @@ val run :
   ?with_issue_queue:bool ->
   ?bbv_prediction:bool ->
   ?faults:Ace_faults.Faults.config ->
+  ?sample:Ace_sample.Sample.config ->
   ?obs:Ace_obs.Obs.t ->
   Ace_workloads.Workload.t ->
   Scheme.t ->
@@ -79,6 +82,10 @@ val run :
     finalize, and summarize.  [faults] (off by default) attaches a seeded
     fault injector — derived deterministically from [seed] — to the engine's
     measurement path and to every control register write the scheme issues.
+    [sample] (off by default) attaches the phase-memoized fast-forward
+    sampler ([Ace_sample.Sample]) after the scheme, with the scheme's
+    quiescence guard, so recurring settled phases are replayed from
+    memoized statistics instead of simulated access by access.
     [obs] (default {!Ace_obs.Obs.null}) is threaded through the engine, the
     memory hierarchy, the fault injector and the scheme, and receives the
     whole-run [engine.instrs]/[engine.ipc] gauges at the end; the caller
@@ -111,6 +118,7 @@ val run_checkpointed :
   ?bbv_prediction:bool ->
   ?resilient:bool ->
   ?fault_rate:float ->
+  ?sample:Ace_sample.Sample.config ->
   ?kill_after:int ->
   ?on_snapshot:(Ace_ckpt.Snapshot.t -> unit) ->
   ?on_boundary:(total_instrs:int -> unit) ->
@@ -125,7 +133,9 @@ val run_checkpointed :
     rotated to [path.1]).  The workload must be registered in
     [Ace_workloads.Specjvm] so a resume can rebuild it by name.  [resilient]
     enables the resilient tuner policy; [fault_rate] turns on
-    [Faults.preset ~rate] with the same derived seed {!run} uses.
+    [Faults.preset ~rate] with the same derived seed {!run} uses; [sample]
+    enables phase-memoized fast-forwarding and rides in the snapshot
+    metadata, so a resume reattaches the sampler and restores its cache.
     [kill_after] simulates a crash: the run stops with [Killed_at] at the
     first interval boundary at or past it (before writing that boundary's
     snapshot).  [on_snapshot] observes every snapshot just before it is

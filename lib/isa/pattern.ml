@@ -65,3 +65,24 @@ let next c ~rng =
       c.steps <- c.steps + 1;
       c.offset <- chase_hash ((c.offset * 31) + c.steps) mod (extent / 8 |> max 1) * 8;
       addr
+
+(* Advance a cursor as if [next] had been called [n] times, consuming
+   exactly the RNG draws a real walk would have.  Sequential wraps by
+   resetting to zero (not modular reduction), so the closed form splits the
+   walk into the partial ramp up to the first wrap and whole periods after
+   it. *)
+let skip c ~rng n =
+  if n > 0 then
+    match c.pattern with
+    | Sequential { extent; stride; _ } ->
+        let period = ((extent + stride - 1) / stride) in
+        let to_wrap = (extent - c.offset + stride - 1) / stride in
+        if n < to_wrap then c.offset <- c.offset + (n * stride)
+        else c.offset <- (n - to_wrap) mod period * stride
+    | Random_in _ -> Ace_util.Rng.skip rng n
+    | Pointer_chase { extent; _ } ->
+        let granules = extent / 8 |> max 1 in
+        for _ = 1 to n do
+          c.steps <- c.steps + 1;
+          c.offset <- chase_hash ((c.offset * 31) + c.steps) mod granules * 8
+        done

@@ -40,6 +40,13 @@ val next : cursor -> rng:Ace_util.Rng.t -> int
 val reset : cursor -> unit
 (** Return the cursor to the pattern's start (used between engine runs). *)
 
+val skip : cursor -> rng:Ace_util.Rng.t -> int -> unit
+(** [skip c ~rng n] leaves the cursor (and the RNG, for [Random_in]) exactly
+    where [n] calls to {!next} would have, without producing the addresses.
+    O(1) for [Sequential] and [Random_in]; O(n) cheap hashing for
+    [Pointer_chase].  Fast-forward simulation uses this to keep
+    architectural state bit-identical to a full run. *)
+
 (** Iteration position without the (statically known) pattern, for
     checkpoint serialization. *)
 type cursor_state = { s_offset : int; s_steps : int }

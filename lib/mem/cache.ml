@@ -153,6 +153,15 @@ let resize t ~size_bytes =
     flushed
   end
 
+(* Fold memoized per-phase statistics into the counters without touching
+   the array contents.  Fast-forward simulation replays a known phase's
+   counter deltas this way; the resident lines simply stay as they were at
+   the phase boundary. *)
+let splice t ~accesses ~hits ~writebacks =
+  t.n_accesses <- t.n_accesses + accesses;
+  t.n_hits <- t.n_hits + hits;
+  t.n_writebacks <- t.n_writebacks + writebacks
+
 type state = {
   s_size_bytes : int;
   s_tags : int array;

@@ -63,6 +63,11 @@ val iter_dirty : t -> (int -> unit) -> unit
 val invalidate_all : t -> int
 (** Flush without changing geometry; returns dirty lines written back. *)
 
+val splice : t -> accesses:int -> hits:int -> writebacks:int -> unit
+(** Add memoized counter deltas without performing accesses.  Array
+    contents (resident lines, LRU clock) are untouched; used by
+    fast-forward simulation to account for a skipped phase. *)
+
 (** Complete cache state — geometry (current size), array contents, LRU
     clock and counters — for checkpoint serialization. *)
 type state = {

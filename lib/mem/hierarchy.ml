@@ -129,6 +129,69 @@ let resize_l2 t ~size_bytes =
 let memory_reads t = t.mem_reads
 let memory_writebacks t = t.mem_writebacks
 
+(* -- counter snapshots / splicing ----------------------------------- *)
+
+type counts = {
+  c_l1i_accesses : int;
+  c_l1i_hits : int;
+  c_l1i_writebacks : int;
+  c_l1d_accesses : int;
+  c_l1d_hits : int;
+  c_l1d_writebacks : int;
+  c_l2_accesses : int;
+  c_l2_hits : int;
+  c_l2_writebacks : int;
+  c_tlb_accesses : int;
+  c_tlb_misses : int;
+  c_mem_reads : int;
+  c_mem_writebacks : int;
+}
+
+let counts t =
+  {
+    c_l1i_accesses = Cache.Stats.accesses t.l1i;
+    c_l1i_hits = Cache.Stats.hits t.l1i;
+    c_l1i_writebacks = Cache.Stats.writebacks t.l1i;
+    c_l1d_accesses = Cache.Stats.accesses t.l1d;
+    c_l1d_hits = Cache.Stats.hits t.l1d;
+    c_l1d_writebacks = Cache.Stats.writebacks t.l1d;
+    c_l2_accesses = Cache.Stats.accesses t.l2;
+    c_l2_hits = Cache.Stats.hits t.l2;
+    c_l2_writebacks = Cache.Stats.writebacks t.l2;
+    c_tlb_accesses = Tlb.accesses t.dtlb;
+    c_tlb_misses = Tlb.misses t.dtlb;
+    c_mem_reads = t.mem_reads;
+    c_mem_writebacks = t.mem_writebacks;
+  }
+
+let diff_counts ~before ~after =
+  {
+    c_l1i_accesses = after.c_l1i_accesses - before.c_l1i_accesses;
+    c_l1i_hits = after.c_l1i_hits - before.c_l1i_hits;
+    c_l1i_writebacks = after.c_l1i_writebacks - before.c_l1i_writebacks;
+    c_l1d_accesses = after.c_l1d_accesses - before.c_l1d_accesses;
+    c_l1d_hits = after.c_l1d_hits - before.c_l1d_hits;
+    c_l1d_writebacks = after.c_l1d_writebacks - before.c_l1d_writebacks;
+    c_l2_accesses = after.c_l2_accesses - before.c_l2_accesses;
+    c_l2_hits = after.c_l2_hits - before.c_l2_hits;
+    c_l2_writebacks = after.c_l2_writebacks - before.c_l2_writebacks;
+    c_tlb_accesses = after.c_tlb_accesses - before.c_tlb_accesses;
+    c_tlb_misses = after.c_tlb_misses - before.c_tlb_misses;
+    c_mem_reads = after.c_mem_reads - before.c_mem_reads;
+    c_mem_writebacks = after.c_mem_writebacks - before.c_mem_writebacks;
+  }
+
+let splice t (d : counts) =
+  Cache.splice t.l1i ~accesses:d.c_l1i_accesses ~hits:d.c_l1i_hits
+    ~writebacks:d.c_l1i_writebacks;
+  Cache.splice t.l1d ~accesses:d.c_l1d_accesses ~hits:d.c_l1d_hits
+    ~writebacks:d.c_l1d_writebacks;
+  Cache.splice t.l2 ~accesses:d.c_l2_accesses ~hits:d.c_l2_hits
+    ~writebacks:d.c_l2_writebacks;
+  Tlb.splice t.dtlb ~accesses:d.c_tlb_accesses ~misses:d.c_tlb_misses;
+  t.mem_reads <- t.mem_reads + d.c_mem_reads;
+  t.mem_writebacks <- t.mem_writebacks + d.c_mem_writebacks
+
 type state = {
   s_l1i : Cache.state;
   s_l1d : Cache.state;

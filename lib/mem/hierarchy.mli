@@ -60,6 +60,37 @@ val memory_writebacks : t -> int
 
 val pp_config : Format.formatter -> t -> unit
 
+(** Cumulative hit/miss/traffic counters across all four structures, used
+    both as a snapshot (to measure a phase's deltas) and as a delta (to
+    splice a memoized phase back in).  Purely counters: no array contents. *)
+type counts = {
+  c_l1i_accesses : int;
+  c_l1i_hits : int;
+  c_l1i_writebacks : int;
+  c_l1d_accesses : int;
+  c_l1d_hits : int;
+  c_l1d_writebacks : int;
+  c_l2_accesses : int;
+  c_l2_hits : int;
+  c_l2_writebacks : int;
+  c_tlb_accesses : int;
+  c_tlb_misses : int;
+  c_mem_reads : int;
+  c_mem_writebacks : int;
+}
+
+val counts : t -> counts
+(** Current cumulative counter values. *)
+
+val diff_counts : before:counts -> after:counts -> counts
+(** Per-field subtraction, [after - before]. *)
+
+val splice : t -> counts -> unit
+(** Fold a delta into the live counters without performing any accesses;
+    cache/TLB contents are untouched.  Fast-forward simulation charges a
+    skipped phase this way so energy accounting (which reads these
+    counters) stays consistent. *)
+
 (** All four structures plus memory-traffic counters, for checkpoint
     serialization. *)
 type state = {

@@ -50,6 +50,10 @@ let flush t =
   t.head <- 0;
   t.filled <- 0
 
+let splice t ~accesses ~misses =
+  t.n_accesses <- t.n_accesses + accesses;
+  t.n_misses <- t.n_misses + misses
+
 type state = {
   s_resident : int array;  (* pages currently mapped, in no particular order *)
   s_fifo : int array;

@@ -18,6 +18,10 @@ val accesses : t -> int
 val misses : t -> int
 val flush : t -> unit
 
+val splice : t -> accesses:int -> misses:int -> unit
+(** Add memoized counter deltas without performing accesses (resident pages
+    untouched); used by fast-forward simulation. *)
+
 (** Resident-page set, FIFO ring and counters, for checkpoint
     serialization. *)
 type state = {

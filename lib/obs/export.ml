@@ -190,7 +190,14 @@ let chrome t =
           instant ~track:"io" ~name:"io_fault" ~ts
             ~args:
               (Printf.sprintf "\"op\":\"%s\",\"path\":\"%s\"" (json_escape op)
-                 (json_escape path)))
+                 (json_escape path))
+      | Obs.Phase_splice { id; instrs } ->
+          (* The region ends at [ts]; render it as a span covering the
+             replayed instruction range so sampled regions are visually
+             distinct from simulated ones on the timeline. *)
+          span ~track:"sample" ~name:(meth_name id) ~ts:(ts - instrs)
+            ~dur:instrs
+            ~args:(Printf.sprintf "\"instrs\":%d" instrs))
     evs;
   (* Close whatever is still open at the end of the timeline. *)
   let leftovers = ref [] in
@@ -256,6 +263,8 @@ let csv_fields = function
   | Obs.Ckpt_restore { instrs } -> ("", "", string_of_int instrs, "")
   | Obs.Job_state { id; state } -> (string_of_int id, state, "", "")
   | Obs.Io_fault { op; path } -> ("", op ^ ":" ^ path, "", "")
+  | Obs.Phase_splice { id; instrs } ->
+      (string_of_int id, "", string_of_int instrs, "")
 
 let csv t =
   let buf = Buffer.create 4096 in
@@ -346,6 +355,9 @@ let report t =
     (counter "faults.writes_corrupted")
     (counter "faults.stuck_events")
     (counter "faults.spikes");
+  line "  sampled regions   : %d spliced (%d instrs memoized)"
+    (counter "sample.splices")
+    (counter "sample.spliced_instrs");
   line "";
   line "metrics";
   List.iter

@@ -27,6 +27,7 @@ type kind =
   | Ckpt_restore of { instrs : int }
   | Job_state of { id : int; state : string }
   | Io_fault of { op : string; path : string }
+  | Phase_splice of { id : int; instrs : int }
 
 type event = { ts : int; kind : kind }
 
@@ -50,6 +51,7 @@ let kind_name = function
   | Ckpt_restore _ -> "ckpt_restore"
   | Job_state _ -> "job_state"
   | Io_fault _ -> "io_fault"
+  | Phase_splice _ -> "phase_splice"
 
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float }

@@ -72,6 +72,11 @@ type kind =
           failed on [path].  Emitted by the serve daemon when spool I/O
           raises [Ace_util.Io.Io_error], so a trace shows exactly when the
           disk started misbehaving relative to job activity. *)
+  | Phase_splice of { id : int; instrs : int }
+      (** Fast-forward simulation replayed a known phase of method [id]
+          spanning [instrs] instructions from its memoized record instead
+          of simulating it, so a trace shows exactly which regions were
+          sampled. *)
 
 type event = { ts : int; kind : kind }
 (** [ts] is the engine instruction counter at recording time. *)

@@ -1,0 +1,471 @@
+(* Phase-memoized fast-forward sampling.
+
+   The observation protocol leans entirely on the engine's [sample_ctl]:
+   [sc_decide] fires at candidate method entries and [sc_exit] at the
+   matching region ends, in LIFO order, so [open_obs] mirrors the engine's
+   own stack of decided frames and a checkpoint can serialize both
+   consistently.  See DESIGN.md §Sampled simulation for the determinism
+   argument. *)
+
+module Engine = Ace_vm.Engine
+module Do_database = Ace_vm.Do_database
+module Hierarchy = Ace_mem.Hierarchy
+module Cache = Ace_mem.Cache
+module Faults = Ace_faults.Faults
+module Obs = Ace_obs.Obs
+
+type config = {
+  warmup : int;  (* clean repeats discarded before measuring *)
+  repeats : int;  (* measured clean repeats required to trust a phase *)
+  cov_bound : float;  (* maximum cycle CoV across the measured repeats *)
+  recalibrate_every : int;  (* splices between re-measurements; 0 = never *)
+}
+
+let default_config =
+  { warmup = 2; repeats = 3; cov_bound = 0.05; recalibrate_every = 64 }
+
+let validate_config c =
+  if c.warmup < 0 then Error "negative warmup"
+  else if c.repeats < 1 then Error "repeats must be at least 1"
+  else if not (Float.is_finite c.cov_bound && c.cov_bound >= 0.0) then
+    Error "cov_bound must be finite and non-negative"
+  else if c.recalibrate_every < 0 then Error "negative recalibrate_every"
+  else Ok ()
+
+(* Phase statistics are only valid under the exact hardware configuration
+   they were measured on; the signature is part of the cache key.  Scales
+   are compared bit-exactly (they are latched, not computed). *)
+type hw_sig = {
+  hs_l1d_bytes : int;
+  hs_l2_bytes : int;
+  hs_ilp_bits : int64;
+  hs_exposure_bits : int64;
+}
+
+type phase_stats = {
+  mutable ph_instrs : int;  (* per-repeat instructions; must be constant *)
+  mutable ph_seen : int;  (* clean repeats observed, warmup included *)
+  mutable ph_cycles_sum : float;  (* over post-warmup repeats *)
+  mutable ph_cycles_sumsq : float;
+  mutable ph_counts : Hierarchy.counts;  (* last post-warmup repeat *)
+  mutable ph_poisoned : bool;  (* unstable behaviour; never fast-forward *)
+  mutable ph_since_measure : int;  (* splices since the last measurement *)
+}
+
+(* One observation in flight, paired LIFO with an engine frame marked
+   [Observe]. *)
+type obs_frame = {
+  ob_meth : int;
+  ob_sig : hw_sig;
+  ob_instrs0 : int;
+  ob_cycles0 : float;
+  ob_counts0 : Hierarchy.counts;
+  ob_resizes0 : int;
+  mutable ob_dirty : bool;  (* promotion/recompile/fault inside; discard *)
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  faults : Faults.t;
+  allow : meth_id:int -> bool;  (* scheme quiescence guard *)
+  table : (int * hw_sig, phase_stats) Hashtbl.t;
+  mutable open_obs : obs_frame list;  (* innermost first *)
+  mutable fault_events0 : int;  (* last observed Faults.hw_fault_events *)
+  mutable ff_instrs_active : int;  (* instrs of the active region, if any *)
+  (* Plain counters: obs counters do not tick at [Off] level, but the run
+     result wants these regardless. *)
+  mutable n_observations : int;
+  mutable n_splices : int;
+  mutable n_spliced_instrs : int;
+  obs : Obs.t;
+  m_observations : Obs.counter;
+  m_splices : Obs.counter;
+  m_spliced_instrs : Obs.counter;
+}
+
+let config t = t.cfg
+
+let current_sig eng =
+  let hier = Engine.hierarchy eng in
+  {
+    hs_l1d_bytes = (Cache.config (Hierarchy.l1d hier)).Cache.size_bytes;
+    hs_l2_bytes = (Cache.config (Hierarchy.l2 hier)).Cache.size_bytes;
+    hs_ilp_bits = Int64.bits_of_float (Engine.ilp_scale eng);
+    hs_exposure_bits = Int64.bits_of_float (Engine.exposure_scale eng);
+  }
+
+let resizes_now eng =
+  let hier = Engine.hierarchy eng in
+  Cache.Stats.resizes (Hierarchy.l1d hier)
+  + Cache.Stats.resizes (Hierarchy.l2 hier)
+
+(* Number of measured (post-warmup) repeats accumulated so far. *)
+let measured t ph = max 0 (ph.ph_seen - t.cfg.warmup)
+
+let mean_cycles t ph =
+  let n = measured t ph in
+  if n = 0 then 0.0 else ph.ph_cycles_sum /. float_of_int n
+
+let known t ph =
+  (not ph.ph_poisoned)
+  &&
+  let n = measured t ph in
+  n >= t.cfg.repeats
+  &&
+  let mean = ph.ph_cycles_sum /. float_of_int n in
+  mean > 0.0
+  &&
+  let var =
+    Float.max 0.0 ((ph.ph_cycles_sumsq /. float_of_int n) -. (mean *. mean))
+  in
+  sqrt var /. mean <= t.cfg.cov_bound
+
+(* Hardware-channel faults change the machine's effective configuration
+   out from under the cache, so any movement of the monotone fault counter
+   invalidates everything memoized and taints observations in flight. *)
+let poll_faults t =
+  let fe = Faults.hw_fault_events t.faults in
+  if fe <> t.fault_events0 then begin
+    t.fault_events0 <- fe;
+    Hashtbl.reset t.table;
+    List.iter (fun ob -> ob.ob_dirty <- true) t.open_obs
+  end
+
+let mark_dirty t = List.iter (fun ob -> ob.ob_dirty <- true) t.open_obs
+
+let decide t ~meth_id =
+  poll_faults t;
+  let entry = Do_database.entry (Engine.db t.engine) meth_id in
+  if
+    (not entry.Do_database.is_hotspot)
+    || entry.Do_database.compile_state <> Do_database.Optimized
+    || not (t.allow ~meth_id)
+  then Engine.No_sample
+  else begin
+    let sg = current_sig t.engine in
+    let key = (meth_id, sg) in
+    match Hashtbl.find_opt t.table key with
+    (* Periodic recalibration: after [recalibrate_every] consecutive
+       splices a known phase is re-observed instead, so a record whose true
+       cost has drifted (cache aging, data-position effects) is corrected
+       rather than replayed forever.  Never splice inside an open
+       observation: a nested replay would fold memoized rather than
+       simulated cycles into the outer phase's record. *)
+    | Some ph
+      when known t ph && t.open_obs = []
+           && (t.cfg.recalibrate_every = 0
+              || ph.ph_since_measure < t.cfg.recalibrate_every) ->
+        ph.ph_since_measure <- ph.ph_since_measure + 1;
+        t.ff_instrs_active <- ph.ph_instrs;
+        Engine.Fast_forward
+          {
+            Engine.ff_instrs = ph.ph_instrs;
+            ff_cycles = mean_cycles t ph;
+            ff_counts = ph.ph_counts;
+          }
+    (* A poisoned phase can never be replayed, so keep it out of [open_obs]
+       entirely: an open observation frame pins every nested phase to full
+       simulation, and a permanently observed outer method would block its
+       inner phases from ever splicing. *)
+    | Some ph when ph.ph_poisoned -> Engine.No_sample
+    | _ ->
+        t.open_obs <-
+          {
+            ob_meth = meth_id;
+            ob_sig = sg;
+            ob_instrs0 = Engine.instrs t.engine;
+            ob_cycles0 = Engine.cycles t.engine;
+            ob_counts0 = Hierarchy.counts (Engine.hierarchy t.engine);
+            ob_resizes0 = resizes_now t.engine;
+            ob_dirty = false;
+          }
+          :: t.open_obs;
+        Engine.Observe
+  end
+
+let fresh_phase instrs =
+  {
+    ph_instrs = instrs;
+    ph_seen = 0;
+    ph_cycles_sum = 0.0;
+    ph_cycles_sumsq = 0.0;
+    ph_counts =
+      {
+        Hierarchy.c_l1i_accesses = 0;
+        c_l1i_hits = 0;
+        c_l1i_writebacks = 0;
+        c_l1d_accesses = 0;
+        c_l1d_hits = 0;
+        c_l1d_writebacks = 0;
+        c_l2_accesses = 0;
+        c_l2_hits = 0;
+        c_l2_writebacks = 0;
+        c_tlb_accesses = 0;
+        c_tlb_misses = 0;
+        c_mem_reads = 0;
+        c_mem_writebacks = 0;
+      };
+    ph_poisoned = false;
+    ph_since_measure = 0;
+  }
+
+(* Region end of an observed invocation: fold the measured repeat into the
+   phase's statistics if it was clean (no promotion/recompile/fault inside,
+   no resize, same hardware signature at both ends) and behaviourally
+   consistent (identical instruction count — the engine's control flow is
+   invocation-count-driven, so a mismatch means the phase key is too
+   coarse and the entry is poisoned rather than averaged). *)
+let observe_exit t ob =
+  let eng = t.engine in
+  t.n_observations <- t.n_observations + 1;
+  Obs.incr t.obs t.m_observations;
+  let clean =
+    (not ob.ob_dirty)
+    && resizes_now eng = ob.ob_resizes0
+    && current_sig eng = ob.ob_sig
+  in
+  if clean then begin
+    let d_instrs = Engine.instrs eng - ob.ob_instrs0 in
+    let d_cycles = Engine.cycles eng -. ob.ob_cycles0 in
+    let key = (ob.ob_meth, ob.ob_sig) in
+    let ph =
+      match Hashtbl.find_opt t.table key with
+      | Some ph -> ph
+      | None ->
+          let ph = fresh_phase d_instrs in
+          Hashtbl.add t.table key ph;
+          ph
+    in
+    if not ph.ph_poisoned then
+      if d_instrs <> ph.ph_instrs then ph.ph_poisoned <- true
+      else begin
+        ph.ph_since_measure <- 0;
+        let mean = mean_cycles t ph in
+        if
+          known t ph
+          && Float.abs (d_cycles -. mean) > t.cfg.cov_bound *. mean
+        then begin
+          (* A recalibration repeat outside the bound means the record no
+             longer describes the phase: relearn from this repeat rather
+             than splicing a stale cost. *)
+          ph.ph_seen <- t.cfg.warmup + 1;
+          ph.ph_cycles_sum <- d_cycles;
+          ph.ph_cycles_sumsq <- d_cycles *. d_cycles;
+          ph.ph_counts <-
+            Hierarchy.diff_counts ~before:ob.ob_counts0
+              ~after:(Hierarchy.counts (Engine.hierarchy eng))
+        end
+        else begin
+          (* Hold the measurement window at [repeats] samples: rescaling
+             before folding keeps the mean recency-weighted, so slow drift
+             is tracked instead of averaged into ancient history. *)
+          let n = measured t ph in
+          if n >= t.cfg.repeats then begin
+            let k = float_of_int (t.cfg.repeats - 1) /. float_of_int n in
+            ph.ph_cycles_sum <- ph.ph_cycles_sum *. k;
+            ph.ph_cycles_sumsq <- ph.ph_cycles_sumsq *. k;
+            ph.ph_seen <- t.cfg.warmup + t.cfg.repeats - 1
+          end;
+          ph.ph_seen <- ph.ph_seen + 1;
+          if ph.ph_seen > t.cfg.warmup then begin
+            ph.ph_cycles_sum <- ph.ph_cycles_sum +. d_cycles;
+            ph.ph_cycles_sumsq <- ph.ph_cycles_sumsq +. (d_cycles *. d_cycles);
+            ph.ph_counts <-
+              Hierarchy.diff_counts ~before:ob.ob_counts0
+                ~after:(Hierarchy.counts (Engine.hierarchy eng))
+          end
+        end
+      end
+  end
+
+let region_exit t ~meth_id ~ff =
+  if ff then begin
+    t.n_splices <- t.n_splices + 1;
+    t.n_spliced_instrs <- t.n_spliced_instrs + t.ff_instrs_active;
+    Obs.incr t.obs t.m_splices;
+    Obs.add t.obs t.m_spliced_instrs t.ff_instrs_active;
+    t.ff_instrs_active <- 0
+  end
+  else
+    match t.open_obs with
+    | ob :: rest when ob.ob_meth = meth_id ->
+        t.open_obs <- rest;
+        observe_exit t ob
+    | _ -> assert false (* sc_exit pairing is LIFO by construction *)
+
+let attach ?(config = default_config) ?(faults = Faults.none)
+    ?(obs = Obs.null) ~allow engine =
+  (match validate_config config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Sample.attach: " ^ msg));
+  let t =
+    {
+      cfg = config;
+      engine;
+      faults;
+      allow;
+      table = Hashtbl.create 64;
+      open_obs = [];
+      fault_events0 = Faults.hw_fault_events faults;
+      ff_instrs_active = 0;
+      n_observations = 0;
+      n_splices = 0;
+      n_spliced_instrs = 0;
+      obs;
+      m_observations = Obs.counter obs "sample.observations";
+      m_splices = Obs.counter obs "sample.splices";
+      m_spliced_instrs = Obs.counter obs "sample.spliced_instrs";
+    }
+  in
+  (* A promotion or recompile inside an observed span changes its cost
+     structure (compile charges, quality flip), so the repeat is
+     unrepresentative.  Wrapping preserves whatever the scheme installed. *)
+  let hooks = Engine.hooks engine in
+  let prev_promoted = hooks.Engine.on_hotspot_promoted in
+  hooks.Engine.on_hotspot_promoted <-
+    (fun ~meth_id ->
+      mark_dirty t;
+      prev_promoted ~meth_id);
+  let prev_recompile = hooks.Engine.on_recompile in
+  hooks.Engine.on_recompile <-
+    (fun ~meth_id ->
+      mark_dirty t;
+      prev_recompile ~meth_id);
+  Engine.set_sample_ctl engine
+    {
+      Engine.sc_decide = (fun ~meth_id -> decide t ~meth_id);
+      sc_exit = (fun ~meth_id ~ff -> region_exit t ~meth_id ~ff);
+    };
+  t
+
+(* -- run statistics ------------------------------------------------- *)
+
+type stats = {
+  observations : int;  (* candidate invocations measured in full *)
+  known_phases : int;  (* cache entries currently fast-forwardable *)
+  splices : int;  (* regions replayed from memoized records *)
+  spliced_instrs : int;  (* instructions covered by replayed regions *)
+}
+
+let stats t =
+  let known_phases =
+    Hashtbl.fold (fun _ ph acc -> if known t ph then acc + 1 else acc) t.table 0
+  in
+  {
+    observations = t.n_observations;
+    known_phases;
+    splices = t.n_splices;
+    spliced_instrs = t.n_spliced_instrs;
+  }
+
+(* -- checkpoint capture / restore ----------------------------------- *)
+
+type phase_entry_state = {
+  pe_meth : int;
+  pe_sig : hw_sig;
+  pe_instrs : int;
+  pe_seen : int;
+  pe_cycles_sum : float;
+  pe_cycles_sumsq : float;
+  pe_counts : Hierarchy.counts;
+  pe_poisoned : bool;
+  pe_since_measure : int;
+}
+
+type obs_frame_state = {
+  os_meth : int;
+  os_sig : hw_sig;
+  os_instrs0 : int;
+  os_cycles0 : float;
+  os_counts0 : Hierarchy.counts;
+  os_resizes0 : int;
+  os_dirty : bool;
+}
+
+type state = {
+  s_entries : phase_entry_state array;  (* sorted by key: determinism *)
+  s_open : obs_frame_state array;  (* outermost observation first *)
+  s_fault_events0 : int;
+  s_ff_instrs_active : int;
+  s_observations : int;
+  s_splices : int;
+  s_spliced_instrs : int;
+}
+
+let capture t =
+  let entries =
+    Hashtbl.fold
+      (fun (meth, sg) ph acc ->
+        {
+          pe_meth = meth;
+          pe_sig = sg;
+          pe_instrs = ph.ph_instrs;
+          pe_seen = ph.ph_seen;
+          pe_cycles_sum = ph.ph_cycles_sum;
+          pe_cycles_sumsq = ph.ph_cycles_sumsq;
+          pe_counts = ph.ph_counts;
+          pe_poisoned = ph.ph_poisoned;
+          pe_since_measure = ph.ph_since_measure;
+        }
+        :: acc)
+      t.table []
+    |> List.sort compare |> Array.of_list
+  in
+  {
+    s_entries = entries;
+    s_open =
+      Array.of_list
+        (List.rev_map
+           (fun ob ->
+             {
+               os_meth = ob.ob_meth;
+               os_sig = ob.ob_sig;
+               os_instrs0 = ob.ob_instrs0;
+               os_cycles0 = ob.ob_cycles0;
+               os_counts0 = ob.ob_counts0;
+               os_resizes0 = ob.ob_resizes0;
+               os_dirty = ob.ob_dirty;
+             })
+           t.open_obs);
+    s_fault_events0 = t.fault_events0;
+    s_ff_instrs_active = t.ff_instrs_active;
+    s_observations = t.n_observations;
+    s_splices = t.n_splices;
+    s_spliced_instrs = t.n_spliced_instrs;
+  }
+
+let restore t s =
+  Hashtbl.reset t.table;
+  Array.iter
+    (fun pe ->
+      Hashtbl.replace t.table (pe.pe_meth, pe.pe_sig)
+        {
+          ph_instrs = pe.pe_instrs;
+          ph_seen = pe.pe_seen;
+          ph_cycles_sum = pe.pe_cycles_sum;
+          ph_cycles_sumsq = pe.pe_cycles_sumsq;
+          ph_counts = pe.pe_counts;
+          ph_poisoned = pe.pe_poisoned;
+          ph_since_measure = pe.pe_since_measure;
+        })
+    s.s_entries;
+  t.open_obs <-
+    Array.fold_left
+      (fun acc os ->
+        {
+          ob_meth = os.os_meth;
+          ob_sig = os.os_sig;
+          ob_instrs0 = os.os_instrs0;
+          ob_cycles0 = os.os_cycles0;
+          ob_counts0 = os.os_counts0;
+          ob_resizes0 = os.os_resizes0;
+          ob_dirty = os.os_dirty;
+        }
+        :: acc)
+      [] s.s_open;
+  t.fault_events0 <- s.s_fault_events0;
+  t.ff_instrs_active <- s.s_ff_instrs_active;
+  t.n_observations <- s.s_observations;
+  t.n_splices <- s.s_splices;
+  t.n_spliced_instrs <- s.s_spliced_instrs

@@ -1,0 +1,120 @@
+(** Phase-memoized fast-forward sampling.
+
+    The simulator's dominant cost is per-access cache simulation, yet a
+    recurring phase's cache behaviour is stable once the program and the
+    adaptation system settle (Phase Distance Mapping; see PAPERS.md).
+    This module memoizes per-phase statistics — keyed on phase identity
+    (the hotspot's header method) plus the exact hardware configuration —
+    and, once a phase is "known", asks the engine to fast-forward through
+    its repeats: architectural state (DO database, pattern cursors, RNG
+    stream, instruction counts) advances exactly as a full simulation
+    would, while timing and hierarchy counters are spliced in from the
+    memoized record.  See DESIGN.md §Sampled simulation.
+
+    The detector is warmup-aware: the first [warmup] clean repeats of a
+    phase are discarded (cold caches, JIT ramp), and fast-forwarding only
+    begins after [repeats] further clean repeats whose cycle counts agree
+    within [cov_bound].  A repeat is clean when no promotion, recompile,
+    reconfiguration or hardware fault landed inside it and the hardware
+    signature is unchanged end to end.  Tuner trials always run under full
+    simulation: the [allow] guard rejects candidates whose scheme is
+    mid-measurement. *)
+
+type config = {
+  warmup : int;  (** Clean repeats discarded before measuring. *)
+  repeats : int;  (** Measured clean repeats required to trust a phase. *)
+  cov_bound : float;  (** Maximum cycle CoV across the measured repeats. *)
+  recalibrate_every : int;
+      (** Consecutive splices of a phase before it is re-observed, so a
+          record whose true cost drifted is corrected; 0 disables
+          recalibration (never re-measure). *)
+}
+
+val default_config : config
+(** warmup 2, repeats 3, cov_bound 0.05, recalibrate_every 64. *)
+
+val validate_config : config -> (unit, string) result
+(** Reject nonsensical thresholds (negative warmup, repeats < 1,
+    non-finite or negative bound, negative recalibration period). *)
+
+(** The hardware configuration a phase record was measured under; part of
+    the cache key, so statistics never cross configurations. *)
+type hw_sig = {
+  hs_l1d_bytes : int;
+  hs_l2_bytes : int;
+  hs_ilp_bits : int64;
+  hs_exposure_bits : int64;
+}
+
+type t
+
+val attach :
+  ?config:config ->
+  ?faults:Ace_faults.Faults.t ->
+  ?obs:Ace_obs.Obs.t ->
+  allow:(meth_id:int -> bool) ->
+  Ace_vm.Engine.t ->
+  t
+(** Install the sampler on an engine (once per engine, before it runs or
+    resumes).  [allow] is the scheme quiescence guard: a candidate is only
+    observed or fast-forwarded while it returns [true] (e.g. the hotspot
+    tuner has settled, or the BBV scheme has no pending trial).  [faults]
+    must be the engine's injector: the sampler polls its monotone
+    hardware-fault counter and invalidates the entire cache when it moves.
+    [obs] receives [sample.*] counters.
+    @raise Invalid_argument on an invalid config or a double attach. *)
+
+val config : t -> config
+
+(** Cumulative sampling statistics for the run summary. *)
+type stats = {
+  observations : int;  (** Candidate invocations measured in full. *)
+  known_phases : int;  (** Cache entries currently fast-forwardable. *)
+  splices : int;  (** Regions replayed from memoized records. *)
+  spliced_instrs : int;  (** Instructions covered by replayed regions. *)
+}
+
+val stats : t -> stats
+
+(** {2 Checkpoint capture / restore}
+
+    Snapshots carry the whole phase-statistics cache and any observations
+    in flight, so a killed sampled run resumes bit-identically with the
+    uninterrupted one (same future decisions, same splices). *)
+
+type phase_entry_state = {
+  pe_meth : int;
+  pe_sig : hw_sig;
+  pe_instrs : int;
+  pe_seen : int;
+  pe_cycles_sum : float;
+  pe_cycles_sumsq : float;
+  pe_counts : Ace_mem.Hierarchy.counts;
+  pe_poisoned : bool;
+  pe_since_measure : int;
+}
+
+type obs_frame_state = {
+  os_meth : int;
+  os_sig : hw_sig;
+  os_instrs0 : int;
+  os_cycles0 : float;
+  os_counts0 : Ace_mem.Hierarchy.counts;
+  os_resizes0 : int;
+  os_dirty : bool;
+}
+
+type state = {
+  s_entries : phase_entry_state array;  (** Sorted by key. *)
+  s_open : obs_frame_state array;  (** Outermost observation first. *)
+  s_fault_events0 : int;
+  s_ff_instrs_active : int;
+  s_observations : int;
+  s_splices : int;
+  s_spliced_instrs : int;
+}
+
+val capture : t -> state
+
+val restore : t -> state -> unit
+(** Overwrite a freshly attached sampler with a captured state. *)

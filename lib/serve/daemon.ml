@@ -186,7 +186,12 @@ let exec_job ~cfg ~chaos ~drain ~mb id (spec : Protocol.job_spec) =
           in
           Run.run_checkpointed ~io ~scale:spec.Protocol.scale
             ~seed:spec.Protocol.seed ~resilient:spec.Protocol.resilient
-            ?fault_rate:spec.Protocol.fault_rate ~on_boundary
+            ?fault_rate:spec.Protocol.fault_rate
+            ?sample:
+              (if spec.Protocol.sample then
+                 Some Ace_sample.Sample.default_config
+               else None)
+            ~on_boundary
             ~checkpoint_every:cfg.checkpoint_every ~path workload
             spec.Protocol.scheme
     in

@@ -11,13 +11,24 @@ type job_spec = {
   seed : int;
   fault_rate : float option;
   resilient : bool;
+  sample : bool;
   deadline_s : float option;
   fail_after : int option;
 }
 
-let job_spec ?fault_rate ?(resilient = false) ?deadline_s ?fail_after
-    ?(scale = 1.0) ?(seed = 1) ~workload scheme =
-  { workload; scheme; scale; seed; fault_rate; resilient; deadline_s; fail_after }
+let job_spec ?fault_rate ?(resilient = false) ?(sample = false) ?deadline_s
+    ?fail_after ?(scale = 1.0) ?(seed = 1) ~workload scheme =
+  {
+    workload;
+    scheme;
+    scale;
+    seed;
+    fault_rate;
+    resilient;
+    sample;
+    deadline_s;
+    fail_after;
+  }
 
 type job_info = { id : int; state : string }
 
@@ -66,6 +77,7 @@ let json_of_spec (s : job_spec) =
       ("seed", Json.Int s.seed);
       ("fault_rate", json_of_opt (fun r -> Json.Float r) s.fault_rate);
       ("resilient", Json.Bool s.resilient);
+      ("sample", Json.Bool s.sample);
       ("deadline_s", json_of_opt (fun d -> Json.Float d) s.deadline_s);
       ("fail_after", json_of_opt (fun n -> Json.Int n) s.fail_after);
     ]
@@ -87,6 +99,12 @@ let spec_of_json j =
   | Some r when not (r >= 0.0 && r <= 1.0) -> fail "fault_rate %g out of range" r
   | _ -> ());
   let resilient = field "resilient" Json.to_bool j in
+  (* Lenient: specs spooled by a pre-sampling daemon simply run unsampled. *)
+  let sample =
+    Option.value ~default:false (opt_field "sample" Json.to_bool j)
+  in
+  if sample && fault_rate <> None && not resilient then
+    fail "sample with fault_rate requires resilient";
   let deadline_s = opt_field "deadline_s" Json.to_float j in
   (match deadline_s with
   | Some d when not (d > 0.0) -> fail "deadline_s %g out of range" d
@@ -95,7 +113,17 @@ let spec_of_json j =
   (match fail_after with
   | Some n when n <= 0 -> fail "fail_after %d out of range" n
   | _ -> ());
-  { workload; scheme; scale; seed; fault_rate; resilient; deadline_s; fail_after }
+  {
+    workload;
+    scheme;
+    scale;
+    seed;
+    fault_rate;
+    resilient;
+    sample;
+    deadline_s;
+    fail_after;
+  }
 
 let json_of_report (r : status_report) =
   Json.Obj

@@ -17,6 +17,11 @@ type job_spec = {
   seed : int;
   fault_rate : float option;  (** Attach a fault injector at this rate. *)
   resilient : bool;  (** Resilient tuner policy (hotspot scheme). *)
+  sample : bool;
+      (** Run under phase-memoized fast-forwarding
+          ({!Ace_sample.Sample.default_config}).  Combined with
+          [fault_rate] it requires [resilient] — the decoder refuses the
+          combination otherwise. *)
   deadline_s : float option;
       (** Wall-clock budget per job; exceeded jobs fail without retry. *)
   fail_after : int option;
@@ -27,6 +32,7 @@ type job_spec = {
 val job_spec :
   ?fault_rate:float ->
   ?resilient:bool ->
+  ?sample:bool ->
   ?deadline_s:float ->
   ?fail_after:int ->
   ?scale:float ->
@@ -35,7 +41,7 @@ val job_spec :
   Ace_harness.Scheme.t ->
   job_spec
 (** Spec with the CLI's defaults: scale 1.0, seed 1, no faults, no
-    deadline. *)
+    sampling, no deadline. *)
 
 type job_info = { id : int; state : string }
 (** One row of the status report; [state] is one of "queued", "running",

@@ -22,6 +22,11 @@ let split t =
   let seed64 = bits64 t in
   { state = seed64 }
 
+(* The state advances by exactly one gamma per [bits64] call, so skipping
+   [n] draws is a single multiply-add.  Used by fast-forward simulation to
+   keep the stream aligned with what a full run would have consumed. *)
+let skip t n = t.state <- Int64.add t.state (Int64.mul golden_gamma (Int64.of_int n))
+
 (* Non-negative 62-bit value, safe to use as an OCaml [int]. *)
 let positive_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

@@ -64,3 +64,9 @@ val shuffle : t -> 'a array -> unit
 
 val bits64 : t -> int64
 (** Next raw 64-bit output of the generator. *)
+
+val skip : t -> int -> unit
+(** [skip t n] advances [t] past the next [n] raw draws in O(1), leaving the
+    stream exactly where [n] calls to {!bits64} would have.  Each derived
+    sampler above consumes exactly one raw draw, so callers can skip by
+    draw count. *)

@@ -49,6 +49,41 @@ let no_hooks () =
     on_recompile = (fun ~meth_id:_ -> ());
   }
 
+(* Fast-forward sampling: an external sampler (ace_sample) can intercept
+   method entries.  For each candidate invocation it either observes
+   (measures the invocation for its phase-statistics cache) or requests a
+   fast-forward: the engine then executes the invocation with a
+   functional-only model — architectural state (DO DB, pattern cursors, RNG
+   stream, instruction counts) advances exactly as a full simulation would,
+   but no cache accesses are performed; cycles are paced by the memoized
+   per-instruction rate and the hierarchy counters are spliced from the
+   memoized record at region end.  See DESIGN.md §Sampled simulation. *)
+type ff_request = {
+  ff_instrs : int;  (* instructions the region will retire *)
+  ff_cycles : float;  (* memoized cycle cost of the region *)
+  ff_counts : Hierarchy.counts;  (* memoized hierarchy counter deltas *)
+}
+
+type decision = No_sample | Observe | Fast_forward of ff_request
+
+type sample_ctl = {
+  sc_decide : meth_id:int -> decision;
+  sc_exit : meth_id:int -> ff:bool -> unit;
+      (* Region end, fired once per [Observe]/[Fast_forward] decision in
+         LIFO order, at the exact point the observed span ends (before the
+         exit stub and profile, mirroring where the span began). *)
+}
+
+(* An active fast-forward region (the dynamic extent of one
+   [Fast_forward] decision). *)
+type ff_run = {
+  fr_instrs : int;
+  fr_cycles : float;
+  fr_counts : Hierarchy.counts;
+  fr_start_cycles : float;  (* n_cycles when the region began *)
+  fr_cpi : float;  (* pacing rate for sampler/interval interleaving *)
+}
+
 (* One invocation in flight.  The engine executes with an explicit frame
    stack rather than OCaml recursion so that the complete execution position
    is plain data: a checkpoint taken between any two statements can rebuild
@@ -65,6 +100,7 @@ type frame = {
   f_l1m0 : int;
   f_l2a0 : int;
   f_l2m0 : int;
+  f_sample : int;  (* 0 = plain, 1 = observed, 2 = fast-forward root *)
   mutable f_pos : int;  (* index of the next statement in the body *)
   mutable f_calls_left : int;  (* remaining reps of the Call at f_pos - 1; 0 = none *)
 }
@@ -94,6 +130,8 @@ type t = {
   mutable ilp_scale : float;
   mutable exposure_scale : float;
   mutable stack : frame list;  (* innermost invocation first *)
+  mutable sample_ctl : sample_ctl option;
+  mutable ff : ff_run option;  (* active fast-forward region, if any *)
   mutable ran : bool;
   mutable restored : bool;
   obs : Obs.t;
@@ -137,6 +175,8 @@ let create ?(config = default_config) ?(faults = Faults.none) ?(obs = Obs.null)
     ilp_scale = 1.0;
     exposure_scale = 1.0;
     stack = [];
+    sample_ctl = None;
+    ff = None;
     ran = false;
     restored = false;
     obs;
@@ -165,6 +205,16 @@ let hot_instrs t = t.n_hot_instrs
 let ipc t = if t.n_cycles <= 0.0 then 0.0 else float_of_int t.n_instrs /. t.n_cycles
 
 let add_stall_cycles t c = t.n_cycles <- t.n_cycles +. c
+
+let set_sample_ctl t ctl =
+  (match t.sample_ctl with
+  | Some _ -> invalid_arg "Engine.set_sample_ctl: sampler already attached"
+  | None -> ());
+  t.sample_ctl <- Some ctl
+
+let in_fast_forward t = match t.ff with Some _ -> true | None -> false
+let ilp_scale t = t.ilp_scale
+let exposure_scale t = t.exposure_scale
 
 let set_ilp_scale t s =
   assert (s > 0.0);
@@ -263,6 +313,24 @@ let exec_block t (b : Block.t) count quality =
   if t.n_cycles >= t.next_sample_at then sampler_tick t;
   if t.n_instrs >= t.next_interval_at then fire_interval t
 
+(* Functional-only execution of a block batch inside a fast-forward region:
+   the pattern cursor and RNG advance exactly as [exec_block] would have
+   moved them (so architectural state stays bit-identical to a full run),
+   but no hierarchy accesses are performed; cycles are paced by the
+   memoized per-instruction rate.  Block, sampler and interval hooks still
+   fire so BBV vectors, sampler attribution and checkpoint cadence match
+   the full-simulation structure. *)
+let exec_block_ff t (b : Block.t) count cpi =
+  let cursor = t.cursors.(b.Block.id) in
+  Pattern.skip cursor ~rng:t.rng (count * (b.Block.loads + b.Block.stores));
+  let batch_instrs = b.Block.instrs * count in
+  t.n_instrs <- t.n_instrs + batch_instrs;
+  t.n_cycles <- t.n_cycles +. (cpi *. float_of_int batch_instrs);
+  if t.hotspot_depth > 0 then t.n_hot_instrs <- t.n_hot_instrs + batch_instrs;
+  t.hooks.on_block ~pc:b.Block.pc ~instrs:b.Block.instrs ~count;
+  if t.n_cycles >= t.next_sample_at then sampler_tick t;
+  if t.n_instrs >= t.next_interval_at then fire_interval t
+
 (* Method entry: all the invocation-start work of the old recursive
    interpreter, then push a frame.  Operation order is load-bearing — tests
    assert exact counter values — so it mirrors the recursion exactly:
@@ -277,6 +345,35 @@ let enter t meth_id =
   let was_hotspot_at_entry = entry.Do_database.is_hotspot in
   charge_software_instrs t entry.Do_database.entry_overhead;
   t.hooks.on_method_entry ~meth_id;
+  (* Fast-forward decision point: after the entry hook (so any per-hotspot
+     reconfiguration has been applied and the sampler sees the hardware the
+     invocation will actually run under) and before the profile snapshot,
+     so both an observed span and a replayed span cover exactly
+     [here, top of exit_frame).  Never consulted inside an active region:
+     regions do not nest. *)
+  let f_sample =
+    match t.sample_ctl with
+    | None -> 0
+    | Some _ when in_fast_forward t -> 0
+    | Some ctl -> (
+        match ctl.sc_decide ~meth_id with
+        | No_sample -> 0
+        | Observe -> 1
+        | Fast_forward req ->
+            t.ff <-
+              Some
+                {
+                  fr_instrs = req.ff_instrs;
+                  fr_cycles = req.ff_cycles;
+                  fr_counts = req.ff_counts;
+                  fr_start_cycles = t.n_cycles;
+                  fr_cpi =
+                    (if req.ff_instrs > 0 then
+                       req.ff_cycles /. float_of_int req.ff_instrs
+                     else 0.0);
+                };
+            2)
+  in
   (* Snapshot for the invocation profile (after the entry stub so stub cost
      stays out of the tuner's IPC measurements). *)
   let l1d = Hierarchy.l1d t.hier and l2 = Hierarchy.l2 t.hier in
@@ -295,6 +392,7 @@ let enter t meth_id =
       f_l1m0 = Cache.Stats.misses l1d;
       f_l2a0 = Cache.Stats.accesses l2;
       f_l2m0 = Cache.Stats.misses l2;
+      f_sample;
       f_pos = 0;
       f_calls_left = 0;
     }
@@ -309,8 +407,34 @@ let enter t meth_id =
   t.current_meth <- meth_id;
   t.stack <- fr :: t.stack
 
-(* Method exit: the invocation-end work, after the frame has been popped. *)
+(* Method exit: the invocation-end work, after the frame has been popped.
+
+   Sampled regions end here, *before* the exit stub and profile: a
+   fast-forward root splices its memoized hierarchy deltas and forces the
+   clock to exactly [start + memoized cycles] (pacing drift and nested stub
+   charges inside the region are discarded), so the region's total cost is
+   the memoized record regardless of how sampler/interval hooks interleaved
+   with it. *)
 let exit_frame t fr =
+  (match fr.f_sample with
+  | 2 -> (
+      match t.ff with
+      | Some f ->
+          t.n_cycles <- f.fr_start_cycles +. f.fr_cycles;
+          Hierarchy.splice t.hier f.fr_counts;
+          t.ff <- None;
+          if Obs.tracing t.obs then
+            Obs.record t.obs
+              (Obs.Phase_splice { id = fr.f_meth; instrs = f.fr_instrs });
+          (match t.sample_ctl with
+          | Some c -> c.sc_exit ~meth_id:fr.f_meth ~ff:true
+          | None -> ())
+      | None -> assert false)
+  | 1 -> (
+      match t.sample_ctl with
+      | Some c -> c.sc_exit ~meth_id:fr.f_meth ~ff:false
+      | None -> ())
+  | _ -> ());
   let entry = Do_database.entry t.db fr.f_meth in
   t.current_meth <- fr.f_saved_meth;
   if fr.f_was_hotspot then t.hotspot_depth <- t.hotspot_depth - 1;
@@ -365,7 +489,10 @@ let step t =
         let st = body.(fr.f_pos) in
         fr.f_pos <- fr.f_pos + 1;
         match st with
-        | Program.Exec (b, n) -> exec_block t b n fr.f_quality
+        | Program.Exec (b, n) -> (
+            match t.ff with
+            | Some f -> exec_block_ff t b n f.fr_cpi
+            | None -> exec_block t b n fr.f_quality)
         | Program.Call (callee, n) ->
             if n > 0 then begin
               fr.f_calls_left <- n - 1;
@@ -400,8 +527,17 @@ type frame_state = {
   fs_l1m0 : int;
   fs_l2a0 : int;
   fs_l2m0 : int;
+  fs_sample : int;
   fs_pos : int;
   fs_calls_left : int;
+}
+
+(* An in-flight fast-forward region ([fr_cpi] is derived, not stored). *)
+type ff_run_state = {
+  ffs_instrs : int;
+  ffs_cycles : float;
+  ffs_counts : Hierarchy.counts;
+  ffs_start_cycles : float;
 }
 
 type state = {
@@ -420,6 +556,7 @@ type state = {
   s_cursors : Pattern.cursor_state array;
   s_db : Do_database.state;
   s_hier : Hierarchy.state;
+  s_ff : ff_run_state option;
 }
 
 let frame_to_state fr =
@@ -434,6 +571,7 @@ let frame_to_state fr =
     fs_l1m0 = fr.f_l1m0;
     fs_l2a0 = fr.f_l2a0;
     fs_l2m0 = fr.f_l2m0;
+    fs_sample = fr.f_sample;
     fs_pos = fr.f_pos;
     fs_calls_left = fr.f_calls_left;
   }
@@ -450,6 +588,7 @@ let frame_of_state fs =
     f_l1m0 = fs.fs_l1m0;
     f_l2a0 = fs.fs_l2a0;
     f_l2m0 = fs.fs_l2m0;
+    f_sample = fs.fs_sample;
     f_pos = fs.fs_pos;
     f_calls_left = fs.fs_calls_left;
   }
@@ -471,6 +610,17 @@ let capture t =
     s_cursors = Array.map Pattern.capture t.cursors;
     s_db = Do_database.capture t.db;
     s_hier = Hierarchy.capture t.hier;
+    s_ff =
+      (match t.ff with
+      | None -> None
+      | Some f ->
+          Some
+            {
+              ffs_instrs = f.fr_instrs;
+              ffs_cycles = f.fr_cycles;
+              ffs_counts = f.fr_counts;
+              ffs_start_cycles = f.fr_start_cycles;
+            });
   }
 
 let restore t s =
@@ -493,5 +643,20 @@ let restore t s =
   Array.iteri (fun i cs -> Pattern.restore t.cursors.(i) cs) s.s_cursors;
   Do_database.restore t.db s.s_db;
   Hierarchy.restore t.hier s.s_hier;
+  t.ff <-
+    (match s.s_ff with
+    | None -> None
+    | Some fs ->
+        Some
+          {
+            fr_instrs = fs.ffs_instrs;
+            fr_cycles = fs.ffs_cycles;
+            fr_counts = fs.ffs_counts;
+            fr_start_cycles = fs.ffs_start_cycles;
+            fr_cpi =
+              (if fs.ffs_instrs > 0 then
+                 fs.ffs_cycles /. float_of_int fs.ffs_instrs
+               else 0.0);
+          });
   t.ran <- true;
   t.restored <- true

@@ -99,8 +99,18 @@ type frame_state = {
   fs_l1m0 : int;
   fs_l2a0 : int;
   fs_l2m0 : int;
+  fs_sample : int;
+      (** 0 = plain, 1 = observed by the sampler, 2 = fast-forward root. *)
   fs_pos : int;
   fs_calls_left : int;
+}
+
+(** An in-flight fast-forward region, if a checkpoint lands inside one. *)
+type ff_run_state = {
+  ffs_instrs : int;
+  ffs_cycles : float;
+  ffs_counts : Ace_mem.Hierarchy.counts;
+  ffs_start_cycles : float;
 }
 
 type state = {
@@ -119,6 +129,7 @@ type state = {
   s_cursors : Ace_isa.Pattern.cursor_state array;  (** Indexed by block id. *)
   s_db : Do_database.state;
   s_hier : Ace_mem.Hierarchy.state;
+  s_ff : ff_run_state option;
 }
 
 val capture : t -> state
@@ -168,3 +179,51 @@ val set_exposure_scale : t -> float -> unit
 (** Scale the exposed fraction of memory-miss latency.  Models a resized
     reorder buffer: a smaller out-of-order window hides less of each miss;
     1.0 initially. *)
+
+val ilp_scale : t -> float
+val exposure_scale : t -> float
+(** Current scale values (part of the sampler's hardware signature). *)
+
+(** {2 Fast-forward sampling}
+
+    An external sampler ({!Ace_sample.Sample}) can intercept candidate
+    method entries.  For each it either observes the invocation (to build a
+    phase-statistics record) or requests a fast-forward: the engine then
+    runs the invocation with a functional-only model — DO database, pattern
+    cursors, RNG stream and instruction counters advance exactly as a full
+    simulation would, but no hierarchy accesses are performed.  At region
+    end the memoized hierarchy counter deltas are spliced in, the clock is
+    set to exactly [start + memoized cycles], and a [Phase_splice] event is
+    recorded.  See DESIGN.md §Sampled simulation. *)
+
+(** Memoized cost of one phase invocation, supplied by the sampler. *)
+type ff_request = {
+  ff_instrs : int;  (** Instructions the region will retire. *)
+  ff_cycles : float;  (** Memoized cycle cost of the region. *)
+  ff_counts : Ace_mem.Hierarchy.counts;  (** Memoized counter deltas. *)
+}
+
+type decision =
+  | No_sample  (** Simulate normally; no region-end callback. *)
+  | Observe  (** Simulate fully; fire [sc_exit ~ff:false] at region end. *)
+  | Fast_forward of ff_request  (** Replay the memoized record. *)
+
+type sample_ctl = {
+  sc_decide : meth_id:int -> decision;
+      (** Consulted at method entry, after the entry hook (so per-hotspot
+          reconfiguration has been applied) — but never inside an active
+          fast-forward region: regions do not nest. *)
+  sc_exit : meth_id:int -> ff:bool -> unit;
+      (** Fired once per [Observe]/[Fast_forward] decision, in LIFO order,
+          at the exact point where the decided span ends (before the exit
+          stub and profile — mirroring where it began). *)
+}
+
+val set_sample_ctl : t -> sample_ctl -> unit
+(** Install the sampler callbacks.  At most one sampler per engine.
+    @raise Invalid_argument if a sampler is already attached. *)
+
+val in_fast_forward : t -> bool
+(** True while a fast-forward region is active (schemes use this to defer
+    reconfiguration decisions that would otherwise be based on replayed
+    rather than simulated intervals). *)

@@ -175,6 +175,60 @@ let test_run_requires_benchmark_or_resume () =
   Alcotest.(check int) "usage error" 2 code;
   Alcotest.(check bool) "explains" true (contains out "--resume")
 
+let test_sample_flag_combinations_rejected () =
+  List.iter
+    (fun (args, needle) ->
+      let code, out = sh (Printf.sprintf "%s %s" exe args) in
+      Alcotest.(check bool) ("nonzero exit for " ^ args) true (code <> 0);
+      Alcotest.(check bool) ("clear message for " ^ args) true
+        (contains out needle))
+    [
+      ("run compress --sample-repeats 5", "--sample");
+      ("run compress --sample --faults 0.01", "--resilient");
+      ("run --resume /tmp/nope.snap --sample", "metadata");
+      ("run compress --sample --sample-repeats=0", "positive");
+      ("exp sample-accuracy --sample", "sample-accuracy");
+      ("exp torture --sample", "torture");
+      (* Validation fires before any daemon connection is attempted. *)
+      ( "submit --socket /tmp/ace_cli_no.sock compress --sample --faults 0.01",
+        "--resilient" );
+    ]
+
+let test_sample_run_summary () =
+  let code, out = sh (exe ^ " run compress -s hotspot --scale 0.2 --sample") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "summary reports sampling" true
+    (contains out "sampling")
+
+let test_sample_kill_resume () =
+  (* Kill a sampled checkpointed run mid-flight and resume it: the resumed
+     summary must be byte-identical to the uninterrupted sampled run's (the
+     snapshot carries the phase cache, so post-resume splice decisions
+     replay exactly). *)
+  let p_full = Filename.temp_file "ace_cli_sfull" ".snap" in
+  let p_kill = Filename.temp_file "ace_cli_skill" ".snap" in
+  let base =
+    " run compress -s hotspot --scale 0.2 --sample --checkpoint-every 2000000"
+  in
+  let code_full, out_full = sh (exe ^ base ^ " --checkpoint " ^ p_full) in
+  Alcotest.(check int) "uninterrupted exits 0" 0 code_full;
+  let code_kill, _ =
+    sh (exe ^ base ^ " --checkpoint " ^ p_kill ^ " --kill-after 5000000")
+  in
+  Alcotest.(check int) "killed run exits 3" 3 code_kill;
+  let code_res, out_res = sh (exe ^ " run --resume " ^ p_kill) in
+  Alcotest.(check int) "resume exits 0" 0 code_res;
+  Alcotest.(check bool) "resumed summary reports sampling" true
+    (contains out_res "sampling");
+  Alcotest.(check string) "resumed sampled summary is bit-identical" out_full
+    out_res;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun s -> if Sys.file_exists (p ^ s) then Sys.remove (p ^ s))
+        [ ""; ".1" ])
+    [ p_full; p_kill ]
+
 let suite =
   [
     Tu.case "--faults rejects out-of-range rates" test_faults_range_rejected;
@@ -189,4 +243,8 @@ let suite =
     Tu.slow_case "report subcommand" test_report_subcommand;
     Tu.case "--resume with missing snapshot" test_resume_missing_snapshot;
     Tu.case "run requires benchmark or --resume" test_run_requires_benchmark_or_resume;
+    Tu.case "--sample flag combinations rejected"
+      test_sample_flag_combinations_rejected;
+    Tu.slow_case "--sample run prints sampling summary" test_sample_run_summary;
+    Tu.slow_case "--sample checkpoint/kill/resume smoke" test_sample_kill_resume;
   ]

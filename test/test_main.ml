@@ -24,6 +24,7 @@ let () =
       ("run-variants", Test_run_variants.suite);
       ("invariants", Test_invariants.suite);
       ("ckpt", Test_ckpt.suite);
+      ("sample", Test_sample.suite);
       ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
       ("serve", Test_serve.suite);

@@ -1,0 +1,205 @@
+(* Phase-memoized fast-forward sampling (ace_sample): detector config, the
+   O(1) skip primitives fast-forward relies on, architectural exactness of
+   sampled runs vs full simulation, and sampler snapshot round-trips. *)
+module Sample = Ace_sample.Sample
+module Engine = Ace_vm.Engine
+module Db = Ace_vm.Do_database
+module Run = Ace_harness.Run
+module Scheme = Ace_harness.Scheme
+module Snapshot = Ace_ckpt.Snapshot
+module Rng = Ace_util.Rng
+module Pattern = Ace_isa.Pattern
+module Synthetic = Ace_workloads.Synthetic
+
+let test_config_validation () =
+  let ok c = Sample.validate_config c = Ok () in
+  Alcotest.(check bool) "default valid" true (ok Sample.default_config);
+  List.iter
+    (fun (what, c) -> Alcotest.(check bool) (what ^ " rejected") false (ok c))
+    [
+      ("negative warmup", { Sample.default_config with warmup = -1 });
+      ("zero repeats", { Sample.default_config with repeats = 0 });
+      ("negative bound", { Sample.default_config with cov_bound = -0.01 });
+      ("nan bound", { Sample.default_config with cov_bound = Float.nan });
+    ]
+
+(* -- skip primitives ----------------------------------------------- *)
+
+let test_rng_skip_equiv () =
+  List.iter
+    (fun n ->
+      let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+      for _ = 1 to n do
+        ignore (Rng.bits64 a)
+      done;
+      Rng.skip b n;
+      Alcotest.(check int64)
+        (Printf.sprintf "stream equal after %d draws" n)
+        (Rng.bits64 a) (Rng.bits64 b))
+    [ 0; 1; 7; 1000; 123_456 ]
+
+let test_pattern_skip_equiv () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun n ->
+          let ca = Pattern.cursor p and cb = Pattern.cursor p in
+          let ra = Rng.create ~seed:9 and rb = Rng.create ~seed:9 in
+          for _ = 1 to n do
+            ignore (Pattern.next ca ~rng:ra)
+          done;
+          Pattern.skip cb ~rng:rb n;
+          Alcotest.(check int)
+            (Printf.sprintf "address after %d steps" n)
+            (Pattern.next ca ~rng:ra) (Pattern.next cb ~rng:rb))
+        [ 0; 1; 13; 997 ])
+    [
+      Pattern.Sequential { base = 0; extent = 8192; stride = 64 };
+      Pattern.Random_in { base = 4096; extent = 32768 };
+      Pattern.Pointer_chase { base = 0; extent = 16384 };
+    ]
+
+(* -- architectural exactness --------------------------------------- *)
+
+let small ?(n_phases = 2) ?(phase_repeats = 30) ?(seed = 5) () =
+  Synthetic.build
+    {
+      Synthetic.default with
+      n_phases;
+      phase_repeats;
+      l1_methods_per_phase = 2;
+      l1_target_size = 20_000;
+      leaves_per_phase = 4;
+      leaf_instrs = 600;
+      working_set_kb = 16;
+    }
+    ~seed
+
+let run_full program =
+  let e = Engine.create program in
+  Engine.run e;
+  e
+
+let run_sampled ?(config = Sample.default_config) program =
+  let e = Engine.create program in
+  let sam = Sample.attach ~config ~allow:(fun ~meth_id:_ -> true) e in
+  Engine.run e;
+  (e, sam)
+
+(* Every DO-database field the fast-forward path must advance exactly;
+   [samples] (cycle-timer driven) and [ipc_profile] are the documented
+   approximations and stay out. *)
+let db_arch_fingerprint e =
+  let acc = ref [] in
+  Db.iter (Engine.db e) (fun en ->
+      acc :=
+        ( en.Db.meth_id,
+          en.Db.invocations,
+          en.Db.compile_state,
+          en.Db.is_hotspot,
+          en.Db.promoted_at_instr,
+          en.Db.pre_promotion_instrs )
+        :: !acc);
+  List.rev !acc
+
+let arch_equal full sampled =
+  let fs = Engine.capture full and ss = Engine.capture sampled in
+  fs.Engine.s_instrs = ss.Engine.s_instrs
+  && fs.Engine.s_overhead_instrs = ss.Engine.s_overhead_instrs
+  && fs.Engine.s_rng = ss.Engine.s_rng
+  && fs.Engine.s_cursors = ss.Engine.s_cursors
+  && db_arch_fingerprint full = db_arch_fingerprint sampled
+
+let test_sampled_arch_exact () =
+  let p = small () in
+  let full = run_full p in
+  let sampled, sam = run_sampled p in
+  let st = Sample.stats sam in
+  Alcotest.(check bool)
+    "fast-forward engaged" true
+    (st.Sample.splices > 0 && st.Sample.spliced_instrs > 0);
+  Alcotest.(check bool) "known phases cached" true (st.Sample.known_phases > 0);
+  Alcotest.(check bool) "architectural state identical" true
+    (arch_equal full sampled)
+
+let test_sampled_timing_close () =
+  let p = small ~phase_repeats:60 () in
+  let full = run_full p in
+  let sampled, _ = run_sampled p in
+  let rel =
+    Float.abs (Engine.cycles sampled -. Engine.cycles full)
+    /. Engine.cycles full
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cycle delta %.4f within 2%%" rel)
+    true (rel < 0.02)
+
+let prop_sampled_arch_exact =
+  QCheck.Test.make ~count:8
+    ~name:"sampled arch state = full arch state (synthetic workloads)"
+    QCheck.(triple (int_range 1 3) (int_range 20 50) (int_range 1 1000))
+    (fun (n_phases, phase_repeats, seed) ->
+      let p = small ~n_phases ~phase_repeats ~seed () in
+      let full = run_full p in
+      let sampled, _ = run_sampled p in
+      arch_equal full sampled)
+
+(* -- capture / restore and snapshot round-trip ---------------------- *)
+
+let test_capture_restore_roundtrip () =
+  let p = small () in
+  let _, sam = run_sampled p in
+  let st = Sample.capture sam in
+  Alcotest.(check bool) "cache non-empty" true
+    (Array.length st.Sample.s_entries > 0);
+  let fresh =
+    Sample.attach ~config:Sample.default_config
+      ~allow:(fun ~meth_id:_ -> true)
+      (Engine.create p)
+  in
+  Sample.restore fresh st;
+  Alcotest.(check bool) "capture (restore s) = s" true (Sample.capture fresh = st)
+
+let test_sampled_snapshot_roundtrip () =
+  let path = Filename.temp_file "ace_sample" ".snap" in
+  let snaps = ref [] in
+  (match
+     Run.run_checkpointed ~scale:0.2 ~seed:3 ~sample:Sample.default_config
+       ~on_snapshot:(fun s -> snaps := s :: !snaps)
+       ~checkpoint_every:2_000_000 ~path
+       (Option.get (Ace_workloads.Specjvm.find "compress"))
+       Scheme.Hotspot
+   with
+  | Run.Completed _ -> ()
+  | Run.Killed_at _ -> assert false);
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".1" ];
+  Alcotest.(check bool) "run produced checkpoints" true (!snaps <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "meta records the sampling config" true
+        (s.Snapshot.meta.Snapshot.sample <> None);
+      if Stdlib.compare (Snapshot.decode (Snapshot.encode s)) s <> 0 then
+        Alcotest.fail "decode (encode s) <> s for a sampled snapshot")
+    !snaps;
+  Alcotest.(check bool) "a checkpoint carries a populated phase cache" true
+    (List.exists
+       (fun s ->
+         match s.Snapshot.sample_state with
+         | Some st -> Array.length st.Sample.s_entries > 0
+         | None -> false)
+       !snaps)
+
+let suite =
+  [
+    Tu.case "config validation" test_config_validation;
+    Tu.case "Rng.skip = n draws" test_rng_skip_equiv;
+    Tu.case "Pattern.skip = n nexts" test_pattern_skip_equiv;
+    Tu.case "sampled run: arch state exact" test_sampled_arch_exact;
+    Tu.case "sampled run: cycles within bound" test_sampled_timing_close;
+    QCheck_alcotest.to_alcotest prop_sampled_arch_exact;
+    Tu.case "sampler capture/restore round-trip" test_capture_restore_roundtrip;
+    Tu.slow_case "sampled snapshot codec round-trip"
+      test_sampled_snapshot_roundtrip;
+  ]

@@ -38,9 +38,14 @@ let spec_gen =
   let* seed = int_range 0 1_000_000 in
   let* fault_rate = opt (float_range 0.0 1.0) in
   let* resilient = bool in
+  (* The decoder refuses sample+faults without resilience, so only generate
+     combinations it admits. *)
+  let* sample = bool in
+  let sample = sample && (fault_rate = None || resilient) in
   let* deadline_s = opt (float_range 0.001 3600.0) in
   let+ fail_after = opt (int_range 1 1_000_000_000) in
-  { Protocol.workload; scheme; scale; seed; fault_rate; resilient; deadline_s; fail_after }
+  { Protocol.workload; scheme; scale; seed; fault_rate; resilient; sample;
+    deadline_s; fail_after }
 
 let spec_arbitrary =
   QCheck.make spec_gen ~print:(fun s -> Json.to_string (Protocol.json_of_spec s))
