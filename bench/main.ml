@@ -220,6 +220,32 @@ let core_json path =
     measure_ns_and_words iters (fun addr ->
         ignore (Ace_mem.Hierarchy.data_access hier ~addr ~write:false))
   in
+  (* Batched hierarchy access: the engine's inner-loop path since the
+     batched exec_block rewrite.  Gated per access like the scalar path —
+     both the ns and the minor-words reading are divided by the batch
+     element count, and the words gate must stay at 0.0 (the scratch
+     arrays are preallocated; steady state allocates nothing). *)
+  let batch_hier = Ace_mem.Hierarchy.create () in
+  let batch_n = 4096 in
+  let batch_addrs = Array.init batch_n (fun i -> addrs.(i land mask)) in
+  let batch_iters = 2_000 in
+  for _ = 1 to 50 do
+    ignore
+      (Ace_mem.Hierarchy.data_access_batch batch_hier ~addrs:batch_addrs
+         ~n:batch_n ~loads:3 ~stores:1)
+  done;
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to batch_iters do
+    ignore
+      (Ace_mem.Hierarchy.data_access_batch batch_hier ~addrs:batch_addrs
+         ~n:batch_n ~loads:3 ~stores:1)
+  done;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  let batch_accesses = float_of_int (batch_iters * batch_n) in
+  let data_batch_ns = (t1 -. t0) *. 1e9 /. batch_accesses in
+  let data_batch_words = (w1 -. w0) /. batch_accesses in
   let pool = Ace_util.Pool.create ~num_domains:1 () in
   let jobs = List.init 64 (fun i -> i) in
   let batches = 2_000 in
@@ -292,19 +318,23 @@ let core_json path =
   Printf.fprintf oc
     "{\"cache_access_ns\": %.3f, \"cache_access_minor_words\": %.6f, \
      \"data_access_ns\": %.3f, \"data_access_minor_words\": %.6f, \
+     \"data_access_batch_ns\": %.3f, \"data_access_batch_minor_words\": %.6f, \
      \"pool_dispatch_ns_per_job\": %.1f, \"serve_codec_ns\": %.1f, \
      \"snapshot_encode_ns\": %.1f, \"snapshot_decode_ns\": %.1f, \
      \"io_passthrough_minor_words\": %.6f, \
      \"iters\": %d}\n"
-    cache_ns cache_words data_ns data_words pool_ns serve_codec_ns
-    snapshot_encode_ns snapshot_decode_ns io_passthrough_minor_words iters;
+    cache_ns cache_words data_ns data_words data_batch_ns data_batch_words
+    pool_ns serve_codec_ns snapshot_encode_ns snapshot_decode_ns
+    io_passthrough_minor_words iters;
   close_out oc;
   Printf.printf
     "wrote %s (cache access %.2f ns / %.4f minor words, data access %.2f ns, \
-     pool dispatch %.0f ns/job, serve codec %.0f ns/req, snapshot encode \
-     %.0f ns / decode %.0f ns, io passthrough %.4f minor words)\n"
-    path cache_ns cache_words data_ns pool_ns serve_codec_ns
-    snapshot_encode_ns snapshot_decode_ns io_passthrough_minor_words
+     batched %.2f ns / %.4f minor words, pool dispatch %.0f ns/job, serve \
+     codec %.0f ns/req, snapshot encode %.0f ns / decode %.0f ns, io \
+     passthrough %.4f minor words)\n"
+    path cache_ns cache_words data_ns data_batch_ns data_batch_words pool_ns
+    serve_codec_ns snapshot_encode_ns snapshot_decode_ns
+    io_passthrough_minor_words
 
 (* CI mode: wall-clock of a full vs sampled run on a long synthetic
    workload (the fast-forward win scales with phase repetition), emitted
@@ -334,18 +364,49 @@ let sample_json path =
     | Some s -> s.Ace_sample.Sample.spliced_instrs
     | None -> 0
   in
+  (* Many-hotspot workload: 181 promoted methods instead of 37, so some
+     tuner is mid-campaign for most of the run.  The splice fraction here
+     is what the scoped quiescence guard buys — under the old global gate
+     it collapses to almost nothing.  CI gates the fraction against the
+     recorded pre-scoping baseline (it must at least double). *)
+  let mh_params =
+    {
+      Ace_workloads.Synthetic.default with
+      n_phases = 12;
+      l1_methods_per_phase = 6;
+      phase_repeats = 24;
+      setup_calls = 3;
+    }
+  in
+  let mh = Ace_workloads.Synthetic.workload ~name:"sample-bench-mh" mh_params in
+  let mh_res, mh_s =
+    time (fun () ->
+        Ace_harness.Run.run ~seed:1 ~sample:Ace_sample.Sample.default_config mh
+          scheme)
+  in
+  let mh_spliced =
+    match mh_res.Ace_harness.Run.sample with
+    | Some s -> s.Ace_sample.Sample.spliced_instrs
+    | None -> 0
+  in
+  let mh_frac =
+    float_of_int mh_spliced /. float_of_int (max 1 mh_res.Ace_harness.Run.instrs)
+  in
   let oc = open_out path in
   Printf.fprintf oc
     "{\"full_s\": %.3f, \"sampled_s\": %.3f, \"speedup\": %.2f, \
-     \"instrs\": %d, \"instrs_match\": %b, \"spliced_instrs\": %d}\n"
+     \"instrs\": %d, \"instrs_match\": %b, \"spliced_instrs\": %d, \
+     \"mh_instrs\": %d, \"mh_spliced_instrs\": %d, \"mh_spliced_frac\": %.4f, \
+     \"mh_sampled_s\": %.3f}\n"
     full_s sampled_s speedup full.Ace_harness.Run.instrs
     (full.Ace_harness.Run.instrs = sampled.Ace_harness.Run.instrs)
-    spliced;
+    spliced mh_res.Ace_harness.Run.instrs mh_spliced mh_frac mh_s;
   close_out oc;
   Printf.printf
     "wrote %s (full %.2fs, sampled %.2fs, speedup %.1fx, %d of %d instrs \
-     spliced)\n"
+     spliced; many-hotspot %.1f%% spliced in %.2fs)\n"
     path full_s sampled_s speedup spliced sampled.Ace_harness.Run.instrs
+    (100.0 *. mh_frac) mh_s
 
 (* ------------------------------------------------------------------ *)
 (* One Test.make per table/figure: the experiment's real code path on a

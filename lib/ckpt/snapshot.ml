@@ -598,7 +598,8 @@ let enc_framework e (s : Framework.state) =
     (Enc.opt (fun e (hs : Framework.hotspot_state_state) ->
          enc_tuner e hs.Framework.hs_tuner;
          Enc.int_arr e hs.Framework.hs_managed;
-         Enc.bool e hs.Framework.hs_ever_configured))
+         Enc.bool e hs.Framework.hs_ever_configured;
+         Enc.int e hs.Framework.hs_last_invoked))
     e s.Framework.s_states;
   Enc.arr (Enc.opt enc_acct) e s.Framework.s_accts;
   Enc.arr enc_cu e s.Framework.s_cus;
@@ -621,6 +622,7 @@ let enc_framework e (s : Framework.state) =
   Enc.int_arr e s.Framework.s_recoveries;
   Enc.int e s.Framework.s_quarantined;
   Enc.list Enc.int e s.Framework.s_frame_masks;
+  Enc.int e s.Framework.s_invoke_tick;
   Enc.int e s.Framework.s_unmanaged;
   Enc.bool e s.Framework.s_finalized
 
@@ -631,7 +633,8 @@ let dec_framework d =
            let hs_tuner = dec_tuner d in
            let hs_managed = Dec.int_arr d in
            let hs_ever_configured = Dec.bool d in
-           { Framework.hs_tuner; hs_managed; hs_ever_configured }))
+           let hs_last_invoked = Dec.int d in
+           { Framework.hs_tuner; hs_managed; hs_ever_configured; hs_last_invoked }))
       d
   in
   let s_accts = Dec.arr (Dec.opt dec_acct) d in
@@ -655,6 +658,7 @@ let dec_framework d =
   let s_recoveries = Dec.int_arr d in
   let s_quarantined = Dec.int d in
   let s_frame_masks = Dec.list Dec.int d in
+  let s_invoke_tick = Dec.int d in
   let s_unmanaged = Dec.int d in
   let s_finalized = Dec.bool d in
   {
@@ -680,6 +684,7 @@ let dec_framework d =
     s_recoveries;
     s_quarantined;
     s_frame_masks;
+    s_invoke_tick;
     s_unmanaged;
     s_finalized;
   }
@@ -1089,7 +1094,40 @@ let dec_obs d : Obs.state =
   let s_dropped = Dec.int d in
   { Obs.s_metrics = { Obs.ms_counters; ms_gauges; ms_hists }; s_events; s_dropped }
 
-(* Phase-statistics sampler image (format v3). *)
+(* Phase-statistics sampler image (format v4: keys may be behaviour
+   clusters, statistics are CPI-normalized, and the learned per-method
+   invocation lengths, header-to-cluster map and blocked-reason counters
+   ride along). *)
+
+let enc_key e (k : Sample.key) =
+  match k with
+  | Sample.K_meth m ->
+      Enc.u8 e 0;
+      Enc.int e m
+  | Sample.K_cluster c ->
+      Enc.u8 e 1;
+      Enc.int e c
+
+let dec_key d =
+  match Dec.u8 d with
+  | 0 -> Sample.K_meth (Dec.int d)
+  | 1 -> Sample.K_cluster (Dec.int d)
+  | n -> raise (Codec.Error (Printf.sprintf "bad sample key tag %d" n))
+
+let enc_int_pairs e a =
+  Enc.arr
+    (fun e (x, y) ->
+      Enc.int e x;
+      Enc.int e y)
+    e a
+
+let dec_int_pairs d =
+  Dec.arr
+    (fun d ->
+      let x = Dec.int d in
+      let y = Dec.int d in
+      (x, y))
+    d
 
 let enc_hw_sig e (s : Sample.hw_sig) =
   Enc.int e s.Sample.hs_l1d_bytes;
@@ -1107,19 +1145,23 @@ let dec_hw_sig d =
 let enc_sample_state e (s : Sample.state) =
   Enc.arr
     (fun e (pe : Sample.phase_entry_state) ->
-      Enc.int e pe.Sample.pe_meth;
+      enc_key e pe.Sample.pe_key;
       enc_hw_sig e pe.Sample.pe_sig;
       Enc.int e pe.Sample.pe_instrs;
       Enc.int e pe.Sample.pe_seen;
-      Enc.f64 e pe.Sample.pe_cycles_sum;
-      Enc.f64 e pe.Sample.pe_cycles_sumsq;
+      Enc.f64 e pe.Sample.pe_cpi_sum;
+      Enc.f64 e pe.Sample.pe_cpi_sumsq;
       enc_counts e pe.Sample.pe_counts;
+      Enc.int e pe.Sample.pe_counts_instrs;
       Enc.bool e pe.Sample.pe_poisoned;
       Enc.int e pe.Sample.pe_since_measure)
     e s.Sample.s_entries;
+  enc_int_pairs e s.Sample.s_meth_instrs;
+  enc_int_pairs e s.Sample.s_cluster_of_meth;
   Enc.arr
     (fun e (os : Sample.obs_frame_state) ->
       Enc.int e os.Sample.os_meth;
+      enc_key e os.Sample.os_key;
       enc_hw_sig e os.Sample.os_sig;
       Enc.int e os.Sample.os_instrs0;
       Enc.f64 e os.Sample.os_cycles0;
@@ -1131,38 +1173,47 @@ let enc_sample_state e (s : Sample.state) =
   Enc.int e s.Sample.s_ff_instrs_active;
   Enc.int e s.Sample.s_observations;
   Enc.int e s.Sample.s_splices;
-  Enc.int e s.Sample.s_spliced_instrs
+  Enc.int e s.Sample.s_spliced_instrs;
+  Enc.int e s.Sample.s_blocked_quiescence;
+  Enc.int e s.Sample.s_blocked_unsettled;
+  Enc.int e s.Sample.s_blocked_open_obs;
+  Enc.int e s.Sample.s_blocked_poisoned
 
 let dec_sample_state d =
   let s_entries =
     Dec.arr
       (fun d ->
-        let pe_meth = Dec.int d in
+        let pe_key = dec_key d in
         let pe_sig = dec_hw_sig d in
         let pe_instrs = Dec.int d in
         let pe_seen = Dec.int d in
-        let pe_cycles_sum = Dec.f64 d in
-        let pe_cycles_sumsq = Dec.f64 d in
+        let pe_cpi_sum = Dec.f64 d in
+        let pe_cpi_sumsq = Dec.f64 d in
         let pe_counts = dec_counts d in
+        let pe_counts_instrs = Dec.int d in
         let pe_poisoned = Dec.bool d in
         let pe_since_measure = Dec.int d in
         {
-          Sample.pe_meth;
+          Sample.pe_key;
           pe_sig;
           pe_instrs;
           pe_seen;
-          pe_cycles_sum;
-          pe_cycles_sumsq;
+          pe_cpi_sum;
+          pe_cpi_sumsq;
           pe_counts;
+          pe_counts_instrs;
           pe_poisoned;
           pe_since_measure;
         })
       d
   in
+  let s_meth_instrs = dec_int_pairs d in
+  let s_cluster_of_meth = dec_int_pairs d in
   let s_open =
     Dec.arr
       (fun d ->
         let os_meth = Dec.int d in
+        let os_key = dec_key d in
         let os_sig = dec_hw_sig d in
         let os_instrs0 = Dec.int d in
         let os_cycles0 = Dec.f64 d in
@@ -1171,6 +1222,7 @@ let dec_sample_state d =
         let os_dirty = Dec.bool d in
         {
           Sample.os_meth;
+          os_key;
           os_sig;
           os_instrs0;
           os_cycles0;
@@ -1185,14 +1237,24 @@ let dec_sample_state d =
   let s_observations = Dec.int d in
   let s_splices = Dec.int d in
   let s_spliced_instrs = Dec.int d in
+  let s_blocked_quiescence = Dec.int d in
+  let s_blocked_unsettled = Dec.int d in
+  let s_blocked_open_obs = Dec.int d in
+  let s_blocked_poisoned = Dec.int d in
   {
     Sample.s_entries;
+    s_meth_instrs;
+    s_cluster_of_meth;
     s_open;
     s_fault_events0;
     s_ff_instrs_active;
     s_observations;
     s_splices;
     s_spliced_instrs;
+    s_blocked_quiescence;
+    s_blocked_unsettled;
+    s_blocked_open_obs;
+    s_blocked_poisoned;
   }
 
 let enc_snapshot e t =
@@ -1237,7 +1299,10 @@ let dec_snapshot d =
    read. *)
 
 let magic = "ACESNAP1"
-let version = 3 (* v3: sampling — meta config, engine ff state, sampler cache *)
+let version = 4
+(* v3: sampling — meta config, engine ff state, sampler cache.
+   v4: cluster-keyed sampler cache — variant keys, CPI statistics,
+   per-method instruction lengths, cluster map, blocked counters. *)
 let header_len = 8 + 2 + 8 + 8
 
 let encode t =

@@ -33,6 +33,10 @@ type hotspot_state = {
   tuner : Tuner.t;
   managed : int array;  (* indices into the CU array *)
   mutable ever_configured : bool;
+  (* [invoke_tick] value at this hotspot's most recent entry; lets
+     [unsettled_active] tell a converging tuner (still being invoked)
+     from a stranded one (promoted, then never run again). *)
+  mutable last_invoked : int;
 }
 
 type t = {
@@ -68,6 +72,8 @@ type t = {
   recoveries : int array;
   mutable quarantined : int;
   mutable frame_masks : int list;  (* per-frame coverage contributions *)
+  mutable measuring_open : int;  (* in-flight invocations some tuner measures *)
+  mutable invoke_tick : int;  (* promoted-method entries seen so far *)
   mutable unmanaged : int;
   mutable finalized : bool;
   (* Observability: per-CU named counters plus failure/recovery totals. *)
@@ -78,6 +84,15 @@ type t = {
   cu_reconfigs : Obs.counter array;
   cu_retunes : Obs.counter array;
 }
+
+(* Frame-mask flag for an invocation whose exit measurement its tuner will
+   consume.  CU coverage uses bits [0 .. n_cus-1] (attach enforces
+   [n_cus <= 62]), so bit 62 — OCaml's 63-bit int sign bit, harmless under
+   [land]/[lor] and round-tripped exactly by the fixed-width snapshot codec
+   — is free.  Riding the flag on [frame_masks] makes the open-measurement
+   count a pure function of the already-serialized frame list: restore
+   recomputes it instead of trusting a second copy. *)
+let measuring_bit = 1 lsl 62
 
 let handle_applied t cu_idx flushed_lines =
   let cu = t.cus.(cu_idx) in
@@ -219,6 +234,7 @@ let on_promoted t ~meth_id =
                     ~obs:t.obs ~id:meth_id params ~configs ~best;
                 managed = Array.of_list managed;
                 ever_configured = true;
+                last_invoked = t.invoke_tick;
               };
           List.iter
             (fun k ->
@@ -235,6 +251,7 @@ let on_promoted t ~meth_id =
                     ~id:meth_id params ~configs;
                 managed = Array.of_list managed;
                 ever_configured = false;
+                last_invoked = t.invoke_tick;
               };
           Db.set_instrument db meth_id Ace_vm.Instrument.Tuning);
       List.iter
@@ -247,6 +264,8 @@ let on_entry t ~meth_id =
     match t.states.(meth_id) with
     | None -> 0
     | Some st ->
+        t.invoke_tick <- t.invoke_tick + 1;
+        st.last_invoked <- t.invoke_tick;
         (match Tuner.on_entry st.tuner with
         | Tuner.Nothing -> ()
         | Tuner.Set cfg when not (live_managed t st) ->
@@ -308,12 +327,22 @@ let on_entry t ~meth_id =
                   t.tunings.(k) <- t.tunings.(k) + 1;
                   Obs.incr t.obs t.cu_trials.(k))
                 st.managed);
-        if Tuner.is_configured st.tuner then
-          Array.fold_left (fun m k -> m lor (1 lsl k)) 0 st.managed
-        else 0
+        let cov =
+          if Tuner.is_configured st.tuner then
+            Array.fold_left (fun m k -> m lor (1 lsl k)) 0 st.managed
+          else 0
+        in
+        (* [Tuner.measuring] is true here exactly when the tuner will
+           consume this invocation's exit measurement (a tuning trial or a
+           configured drift sample); latch that into the frame so the
+           open-measurement count stays balanced however the tuner's own
+           state moves before the matching exit. *)
+        if Tuner.measuring st.tuner then cov lor measuring_bit else cov
   in
   t.frame_masks <- mask :: t.frame_masks;
-  if mask <> 0 then
+  if mask land measuring_bit <> 0 then
+    t.measuring_open <- t.measuring_open + 1;
+  if mask land lnot measuring_bit <> 0 then
     for k = 0 to Array.length t.cus - 1 do
       if mask land (1 lsl k) <> 0 then begin
         if t.class_depth.(k) = 0 then t.class_start.(k) <- Engine.instrs t.engine;
@@ -326,7 +355,9 @@ let pop_coverage t =
   | [] -> ()
   | mask :: rest ->
       t.frame_masks <- rest;
-      if mask <> 0 then
+      if mask land measuring_bit <> 0 then
+        t.measuring_open <- t.measuring_open - 1;
+      if mask land lnot measuring_bit <> 0 then
         for k = 0 to Array.length t.cus - 1 do
           if mask land (1 lsl k) <> 0 then begin
             t.class_depth.(k) <- t.class_depth.(k) - 1;
@@ -421,6 +452,8 @@ let attach ?(config = default_config) ?(faults = Faults.none) ?(obs = Obs.null)
       recoveries = Array.make n_cus 0;
       quarantined = 0;
       frame_masks = [];
+      measuring_open = 0;
+      invoke_tick = 0;
       unmanaged = 0;
       finalized = false;
       obs;
@@ -525,6 +558,44 @@ let quiescent t =
           Tuner.is_configured st.tuner && not (Tuner.measuring st.tuner))
     t.states
 
+let measuring_open t = t.measuring_open
+
+(* A mid-campaign tuner blocks splicing only while its hotspot is still
+   being run: fast-forwarding a region that contains its invocations would
+   starve the campaign (trials only run in fully simulated entries) and
+   let memoized timing diverge from the configuration the full run would
+   have converged to.  A tuner whose hotspot has not been entered in this
+   many promoted-method entries is *stranded* (typically promoted during
+   setup and never called again) and stops blocking — its campaign cannot
+   progress either way.  If a splice does starve a reachable tuner, the
+   recalibration observation re-enters its hotspot, refreshing
+   [last_invoked] and re-imposing the block until it settles. *)
+let activity_window = 256
+
+let unsettled_active t =
+  let tick = t.invoke_tick in
+  Array.exists
+    (function
+      | None -> false
+      | Some st ->
+          ((not (Tuner.is_configured st.tuner)) || Tuner.measuring st.tuner)
+          && tick - st.last_invoked <= activity_window)
+    t.states
+
+(* Scoped quiescence: splicing [meth_id] is refused only while a
+   measurement the splice could affect is in flight or could be starved.
+   Execution is a single-threaded call tree, so any open measuring
+   invocation is an ancestor of the candidate's frame — the one place a
+   memoized (rather than simulated) cycle cost would be folded into a
+   live tuner measurement; [measuring_open = 0] rules that out.
+   [unsettled_active] additionally holds splicing while any *reachable*
+   tuner is still converging.  Unlike {!quiescent}, stranded tuners do
+   not block.  See DESIGN.md §Sampled simulation. *)
+let quiescent_for t ~meth_id =
+  t.measuring_open = 0
+  && hotspot_settled t ~meth_id
+  && not (unsettled_active t)
+
 let unmanaged_hotspots t = t.unmanaged
 
 let quarantined_hotspots t = t.quarantined
@@ -620,6 +691,7 @@ type hotspot_state_state = {
   hs_tuner : Tuner.state;
   hs_managed : int array;
   hs_ever_configured : bool;
+  hs_last_invoked : int;
 }
 
 type state = {
@@ -645,6 +717,7 @@ type state = {
   s_recoveries : int array;
   s_quarantined : int;
   s_frame_masks : int list;
+  s_invoke_tick : int;
   s_unmanaged : int;
   s_finalized : bool;
 }
@@ -658,6 +731,7 @@ let capture t =
                hs_tuner = Tuner.capture st.tuner;
                hs_managed = Array.copy st.managed;
                hs_ever_configured = st.ever_configured;
+               hs_last_invoked = st.last_invoked;
              }))
         t.states;
     s_accts = Array.map (Option.map Accounting.capture) t.accts;
@@ -681,6 +755,7 @@ let capture t =
     s_recoveries = Array.copy t.recoveries;
     s_quarantined = t.quarantined;
     s_frame_masks = t.frame_masks;
+    s_invoke_tick = t.invoke_tick;
     s_unmanaged = t.unmanaged;
     s_finalized = t.finalized;
   }
@@ -722,6 +797,7 @@ let restore t s =
                   ~id:meth_id params ~configs hs.hs_tuner;
               managed = Array.copy hs.hs_managed;
               ever_configured = hs.hs_ever_configured;
+              last_invoked = hs.hs_last_invoked;
             })
           hs_opt)
     s.s_states;
@@ -752,5 +828,10 @@ let restore t s =
   blit s.s_recoveries t.recoveries;
   t.quarantined <- s.s_quarantined;
   t.frame_masks <- s.s_frame_masks;
+  t.measuring_open <-
+    List.fold_left
+      (fun acc m -> if m land measuring_bit <> 0 then acc + 1 else acc)
+      0 s.s_frame_masks;
+  t.invoke_tick <- s.s_invoke_tick;
   t.unmanaged <- s.s_unmanaged;
   t.finalized <- s.s_finalized

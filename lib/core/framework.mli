@@ -123,10 +123,37 @@ val hotspot_settled : t -> meth_id:int -> bool
 
 val quiescent : t -> bool
 (** True when every managed hotspot is settled ({!hotspot_settled}) — no
-    tuning trial or drift measurement is in flight anywhere.  The sampler
-    requires this globally before splicing: a nested hotspot replayed
-    inside an invocation some other tuner is measuring would feed that
-    measurement memoized rather than simulated cycles. *)
+    tuner anywhere is mid-campaign or mid-measurement.  This global
+    predicate almost never holds on many-hotspot workloads (some tuner is
+    always still sweeping); the sampler uses the scoped
+    {!quiescent_for} instead. *)
+
+val measuring_open : t -> int
+(** Number of invocations currently on the call stack whose exit
+    measurement a tuner will consume (tuning trials and configured drift
+    samples).  Zero means no measurement is in flight anywhere. *)
+
+val unsettled_active : t -> bool
+(** True while some tuner is mid-campaign or mid-measurement *and* its
+    hotspot has been entered within the last 256 promoted-method entries.
+    Splicing while such a tuner is live would starve its campaign (trials
+    only run in fully simulated invocations) and let memoized timing
+    diverge from the configuration the full run converges to.  Stranded
+    tuners — promoted during setup and never invoked again — age out of
+    this predicate, which is what keeps the splice fraction alive on
+    many-hotspot workloads.  If a splice does starve a reachable tuner,
+    the next recalibration observation re-enters its hotspot and
+    re-imposes the block until it settles. *)
+
+val quiescent_for : t -> meth_id:int -> bool
+(** Scoped quiescence: true when [meth_id] itself is settled
+    ({!hotspot_settled}), no measuring invocation is in flight
+    ([measuring_open = 0]) and no reachable tuner is still converging
+    ([not (unsettled_active t)]).  Because execution is a single-threaded
+    call tree, any open measuring invocation is an ancestor of the
+    candidate — the only situation where splicing would fold memoized
+    rather than simulated cycles into a live tuner measurement (see
+    DESIGN.md §Sampled simulation for the soundness argument). *)
 
 val unmanaged_hotspots : t -> int
 (** Hotspots too small for any CU class. *)
@@ -179,6 +206,7 @@ type hotspot_state_state = {
   hs_tuner : Tuner.state;
   hs_managed : int array;
   hs_ever_configured : bool;
+  hs_last_invoked : int;
 }
 
 type state = {
@@ -204,6 +232,7 @@ type state = {
   s_recoveries : int array;
   s_quarantined : int;
   s_frame_masks : int list;
+  s_invoke_tick : int;
   s_unmanaged : int;
   s_finalized : bool;
 }

@@ -42,10 +42,15 @@ let summary (r : Run.result) =
   | Some s ->
       pf
         "sampling         : %d splices (%s instrs memoized), %d observations, \
-         %d known phases\n"
+         %d known phases; blocked %d quiescence, %d unsettled, %d open-obs, \
+         %d poisoned\n"
         s.Ace_sample.Sample.splices
         (Table.cell_int s.Ace_sample.Sample.spliced_instrs)
         s.Ace_sample.Sample.observations s.Ace_sample.Sample.known_phases
+        s.Ace_sample.Sample.blocked_quiescence
+        s.Ace_sample.Sample.blocked_unsettled
+        s.Ace_sample.Sample.blocked_open_obs
+        s.Ace_sample.Sample.blocked_poisoned
   | None -> ());
   (match r.bbv with
   | Some bb ->

@@ -166,18 +166,42 @@ let attach_sample ~sample ~faults ~obs engine attached =
   match sample with
   | None -> None
   | Some config ->
-      let allow =
+      let allow, classify =
         match attached with
-        | A_baseline -> fun ~meth_id:_ -> true
+        | A_baseline -> ((fun ~meth_id:_ -> Sample.Allow), None)
         | A_hotspot fw ->
-            (* Global quiescence, not just this method's: splicing anywhere
-               while any tuner is mid-measurement would feed that
-               measurement memoized cycles. *)
-            fun ~meth_id ->
-              Framework.hotspot_settled fw ~meth_id && Framework.quiescent fw
-        | A_bbv sch -> fun ~meth_id:_ -> Ace_bbv.Scheme.quiescent sch
+            (* Scoped quiescence: the candidate's own tuner must be settled,
+               no measuring invocation may be in flight anywhere (any open
+               measurement is an ancestor on the single-threaded call
+               stack, and splicing under it would feed it memoized cycles),
+               and no *reachable* tuner may still be converging (splicing
+               would starve its campaign).  Stranded tuners — promoted but
+               no longer invoked — age out and stop blocking; see
+               DESIGN.md. *)
+            ( (fun ~meth_id ->
+                if not (Framework.hotspot_settled fw ~meth_id) then
+                  Sample.Unsettled
+                else if
+                  Framework.measuring_open fw > 0
+                  || Framework.unsettled_active fw
+                then Sample.Not_quiescent
+                else Sample.Allow),
+              None )
+        | A_bbv sch ->
+            (* The BBV tracker doubles as the sampler's phase classifier:
+               records are keyed on behaviour clusters, so headers sharing
+               a cluster share one CPI record. *)
+            ( (fun ~meth_id:_ ->
+                if Ace_bbv.Scheme.quiescent sch then Sample.Allow
+                else Sample.Not_quiescent),
+              Some
+                (fun () ->
+                  let c =
+                    Ace_bbv.Tracker.current_phase (Ace_bbv.Scheme.tracker sch)
+                  in
+                  if c < 0 then None else Some c) )
       in
-      Some (Sample.attach ~config ~faults ~obs ~allow engine)
+      Some (Sample.attach ~config ~faults ~obs ?classify ~allow engine)
 
 let finish_run ~name ~scheme ~engine ~faults ~obs ~attached ~sampler =
   let sample = Option.map Sample.stats sampler in

@@ -66,6 +66,37 @@ let next c ~rng =
       c.offset <- chase_hash ((c.offset * 31) + c.steps) mod (extent / 8 |> max 1) * 8;
       addr
 
+(* Batched [next]: fill [buf.(pos .. pos+n-1)] with the next [n] addresses.
+   Semantically exactly [n] calls to [next] — same addresses, same cursor
+   movement, same RNG draws — but the pattern match and field loads are
+   hoisted out of the loop, and the cursor is written back once.  The local
+   refs below are non-escaping, so the compiler compiles them to mutable
+   stack slots (no allocation). *)
+let next_batch c ~rng buf ~pos ~n =
+  match c.pattern with
+  | Sequential { base; extent; stride } ->
+      let off = ref c.offset in
+      for i = pos to pos + n - 1 do
+        Array.unsafe_set buf i (base + !off);
+        let o = !off + stride in
+        off := if o >= extent then 0 else o
+      done;
+      c.offset <- !off
+  | Random_in { base; extent } ->
+      for i = pos to pos + n - 1 do
+        Array.unsafe_set buf i (base + Ace_util.Rng.int rng extent)
+      done
+  | Pointer_chase { base; extent } ->
+      let granules = extent / 8 |> max 1 in
+      let off = ref c.offset and steps = ref c.steps in
+      for i = pos to pos + n - 1 do
+        Array.unsafe_set buf i (base + !off);
+        steps := !steps + 1;
+        off := chase_hash ((!off * 31) + !steps) mod granules * 8
+      done;
+      c.offset <- !off;
+      c.steps <- !steps
+
 (* Advance a cursor as if [next] had been called [n] times, consuming
    exactly the RNG draws a real walk would have.  Sequential wraps by
    resetting to zero (not modular reduction), so the closed form splits the

@@ -37,6 +37,14 @@ val cursor : t -> cursor
 val next : cursor -> rng:Ace_util.Rng.t -> int
 (** Next byte address.  Only [Random_in] consumes the RNG. *)
 
+val next_batch : cursor -> rng:Ace_util.Rng.t -> int array -> pos:int -> n:int -> unit
+(** [next_batch c ~rng buf ~pos ~n] fills [buf.(pos)] … [buf.(pos + n - 1)]
+    with the addresses that [n] successive calls to {!next} would return,
+    leaving the cursor and RNG in exactly the state those calls would leave
+    them.  The pattern dispatch is performed once per batch rather than once
+    per address; the call allocates nothing.  The caller must ensure [buf]
+    has at least [pos + n] elements. *)
+
 val reset : cursor -> unit
 (** Return the cursor to the pattern's start (used between engine runs). *)
 

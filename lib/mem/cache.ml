@@ -119,6 +119,68 @@ let access t addr ~write =
     if was_dirty then Miss_dirty_victim else Miss
   end
 
+(* Batched access: perform [n] lookups for [addrs.(0 .. n-1)], producing
+   exactly the same array state and counters as [n] calls to [access].  The
+   write flag is positional: the address stream is [loads] reads followed by
+   [stores] writes, repeated (one basic-block repetition per period), so the
+   caller passes the shape instead of a per-access flag.  Misses are
+   compacted into the caller's scratch arrays — [miss_addrs.(j)] is the
+   j-th missing address and [miss_victims.(j)] its dirty victim's address
+   (or -1 if the victim was clean) — so the next level's fallthrough runs
+   as a separate dense loop over misses only.  Field loads, the set mask
+   and the associativity are hoisted out of the loop; counters are folded
+   in once at the end (no observer can run between the individual accesses
+   of a batch, so the intermediate counter values are unobservable).  The
+   local refs are non-escaping and compile to stack slots: the call
+   allocates nothing. *)
+let access_batch t addrs ~n ~loads ~stores ~miss_addrs ~miss_victims =
+  let tags = t.tags and dirty = t.dirty and stamp = t.stamp in
+  let line_shift = t.line_shift
+  and set_mask = t.sets - 1
+  and assoc = t.cfg.assoc in
+  let period = loads + stores in
+  let clock = ref t.clock in
+  let hits = ref 0 and m = ref 0 and wb = ref 0 and k = ref 0 in
+  for i = 0 to n - 1 do
+    let addr = Array.unsafe_get addrs i in
+    let write = !k >= loads in
+    k := !k + 1;
+    if !k = period then k := 0;
+    clock := !clock + 1;
+    let line = addr lsr line_shift in
+    let set = line land set_mask in
+    let base = set * assoc in
+    let limit = base + assoc in
+    let slot = find_slot tags line base limit in
+    if slot >= 0 then begin
+      hits := !hits + 1;
+      Array.unsafe_set stamp slot !clock;
+      if write then Array.unsafe_set dirty slot true
+    end
+    else begin
+      let slot = find_victim tags stamp base limit base max_int in
+      let vtag = Array.unsafe_get tags slot in
+      let was_dirty = vtag <> -1 && Array.unsafe_get dirty slot in
+      if was_dirty then begin
+        let victim = vtag lsl line_shift in
+        t.last_victim <- victim;
+        wb := !wb + 1;
+        Array.unsafe_set miss_victims !m victim
+      end
+      else Array.unsafe_set miss_victims !m (-1);
+      Array.unsafe_set miss_addrs !m addr;
+      m := !m + 1;
+      Array.unsafe_set tags slot line;
+      Array.unsafe_set dirty slot write;
+      Array.unsafe_set stamp slot !clock
+    end
+  done;
+  t.clock <- !clock;
+  t.n_accesses <- t.n_accesses + n;
+  t.n_hits <- t.n_hits + !hits;
+  t.n_writebacks <- t.n_writebacks + !wb;
+  !m
+
 let last_victim_addr t = t.last_victim
 
 let dirty_lines t =

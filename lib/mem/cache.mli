@@ -43,6 +43,27 @@ val access : t -> int -> write:bool -> result
 (** [access t addr ~write] looks up the byte address, filling on a miss and
     marking the line dirty on a write. *)
 
+val access_batch :
+  t ->
+  int array ->
+  n:int ->
+  loads:int ->
+  stores:int ->
+  miss_addrs:int array ->
+  miss_victims:int array ->
+  int
+(** [access_batch t addrs ~n ~loads ~stores ~miss_addrs ~miss_victims]
+    performs [n] accesses for [addrs.(0 .. n-1)], leaving the array state,
+    LRU clock and counters exactly as [n] calls to {!access} would.  The
+    write flag is positional: each period of [loads + stores] addresses is
+    [loads] reads followed by [stores] writes (the basic-block shape), and
+    [n] must be a whole number of periods.  Returns the number of misses
+    [m]; for [j < m], [miss_addrs.(j)] is the j-th missing address in
+    access order and [miss_victims.(j)] is its dirty victim's line-aligned
+    address, or [-1] if the victim was clean — the caller replays these
+    against the next level.  Both scratch arrays must have at least [n]
+    elements.  Allocates nothing. *)
+
 val last_victim_addr : t -> int
 (** Byte address (line-aligned) of the most recent dirty victim.  Only
     meaningful immediately after [access] returned {!Miss_dirty_victim}. *)

@@ -19,6 +19,12 @@ type t = {
   dtlb : Tlb.t;
   mutable mem_reads : int;
   mutable mem_writebacks : int;
+  (* Scratch for [data_access_batch]: miss compaction arrays handed to
+     [Cache.access_batch].  Grown geometrically on demand, never shrunk,
+     and deliberately excluded from [capture]/[restore] — their contents
+     are dead outside one batch call. *)
+  mutable miss_addrs : int array;
+  mutable miss_victims : int array;
   obs : Obs.t;
   m_l1d_resizes : Obs.counter;
   m_l2_resizes : Obs.counter;
@@ -40,6 +46,8 @@ let create ?(latencies = default_latencies) ?(obs = Obs.null) () =
       dtlb = Tlb.create ();
       mem_reads = 0;
       mem_writebacks = 0;
+      miss_addrs = [||];
+      miss_victims = [||];
       obs;
       m_l1d_resizes = Obs.counter obs "mem.l1d.resizes";
       m_l2_resizes = Obs.counter obs "mem.l2.resizes";
@@ -87,6 +95,41 @@ let data_access t ~addr ~write =
          ignore (l2_access t (Cache.last_victim_addr t.l1d) ~write:true));
       t.lat.l1_hit + l2_access t addr ~write:false + tlb_penalty
 
+(* Batched [data_access]: the L1D lookups run as one dense pass inside
+   [Cache.access_batch], then the TLB probe and L2/memory fallthrough run
+   as a second dense pass over the compacted misses only — hits never reach
+   this loop at all.  Byte-identical to per-access calls because the
+   reordering preserves every component's own access sequence: the L1D sees
+   the same addresses in the same order; the TLB and L2 are touched only on
+   L1D misses, and the miss pass replays them in miss order with the same
+   per-miss structure (TLB probe, dirty victim writeback, then read); the
+   penalty is a commutative integer sum.  Returns the summed latency
+   *excess* over [loads + stores per period × l1_hit] — i.e. what the
+   engine's per-access [data_access addr - l1_hit] accumulation would have
+   produced.  Allocates nothing after the scratch arrays reach steady
+   size. *)
+let data_access_batch t ~addrs ~n ~loads ~stores =
+  if Array.length t.miss_addrs < n then begin
+    let cap = max n (2 * Array.length t.miss_addrs) in
+    t.miss_addrs <- Array.make cap 0;
+    t.miss_victims <- Array.make cap 0
+  end;
+  let misses =
+    Cache.access_batch t.l1d addrs ~n ~loads ~stores
+      ~miss_addrs:t.miss_addrs ~miss_victims:t.miss_victims
+  in
+  let miss_addrs = t.miss_addrs and miss_victims = t.miss_victims in
+  let tlb_miss_lat = t.lat.tlb_miss in
+  let penalty = ref 0 in
+  for j = 0 to misses - 1 do
+    let addr = Array.unsafe_get miss_addrs j in
+    let tlb_penalty = if Tlb.access t.dtlb addr then 0 else tlb_miss_lat in
+    let victim = Array.unsafe_get miss_victims j in
+    if victim >= 0 then ignore (l2_access t victim ~write:true);
+    penalty := !penalty + l2_access t addr ~write:false + tlb_penalty
+  done;
+  !penalty
+
 let ifetch t ~pc =
   match Cache.access t.l1i pc ~write:false with
   | Cache.Hit -> t.lat.l1_hit
@@ -113,18 +156,20 @@ let resize_l1d t ~size_bytes =
   end
 
 let resize_l2 t ~size_bytes =
-  let changed = size_bytes <> (Cache.config t.l2).Cache.size_bytes in
-  let n = Cache.resize t.l2 ~size_bytes in
-  t.mem_writebacks <- t.mem_writebacks + n;
-  if changed then begin
+  if size_bytes = (Cache.config t.l2).Cache.size_bytes then 0
+  else begin
+    (* L2 dirty lines have no lower level to drain into; their writebacks
+       go straight to memory. *)
+    let n = Cache.resize t.l2 ~size_bytes in
+    t.mem_writebacks <- t.mem_writebacks + n;
     Obs.incr t.obs t.m_l2_resizes;
     if Obs.enabled t.obs then
       Obs.set_gauge t.obs t.g_l2_size (float_of_int size_bytes);
     if Obs.tracing t.obs then
       Obs.record t.obs
-        (Obs.Reconfig { cu = "L2"; label = size_label size_bytes; flushed = n })
-  end;
-  n
+        (Obs.Reconfig { cu = "L2"; label = size_label size_bytes; flushed = n });
+    n
+  end
 
 let memory_reads t = t.mem_reads
 let memory_writebacks t = t.mem_writebacks

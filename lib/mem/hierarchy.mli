@@ -38,6 +38,18 @@ val data_access : t -> addr:int -> write:bool -> int
     propagate to L2 and memory; dirty victims generate writeback traffic into
     the next level. *)
 
+val data_access_batch : t -> addrs:int array -> n:int -> loads:int -> stores:int -> int
+(** [data_access_batch t ~addrs ~n ~loads ~stores] performs [n] data
+    accesses for [addrs.(0 .. n-1)], where each period of [loads + stores]
+    addresses is [loads] loads followed by [stores] stores (the basic-block
+    shape; [n] must be a whole number of periods).  All structure state and
+    counters end exactly as [n] {!data_access} calls would leave them, but
+    the L1D runs as one dense pass and the TLB/L2/memory fallthrough as a
+    second pass over the compacted misses only.  Returns the summed latency
+    in excess of one [l1_hit] per access — i.e. exactly
+    [Σ (data_access addr - l1_hit)].  Allocation-free at steady state
+    (internal scratch grows geometrically, never per call). *)
+
 val ifetch : t -> pc:int -> int
 (** Instruction fetch probe for a basic block (one representative access per
     block execution; see DESIGN.md). *)
@@ -50,7 +62,9 @@ val resize_l1d : t -> size_bytes:int -> int
 
 val resize_l2 : t -> size_bytes:int -> int
 (** Change the L2 capacity; flushed dirty lines go to memory.  Returns the
-    flushed line count. *)
+    flushed line count.  Like {!resize_l1d}, resizing to the current size
+    is a pure no-op: no flush, no traffic accounting, no observability
+    events. *)
 
 val memory_reads : t -> int
 (** Lines fetched from memory (L2 fill traffic). *)

@@ -4,7 +4,9 @@
     Per the paper's Table 2 the TLB is 128-entry and fully set-associative.
     The TLB is consulted on the L1-miss path only: page-level locality makes
     TLB misses coincide with cache misses, and keeping the TLB off the
-    every-access fast path matters for simulator throughput (see DESIGN.md). *)
+    every-access fast path matters for simulator throughput (see DESIGN.md).
+    [access] is allocation-free: residency lives in an open-addressed probe
+    table, so the miss path installs a page without touching the GC. *)
 
 type t
 

@@ -32,6 +32,11 @@ let validate_config c =
   else if c.recalibrate_every < 0 then Error "negative recalibrate_every"
   else Ok ()
 
+(* Why the scheme guard rejected a candidate; the sampler only counts the
+   reasons, but the breakdown tells a tuning-a-run story the single
+   boolean never could (see the run report's "sampling" line). *)
+type verdict = Allow | Unsettled | Not_quiescent
+
 (* Phase statistics are only valid under the exact hardware configuration
    they were measured on; the signature is part of the cache key.  Scales
    are compared bit-exactly (they are latched, not computed). *)
@@ -42,12 +47,21 @@ type hw_sig = {
   hs_exposure_bits : int64;
 }
 
+(* What a record describes: one hotspot header method exactly, or a BBV
+   behaviour cluster that many headers map into.  Cluster records let a
+   method fast-forward off repeats of *other* methods with the same
+   behaviour signature, which is why the statistics are CPI-normalized
+   (methods in one cluster agree on cycles-per-instruction, not on
+   invocation length). *)
+type key = K_meth of int | K_cluster of int
+
 type phase_stats = {
-  mutable ph_instrs : int;  (* per-repeat instructions; must be constant *)
+  mutable ph_instrs : int;  (* last folded repeat's instructions *)
   mutable ph_seen : int;  (* clean repeats observed, warmup included *)
-  mutable ph_cycles_sum : float;  (* over post-warmup repeats *)
-  mutable ph_cycles_sumsq : float;
+  mutable ph_cpi_sum : float;  (* cycles/instr over post-warmup repeats *)
+  mutable ph_cpi_sumsq : float;
   mutable ph_counts : Hierarchy.counts;  (* last post-warmup repeat *)
+  mutable ph_counts_instrs : int;  (* instructions [ph_counts] covers *)
   mutable ph_poisoned : bool;  (* unstable behaviour; never fast-forward *)
   mutable ph_since_measure : int;  (* splices since the last measurement *)
 }
@@ -56,6 +70,7 @@ type phase_stats = {
    [Observe]. *)
 type obs_frame = {
   ob_meth : int;
+  ob_key : key;  (* record the repeat will fold into, fixed at entry *)
   ob_sig : hw_sig;
   ob_instrs0 : int;
   ob_cycles0 : float;
@@ -68,8 +83,11 @@ type t = {
   cfg : config;
   engine : Engine.t;
   faults : Faults.t;
-  allow : meth_id:int -> bool;  (* scheme quiescence guard *)
-  table : (int * hw_sig, phase_stats) Hashtbl.t;
+  allow : meth_id:int -> verdict;  (* scheme quiescence guard *)
+  classify : (unit -> int option) option;  (* current behaviour cluster *)
+  table : (key * hw_sig, phase_stats) Hashtbl.t;
+  meth_instrs : (int, int) Hashtbl.t;  (* per-invocation instrs, learned *)
+  cluster_of_meth : (int, int) Hashtbl.t;  (* last cluster seen per header *)
   mutable open_obs : obs_frame list;  (* innermost first *)
   mutable fault_events0 : int;  (* last observed Faults.hw_fault_events *)
   mutable ff_instrs_active : int;  (* instrs of the active region, if any *)
@@ -78,10 +96,18 @@ type t = {
   mutable n_observations : int;
   mutable n_splices : int;
   mutable n_spliced_instrs : int;
+  mutable n_blocked_quiescence : int;
+  mutable n_blocked_unsettled : int;
+  mutable n_blocked_open_obs : int;
+  mutable n_blocked_poisoned : int;
   obs : Obs.t;
   m_observations : Obs.counter;
   m_splices : Obs.counter;
   m_spliced_instrs : Obs.counter;
+  m_blocked_quiescence : Obs.counter;
+  m_blocked_unsettled : Obs.counter;
+  m_blocked_open_obs : Obs.counter;
+  m_blocked_poisoned : Obs.counter;
 }
 
 let config t = t.cfg
@@ -103,9 +129,9 @@ let resizes_now eng =
 (* Number of measured (post-warmup) repeats accumulated so far. *)
 let measured t ph = max 0 (ph.ph_seen - t.cfg.warmup)
 
-let mean_cycles t ph =
+let mean_cpi t ph =
   let n = measured t ph in
-  if n = 0 then 0.0 else ph.ph_cycles_sum /. float_of_int n
+  if n = 0 then 0.0 else ph.ph_cpi_sum /. float_of_int n
 
 let known t ph =
   (not ph.ph_poisoned)
@@ -113,11 +139,11 @@ let known t ph =
   let n = measured t ph in
   n >= t.cfg.repeats
   &&
-  let mean = ph.ph_cycles_sum /. float_of_int n in
+  let mean = ph.ph_cpi_sum /. float_of_int n in
   mean > 0.0
   &&
   let var =
-    Float.max 0.0 ((ph.ph_cycles_sumsq /. float_of_int n) -. (mean *. mean))
+    Float.max 0.0 ((ph.ph_cpi_sumsq /. float_of_int n) -. (mean *. mean))
   in
   sqrt var /. mean <= t.cfg.cov_bound
 
@@ -134,62 +160,158 @@ let poll_faults t =
 
 let mark_dirty t = List.iter (fun ob -> ob.ob_dirty <- true) t.open_obs
 
+(* The tracker moved this cluster's boundary: whatever the old records
+   averaged no longer describes one behaviour, so they are dropped (every
+   hardware signature) and in-flight observations destined for the old
+   cluster are discarded. *)
+let invalidate_cluster t old =
+  Hashtbl.filter_map_inplace
+    (fun (k, _) ph ->
+      match k with K_cluster c when c = old -> None | _ -> Some ph)
+    t.table;
+  List.iter
+    (fun ob ->
+      match ob.ob_key with
+      | K_cluster c when c = old -> ob.ob_dirty <- true
+      | _ -> ())
+    t.open_obs
+
+(* Record key for a candidate: its BBV behaviour cluster when a classifier
+   is installed and has seen an interval, the exact header method
+   otherwise.  Detecting a header hopping clusters here is what implements
+   reassignment invalidation. *)
+let key_for t ~meth_id =
+  match t.classify with
+  | None -> K_meth meth_id
+  | Some f -> (
+      match f () with
+      | None -> K_meth meth_id
+      | Some c ->
+          (match Hashtbl.find_opt t.cluster_of_meth meth_id with
+          | Some old when old <> c ->
+              invalidate_cluster t old;
+              Hashtbl.replace t.cluster_of_meth meth_id c
+          | Some _ -> ()
+          | None -> Hashtbl.add t.cluster_of_meth meth_id c);
+          K_cluster c)
+
+(* Exact when [num = den] (the K_meth case by construction): every field
+   passes through untouched, so header-keyed splicing is bit-identical to
+   the pre-cluster implementation. *)
+let scale_counts (c : Hierarchy.counts) ~num ~den =
+  if num = den then c
+  else
+    let s x = x * num / den in
+    {
+      Hierarchy.c_l1i_accesses = s c.Hierarchy.c_l1i_accesses;
+      c_l1i_hits = s c.Hierarchy.c_l1i_hits;
+      c_l1i_writebacks = s c.Hierarchy.c_l1i_writebacks;
+      c_l1d_accesses = s c.Hierarchy.c_l1d_accesses;
+      c_l1d_hits = s c.Hierarchy.c_l1d_hits;
+      c_l1d_writebacks = s c.Hierarchy.c_l1d_writebacks;
+      c_l2_accesses = s c.Hierarchy.c_l2_accesses;
+      c_l2_hits = s c.Hierarchy.c_l2_hits;
+      c_l2_writebacks = s c.Hierarchy.c_l2_writebacks;
+      c_tlb_accesses = s c.Hierarchy.c_tlb_accesses;
+      c_tlb_misses = s c.Hierarchy.c_tlb_misses;
+      c_mem_reads = s c.Hierarchy.c_mem_reads;
+      c_mem_writebacks = s c.Hierarchy.c_mem_writebacks;
+    }
+
+let observe_now t ~meth_id ~key ~sg =
+  t.open_obs <-
+    {
+      ob_meth = meth_id;
+      ob_key = key;
+      ob_sig = sg;
+      ob_instrs0 = Engine.instrs t.engine;
+      ob_cycles0 = Engine.cycles t.engine;
+      ob_counts0 = Hierarchy.counts (Engine.hierarchy t.engine);
+      ob_resizes0 = resizes_now t.engine;
+      ob_dirty = false;
+    }
+    :: t.open_obs;
+  Engine.Observe
+
 let decide t ~meth_id =
   poll_faults t;
   let entry = Do_database.entry (Engine.db t.engine) meth_id in
   if
     (not entry.Do_database.is_hotspot)
     || entry.Do_database.compile_state <> Do_database.Optimized
-    || not (t.allow ~meth_id)
   then Engine.No_sample
-  else begin
-    let sg = current_sig t.engine in
-    let key = (meth_id, sg) in
-    match Hashtbl.find_opt t.table key with
-    (* Periodic recalibration: after [recalibrate_every] consecutive
-       splices a known phase is re-observed instead, so a record whose true
-       cost has drifted (cache aging, data-position effects) is corrected
-       rather than replayed forever.  Never splice inside an open
-       observation: a nested replay would fold memoized rather than
-       simulated cycles into the outer phase's record. *)
-    | Some ph
-      when known t ph && t.open_obs = []
-           && (t.cfg.recalibrate_every = 0
-              || ph.ph_since_measure < t.cfg.recalibrate_every) ->
-        ph.ph_since_measure <- ph.ph_since_measure + 1;
-        t.ff_instrs_active <- ph.ph_instrs;
-        Engine.Fast_forward
-          {
-            Engine.ff_instrs = ph.ph_instrs;
-            ff_cycles = mean_cycles t ph;
-            ff_counts = ph.ph_counts;
-          }
-    (* A poisoned phase can never be replayed, so keep it out of [open_obs]
-       entirely: an open observation frame pins every nested phase to full
-       simulation, and a permanently observed outer method would block its
-       inner phases from ever splicing. *)
-    | Some ph when ph.ph_poisoned -> Engine.No_sample
-    | _ ->
-        t.open_obs <-
-          {
-            ob_meth = meth_id;
-            ob_sig = sg;
-            ob_instrs0 = Engine.instrs t.engine;
-            ob_cycles0 = Engine.cycles t.engine;
-            ob_counts0 = Hierarchy.counts (Engine.hierarchy t.engine);
-            ob_resizes0 = resizes_now t.engine;
-            ob_dirty = false;
-          }
-          :: t.open_obs;
-        Engine.Observe
-  end
+  else
+    match t.allow ~meth_id with
+    | Unsettled ->
+        t.n_blocked_unsettled <- t.n_blocked_unsettled + 1;
+        Obs.incr t.obs t.m_blocked_unsettled;
+        Engine.No_sample
+    | Not_quiescent ->
+        t.n_blocked_quiescence <- t.n_blocked_quiescence + 1;
+        Obs.incr t.obs t.m_blocked_quiescence;
+        Engine.No_sample
+    | Allow -> (
+        let sg = current_sig t.engine in
+        let key = key_for t ~meth_id in
+        match Hashtbl.find_opt t.table (key, sg) with
+        (* A poisoned phase can never be replayed, so keep it out of
+           [open_obs] entirely: an open observation frame pins every nested
+           phase to full simulation, and a permanently observed outer
+           method would block its inner phases from ever splicing. *)
+        | Some ph when ph.ph_poisoned ->
+            t.n_blocked_poisoned <- t.n_blocked_poisoned + 1;
+            Obs.incr t.obs t.m_blocked_poisoned;
+            Engine.No_sample
+        (* Periodic recalibration: after [recalibrate_every] consecutive
+           splices a known phase is re-observed instead, so a record whose
+           true cost has drifted (cache aging, data-position effects) is
+           corrected rather than replayed forever. *)
+        | Some ph
+          when known t ph
+               && (t.cfg.recalibrate_every = 0
+                  || ph.ph_since_measure < t.cfg.recalibrate_every) -> (
+            (* Never splice inside an open observation: a nested replay
+               would fold memoized rather than simulated cycles into the
+               outer phase's record. *)
+            if t.open_obs <> [] then begin
+              t.n_blocked_open_obs <- t.n_blocked_open_obs + 1;
+              Obs.incr t.obs t.m_blocked_open_obs;
+              observe_now t ~meth_id ~key ~sg
+            end
+            else
+              (* A cluster record predicts CPI; turning that into cycles
+                 needs this header's own invocation length, learned from
+                 its clean observations.  Until it is known the candidate
+                 observes (feeding both the record and the length). *)
+              let instrs =
+                match key with
+                | K_meth _ -> ph.ph_instrs
+                | K_cluster _ -> (
+                    match Hashtbl.find_opt t.meth_instrs meth_id with
+                    | Some n when n > 0 -> n
+                    | _ -> 0)
+              in
+              match instrs with
+              | 0 -> observe_now t ~meth_id ~key ~sg
+              | m ->
+                  ph.ph_since_measure <- ph.ph_since_measure + 1;
+                  t.ff_instrs_active <- m;
+                  Engine.Fast_forward
+                    {
+                      Engine.ff_instrs = m;
+                      ff_cycles = mean_cpi t ph *. float_of_int m;
+                      ff_counts =
+                        scale_counts ph.ph_counts ~num:m
+                          ~den:(max 1 ph.ph_counts_instrs);
+                    })
+        | _ -> observe_now t ~meth_id ~key ~sg)
 
 let fresh_phase instrs =
   {
     ph_instrs = instrs;
     ph_seen = 0;
-    ph_cycles_sum = 0.0;
-    ph_cycles_sumsq = 0.0;
+    ph_cpi_sum = 0.0;
+    ph_cpi_sumsq = 0.0;
     ph_counts =
       {
         Hierarchy.c_l1i_accesses = 0;
@@ -206,6 +328,7 @@ let fresh_phase instrs =
         c_mem_reads = 0;
         c_mem_writebacks = 0;
       };
+    ph_counts_instrs = instrs;
     ph_poisoned = false;
     ph_since_measure = 0;
   }
@@ -213,9 +336,12 @@ let fresh_phase instrs =
 (* Region end of an observed invocation: fold the measured repeat into the
    phase's statistics if it was clean (no promotion/recompile/fault inside,
    no resize, same hardware signature at both ends) and behaviourally
-   consistent (identical instruction count — the engine's control flow is
-   invocation-count-driven, so a mismatch means the phase key is too
-   coarse and the entry is poisoned rather than averaged). *)
+   consistent.  For header-keyed records consistency means an identical
+   instruction count — the engine's control flow is invocation-count-driven,
+   so a mismatch means the phase key is too coarse and the entry is poisoned
+   rather than averaged.  Cluster records deliberately mix headers of
+   different lengths, so they normalize to CPI instead and rely on the CoV
+   bound to reject clusters whose members do not actually share behaviour. *)
 let observe_exit t ob =
   let eng = t.engine in
   t.n_observations <- t.n_observations + 1;
@@ -228,7 +354,8 @@ let observe_exit t ob =
   if clean then begin
     let d_instrs = Engine.instrs eng - ob.ob_instrs0 in
     let d_cycles = Engine.cycles eng -. ob.ob_cycles0 in
-    let key = (ob.ob_meth, ob.ob_sig) in
+    if d_instrs > 0 then Hashtbl.replace t.meth_instrs ob.ob_meth d_instrs;
+    let key = (ob.ob_key, ob.ob_sig) in
     let ph =
       match Hashtbl.find_opt t.table key with
       | Some ph -> ph
@@ -237,46 +364,49 @@ let observe_exit t ob =
           Hashtbl.add t.table key ph;
           ph
     in
-    if not ph.ph_poisoned then
-      if d_instrs <> ph.ph_instrs then ph.ph_poisoned <- true
-      else begin
-        ph.ph_since_measure <- 0;
-        let mean = mean_cycles t ph in
-        if
-          known t ph
-          && Float.abs (d_cycles -. mean) > t.cfg.cov_bound *. mean
-        then begin
-          (* A recalibration repeat outside the bound means the record no
-             longer describes the phase: relearn from this repeat rather
-             than splicing a stale cost. *)
-          ph.ph_seen <- t.cfg.warmup + 1;
-          ph.ph_cycles_sum <- d_cycles;
-          ph.ph_cycles_sumsq <- d_cycles *. d_cycles;
-          ph.ph_counts <-
-            Hierarchy.diff_counts ~before:ob.ob_counts0
-              ~after:(Hierarchy.counts (Engine.hierarchy eng))
-        end
-        else begin
-          (* Hold the measurement window at [repeats] samples: rescaling
-             before folding keeps the mean recency-weighted, so slow drift
-             is tracked instead of averaged into ancient history. *)
-          let n = measured t ph in
-          if n >= t.cfg.repeats then begin
-            let k = float_of_int (t.cfg.repeats - 1) /. float_of_int n in
-            ph.ph_cycles_sum <- ph.ph_cycles_sum *. k;
-            ph.ph_cycles_sumsq <- ph.ph_cycles_sumsq *. k;
-            ph.ph_seen <- t.cfg.warmup + t.cfg.repeats - 1
-          end;
-          ph.ph_seen <- ph.ph_seen + 1;
-          if ph.ph_seen > t.cfg.warmup then begin
-            ph.ph_cycles_sum <- ph.ph_cycles_sum +. d_cycles;
-            ph.ph_cycles_sumsq <- ph.ph_cycles_sumsq +. (d_cycles *. d_cycles);
+    if not ph.ph_poisoned && d_instrs > 0 then
+      match ob.ob_key with
+      | K_meth _ when d_instrs <> ph.ph_instrs -> ph.ph_poisoned <- true
+      | _ ->
+          let cpi = d_cycles /. float_of_int d_instrs in
+          ph.ph_since_measure <- 0;
+          let mean = mean_cpi t ph in
+          if known t ph && Float.abs (cpi -. mean) > t.cfg.cov_bound *. mean
+          then begin
+            (* A recalibration repeat outside the bound means the record no
+               longer describes the phase: relearn from this repeat rather
+               than splicing a stale cost. *)
+            ph.ph_seen <- t.cfg.warmup + 1;
+            ph.ph_cpi_sum <- cpi;
+            ph.ph_cpi_sumsq <- cpi *. cpi;
+            ph.ph_instrs <- d_instrs;
             ph.ph_counts <-
               Hierarchy.diff_counts ~before:ob.ob_counts0
-                ~after:(Hierarchy.counts (Engine.hierarchy eng))
+                ~after:(Hierarchy.counts (Engine.hierarchy eng));
+            ph.ph_counts_instrs <- d_instrs
           end
-        end
-      end
+          else begin
+            (* Hold the measurement window at [repeats] samples: rescaling
+               before folding keeps the mean recency-weighted, so slow
+               drift is tracked instead of averaged into ancient history. *)
+            let n = measured t ph in
+            if n >= t.cfg.repeats then begin
+              let k = float_of_int (t.cfg.repeats - 1) /. float_of_int n in
+              ph.ph_cpi_sum <- ph.ph_cpi_sum *. k;
+              ph.ph_cpi_sumsq <- ph.ph_cpi_sumsq *. k;
+              ph.ph_seen <- t.cfg.warmup + t.cfg.repeats - 1
+            end;
+            ph.ph_seen <- ph.ph_seen + 1;
+            ph.ph_instrs <- d_instrs;
+            if ph.ph_seen > t.cfg.warmup then begin
+              ph.ph_cpi_sum <- ph.ph_cpi_sum +. cpi;
+              ph.ph_cpi_sumsq <- ph.ph_cpi_sumsq +. (cpi *. cpi);
+              ph.ph_counts <-
+                Hierarchy.diff_counts ~before:ob.ob_counts0
+                  ~after:(Hierarchy.counts (Engine.hierarchy eng));
+              ph.ph_counts_instrs <- d_instrs
+            end
+          end
   end
 
 let region_exit t ~meth_id ~ff =
@@ -295,7 +425,7 @@ let region_exit t ~meth_id ~ff =
     | _ -> assert false (* sc_exit pairing is LIFO by construction *)
 
 let attach ?(config = default_config) ?(faults = Faults.none)
-    ?(obs = Obs.null) ~allow engine =
+    ?(obs = Obs.null) ?classify ~allow engine =
   (match validate_config config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Sample.attach: " ^ msg));
@@ -305,17 +435,28 @@ let attach ?(config = default_config) ?(faults = Faults.none)
       engine;
       faults;
       allow;
+      classify;
       table = Hashtbl.create 64;
+      meth_instrs = Hashtbl.create 64;
+      cluster_of_meth = Hashtbl.create 64;
       open_obs = [];
       fault_events0 = Faults.hw_fault_events faults;
       ff_instrs_active = 0;
       n_observations = 0;
       n_splices = 0;
       n_spliced_instrs = 0;
+      n_blocked_quiescence = 0;
+      n_blocked_unsettled = 0;
+      n_blocked_open_obs = 0;
+      n_blocked_poisoned = 0;
       obs;
       m_observations = Obs.counter obs "sample.observations";
       m_splices = Obs.counter obs "sample.splices";
       m_spliced_instrs = Obs.counter obs "sample.spliced_instrs";
+      m_blocked_quiescence = Obs.counter obs "sample.blocked_quiescence";
+      m_blocked_unsettled = Obs.counter obs "sample.blocked_unsettled";
+      m_blocked_open_obs = Obs.counter obs "sample.blocked_open_obs";
+      m_blocked_poisoned = Obs.counter obs "sample.blocked_poisoned";
     }
   in
   (* A promotion or recompile inside an observed span changes its cost
@@ -346,6 +487,10 @@ type stats = {
   known_phases : int;  (* cache entries currently fast-forwardable *)
   splices : int;  (* regions replayed from memoized records *)
   spliced_instrs : int;  (* instructions covered by replayed regions *)
+  blocked_quiescence : int;  (* guard verdicts: measurement in flight *)
+  blocked_unsettled : int;  (* guard verdicts: own tuner mid-campaign *)
+  blocked_open_obs : int;  (* known phases pinned by an open observation *)
+  blocked_poisoned : int;  (* candidates hitting a poisoned record *)
 }
 
 let stats t =
@@ -357,24 +502,30 @@ let stats t =
     known_phases;
     splices = t.n_splices;
     spliced_instrs = t.n_spliced_instrs;
+    blocked_quiescence = t.n_blocked_quiescence;
+    blocked_unsettled = t.n_blocked_unsettled;
+    blocked_open_obs = t.n_blocked_open_obs;
+    blocked_poisoned = t.n_blocked_poisoned;
   }
 
 (* -- checkpoint capture / restore ----------------------------------- *)
 
 type phase_entry_state = {
-  pe_meth : int;
+  pe_key : key;
   pe_sig : hw_sig;
   pe_instrs : int;
   pe_seen : int;
-  pe_cycles_sum : float;
-  pe_cycles_sumsq : float;
+  pe_cpi_sum : float;
+  pe_cpi_sumsq : float;
   pe_counts : Hierarchy.counts;
+  pe_counts_instrs : int;
   pe_poisoned : bool;
   pe_since_measure : int;
 }
 
 type obs_frame_state = {
   os_meth : int;
+  os_key : key;
   os_sig : hw_sig;
   os_instrs0 : int;
   os_cycles0 : float;
@@ -385,26 +536,37 @@ type obs_frame_state = {
 
 type state = {
   s_entries : phase_entry_state array;  (* sorted by key: determinism *)
+  s_meth_instrs : (int * int) array;  (* sorted by method id *)
+  s_cluster_of_meth : (int * int) array;  (* sorted by method id *)
   s_open : obs_frame_state array;  (* outermost observation first *)
   s_fault_events0 : int;
   s_ff_instrs_active : int;
   s_observations : int;
   s_splices : int;
   s_spliced_instrs : int;
+  s_blocked_quiescence : int;
+  s_blocked_unsettled : int;
+  s_blocked_open_obs : int;
+  s_blocked_poisoned : int;
 }
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare |> Array.of_list
 
 let capture t =
   let entries =
     Hashtbl.fold
-      (fun (meth, sg) ph acc ->
+      (fun (key, sg) ph acc ->
         {
-          pe_meth = meth;
+          pe_key = key;
           pe_sig = sg;
           pe_instrs = ph.ph_instrs;
           pe_seen = ph.ph_seen;
-          pe_cycles_sum = ph.ph_cycles_sum;
-          pe_cycles_sumsq = ph.ph_cycles_sumsq;
+          pe_cpi_sum = ph.ph_cpi_sum;
+          pe_cpi_sumsq = ph.ph_cpi_sumsq;
           pe_counts = ph.ph_counts;
+          pe_counts_instrs = ph.ph_counts_instrs;
           pe_poisoned = ph.ph_poisoned;
           pe_since_measure = ph.ph_since_measure;
         }
@@ -414,12 +576,15 @@ let capture t =
   in
   {
     s_entries = entries;
+    s_meth_instrs = sorted_bindings t.meth_instrs;
+    s_cluster_of_meth = sorted_bindings t.cluster_of_meth;
     s_open =
       Array.of_list
         (List.rev_map
            (fun ob ->
              {
                os_meth = ob.ob_meth;
+               os_key = ob.ob_key;
                os_sig = ob.ob_sig;
                os_instrs0 = ob.ob_instrs0;
                os_cycles0 = ob.ob_cycles0;
@@ -433,28 +598,42 @@ let capture t =
     s_observations = t.n_observations;
     s_splices = t.n_splices;
     s_spliced_instrs = t.n_spliced_instrs;
+    s_blocked_quiescence = t.n_blocked_quiescence;
+    s_blocked_unsettled = t.n_blocked_unsettled;
+    s_blocked_open_obs = t.n_blocked_open_obs;
+    s_blocked_poisoned = t.n_blocked_poisoned;
   }
 
 let restore t s =
   Hashtbl.reset t.table;
   Array.iter
     (fun pe ->
-      Hashtbl.replace t.table (pe.pe_meth, pe.pe_sig)
+      Hashtbl.replace t.table (pe.pe_key, pe.pe_sig)
         {
           ph_instrs = pe.pe_instrs;
           ph_seen = pe.pe_seen;
-          ph_cycles_sum = pe.pe_cycles_sum;
-          ph_cycles_sumsq = pe.pe_cycles_sumsq;
+          ph_cpi_sum = pe.pe_cpi_sum;
+          ph_cpi_sumsq = pe.pe_cpi_sumsq;
           ph_counts = pe.pe_counts;
+          ph_counts_instrs = pe.pe_counts_instrs;
           ph_poisoned = pe.pe_poisoned;
           ph_since_measure = pe.pe_since_measure;
         })
     s.s_entries;
+  Hashtbl.reset t.meth_instrs;
+  Array.iter
+    (fun (m, n) -> Hashtbl.replace t.meth_instrs m n)
+    s.s_meth_instrs;
+  Hashtbl.reset t.cluster_of_meth;
+  Array.iter
+    (fun (m, c) -> Hashtbl.replace t.cluster_of_meth m c)
+    s.s_cluster_of_meth;
   t.open_obs <-
     Array.fold_left
       (fun acc os ->
         {
           ob_meth = os.os_meth;
+          ob_key = os.os_key;
           ob_sig = os.os_sig;
           ob_instrs0 = os.os_instrs0;
           ob_cycles0 = os.os_cycles0;
@@ -468,4 +647,8 @@ let restore t s =
   t.ff_instrs_active <- s.s_ff_instrs_active;
   t.n_observations <- s.s_observations;
   t.n_splices <- s.s_splices;
-  t.n_spliced_instrs <- s.s_spliced_instrs
+  t.n_spliced_instrs <- s.s_spliced_instrs;
+  t.n_blocked_quiescence <- s.s_blocked_quiescence;
+  t.n_blocked_unsettled <- s.s_blocked_unsettled;
+  t.n_blocked_open_obs <- s.s_blocked_open_obs;
+  t.n_blocked_poisoned <- s.s_blocked_poisoned

@@ -4,21 +4,31 @@
     recurring phase's cache behaviour is stable once the program and the
     adaptation system settle (Phase Distance Mapping; see PAPERS.md).
     This module memoizes per-phase statistics — keyed on phase identity
-    (the hotspot's header method) plus the exact hardware configuration —
-    and, once a phase is "known", asks the engine to fast-forward through
-    its repeats: architectural state (DO database, pattern cursors, RNG
-    stream, instruction counts) advances exactly as a full simulation
-    would, while timing and hierarchy counters are spliced in from the
-    memoized record.  See DESIGN.md §Sampled simulation.
+    plus the exact hardware configuration — and, once a phase is "known",
+    asks the engine to fast-forward through its repeats: architectural
+    state (DO database, pattern cursors, RNG stream, instruction counts)
+    advances exactly as a full simulation would, while timing and
+    hierarchy counters are spliced in from the memoized record.  See
+    DESIGN.md §Sampled simulation.
+
+    Phase identity is the hotspot's header method by default.  With a
+    [classify] function installed (the BBV scheme's phase tracker),
+    records are instead keyed on the current {e behaviour cluster}:
+    every header executing in one cluster shares one CPI-normalized
+    record, so a method can fast-forward off repeats of other methods
+    with the same behaviour signature.  When the tracker reassigns a
+    header to a different cluster, the old cluster's records are dropped
+    (its composition changed) and observations bound for it discarded.
 
     The detector is warmup-aware: the first [warmup] clean repeats of a
     phase are discarded (cold caches, JIT ramp), and fast-forwarding only
-    begins after [repeats] further clean repeats whose cycle counts agree
-    within [cov_bound].  A repeat is clean when no promotion, recompile,
-    reconfiguration or hardware fault landed inside it and the hardware
-    signature is unchanged end to end.  Tuner trials always run under full
-    simulation: the [allow] guard rejects candidates whose scheme is
-    mid-measurement. *)
+    begins after [repeats] further clean repeats whose per-instruction
+    cycle costs agree within [cov_bound].  A repeat is clean when no
+    promotion, recompile, reconfiguration or hardware fault landed inside
+    it and the hardware signature is unchanged end to end.  Tuner trials
+    always run under full simulation: the [allow] guard rejects
+    candidates whose scheme is mid-measurement, and reports {e why} so
+    the run summary can show what is holding coverage back. *)
 
 type config = {
   warmup : int;  (** Clean repeats discarded before measuring. *)
@@ -37,6 +47,13 @@ val validate_config : config -> (unit, string) result
 (** Reject nonsensical thresholds (negative warmup, repeats < 1,
     non-finite or negative bound, negative recalibration period). *)
 
+(** Scheme guard verdict for a splice/observe candidate.  [Unsettled]
+    means the candidate's own tuner is mid-campaign or mid-measurement;
+    [Not_quiescent] means some other measurement is in flight (for the
+    hotspot scheme, a measuring invocation is open on the call stack).
+    Only the reasons are counted — both rejections behave identically. *)
+type verdict = Allow | Unsettled | Not_quiescent
+
 (** The hardware configuration a phase record was measured under; part of
     the cache key, so statistics never cross configurations. *)
 type hw_sig = {
@@ -46,56 +63,76 @@ type hw_sig = {
   hs_exposure_bits : int64;
 }
 
+(** Record identity: one hotspot header method exactly, or a BBV
+    behaviour cluster shared by every header executing in it. *)
+type key = K_meth of int | K_cluster of int
+
 type t
 
 val attach :
   ?config:config ->
   ?faults:Ace_faults.Faults.t ->
   ?obs:Ace_obs.Obs.t ->
-  allow:(meth_id:int -> bool) ->
+  ?classify:(unit -> int option) ->
+  allow:(meth_id:int -> verdict) ->
   Ace_vm.Engine.t ->
   t
 (** Install the sampler on an engine (once per engine, before it runs or
     resumes).  [allow] is the scheme quiescence guard: a candidate is only
-    observed or fast-forwarded while it returns [true] (e.g. the hotspot
-    tuner has settled, or the BBV scheme has no pending trial).  [faults]
-    must be the engine's injector: the sampler polls its monotone
-    hardware-fault counter and invalidates the entire cache when it moves.
-    [obs] receives [sample.*] counters.
+    observed or fast-forwarded while it returns [Allow] (e.g. the hotspot
+    tuner has settled and no measurement is in flight, or the BBV scheme
+    has no pending trial).  [classify], when given, returns the current
+    behaviour cluster id ([None] until the first classification) and
+    switches record keying from headers to clusters.  [faults] must be
+    the engine's injector: the sampler polls its monotone hardware-fault
+    counter and invalidates the entire cache when it moves.  [obs]
+    receives [sample.*] counters.
     @raise Invalid_argument on an invalid config or a double attach. *)
 
 val config : t -> config
 
-(** Cumulative sampling statistics for the run summary. *)
+(** Cumulative sampling statistics for the run summary.  The [blocked_*]
+    counters break down why candidates could not fast-forward: guard
+    verdicts ([blocked_quiescence], [blocked_unsettled]), known records
+    pinned under an open observation ([blocked_open_obs]) and poisoned
+    records ([blocked_poisoned]). *)
 type stats = {
   observations : int;  (** Candidate invocations measured in full. *)
   known_phases : int;  (** Cache entries currently fast-forwardable. *)
   splices : int;  (** Regions replayed from memoized records. *)
   spliced_instrs : int;  (** Instructions covered by replayed regions. *)
+  blocked_quiescence : int;
+  blocked_unsettled : int;
+  blocked_open_obs : int;
+  blocked_poisoned : int;
 }
 
 val stats : t -> stats
 
 (** {2 Checkpoint capture / restore}
 
-    Snapshots carry the whole phase-statistics cache and any observations
-    in flight, so a killed sampled run resumes bit-identically with the
-    uninterrupted one (same future decisions, same splices). *)
+    Snapshots carry the whole phase-statistics cache, the learned
+    per-method invocation lengths, the header-to-cluster map and any
+    observations in flight, so a killed sampled run resumes
+    bit-identically with the uninterrupted one (same future decisions,
+    same splices). *)
 
 type phase_entry_state = {
-  pe_meth : int;
+  pe_key : key;
   pe_sig : hw_sig;
   pe_instrs : int;
   pe_seen : int;
-  pe_cycles_sum : float;
-  pe_cycles_sumsq : float;
+  pe_cpi_sum : float;
+  pe_cpi_sumsq : float;
   pe_counts : Ace_mem.Hierarchy.counts;
+  pe_counts_instrs : int;
   pe_poisoned : bool;
   pe_since_measure : int;
 }
 
 type obs_frame_state = {
   os_meth : int;
+  os_key : key;
   os_sig : hw_sig;
   os_instrs0 : int;
   os_cycles0 : float;
@@ -106,12 +143,18 @@ type obs_frame_state = {
 
 type state = {
   s_entries : phase_entry_state array;  (** Sorted by key. *)
+  s_meth_instrs : (int * int) array;  (** Sorted by method id. *)
+  s_cluster_of_meth : (int * int) array;  (** Sorted by method id. *)
   s_open : obs_frame_state array;  (** Outermost observation first. *)
   s_fault_events0 : int;
   s_ff_instrs_active : int;
   s_observations : int;
   s_splices : int;
   s_spliced_instrs : int;
+  s_blocked_quiescence : int;
+  s_blocked_unsettled : int;
+  s_blocked_open_obs : int;
+  s_blocked_poisoned : int;
 }
 
 val capture : t -> state

@@ -116,6 +116,7 @@ type t = {
   rng : Rng.t;
   faults : Faults.t;
   cursors : Pattern.cursor array;  (* indexed by block id *)
+  mutable addr_buf : int array;  (* exec_block batch scratch; not checkpointed *)
   (* counters *)
   mutable n_instrs : int;
   mutable n_cycles : float;
@@ -164,6 +165,7 @@ let create ?(config = default_config) ?(faults = Faults.none) ?(obs = Obs.null)
     rng = Rng.create ~seed:config.seed;
     faults;
     cursors;
+    addr_buf = [||];
     n_instrs = 0;
     n_cycles = 0.0;
     n_overhead_instrs = 0;
@@ -282,22 +284,41 @@ let fire_interval t =
     t.hooks.on_interval ~total_instrs:boundary
   done
 
+(* Target batch size for [exec_block]'s address buffer: large enough to
+   amortize the per-batch dispatch, small enough that the scratch stays a
+   few dozen KB per engine. *)
+let batch_target = 4096
+
 let exec_block t (b : Block.t) count quality =
   let l1_hit = (Hierarchy.latencies t.hier).Hierarchy.l1_hit in
   let cursor = t.cursors.(b.Block.id) in
   let penalty = ref 0 in
   (* One representative I-fetch probe per batch (see DESIGN.md). *)
   penalty := !penalty + (Hierarchy.ifetch t.hier ~pc:b.Block.pc - l1_hit);
-  for _rep = 1 to count do
-    for _ld = 1 to b.Block.loads do
-      let addr = Pattern.next cursor ~rng:t.rng in
-      penalty := !penalty + (Hierarchy.data_access t.hier ~addr ~write:false - l1_hit)
-    done;
-    for _st = 1 to b.Block.stores do
-      let addr = Pattern.next cursor ~rng:t.rng in
-      penalty := !penalty + (Hierarchy.data_access t.hier ~addr ~write:true - l1_hit)
+  (* Data accesses run batched: addresses for whole repetitions of the
+     block's loads-then-stores shape are generated in one [Pattern]
+     dispatch, then pushed through the hierarchy in dense passes.  Chunks
+     are whole repetitions so the positional write flag stays aligned; the
+     address sequence, structure state and counters are byte-identical to
+     the per-access loop this replaces (see Hierarchy.data_access_batch). *)
+  let per_rep = b.Block.loads + b.Block.stores in
+  if per_rep > 0 && count > 0 then begin
+    let chunk_reps = max 1 (batch_target / per_rep) in
+    let buf_need = min count chunk_reps * per_rep in
+    if Array.length t.addr_buf < buf_need then
+      t.addr_buf <- Array.make (max buf_need (2 * Array.length t.addr_buf)) 0;
+    let reps_left = ref count in
+    while !reps_left > 0 do
+      let reps = min !reps_left chunk_reps in
+      reps_left := !reps_left - reps;
+      let n = reps * per_rep in
+      Pattern.next_batch cursor ~rng:t.rng t.addr_buf ~pos:0 ~n;
+      penalty :=
+        !penalty
+        + Hierarchy.data_access_batch t.hier ~addrs:t.addr_buf ~n
+            ~loads:b.Block.loads ~stores:b.Block.stores
     done
-  done;
+  end;
   let batch_instrs = b.Block.instrs * count in
   let c =
     Ace_cpu.Timing.block_cycles t.timing ~instrs:batch_instrs

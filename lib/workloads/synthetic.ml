@@ -10,6 +10,12 @@ type params = {
   mem_frac : float;
   streaming_share : float;
   ilp : float;
+  setup_calls : int;
+      (* > 0: each phase is preceded by a setup method invoked exactly this
+         many times.  Crossing the hotspot threshold without ever finishing
+         a tuning campaign, such methods strand their tuner mid-campaign —
+         the real-program pathology (init code) that pins any global
+         quiescence predicate false for the rest of the run. *)
 }
 
 let default =
@@ -25,6 +31,7 @@ let default =
     mem_frac = 0.3;
     streaming_share = 0.3;
     ilp = 2.0;
+    setup_calls = 0;
   }
 
 let validate p =
@@ -38,7 +45,8 @@ let validate p =
   assert (p.shared_kb >= 0);
   assert (p.mem_frac >= 0.0 && p.mem_frac <= 1.0);
   assert (p.streaming_share >= 0.0 && p.streaming_share <= 1.0);
-  assert (p.ilp > 0.0)
+  assert (p.ilp > 0.0);
+  assert (p.setup_calls >= 0)
 
 let build p ~seed =
   validate p;
@@ -83,12 +91,32 @@ let build p ~seed =
         (fun m -> [ Kit.call m (2 + (i mod 2)) ])
         (Array.to_list l1_methods)
     in
-    Kit.meth k ~name:(Printf.sprintf "phase_%d" i) body
+    let setup =
+      if p.setup_calls = 0 then None
+      else
+        (* Same shape (and therefore CU class) as a work method, but invoked
+           only [setup_calls] times: enough to be promoted, never enough to
+           finish tuning. *)
+        let per_leaf =
+          max 1 (p.l1_target_size / (p.leaves_per_phase * p.leaf_instrs))
+        in
+        Some
+          (Kit.meth k
+             ~name:(Printf.sprintf "setup_%d" i)
+             (List.map (fun l -> Kit.call l per_leaf) (Array.to_list leaves)))
+    in
+    (setup, Kit.meth k ~name:(Printf.sprintf "phase_%d" i) body)
   in
   let phases = List.init p.n_phases phase in
   let main =
     Kit.meth k ~name:"main"
-      (List.map (fun ph -> Kit.call ph p.phase_repeats) phases)
+      (List.concat_map
+         (fun (setup, ph) ->
+           (match setup with
+           | Some s -> [ Kit.call s p.setup_calls ]
+           | None -> [])
+           @ [ Kit.call ph p.phase_repeats ])
+         phases)
   in
   Kit.finish k ~entry:main
 

@@ -19,6 +19,15 @@ type params = {
   streaming_share : float;
       (** Fraction of leaves that stream rather than access randomly. *)
   ilp : float;
+  setup_calls : int;
+      (** When positive, each phase is preceded by a work-shaped setup
+          method invoked exactly this many times — enough to cross the
+          hotspot threshold, never enough to finish a tuning campaign.
+          Models real init code whose stranded mid-campaign tuner pins any
+          {e global} quiescence predicate false for the rest of the run;
+          under the scoped {!Ace_core.Framework.quiescent_for} the
+          stranded tuner ages out of {!Ace_core.Framework.unsettled_active}
+          and stops blocking.  0 (the default) emits no setup methods. *)
 }
 
 val default : params

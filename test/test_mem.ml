@@ -2,6 +2,7 @@
 module Tlb = Ace_mem.Tlb
 module Hierarchy = Ace_mem.Hierarchy
 module Cache = Ace_mem.Cache
+module Rng = Ace_util.Rng
 
 let test_tlb_hit_miss () =
   let t = Tlb.create () in
@@ -107,6 +108,116 @@ let test_resize_l1d_noop () =
     (Hierarchy.data_access h ~addr:0 ~write:false
     = (Hierarchy.latencies h).Hierarchy.l1_hit)
 
+let test_resize_l2_noop () =
+  let h = Hierarchy.create () in
+  ignore (Hierarchy.data_access h ~addr:0 ~write:true);
+  ignore (Hierarchy.resize_l1d h ~size_bytes:(32 * 1024));
+  let wb_before = Hierarchy.memory_writebacks h in
+  Alcotest.(check int) "same size: no flush" 0
+    (Hierarchy.resize_l2 h ~size_bytes:(1024 * 1024));
+  Alcotest.(check int) "no memory writeback traffic" wb_before
+    (Hierarchy.memory_writebacks h);
+  (* The dirty line pushed into L2 above must still be resident. *)
+  let lat = Hierarchy.latencies h in
+  Alcotest.(check int) "contents preserved"
+    (lat.Hierarchy.l1_hit + lat.Hierarchy.l2_hit)
+    (Hierarchy.data_access h ~addr:0 ~write:false)
+
+(* [data_access_batch] must leave every structure and counter exactly as
+   the equivalent scalar sequence would, and return the summed latency in
+   excess of one L1 hit per access. *)
+let batch_shapes = [ (3, 1, 64); (1, 0, 100); (0, 2, 33); (2, 3, 400) ]
+
+let test_data_access_batch_equiv () =
+  let rng = Rng.create ~seed:11 in
+  List.iter
+    (fun (loads, stores, reps) ->
+      let ha = Hierarchy.create () and hb = Hierarchy.create () in
+      let lat = Hierarchy.latencies ha in
+      let period = loads + stores in
+      let n = period * reps in
+      let addrs = Array.init n (fun _ -> Rng.int rng (1 lsl 20)) in
+      let scalar = ref 0 in
+      Array.iteri
+        (fun i addr ->
+          let write = i mod period >= loads in
+          scalar := !scalar + Hierarchy.data_access ha ~addr ~write)
+        addrs;
+      let batch = Hierarchy.data_access_batch hb ~addrs ~n ~loads ~stores in
+      Alcotest.(check int) "penalty = scalar latency - n x l1_hit"
+        (!scalar - (n * lat.Hierarchy.l1_hit))
+        batch;
+      Alcotest.(check bool) "hierarchy state identical" true
+        (Hierarchy.capture ha = Hierarchy.capture hb);
+      Alcotest.(check bool) "counters identical" true
+        (Hierarchy.counts ha = Hierarchy.counts hb))
+    batch_shapes
+
+let prop_data_access_batch_equiv =
+  QCheck.Test.make ~name:"data_access_batch = scalar sequence" ~count:50
+    QCheck.(
+      quad (int_range 0 4) (int_range 0 4) (int_range 1 200)
+        (int_range 1 10_000))
+    (fun (loads, stores, reps, seed) ->
+      QCheck.assume (loads + stores > 0);
+      let rng = Rng.create ~seed in
+      let ha = Hierarchy.create () and hb = Hierarchy.create () in
+      let lat = Hierarchy.latencies ha in
+      let period = loads + stores in
+      let n = period * reps in
+      let addrs = Array.init n (fun _ -> Rng.int rng (1 lsl 22)) in
+      let scalar = ref 0 in
+      Array.iteri
+        (fun i addr ->
+          let write = i mod period >= loads in
+          scalar := !scalar + Hierarchy.data_access ha ~addr ~write)
+        addrs;
+      let batch = Hierarchy.data_access_batch hb ~addrs ~n ~loads ~stores in
+      batch = !scalar - (n * lat.Hierarchy.l1_hit)
+      && Hierarchy.capture ha = Hierarchy.capture hb)
+
+let test_data_access_batch_no_alloc () =
+  let h = Hierarchy.create () in
+  let n = 4096 in
+  let addrs = Array.init n (fun i -> i * 64 mod (1 lsl 22)) in
+  (* First call sizes the internal scratch; steady state allocates nothing
+     beyond the boxing of the [Gc.minor_words] readings themselves. *)
+  ignore (Hierarchy.data_access_batch h ~addrs ~n ~loads:3 ~stores:1);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10 do
+    ignore (Hierarchy.data_access_batch h ~addrs ~n ~loads:3 ~stores:1)
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state minor words %.0f < 256" dw)
+    true (dw < 256.0)
+
+(* Splicing the counter delta captured over a simulated segment must land
+   the counters exactly where full simulation of that segment would. *)
+let prop_splice_reproduces_counters =
+  QCheck.Test.make
+    ~name:"splice of a captured delta reproduces full-sim counters" ~count:30
+    QCheck.(triple (int_range 1 500) (int_range 1 500) (int_range 1 10_000))
+    (fun (n1, n2, seed) ->
+      let rng = Rng.create ~seed in
+      let seq n = Array.init n (fun _ -> Rng.int rng (1 lsl 18)) in
+      let s1 = seq n1 and s2 = seq n2 in
+      let replay h a =
+        Array.iteri
+          (fun i addr ->
+            ignore (Hierarchy.data_access h ~addr ~write:(i mod 3 = 0)))
+          a
+      in
+      let ha = Hierarchy.create () in
+      replay ha s1;
+      let c1 = Hierarchy.counts ha in
+      replay ha s2;
+      let c2 = Hierarchy.counts ha in
+      let hb = Hierarchy.create () in
+      replay hb s1;
+      Hierarchy.splice hb (Hierarchy.diff_counts ~before:c1 ~after:c2);
+      Hierarchy.counts hb = c2)
+
 let test_memory_reads_counted () =
   let h = Hierarchy.create () in
   ignore (Hierarchy.data_access h ~addr:0 ~write:false);
@@ -136,6 +247,11 @@ let suite =
     Tu.case "resize L1D writes into L2" test_resize_l1d_writes_into_l2;
     Tu.case "resize L2 writes to memory" test_resize_l2_writes_to_memory;
     Tu.case "resize L1D noop" test_resize_l1d_noop;
+    Tu.case "resize L2 noop" test_resize_l2_noop;
+    Tu.case "data_access_batch = scalar" test_data_access_batch_equiv;
+    Tu.qcheck prop_data_access_batch_equiv;
+    Tu.case "data_access_batch allocation-free" test_data_access_batch_no_alloc;
+    Tu.qcheck prop_splice_reproduces_counters;
     Tu.case "memory reads counted" test_memory_reads_counted;
     Tu.case "default geometry (Table 2)" test_default_geometry;
   ]

@@ -89,6 +89,34 @@ let prop_all_patterns_in_bounds =
       done;
       !ok)
 
+(* The batched generator must be indistinguishable from repeated [next]:
+   same addresses, same cursor state after, same RNG stream position. *)
+let prop_next_batch_equiv =
+  QCheck.Test.make ~name:"next_batch = n nexts (addresses, cursor, rng)"
+    ~count:200
+    QCheck.(
+      quad (int_range 0 1_000_000) (int_range 8 65536) (int_range 0 2)
+        (int_range 0 300))
+    (fun (base, extent, kind, n) ->
+      let pattern =
+        match kind with
+        | 0 -> Pattern.Sequential { base; extent; stride = 8 }
+        | 1 -> Pattern.Random_in { base; extent }
+        | _ -> Pattern.Pointer_chase { base; extent }
+      in
+      let ca = Pattern.cursor pattern and cb = Pattern.cursor pattern in
+      let ra = Rng.create ~seed:base and rb = Rng.create ~seed:base in
+      let scalar = Array.init n (fun _ -> Pattern.next ca ~rng:ra) in
+      let buf = Array.make (n + 2) (-1) in
+      Pattern.next_batch cb ~rng:rb buf ~pos:1 ~n;
+      Array.for_all
+        (fun i -> buf.(i + 1) = scalar.(i))
+        (Array.init n (fun i -> i))
+      && buf.(0) = -1
+      && buf.(n + 1) = -1
+      && Pattern.next ca ~rng:ra = Pattern.next cb ~rng:rb
+      && Rng.bits64 ra = Rng.bits64 rb)
+
 let suite =
   [
     Tu.case "sequential walk" test_sequential_walk;
@@ -102,4 +130,5 @@ let suite =
     Tu.case "base" test_base;
     Tu.case "validate" test_validate;
     Tu.qcheck prop_all_patterns_in_bounds;
+    Tu.qcheck prop_next_batch_equiv;
   ]

@@ -82,7 +82,7 @@ let run_full program =
 
 let run_sampled ?(config = Sample.default_config) program =
   let e = Engine.create program in
-  let sam = Sample.attach ~config ~allow:(fun ~meth_id:_ -> true) e in
+  let sam = Sample.attach ~config ~allow:(fun ~meth_id:_ -> Sample.Allow) e in
   Engine.run e;
   (e, sam)
 
@@ -144,6 +144,116 @@ let prop_sampled_arch_exact =
       let sampled, _ = run_sampled p in
       arch_equal full sampled)
 
+(* -- blocked-candidate breakdown ------------------------------------ *)
+
+let test_blocked_counters_hotspot_scheme () =
+  (* Setup methods strand their tuners mid-campaign; the scoped guard
+     still splices everything else, and the rejected candidates show up in
+     the blocked breakdown instead of silently vanishing. *)
+  let wl =
+    Synthetic.workload
+      {
+        Synthetic.default with
+        n_phases = 2;
+        phase_repeats = 30;
+        l1_methods_per_phase = 2;
+        l1_target_size = 20_000;
+        leaves_per_phase = 4;
+        leaf_instrs = 600;
+        working_set_kb = 16;
+        setup_calls = 3;
+      }
+  in
+  let r = Run.run ~seed:5 ~sample:Sample.default_config wl Scheme.Hotspot in
+  let s = Option.get r.Run.sample in
+  Alcotest.(check bool) "splices engaged" true (s.Sample.splices > 0);
+  Alcotest.(check bool) "unsettled rejections counted" true
+    (s.Sample.blocked_unsettled > 0);
+  Alcotest.(check bool) "quiescence rejections counted" true
+    (s.Sample.blocked_quiescence > 0)
+
+(* -- cluster-keyed memoization -------------------------------------- *)
+
+let run_sampled_clustered ?(config = Sample.default_config) ~classify program =
+  let e = Engine.create program in
+  let sam =
+    Sample.attach ~config ~classify
+      ~allow:(fun ~meth_id:_ -> Sample.Allow)
+      e
+  in
+  Engine.run e;
+  (e, sam)
+
+let test_cluster_keyed_arch_exact () =
+  let p = small () in
+  let full = run_full p in
+  (* A drifting classifier exercises both cluster-shared records and the
+     reassignment-invalidation path; architectural state must stay exact
+     no matter what the classifier returns. *)
+  let calls = ref 0 in
+  let classify () =
+    incr calls;
+    Some (!calls / 400 mod 3)
+  in
+  let sampled, sam = run_sampled_clustered ~classify p in
+  Alcotest.(check bool) "architectural state identical" true
+    (arch_equal full sampled);
+  let st = Sample.stats sam in
+  Alcotest.(check bool) "observations happened" true
+    (st.Sample.observations > 0)
+
+let test_cluster_reassignment_invalidates () =
+  let p = small () in
+  (* Monotone cluster ids: once the classifier moves on, any record of an
+     earlier cluster must be dropped at the next reassignment detection,
+     so at run end only the last clusters can remain. *)
+  let calls = ref 0 in
+  let classify () =
+    incr calls;
+    Some (!calls / 2000)
+  in
+  let _, sam = run_sampled_clustered ~classify p in
+  let final = !calls / 2000 in
+  let st = Sample.capture sam in
+  Array.iter
+    (fun pe ->
+      match pe.Sample.pe_key with
+      | Sample.K_cluster c ->
+          if c < final - 1 then
+            Alcotest.failf "stale cluster %d survived (final %d)" c final
+      | Sample.K_meth _ -> ())
+    st.Sample.s_entries
+
+let test_bbv_cluster_sampled_consistent () =
+  (* End to end through the harness: the BBV scheme wires its phase
+     tracker in as the sampler's classifier.  The sampled run must agree
+     architecturally with the unsampled one. *)
+  let wl =
+    Synthetic.workload
+      {
+        Synthetic.default with
+        n_phases = 2;
+        phase_repeats = 40;
+        l1_methods_per_phase = 2;
+        l1_target_size = 20_000;
+        leaves_per_phase = 4;
+        leaf_instrs = 600;
+        working_set_kb = 16;
+      }
+  in
+  let full = Run.run ~seed:2 wl Scheme.Bbv in
+  let sampled = Run.run ~seed:2 ~sample:Sample.default_config wl Scheme.Bbv in
+  Alcotest.(check int) "instruction count exact" full.Run.instrs
+    sampled.Run.instrs;
+  let rel =
+    Float.abs (sampled.Run.cycles -. full.Run.cycles) /. full.Run.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cycle delta %.4f within 5%%" rel)
+    true (rel < 0.05);
+  Alcotest.(check bool) "sample stats present" true
+    (sampled.Run.sample <> None)
+
 (* -- capture / restore and snapshot round-trip ---------------------- *)
 
 let test_capture_restore_roundtrip () =
@@ -154,7 +264,27 @@ let test_capture_restore_roundtrip () =
     (Array.length st.Sample.s_entries > 0);
   let fresh =
     Sample.attach ~config:Sample.default_config
-      ~allow:(fun ~meth_id:_ -> true)
+      ~allow:(fun ~meth_id:_ -> Sample.Allow)
+      (Engine.create p)
+  in
+  Sample.restore fresh st;
+  Alcotest.(check bool) "capture (restore s) = s" true (Sample.capture fresh = st)
+
+let test_cluster_capture_restore_roundtrip () =
+  let p = small () in
+  let calls = ref 0 in
+  let classify () =
+    incr calls;
+    Some (!calls / 500)
+  in
+  let _, sam = run_sampled_clustered ~classify p in
+  let st = Sample.capture sam in
+  Alcotest.(check bool) "cluster state captured" true
+    (Array.length st.Sample.s_meth_instrs > 0
+    && Array.length st.Sample.s_cluster_of_meth > 0);
+  let fresh =
+    Sample.attach ~config:Sample.default_config
+      ~allow:(fun ~meth_id:_ -> Sample.Allow)
       (Engine.create p)
   in
   Sample.restore fresh st;
@@ -199,7 +329,14 @@ let suite =
     Tu.case "sampled run: arch state exact" test_sampled_arch_exact;
     Tu.case "sampled run: cycles within bound" test_sampled_timing_close;
     QCheck_alcotest.to_alcotest prop_sampled_arch_exact;
+    Tu.case "blocked-candidate breakdown" test_blocked_counters_hotspot_scheme;
+    Tu.case "cluster-keyed run: arch state exact" test_cluster_keyed_arch_exact;
+    Tu.case "cluster reassignment invalidates records"
+      test_cluster_reassignment_invalidates;
+    Tu.case "BBV cluster-keyed run consistent" test_bbv_cluster_sampled_consistent;
     Tu.case "sampler capture/restore round-trip" test_capture_restore_roundtrip;
+    Tu.case "cluster sampler capture/restore round-trip"
+      test_cluster_capture_restore_roundtrip;
     Tu.slow_case "sampled snapshot codec round-trip"
       test_sampled_snapshot_roundtrip;
   ]
